@@ -1,0 +1,1 @@
+bench/analytic.ml: Array List Printf Softstate_queueing Tables

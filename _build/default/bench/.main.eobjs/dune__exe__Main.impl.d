@@ -1,0 +1,1 @@
+bench/main.ml: Analytic Array List Micro Printf Sims Sstp_bench Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance Measure Printf Softstate_core Softstate_sched Softstate_sim Softstate_util Sstp Staged String Tables Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/sims.ml: List Printf Softstate_core Softstate_queueing Softstate_sched Tables

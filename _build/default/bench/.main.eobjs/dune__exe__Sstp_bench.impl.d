@@ -1,0 +1,1 @@
+bench/sstp_bench.ml: Char List Printf Softstate_net Softstate_sim Softstate_util Sstp String Tables

@@ -1,0 +1,35 @@
+(* Aligned-table printing for the experiment harness. *)
+
+let hrule width = print_endline (String.make width '-')
+
+let header title =
+  print_newline ();
+  print_endline (String.make 74 '=');
+  print_endline title;
+  print_endline (String.make 74 '=')
+
+let subheader s =
+  print_newline ();
+  print_endline s;
+  hrule (String.length s)
+
+(* Print a table: first column label + one column per series. *)
+let series ~x_label ~x_format ~columns ~rows () =
+  Printf.printf "%10s" x_label;
+  List.iter (fun c -> Printf.printf "  %10s" c) columns;
+  print_newline ();
+  hrule (10 + (12 * List.length columns));
+  List.iter
+    (fun (x, values) ->
+      Printf.printf "%10s" (x_format x);
+      List.iter
+        (fun v ->
+          if Float.is_nan v then Printf.printf "  %10s" "-"
+          else Printf.printf "  %10.4f" v)
+        values;
+      print_newline ())
+    rows
+
+let pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
+let kbps x = Printf.sprintf "%.1f" x
+let seconds x = Printf.sprintf "%.0fs" x

@@ -1,0 +1,1 @@
+bin/softstate_sim_cli.ml: Arg Cmd Cmdliner Format List Printf Softstate_core Softstate_sched String Term

@@ -1,0 +1,1 @@
+bin/softstate_sim_cli.mli:

@@ -1,0 +1,1 @@
+bin/sstp_profile_cli.ml: Arg Cmd Cmdliner Float Format List Printf Softstate_core Sstp Term

@@ -1,0 +1,1 @@
+bin/sstp_profile_cli.mli:

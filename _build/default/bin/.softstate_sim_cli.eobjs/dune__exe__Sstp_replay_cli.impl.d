@@ -1,0 +1,1 @@
+bin/sstp_replay_cli.ml: Arg Cmd Cmdliner Hashtbl Printf Softstate_net Softstate_sim Softstate_trace Softstate_util Sstp Term

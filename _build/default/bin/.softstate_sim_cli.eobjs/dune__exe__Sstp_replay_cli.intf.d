@@ -1,0 +1,1 @@
+bin/sstp_replay_cli.mli:

@@ -1,0 +1,123 @@
+(* Command-line front end to the announce/listen simulator: run one
+   experiment with everything configurable, print the consistency
+   profile quantities.
+
+     dune exec bin/softstate_sim_cli.exe -- --protocol feedback \
+       --loss 0.4 --mu-hot 27 --mu-cold 7 --mu-fb 11 --duration 5000 *)
+
+open Cmdliner
+
+module E = Softstate_core.Experiment
+module Base = Softstate_core.Base
+module Consistency = Softstate_core.Consistency
+module Sched = Softstate_sched.Scheduler
+
+let protocol_arg =
+  let doc = "Protocol variant: open-loop, two-queue, or feedback." in
+  Arg.(
+    value
+    & opt (enum [ ("open-loop", `Open_loop); ("two-queue", `Two_queue);
+                  ("feedback", `Feedback) ])
+        `Open_loop
+    & info [ "protocol"; "p" ] ~doc)
+
+let float_arg names default doc =
+  Arg.(value & opt float default & info names ~doc)
+
+let int_arg names default doc =
+  Arg.(value & opt int default & info names ~doc)
+
+let seed_arg = int_arg [ "seed" ] 1 "PRNG seed; equal seeds reproduce runs."
+let duration_arg = float_arg [ "duration"; "d" ] 5000.0 "Simulated seconds."
+let lambda_arg = float_arg [ "lambda" ] 15.0 "Table update rate, kb/s."
+let size_arg = int_arg [ "size-bits" ] 1000 "Announcement size, bits."
+let loss_arg = float_arg [ "loss"; "l" ] 0.1 "Channel loss probability."
+let mu_data_arg = float_arg [ "mu-data" ] 45.0 "Open-loop data rate, kb/s."
+let mu_hot_arg = float_arg [ "mu-hot" ] 20.0 "Hot queue rate, kb/s."
+let mu_cold_arg = float_arg [ "mu-cold" ] 25.0 "Cold queue rate, kb/s."
+let mu_fb_arg = float_arg [ "mu-fb" ] 7.0 "Feedback channel rate, kb/s."
+let nack_arg = int_arg [ "nack-bits" ] 500 "NACK packet size, bits."
+
+let death_arg =
+  let doc =
+    "Death model: service:P (per-service probability), fixed:TTL or \
+     exp:MEAN (lifetimes in seconds)."
+  in
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "service"; p ] -> (
+        match float_of_string_opt p with
+        | Some p -> Ok (Base.Per_service p)
+        | None -> Error (`Msg "bad probability"))
+    | [ "fixed"; ttl ] -> (
+        match float_of_string_opt ttl with
+        | Some ttl -> Ok (Base.Lifetime_fixed ttl)
+        | None -> Error (`Msg "bad lifetime"))
+    | [ "exp"; mean ] -> (
+        match float_of_string_opt mean with
+        | Some mean -> Ok (Base.Lifetime_exp mean)
+        | None -> Error (`Msg "bad mean"))
+    | _ -> Error (`Msg "expected service:P, fixed:TTL or exp:MEAN")
+  in
+  let print fmt = function
+    | Base.Per_service p -> Format.fprintf fmt "service:%g" p
+    | Base.Lifetime_fixed ttl -> Format.fprintf fmt "fixed:%g" ttl
+    | Base.Lifetime_exp mean -> Format.fprintf fmt "exp:%g" mean
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (Base.Lifetime_fixed 30.0)
+    & info [ "death" ] ~doc)
+
+let sched_arg =
+  let doc = "Proportional-share scheduler for the hot/cold split." in
+  Arg.(
+    value
+    & opt
+        (enum
+           (List.map (fun a -> (Sched.algorithm_name a, a)) Sched.all_algorithms))
+        Sched.Stride
+    & info [ "sched" ] ~doc)
+
+let run protocol seed duration lambda size_bits loss mu_data mu_hot mu_cold
+    mu_fb nack_bits death sched =
+  let protocol =
+    match protocol with
+    | `Open_loop -> E.Open_loop { mu_data_kbps = mu_data }
+    | `Two_queue -> E.Two_queue { mu_hot_kbps = mu_hot; mu_cold_kbps = mu_cold }
+    | `Feedback ->
+        E.Feedback
+          { mu_hot_kbps = mu_hot; mu_cold_kbps = mu_cold; mu_fb_kbps = mu_fb;
+            nack_bits; fb_lossy = false }
+  in
+  let config =
+    { E.seed; duration; lambda_kbps = lambda; size_bits; death;
+      expiry = Base.No_expiry;
+      update_fraction = 0.0; loss = E.Bernoulli loss; protocol; sched;
+      empty_policy = Consistency.Empty_is_consistent; record_series = false }
+  in
+  let r = E.run config in
+  Printf.printf "average consistency   %.4f\n" r.E.avg_consistency;
+  Printf.printf "final consistency     %.4f\n" r.E.final_consistency;
+  Printf.printf "receive latency       %.3f s (+/- %.3f, n=%d)\n"
+    r.E.latency_mean r.E.latency_ci95 r.E.deliveries;
+  Printf.printf "transmissions         %d (redundant fraction %.3f)\n"
+    r.E.transmissions r.E.redundant_fraction;
+  if r.E.sent_hot + r.E.sent_cold > 0 then
+    Printf.printf "hot/cold sends        %d / %d\n" r.E.sent_hot r.E.sent_cold;
+  if r.E.nacks_sent > 0 then
+    Printf.printf "nacks                 %d sent, %d delivered, %d overflowed, %d reheats\n"
+      r.E.nacks_sent r.E.nacks_delivered r.E.nack_overflows r.E.reheats;
+  Printf.printf "link utilisation      %.3f\n" r.E.utilisation;
+  Printf.printf "live records at end   %d\n" r.E.live_at_end
+
+let cmd =
+  let doc = "simulate one soft-state announce/listen experiment" in
+  let info = Cmd.info "softstate-sim" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ protocol_arg $ seed_arg $ duration_arg $ lambda_arg
+      $ size_arg $ loss_arg $ mu_data_arg $ mu_hot_arg $ mu_cold_arg
+      $ mu_fb_arg $ nack_arg $ death_arg $ sched_arg)
+
+let () = exit (Cmd.eval cmd)

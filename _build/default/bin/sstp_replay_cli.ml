@@ -1,0 +1,105 @@
+(* Replay a synthetic application workload over an SSTP session and
+   report the consistency, latency and traffic outcome.
+
+     dune exec bin/sstp_replay_cli.exe -- --workload session-directory \
+       --loss 0.2 --mu-total 128 --duration 600 *)
+
+open Cmdliner
+
+module Engine = Softstate_sim.Engine
+module Net = Softstate_net
+module Session = Sstp.Session
+module Gen = Softstate_trace.Generators
+module Trace = Softstate_trace.Trace_event
+module Rng = Softstate_util.Rng
+
+type workload = Session_directory | Routing_updates | Stock_ticker
+
+let workload_arg =
+  let doc = "Workload: session-directory, routing-updates or stock-ticker." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("session-directory", Session_directory);
+             ("routing-updates", Routing_updates);
+             ("stock-ticker", Stock_ticker) ])
+        Session_directory
+    & info [ "workload"; "w" ] ~doc)
+
+let float_arg names default doc =
+  Arg.(value & opt float default & info names ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let loss_arg = float_arg [ "loss"; "l" ] 0.1 "Data-channel loss probability."
+let mu_arg = float_arg [ "mu-total" ] 128.0 "Session bandwidth, kb/s."
+let duration_arg = float_arg [ "duration"; "d" ] 600.0 "Trace duration, seconds."
+let fb_share_arg = float_arg [ "fb-share" ] 0.15 "Feedback share of the session."
+
+let run workload seed loss mu_total duration fb_share =
+  let engine = Engine.create () in
+  let mu = mu_total *. 1000.0 in
+  let reliability =
+    if fb_share <= 0.0 then Session.Announce_only
+    else
+      Session.Manual
+        { mu_hot_bps = 0.75 *. (1.0 -. fb_share) *. mu;
+          mu_cold_bps = 0.25 *. (1.0 -. fb_share) *. mu;
+          mu_fb_bps = fb_share *. mu }
+  in
+  let config =
+    { (Session.default_config ~mu_total_bps:mu) with
+      Session.loss = Net.Loss.bernoulli loss;
+      reliability;
+      summary_period = 0.5 }
+  in
+  let session = Session.create ~engine ~rng:(Rng.create seed) ~config () in
+  Session.track_consistency session ~period:0.5;
+  let trace_rng = Rng.create (seed + 1) in
+  let trace =
+    match workload with
+    | Session_directory -> Gen.session_directory ~rng:trace_rng ~duration ()
+    | Routing_updates -> Gen.routing_updates ~rng:trace_rng ~duration ()
+    | Stock_ticker -> Gen.stock_ticker ~rng:trace_rng ~duration ()
+  in
+  (* propagation delay of each update, receiver-side *)
+  let published : (string, float) Hashtbl.t = Hashtbl.create 1024 in
+  let staleness = Softstate_util.Stats.Welford.create () in
+  Sstp.Receiver.on_update (Session.receiver session) (fun path _ ->
+      match Hashtbl.find_opt published (Sstp.Path.to_string path) with
+      | Some t ->
+          Softstate_util.Stats.Welford.add staleness (Engine.now engine -. t)
+      | None -> ());
+  Trace.replay engine trace
+    ~put:(fun ~path ~payload ->
+      Hashtbl.replace published path (Engine.now engine);
+      Session.publish session ~path ~payload)
+    ~remove:(fun ~path -> Session.remove session ~path);
+  Engine.run ~until:(duration +. 60.0) engine;
+  Printf.printf "events replayed       %d\n" (Trace.length trace);
+  Printf.printf "average consistency   %.4f\n"
+    (Session.average_consistency session);
+  Printf.printf "final consistency     %.4f (converged %b)\n"
+    (Session.consistency session)
+    (Session.converged session);
+  Printf.printf "update staleness      %.3f s mean (n=%d)\n"
+    (Softstate_util.Stats.Welford.mean staleness)
+    (Softstate_util.Stats.Welford.count staleness);
+  Printf.printf "data packets          %d delivered (utilisation %.3f)\n"
+    (Session.data_packets session)
+    (Session.link_utilisation session);
+  Printf.printf "feedback              %d delivered; %d NACKs, %d queries\n"
+    (Session.feedback_packets session)
+    (Sstp.Receiver.nacks_sent (Session.receiver session))
+    (Sstp.Receiver.queries_sent (Session.receiver session))
+
+let cmd =
+  let doc = "replay a synthetic workload over an SSTP session" in
+  Cmd.v (Cmd.info "sstp-replay" ~doc)
+    Term.(
+      const run $ workload_arg $ seed_arg $ loss_arg $ mu_arg $ duration_arg
+      $ fb_share_arg)
+
+let () = exit (Cmd.eval cmd)

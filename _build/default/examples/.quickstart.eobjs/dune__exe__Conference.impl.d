@@ -1,0 +1,1 @@
+examples/conference.ml: Option Printf Softstate_net Softstate_sim Softstate_util Sstp String

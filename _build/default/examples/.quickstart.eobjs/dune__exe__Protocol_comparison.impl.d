@@ -1,0 +1,1 @@
+examples/protocol_comparison.ml: List Printf Softstate_core Softstate_queueing String

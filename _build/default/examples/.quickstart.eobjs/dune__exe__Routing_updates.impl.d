@@ -1,0 +1,1 @@
+examples/routing_updates.ml: Printf Softstate_net Softstate_sim Softstate_trace Softstate_util Sstp String

@@ -1,0 +1,1 @@
+examples/stock_ticker.ml: Float Hashtbl List Printf Softstate_net Softstate_sim Softstate_trace Softstate_util Sstp

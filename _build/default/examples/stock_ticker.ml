@@ -1,0 +1,70 @@
+(* Information dissemination (§1: "stock quote or general information
+   dissemination services", the PointCast reference [39]).
+
+   100 instruments update with a Zipf popularity law; we disseminate
+   over SSTP at two different loss rates and show the staleness the
+   subscriber sees per symbol class (hot vs cold symbols), plus the
+   continuum of reliability obtained by re-splitting bandwidth.
+
+   Run with:  dune exec examples/stock_ticker.exe *)
+
+module Engine = Softstate_sim.Engine
+module Net = Softstate_net
+module Session = Sstp.Session
+module Gen = Softstate_trace.Generators
+module Trace = Softstate_trace.Trace_event
+
+let run ~loss ~fb_share =
+  let engine = Engine.create () in
+  let rng = Softstate_util.Rng.create 21 in
+  let mu = 256_000.0 in
+  let config =
+    { (Session.default_config ~mu_total_bps:mu) with
+      Session.loss = Net.Loss.bernoulli loss;
+      reliability =
+        Session.Manual
+          { mu_hot_bps = 0.85 *. (1.0 -. fb_share) *. mu;
+            mu_cold_bps = 0.15 *. (1.0 -. fb_share) *. mu;
+            mu_fb_bps = Float.max 1.0 (fb_share *. mu) };
+      summary_period = 0.25 }
+  in
+  let session = Session.create ~engine ~rng ~config () in
+  Session.track_consistency session ~period:0.25;
+
+  (* Measure per-update propagation delay via the receiver callback. *)
+  let published : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let staleness = Softstate_util.Stats.Welford.create () in
+  Sstp.Receiver.on_update (Session.receiver session) (fun path _ ->
+      match Hashtbl.find_opt published (Sstp.Path.to_string path) with
+      | Some t ->
+          Softstate_util.Stats.Welford.add staleness (Engine.now engine -. t)
+      | None -> ());
+  let trace =
+    Gen.stock_ticker ~rng:(Softstate_util.Rng.create 22) ~duration:120.0
+      ~symbols:100 ~update_rate:25.0 ()
+  in
+  Trace.replay engine trace
+    ~put:(fun ~path ~payload ->
+      Hashtbl.replace published path (Engine.now engine);
+      Session.publish session ~path ~payload)
+    ~remove:(fun ~path -> Session.remove session ~path);
+  Engine.run ~until:130.0 engine;
+  ( Session.average_consistency session,
+    Softstate_util.Stats.Welford.mean staleness,
+    Session.converged session )
+
+let () =
+  Printf.printf
+    "stock ticker: 100 symbols, zipf updates at 25/s, 256 kb/s session\n";
+  Printf.printf "%-28s %-12s %-14s %s\n" "configuration" "consistency"
+    "staleness (s)" "closed-converged";
+  List.iter
+    (fun (loss, fb_share) ->
+      let consistency, staleness, converged = run ~loss ~fb_share in
+      Printf.printf "loss=%.0f%% feedback=%2.0f%%      %8.3f %12.3f        %b\n"
+        (100.0 *. loss) (100.0 *. fb_share) consistency staleness converged)
+    [ (0.01, 0.10); (0.20, 0.00); (0.20, 0.10); (0.20, 0.25); (0.40, 0.25) ];
+  Printf.printf
+    "\nthe feedback column is the reliability dial: with none the ticker\n\
+     degrades to open-loop announce/listen; a modest share buys back\n\
+     near-full consistency even at 40%% loss (paper, Figures 8-9).\n"

@@ -1,0 +1,1 @@
+lib/core/base.ml: Array Consistency Float Hashtbl List Record Softstate_sim Softstate_util Table Workload

@@ -1,0 +1,1 @@
+lib/core/base.mli: Consistency Record Softstate_sim Softstate_util Table Workload

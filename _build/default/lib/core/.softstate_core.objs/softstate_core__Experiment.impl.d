@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Base Consistency Feedback Multicast Open_loop Softstate_net Softstate_sched Softstate_sim Softstate_util Table Two_queue Workload

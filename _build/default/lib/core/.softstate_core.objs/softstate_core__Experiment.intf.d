@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Base Consistency Softstate_net Softstate_sched

@@ -1,0 +1,1 @@
+lib/core/feedback.mli: Base Softstate_net Softstate_sched Softstate_util Two_queue

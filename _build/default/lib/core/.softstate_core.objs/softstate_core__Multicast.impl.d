@@ -1,0 +1,1 @@
+lib/core/multicast.ml: Base Hashtbl List Record Softstate_net Softstate_sim Softstate_util Two_queue

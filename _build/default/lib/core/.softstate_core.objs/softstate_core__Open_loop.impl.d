@@ -1,0 +1,1 @@
+lib/core/open_loop.ml: Base Hashtbl Queue Record Softstate_net Softstate_sim Table

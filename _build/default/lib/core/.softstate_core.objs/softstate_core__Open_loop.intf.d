@@ -1,0 +1,1 @@
+lib/core/open_loop.mli: Base Softstate_net Softstate_util

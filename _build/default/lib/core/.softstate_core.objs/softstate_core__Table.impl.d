@@ -1,0 +1,1 @@
+lib/core/table.ml: Hashtbl Record Softstate_util

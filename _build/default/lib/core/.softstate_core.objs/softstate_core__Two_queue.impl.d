@@ -1,0 +1,1 @@
+lib/core/two_queue.ml: Base Hashtbl Queue Record Softstate_net Softstate_sched Softstate_sim Softstate_util Table

@@ -1,0 +1,1 @@
+lib/core/two_queue.mli: Base Record Softstate_net Softstate_sched Softstate_util

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Softstate_util

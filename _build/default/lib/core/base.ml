@@ -1,0 +1,281 @@
+module Engine = Softstate_sim.Engine
+module Rng = Softstate_util.Rng
+
+type announcement = {
+  key : Record.key;
+  version : Record.version;
+  seq : int;
+}
+
+type death_spec =
+  | Per_service of float
+  | Lifetime_fixed of float
+  | Lifetime_exp of float
+
+type expiry_spec =
+  | No_expiry
+  | Refresh_timeout of { multiple : float; sweep_period : float }
+
+(* Per-receiver, per-key soft-state entry. [gap] is the scalable-timer
+   estimate of the sender's refresh interval for this key (EWMA of
+   observed inter-announcement gaps); [nan] until two announcements
+   have been heard. *)
+type entry = {
+  mutable version : Record.version;
+  mutable last_heard : float;
+  mutable gap : float;
+}
+
+type t = {
+  engine : Engine.t;
+  arrival_rng : Rng.t;
+  death_rng : Rng.t;
+  update_rng : Rng.t;
+  table : Table.t;
+  receivers : (Record.key, entry) Hashtbl.t array;
+  tracker : Consistency.t;
+  workload : Workload.t;
+  death : death_spec;
+  expiry : expiry_spec;
+  mutable next_key : int;
+  mutable on_arrival : Record.t -> unit;
+  mutable on_death : Record.t -> unit;
+  mutable hooks_set : bool;
+  mutable false_expiries : int;
+  mutable stale_purged : int;
+}
+
+let validate_death = function
+  | Per_service p ->
+      if p <= 0.0 || p > 1.0 then
+        invalid_arg "Base.create: per-service death probability in (0,1]"
+  | Lifetime_fixed ttl | Lifetime_exp ttl ->
+      if ttl <= 0.0 then invalid_arg "Base.create: lifetime must be positive"
+
+let validate_expiry = function
+  | No_expiry -> ()
+  | Refresh_timeout { multiple; sweep_period } ->
+      if multiple <= 1.0 then
+        invalid_arg "Base.create: expiry multiple must exceed 1";
+      if sweep_period <= 0.0 then
+        invalid_arg "Base.create: sweep period must be positive"
+
+let create ~engine ~rng ~workload ~death ?(receivers = 1)
+    ?(expiry = No_expiry) ~tracker () =
+  validate_death death;
+  validate_expiry expiry;
+  if receivers < 1 then invalid_arg "Base.create: receivers >= 1";
+  if Consistency.receivers tracker <> receivers then
+    invalid_arg "Base.create: tracker sized for a different group";
+  { engine;
+    arrival_rng = Rng.split rng;
+    death_rng = Rng.split rng;
+    update_rng = Rng.split rng;
+    table = Table.create ();
+    receivers = Array.init receivers (fun _ -> Hashtbl.create 256);
+    tracker; workload; death; expiry; next_key = 0;
+    on_arrival = ignore; on_death = ignore; hooks_set = false;
+    false_expiries = 0; stale_purged = 0 }
+
+let set_hooks t ~on_arrival ~on_death =
+  t.on_arrival <- on_arrival;
+  t.on_death <- on_death;
+  t.hooks_set <- true
+
+let engine t = t.engine
+let table t = t.table
+let tracker t = t.tracker
+let workload t = t.workload
+let receiver_count t = Array.length t.receivers
+let false_expiries t = t.false_expiries
+let stale_purged t = t.stale_purged
+
+let receiver_map t receiver =
+  if receiver < 0 || receiver >= Array.length t.receivers then
+    invalid_arg "Base: receiver index out of range";
+  t.receivers.(receiver)
+
+let receiver_version t ~receiver key =
+  match Hashtbl.find_opt (receiver_map t receiver) key with
+  | Some e -> Some e.version
+  | None -> None
+
+let is_matching t ~receiver r =
+  match Hashtbl.find_opt (receiver_map t receiver) r.Record.key with
+  | Some e -> e.version = r.Record.version
+  | None -> false
+
+let matching_count t r =
+  Array.fold_left
+    (fun acc map ->
+      match Hashtbl.find_opt map r.Record.key with
+      | Some e when e.version = r.Record.version -> acc + 1
+      | Some _ | None -> acc)
+    0 t.receivers
+
+let remove_record t ~now r =
+  ignore (Table.remove t.table r.Record.key);
+  let matching = matching_count t r in
+  (* With expiry timers running, dead records linger in the receiver
+     maps until their refresh timeout fires - soft-state garbage
+     collection doing its job (counted by stale_purged). Without
+     timers we drop them eagerly so nothing leaks. *)
+  (match t.expiry with
+  | No_expiry ->
+      Array.iter (fun map -> Hashtbl.remove map r.Record.key) t.receivers
+  | Refresh_timeout _ -> ());
+  Consistency.on_death t.tracker ~now ~matching;
+  t.on_death r
+
+let schedule_expiry t r =
+  let schedule_kill after =
+    ignore
+      (Engine.schedule t.engine ~after (fun engine ->
+           (* The key may have died early (e.g. explicit kill in
+              tests); remove_record is only called on live records. *)
+           match Table.find t.table r.Record.key with
+           | Some live -> remove_record t ~now:(Engine.now engine) live
+           | None -> ()))
+  in
+  match t.death with
+  | Per_service _ -> ()
+  | Lifetime_fixed ttl -> schedule_kill ttl
+  | Lifetime_exp mean ->
+      schedule_kill
+        (Softstate_util.Dist.exponential t.death_rng ~rate:(1.0 /. mean))
+
+let arrival t =
+  let now = Engine.now t.engine in
+  let update_target =
+    if Workload.is_update t.workload t.update_rng then
+      Table.random_key t.table t.update_rng
+    else None
+  in
+  match update_target with
+  | Some key ->
+      let r =
+        match Table.find t.table key with
+        | Some r -> r
+        | None -> assert false
+      in
+      let matching = matching_count t r in
+      Record.touch r ~now;
+      Consistency.on_update t.tracker ~now ~matching;
+      t.on_arrival r
+  | None ->
+      let key = t.next_key in
+      t.next_key <- key + 1;
+      let r = Record.make ~key ~now ~size_bits:t.workload.Workload.size_bits in
+      Table.insert t.table r;
+      Consistency.on_birth t.tracker ~now;
+      schedule_expiry t r;
+      t.on_arrival r
+
+(* One expiry sweep over one receiver's soft state. A record is
+   expired after [multiple] estimated refresh intervals of silence;
+   without a gap estimate (heard fewer than twice) it is left alone. *)
+let sweep_receiver t ~now ~multiple receiver =
+  let map = t.receivers.(receiver) in
+  let doomed =
+    Hashtbl.fold
+      (fun key e acc ->
+        if
+          (not (Float.is_nan e.gap))
+          && now -. e.last_heard > multiple *. e.gap
+        then key :: acc
+        else acc)
+      map []
+  in
+  List.iter
+    (fun key ->
+      match Table.find t.table key with
+      | Some r ->
+          t.false_expiries <- t.false_expiries + 1;
+          let was_matching = is_matching t ~receiver r in
+          Hashtbl.remove map key;
+          if was_matching then Consistency.on_unmatch t.tracker ~now
+      | None ->
+          t.stale_purged <- t.stale_purged + 1;
+          Hashtbl.remove map key)
+    doomed
+
+let start t =
+  if not t.hooks_set then failwith "Base.start: hooks not set";
+  let rec tick engine =
+    arrival t;
+    ignore
+      (Engine.schedule engine
+         ~after:(Workload.next_interarrival t.workload t.arrival_rng)
+         tick)
+  in
+  ignore
+    (Engine.schedule t.engine
+       ~after:(Workload.next_interarrival t.workload t.arrival_rng)
+       tick);
+  match t.expiry with
+  | No_expiry -> ()
+  | Refresh_timeout { multiple; sweep_period } ->
+      let (_ : unit -> bool) =
+        Engine.every t.engine ~period:sweep_period (fun engine ->
+            let now = Engine.now engine in
+            for receiver = 0 to Array.length t.receivers - 1 do
+              sweep_receiver t ~now ~multiple receiver
+            done)
+      in
+      ()
+
+let announce_of t ~seq r =
+  Consistency.on_transmission t.tracker
+    ~redundant:(matching_count t r = Array.length t.receivers);
+  { key = r.Record.key; version = r.Record.version; seq }
+
+let deliver t ~now ~receiver ann =
+  (* Announcements of dead keys are absorbed without storing: a real
+     subscriber would cache and expire them, with no effect on the
+     consistency metric (only live keys count); dropping them here
+     keeps the receiver maps bounded by the live set. *)
+  match Table.find t.table ann.key with
+  | None -> ()
+  | Some r -> (
+      let map = receiver_map t receiver in
+      let note_match () =
+        if r.Record.version = ann.version then begin
+          Consistency.on_match t.tracker ~now;
+          (* latency is sampled once per version, at its first arrival
+             anywhere in the group *)
+          if matching_count t r = 1 then
+            Consistency.on_first_delivery t.tracker ~now ~born:r.Record.born
+        end
+      in
+      match Hashtbl.find_opt map ann.key with
+      | None ->
+          Hashtbl.replace map ann.key
+            { version = ann.version; last_heard = now; gap = nan };
+          note_match ()
+      | Some e ->
+          (* scalable-timers gap estimation: EWMA of observed
+             inter-announcement gaps, gain 0.25 *)
+          let observed = now -. e.last_heard in
+          e.gap <-
+            (if Float.is_nan e.gap then observed
+             else (0.25 *. observed) +. (0.75 *. e.gap));
+          e.last_heard <- now;
+          if ann.version > e.version then begin
+            e.version <- ann.version;
+            note_match ()
+          end)
+
+let death_draw t ~now r =
+  match t.death with
+  | Lifetime_fixed _ | Lifetime_exp _ -> false
+  | Per_service p ->
+      if Rng.bernoulli t.death_rng p then begin
+        remove_record t ~now r;
+        true
+      end
+      else false
+
+let kill t ~now key =
+  match Table.find t.table key with
+  | Some r -> remove_record t ~now r
+  | None -> ()

@@ -1,0 +1,199 @@
+module Engine = Softstate_sim.Engine
+module Net = Softstate_net
+module Rng = Softstate_util.Rng
+module Stats = Softstate_util.Stats
+module Sched = Softstate_sched.Scheduler
+
+type loss_spec =
+  | Bernoulli of float
+  | Gilbert_elliott of {
+      p_good_to_bad : float;
+      p_bad_to_good : float;
+      loss_good : float;
+      loss_bad : float;
+    }
+
+let make_loss = function
+  | Bernoulli p -> Net.Loss.bernoulli p
+  | Gilbert_elliott { p_good_to_bad; p_bad_to_good; loss_good; loss_bad } ->
+      Net.Loss.gilbert_elliott ~p_good_to_bad ~p_bad_to_good ~loss_good
+        ~loss_bad
+
+let loss_mean spec = Net.Loss.mean_rate (make_loss spec)
+
+type protocol_spec =
+  | Open_loop of { mu_data_kbps : float }
+  | Two_queue of { mu_hot_kbps : float; mu_cold_kbps : float }
+  | Feedback of {
+      mu_hot_kbps : float;
+      mu_cold_kbps : float;
+      mu_fb_kbps : float;
+      nack_bits : int;
+      fb_lossy : bool;
+    }
+  | Multicast of {
+      receivers : int;
+      mu_hot_kbps : float;
+      mu_cold_kbps : float;
+      mu_fb_kbps : float;
+      nack_bits : int;
+      suppression : bool;
+      nack_slot : float;
+    }
+
+type config = {
+  seed : int;
+  duration : float;
+  lambda_kbps : float;
+  size_bits : int;
+  death : Base.death_spec;
+  expiry : Base.expiry_spec;
+  update_fraction : float;
+  loss : loss_spec;
+  protocol : protocol_spec;
+  sched : Sched.algorithm;
+  empty_policy : Consistency.empty_policy;
+  record_series : bool;
+}
+
+let default =
+  { seed = 1; duration = 2000.0; lambda_kbps = 15.0; size_bits = 1000;
+    death = Base.Lifetime_fixed 30.0; expiry = Base.No_expiry;
+    update_fraction = 0.0;
+    loss = Bernoulli 0.1;
+    protocol = Open_loop { mu_data_kbps = 45.0 }; sched = Sched.Stride;
+    empty_policy = Consistency.Empty_is_consistent; record_series = false }
+
+type result = {
+  avg_consistency : float;
+  final_consistency : float;
+  latency_mean : float;
+  latency_ci95 : float;
+  deliveries : int;
+  transmissions : int;
+  redundant_fraction : float;
+  sent_hot : int;
+  sent_cold : int;
+  nacks_wanted : int;
+  nacks_sent : int;
+  nacks_suppressed : int;
+  nacks_delivered : int;
+  nack_overflows : int;
+  reheats : int;
+  false_expiries : int;
+  stale_purged : int;
+  live_at_end : int;
+  utilisation : float;
+  series : (float * float) list;
+}
+
+let kbps x = x *. 1000.0
+
+let run config =
+  if config.duration <= 0.0 then
+    invalid_arg "Experiment.run: duration must be positive";
+  let receivers =
+    match config.protocol with Multicast { receivers; _ } -> receivers | _ -> 1
+  in
+  let engine = Engine.create () in
+  let rng = Rng.create config.seed in
+  let workload =
+    Workload.of_kbps ~update_fraction:config.update_fraction
+      ~lambda_kbps:config.lambda_kbps ~size_bits:config.size_bits ()
+  in
+  let tracker =
+    Consistency.create ~empty_policy:config.empty_policy
+      ~record_series:config.record_series ~receivers ~now:0.0 ()
+  in
+  let base =
+    Base.create ~engine ~rng:(Rng.split rng) ~workload ~death:config.death
+      ~expiry:config.expiry ~receivers ~tracker ()
+  in
+  let loss = make_loss config.loss in
+  let link_rng = Rng.split rng in
+  (* per-variant plumbing: how to read utilisation and the feedback
+     counters at the end of the run *)
+  let no_counters () = (0, 0, 0, 0, 0, 0, 0, 0) in
+  let utilisation, counters =
+    match config.protocol with
+    | Open_loop { mu_data_kbps } ->
+        let p =
+          Open_loop.create ~base ~mu_data_bps:(kbps mu_data_kbps) ~loss
+            ~link_rng ()
+        in
+        ((fun ~now -> Net.Link.utilisation (Open_loop.link p) ~now), no_counters)
+    | Two_queue { mu_hot_kbps; mu_cold_kbps } ->
+        let p =
+          Two_queue.create ~base ~mu_hot_bps:(kbps mu_hot_kbps)
+            ~mu_cold_bps:(kbps mu_cold_kbps) ~sched:config.sched ~loss
+            ~link_rng ()
+        in
+        ( (fun ~now -> Net.Link.utilisation (Two_queue.link p) ~now),
+          fun () ->
+            (Two_queue.sent_hot p, Two_queue.sent_cold p, 0, 0, 0, 0, 0, 0) )
+    | Feedback { mu_hot_kbps; mu_cold_kbps; mu_fb_kbps; nack_bits; fb_lossy }
+      ->
+        let fb_loss =
+          if fb_lossy then make_loss config.loss else Net.Loss.never
+        in
+        let p =
+          Feedback.create ~base ~mu_hot_bps:(kbps mu_hot_kbps)
+            ~mu_cold_bps:(kbps mu_cold_kbps) ~mu_fb_bps:(kbps mu_fb_kbps)
+            ~sched:config.sched ~nack_bits ~fb_loss ~loss ~link_rng ()
+        in
+        ( (fun ~now ->
+            Net.Link.utilisation (Two_queue.link (Feedback.sender p)) ~now),
+          fun () ->
+            ( Two_queue.sent_hot (Feedback.sender p),
+              Two_queue.sent_cold (Feedback.sender p),
+              Feedback.nacks_sent p,
+              Feedback.nacks_sent p,
+              0,
+              Feedback.nacks_delivered p,
+              Feedback.nacks_dropped_overflow p,
+              Feedback.reheats p ) )
+    | Multicast
+        { receivers = _; mu_hot_kbps; mu_cold_kbps; mu_fb_kbps; nack_bits;
+          suppression; nack_slot } ->
+        (* each receiver gets an independent loss process built from
+           the same spec *)
+        let receiver_loss _ = make_loss config.loss in
+        let p =
+          Multicast.create ~base ~mu_hot_bps:(kbps mu_hot_kbps)
+            ~mu_cold_bps:(kbps mu_cold_kbps) ~mu_fb_bps:(kbps mu_fb_kbps)
+            ~sched:config.sched ~nack_bits ~suppression ~nack_slot
+            ~receiver_loss ~link_rng ()
+        in
+        ( (fun ~now -> Net.Channel.utilisation (Multicast.channel p) ~now),
+          fun () ->
+            ( Two_queue.sent_hot (Multicast.sender p),
+              Two_queue.sent_cold (Multicast.sender p),
+              Multicast.nacks_wanted p,
+              Multicast.nacks_sent p,
+              Multicast.nacks_suppressed p,
+              Multicast.nacks_delivered p,
+              Multicast.nack_overflows p,
+              Multicast.reheats p ) )
+  in
+  Base.start base;
+  Engine.run ~until:config.duration engine;
+  let now = Engine.now engine in
+  let latency = Consistency.latency tracker in
+  let ( sent_hot, sent_cold, nacks_wanted, nacks_sent, nacks_suppressed,
+        nacks_delivered, nack_overflows, reheats ) =
+    counters ()
+  in
+  { avg_consistency = Consistency.average tracker ~now;
+    final_consistency = Consistency.instantaneous tracker;
+    latency_mean = Stats.Welford.mean latency;
+    latency_ci95 = Stats.Welford.confidence95 latency;
+    deliveries = Stats.Welford.count latency;
+    transmissions = Consistency.transmissions tracker;
+    redundant_fraction = Consistency.redundancy tracker;
+    sent_hot; sent_cold; nacks_wanted; nacks_sent; nacks_suppressed;
+    nacks_delivered; nack_overflows; reheats;
+    false_expiries = Base.false_expiries base;
+    stale_purged = Base.stale_purged base;
+    live_at_end = Table.live_count (Base.table base);
+    utilisation = utilisation ~now;
+    series = Consistency.series tracker }

@@ -1,0 +1,84 @@
+(** One-call simulation harness.
+
+    Describes a single-sender/single-receiver announce/listen run in
+    the paper's vocabulary (rates in kb/s, probabilities, protocol
+    variant) and returns the measured consistency profile quantities.
+    Every run is fully determined by [seed]. *)
+
+type loss_spec =
+  | Bernoulli of float
+  | Gilbert_elliott of {
+      p_good_to_bad : float;
+      p_bad_to_good : float;
+      loss_good : float;
+      loss_bad : float;
+    }
+
+val loss_mean : loss_spec -> float
+val make_loss : loss_spec -> Softstate_net.Loss.t
+
+type protocol_spec =
+  | Open_loop of { mu_data_kbps : float }
+  | Two_queue of { mu_hot_kbps : float; mu_cold_kbps : float }
+  | Feedback of {
+      mu_hot_kbps : float;
+      mu_cold_kbps : float;
+      mu_fb_kbps : float;
+      nack_bits : int;
+      fb_lossy : bool;
+        (** apply the data channel's loss spec to NACKs as well *)
+    }
+  | Multicast of {
+      receivers : int;
+      mu_hot_kbps : float;
+      mu_cold_kbps : float;
+      mu_fb_kbps : float;
+      nack_bits : int;
+      suppression : bool;  (** slotting-and-damping NACK suppression *)
+      nack_slot : float;
+    }  (** one sender, a group of receivers with independent loss *)
+
+type config = {
+  seed : int;
+  duration : float;     (** simulated seconds *)
+  lambda_kbps : float;  (** table update rate λ *)
+  size_bits : int;      (** announcement size *)
+  death : Base.death_spec;
+  expiry : Base.expiry_spec;  (** receiver-side soft-state timers *)
+  update_fraction : float;
+  loss : loss_spec;
+  protocol : protocol_spec;
+  sched : Softstate_sched.Scheduler.algorithm;
+  empty_policy : Consistency.empty_policy;
+  record_series : bool;
+}
+
+val default : config
+(** λ = 15 kb/s, 1000-bit records, fixed 30 s lifetimes, 10% Bernoulli
+    loss, open loop at μ = 45 kb/s, stride scheduling, 2000 s,
+    seed 1. *)
+
+type result = {
+  avg_consistency : float;
+  final_consistency : float;   (** instantaneous c at the horizon *)
+  latency_mean : float;        (** mean receive latency, s; nan if none *)
+  latency_ci95 : float;
+  deliveries : int;            (** latency samples = first deliveries *)
+  transmissions : int;
+  redundant_fraction : float;  (** measured Figure-4 quantity; nan if none *)
+  sent_hot : int;              (** 0 for open loop *)
+  sent_cold : int;
+  nacks_wanted : int;          (** loss detections (pre-suppression) *)
+  nacks_sent : int;
+  nacks_suppressed : int;      (** damped by overheard NACKs *)
+  nacks_delivered : int;
+  nack_overflows : int;
+  reheats : int;
+  false_expiries : int;        (** receiver timeouts of live records *)
+  stale_purged : int;          (** receiver timeouts of dead records *)
+  live_at_end : int;
+  utilisation : float;         (** data link busy fraction *)
+  series : (float * float) list; (** (t, c(t)) if requested *)
+}
+
+val run : config -> result

@@ -1,0 +1,113 @@
+module Engine = Softstate_sim.Engine
+module Net = Softstate_net
+module Rng = Softstate_util.Rng
+
+type nack = { missing_seq : int }
+
+type t = {
+  base : Base.t;
+  sender : Two_queue.t;
+  seq_to_key : (int, Record.key) Hashtbl.t;
+  nack_bits : int;
+  mutable fb_pipe : nack Net.Pipe.t option;
+  mutable expected_seq : int;
+  mutable nacks_sent : int;
+  mutable nacks_delivered : int;
+  mutable reheats : int;
+}
+
+(* Keep the seq->key map bounded: sequence numbers are monotonic, so
+   once the map grows past the window we drop the oldest half. NACKs
+   for sequences older than the window are obsolete anyway — the cold
+   queue has long since re-announced those records. *)
+let seq_window = 1 lsl 16
+
+let prune_seq_map t current_seq =
+  if Hashtbl.length t.seq_to_key > 2 * seq_window then begin
+    let cutoff = current_seq - seq_window in
+    let stale =
+      Hashtbl.fold
+        (fun seq _ acc -> if seq < cutoff then seq :: acc else acc)
+        t.seq_to_key []
+    in
+    List.iter (Hashtbl.remove t.seq_to_key) stale
+  end
+
+let on_nack t ~now nack =
+  t.nacks_delivered <- t.nacks_delivered + 1;
+  match Hashtbl.find_opt t.seq_to_key nack.missing_seq with
+  | None -> ()
+  | Some key ->
+      if Two_queue.reheat t.sender ~now key then
+        t.reheats <- t.reheats + 1
+
+let receiver_deliver t ~now (ann : Base.announcement) =
+  (* Gap detection: the data link is FIFO with a fixed delay, so any
+     skipped sequence number is a loss, never reordering. *)
+  if ann.Base.seq > t.expected_seq then begin
+    for missing = t.expected_seq to ann.Base.seq - 1 do
+      t.nacks_sent <- t.nacks_sent + 1;
+      match t.fb_pipe with
+      | Some pipe ->
+          ignore
+            (Net.Pipe.send pipe
+               (Net.Packet.make ~size_bits:t.nack_bits { missing_seq = missing }))
+      | None -> ()
+    done
+  end;
+  if ann.Base.seq >= t.expected_seq then t.expected_seq <- ann.Base.seq + 1;
+  Base.deliver t.base ~now ~receiver:0 ann
+
+let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?(nack_bits = 256)
+    ?(fb_queue_capacity = 1024) ?(fb_loss = Net.Loss.never) ~loss ~link_rng ()
+    =
+  if mu_fb_bps <= 0.0 then
+    invalid_arg "Feedback.create: feedback rate must be positive";
+  let sched_rng = Rng.split link_rng in
+  let fb_rng = Rng.split link_rng in
+  let sender =
+    Two_queue.create_queues ~base ~mu_hot_bps ~mu_cold_bps ?sched ~sched_rng ()
+  in
+  let t =
+    { base; sender; seq_to_key = Hashtbl.create 1024; nack_bits;
+      fb_pipe = None; expected_seq = 0; nacks_sent = 0; nacks_delivered = 0;
+      reheats = 0 }
+  in
+  let fetch () =
+    match Two_queue.fetch_packet sender with
+    | None -> None
+    | Some packet ->
+        let ann = packet.Net.Packet.payload in
+        Hashtbl.replace t.seq_to_key ann.Base.seq ann.Base.key;
+        prune_seq_map t ann.Base.seq;
+        Some packet
+  in
+  let link =
+    Net.Link.create (Base.engine base)
+      ~rate_bps:(mu_hot_bps +. mu_cold_bps)
+      ~loss
+      ~on_served:(fun ~now packet ->
+        Two_queue.serve_completion sender ~now
+          packet.Net.Packet.payload.Base.key)
+      ~rng:link_rng ~fetch
+      ~deliver:(fun ~now ann -> receiver_deliver t ~now ann)
+      ()
+  in
+  Two_queue.attach_link sender link;
+  let pipe =
+    Net.Pipe.create (Base.engine base) ~rate_bps:mu_fb_bps ~loss:fb_loss
+      ~queue_capacity:fb_queue_capacity ~rng:fb_rng
+      ~deliver:(fun ~now nack -> on_nack t ~now nack)
+      ()
+  in
+  t.fb_pipe <- Some pipe;
+  t
+
+let sender t = t.sender
+let nacks_sent t = t.nacks_sent
+let nacks_delivered t = t.nacks_delivered
+
+let nacks_dropped_overflow t =
+  match t.fb_pipe with Some p -> Net.Pipe.overflows p | None -> 0
+
+let reheats t = t.reheats

@@ -1,0 +1,180 @@
+module Engine = Softstate_sim.Engine
+module Net = Softstate_net
+module Rng = Softstate_util.Rng
+module Dist = Softstate_util.Dist
+
+type nack = { missing_seq : int; origin : int }
+
+type receiver_state = {
+  index : int;
+  mutable expected_seq : int;
+}
+
+type t = {
+  base : Base.t;
+  sender : Two_queue.t;
+  seq_to_key : (int, Record.key) Hashtbl.t;
+  nack_bits : int;
+  suppression : bool;
+  nack_slot : float;
+  slot_rng : Rng.t;
+  (* seq -> time a NACK for it was last heard on the feedback channel;
+     receivers use it for damping, and it doubles as the prune clock *)
+  heard : (int, float) Hashtbl.t;
+  mutable fb_pipe : nack Net.Pipe.t option;
+  mutable channel : Base.announcement Net.Channel.t option;
+  mutable nacks_wanted : int;
+  mutable nacks_sent : int;
+  mutable nacks_suppressed : int;
+  mutable nacks_delivered : int;
+  mutable reheats : int;
+}
+
+let seq_window = 1 lsl 16
+
+let prune_seq_map t current_seq =
+  if Hashtbl.length t.seq_to_key > 2 * seq_window then begin
+    let cutoff = current_seq - seq_window in
+    let stale =
+      Hashtbl.fold
+        (fun seq _ acc -> if seq < cutoff then seq :: acc else acc)
+        t.seq_to_key []
+    in
+    List.iter (Hashtbl.remove t.seq_to_key) stale
+  end
+
+let prune_heard t now =
+  if Hashtbl.length t.heard > 8192 then begin
+    let cutoff = now -. (4.0 *. t.nack_slot) in
+    let stale =
+      Hashtbl.fold
+        (fun seq time acc -> if time < cutoff then seq :: acc else acc)
+        t.heard []
+    in
+    List.iter (Hashtbl.remove t.heard) stale
+  end
+
+let heard_recently t ~now seq =
+  match Hashtbl.find_opt t.heard seq with
+  | Some time -> now -. time <= 2.0 *. t.nack_slot
+  | None -> false
+
+let send_nack t ~now receiver seq =
+  match t.fb_pipe with
+  | None -> ()
+  | Some pipe ->
+      t.nacks_sent <- t.nacks_sent + 1;
+      (* the NACK is multicast: all members (and the sender) hear it
+         as soon as it clears the feedback channel; for damping we
+         mark it heard at send time, which models receivers on a
+         shared medium hearing the request directly *)
+      if t.suppression then begin
+        Hashtbl.replace t.heard seq now;
+        prune_heard t now
+      end;
+      ignore
+        (Net.Pipe.send pipe
+           (Net.Packet.make ~size_bits:t.nack_bits
+              { missing_seq = seq; origin = receiver }))
+
+let want_repair t receiver seq =
+  t.nacks_wanted <- t.nacks_wanted + 1;
+  let now = Engine.now (Base.engine t.base) in
+  if not t.suppression then send_nack t ~now receiver.index seq
+  else if heard_recently t ~now seq then
+    t.nacks_suppressed <- t.nacks_suppressed + 1
+  else begin
+    (* slotting: delay uniformly, re-check damping at fire time *)
+    let delay = Dist.uniform t.slot_rng ~lo:0.0 ~hi:t.nack_slot in
+    ignore
+      (Engine.schedule (Base.engine t.base) ~after:delay (fun engine ->
+           let now = Engine.now engine in
+           if heard_recently t ~now seq then
+             t.nacks_suppressed <- t.nacks_suppressed + 1
+           else send_nack t ~now receiver.index seq))
+  end
+
+let receiver_deliver t state ~now (ann : Base.announcement) =
+  if ann.Base.seq > state.expected_seq then
+    for missing = state.expected_seq to ann.Base.seq - 1 do
+      want_repair t state missing
+    done;
+  if ann.Base.seq >= state.expected_seq then
+    state.expected_seq <- ann.Base.seq + 1;
+  Base.deliver t.base ~now ~receiver:state.index ann
+
+let on_nack t ~now nack =
+  t.nacks_delivered <- t.nacks_delivered + 1;
+  match Hashtbl.find_opt t.seq_to_key nack.missing_seq with
+  | None -> ()
+  | Some key ->
+      if Two_queue.reheat t.sender ~now key then
+        t.reheats <- t.reheats + 1
+
+let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched
+    ?(nack_bits = 500) ?(fb_queue_capacity = 4096) ?(suppression = true)
+    ?(nack_slot = 0.5) ~receiver_loss ~link_rng () =
+  if mu_fb_bps <= 0.0 then
+    invalid_arg "Multicast.create: feedback rate must be positive";
+  if nack_slot <= 0.0 then
+    invalid_arg "Multicast.create: nack slot must be positive";
+  let sched_rng = Rng.split link_rng in
+  let fb_rng = Rng.split link_rng in
+  let slot_rng = Rng.split link_rng in
+  let sender =
+    Two_queue.create_queues ~base ~mu_hot_bps ~mu_cold_bps ?sched ~sched_rng ()
+  in
+  let t =
+    { base; sender; seq_to_key = Hashtbl.create 1024; nack_bits; suppression;
+      nack_slot; slot_rng; heard = Hashtbl.create 1024; fb_pipe = None;
+      channel = None; nacks_wanted = 0; nacks_sent = 0; nacks_suppressed = 0;
+      nacks_delivered = 0; reheats = 0 }
+  in
+  let fetch () =
+    match Two_queue.fetch_packet sender with
+    | None -> None
+    | Some packet ->
+        let ann = packet.Net.Packet.payload in
+        Hashtbl.replace t.seq_to_key ann.Base.seq ann.Base.key;
+        prune_seq_map t ann.Base.seq;
+        Some packet
+  in
+  let channel =
+    Net.Channel.create (Base.engine base)
+      ~rate_bps:(mu_hot_bps +. mu_cold_bps)
+      ~on_served:(fun ~now packet ->
+        Two_queue.serve_completion sender ~now
+          packet.Net.Packet.payload.Base.key)
+      ~rng:link_rng ~fetch ()
+  in
+  for i = 0 to Base.receiver_count base - 1 do
+    let state = { index = i; expected_seq = 0 } in
+    ignore
+      (Net.Channel.subscribe channel ~loss:(receiver_loss i)
+         (fun ~now ann -> receiver_deliver t state ~now ann))
+  done;
+  t.channel <- Some channel;
+  Two_queue.attach_kick sender (fun () -> Net.Channel.kick channel);
+  let pipe =
+    Net.Pipe.create (Base.engine base) ~rate_bps:mu_fb_bps
+      ~queue_capacity:fb_queue_capacity ~rng:fb_rng
+      ~deliver:(fun ~now nack -> on_nack t ~now nack)
+      ()
+  in
+  t.fb_pipe <- Some pipe;
+  t
+
+let sender t = t.sender
+
+let channel t =
+  match t.channel with Some c -> c | None -> assert false
+
+let nacks_wanted t = t.nacks_wanted
+let nacks_sent t = t.nacks_sent
+let nacks_suppressed t = t.nacks_suppressed
+let nacks_delivered t = t.nacks_delivered
+
+let nack_overflows t =
+  match t.fb_pipe with Some p -> Net.Pipe.overflows p | None -> 0
+
+let reheats t = t.reheats

@@ -1,0 +1,75 @@
+module Engine = Softstate_sim.Engine
+module Net = Softstate_net
+
+(* Circulation status of a live record. A record is always exactly one
+   of: queued, in service, or dead — so updates never need to enqueue
+   (the next announcement of the circulating record carries the bumped
+   version), matching the single-queue analytic model. *)
+type status = Queued | In_service
+
+type t = {
+  base : Base.t;
+  queue : Record.key Queue.t;
+  status : (Record.key, status) Hashtbl.t;
+  mutable seq : int;
+  mutable link : Base.announcement Net.Link.t option;
+}
+
+let rec fetch t () =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some key -> (
+      match Table.find (Base.table t.base) key with
+      | None ->
+          Hashtbl.remove t.status key;
+          fetch t () (* killed while queued; skip *)
+      | Some r ->
+          Hashtbl.replace t.status key In_service;
+          let seq = t.seq in
+          t.seq <- seq + 1;
+          let ann = Base.announce_of t.base ~seq r in
+          Some (Net.Packet.make ~size_bits:r.Record.size_bits ann))
+
+let on_served t ~now (packet : Base.announcement Net.Packet.t) =
+  let key = packet.Net.Packet.payload.Base.key in
+  match Table.find (Base.table t.base) key with
+  | None -> Hashtbl.remove t.status key
+  | Some r ->
+      if Base.death_draw t.base ~now r then Hashtbl.remove t.status key
+      else begin
+        (* Survived: circulate for the next periodic announcement. *)
+        Hashtbl.replace t.status key Queued;
+        Queue.add key t.queue;
+        match t.link with Some l -> Net.Link.kick l | None -> ()
+      end
+
+let create ~base ~mu_data_bps ~loss ~link_rng () =
+  let t =
+    { base; queue = Queue.create (); status = Hashtbl.create 256; seq = 0;
+      link = None }
+  in
+  let link =
+    Net.Link.create (Base.engine base) ~rate_bps:mu_data_bps ~loss
+      ~on_served:(fun ~now packet -> on_served t ~now packet)
+      ~rng:link_rng
+      ~fetch:(fetch t)
+      ~deliver:(fun ~now ann -> Base.deliver base ~now ~receiver:0 ann)
+      ()
+  in
+  t.link <- Some link;
+  Base.set_hooks base
+    ~on_arrival:(fun r ->
+      let key = r.Record.key in
+      if not (Hashtbl.mem t.status key) then begin
+        Hashtbl.replace t.status key Queued;
+        Queue.add key t.queue
+      end;
+      Net.Link.kick link)
+    ~on_death:(fun r -> Hashtbl.remove t.status r.Record.key);
+  t
+
+let queue_length t = Queue.length t.queue
+
+let link t = match t.link with Some l -> l | None -> assert false
+
+let sent t = t.seq

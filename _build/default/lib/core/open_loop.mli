@@ -1,0 +1,27 @@
+(** The open-loop announce/listen protocol (paper §3).
+
+    One FIFO transmission queue through which every live record
+    circulates: a new record joins at the tail, and each service
+    completion either kills the record (death probability) or
+    re-enqueues it at the tail for its next periodic announcement —
+    old and new data treated alike, exactly the analytic model whose
+    closed forms live in [Softstate_queueing.Open_loop]. *)
+
+type t
+
+val create :
+  base:Base.t ->
+  mu_data_bps:float ->
+  loss:Softstate_net.Loss.t ->
+  link_rng:Softstate_util.Rng.t ->
+  unit ->
+  t
+(** Wires the protocol onto [base]'s engine and hooks; call
+    {!Base.start} afterwards to begin the workload. *)
+
+val queue_length : t -> int
+(** Records awaiting (re)announcement. *)
+
+val link : t -> Base.announcement Softstate_net.Link.t
+val sent : t -> int
+(** Announcements put on the channel so far. *)

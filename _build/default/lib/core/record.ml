@@ -1,0 +1,18 @@
+type key = int
+type version = int
+
+type t = {
+  key : key;
+  mutable version : version;
+  mutable born : float;
+  size_bits : int;
+  created : float;
+}
+
+let make ~key ~now ~size_bits =
+  if size_bits <= 0 then invalid_arg "Record.make: size must be positive";
+  { key; version = 0; born = now; size_bits; created = now }
+
+let touch t ~now =
+  t.version <- t.version + 1;
+  t.born <- now

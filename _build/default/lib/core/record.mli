@@ -1,0 +1,26 @@
+(** Soft-state records: versioned {key, value} pairs (paper §2).
+
+    A record is live from its insertion into the publisher's table
+    until its death. Updating a key bumps the version, which puts the
+    receiver back in the inconsistent state for that key — exactly the
+    paper's treatment of an update as a fresh item entering the
+    system. *)
+
+type key = int
+type version = int
+
+type t = {
+  key : key;
+  mutable version : version;
+  mutable born : float;
+    (** creation time of the {e current} version, for receive-latency *)
+  size_bits : int;  (** announcement wire size for this record *)
+  created : float;  (** insertion time of the key *)
+}
+
+val make : key:key -> now:float -> size_bits:int -> t
+(** A fresh record at version 0. *)
+
+val touch : t -> now:float -> unit
+(** Publish a new value: bump the version and restart the latency
+    clock for the new version. *)

@@ -1,0 +1,44 @@
+module Rng = Softstate_util.Rng
+
+type t = { records : (Record.key, Record.t) Hashtbl.t }
+
+let create () = { records = Hashtbl.create 256 }
+let live_count t = Hashtbl.length t.records
+let find t key = Hashtbl.find_opt t.records key
+let mem t key = Hashtbl.mem t.records key
+
+let insert t r =
+  if Hashtbl.mem t.records r.Record.key then
+    invalid_arg "Table.insert: key already live";
+  Hashtbl.add t.records r.Record.key r
+
+let remove t key =
+  match Hashtbl.find_opt t.records key with
+  | None -> None
+  | Some r ->
+      Hashtbl.remove t.records key;
+      Some r
+
+let iter t f = Hashtbl.iter (fun _ r -> f r) t.records
+
+let fold t ~init ~f = Hashtbl.fold (fun _ r acc -> f acc r) t.records init
+
+let random_key t rng =
+  let n = Hashtbl.length t.records in
+  if n = 0 then None
+  else begin
+    let target = Rng.int rng n in
+    let i = ref 0 in
+    let found = ref None in
+    (try
+       Hashtbl.iter
+         (fun key _ ->
+           if !i = target then begin
+             found := Some key;
+             raise Exit
+           end;
+           incr i)
+         t.records
+     with Exit -> ());
+    !found
+  end

@@ -1,0 +1,25 @@
+(** The publisher's table of live records — the live data set L(t).
+
+    Thin wrapper over a hash table that maintains the live count and
+    enumerates keys cheaply; every protocol variant holds one as its
+    authoritative state. *)
+
+type t
+
+val create : unit -> t
+val live_count : t -> int
+val find : t -> Record.key -> Record.t option
+val mem : t -> Record.key -> bool
+
+val insert : t -> Record.t -> unit
+(** Add a fresh record; [Invalid_argument] if the key is already
+    live (update via {!Record.touch} instead). *)
+
+val remove : t -> Record.key -> Record.t option
+(** Kill a record; [None] if it was not live. *)
+
+val iter : t -> (Record.t -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> Record.t -> 'a) -> 'a
+val random_key : t -> Softstate_util.Rng.t -> Record.key option
+(** A uniformly random live key, or [None] when empty; O(live) — used
+    only by workload generators picking an update target. *)

@@ -1,0 +1,191 @@
+module Engine = Softstate_sim.Engine
+module Net = Softstate_net
+module Sched = Softstate_sched
+
+(* Queue entries are (key, generation): a record's generation counter
+   advances every time it is (re)enqueued, so an entry is valid only if
+   it carries the record's current generation. This gives O(1) lazy
+   removal when records die, are updated out of the cold queue, or are
+   reheated by a NACK — no record is ever queued twice validly. *)
+
+type temp = Hot | Cold | In_service
+
+type info = {
+  mutable temp : temp;
+  mutable gen : int;
+}
+
+type t = {
+  base : Base.t;
+  hot : (Record.key * int) Queue.t;
+  cold : (Record.key * int) Queue.t;
+  info : (Record.key, info) Hashtbl.t;
+  sched : Sched.Scheduler.t;
+  hot_flow : Sched.Scheduler.flow;
+  cold_flow : Sched.Scheduler.flow;
+  mutable seq : int;
+  mutable sent_hot : int;
+  mutable sent_cold : int;
+  mutable link : Base.announcement Net.Link.t option;
+  mutable kick_fn : unit -> unit;
+  mutable kick_attached : bool;
+}
+
+let valid_entry t kind (key, gen) =
+  match Hashtbl.find_opt t.info key with
+  | None -> false
+  | Some info -> info.gen = gen && info.temp = kind
+
+(* Discard stale heads so backlog status reflects real work. *)
+let purge t kind queue =
+  let rec loop () =
+    match Queue.peek_opt queue with
+    | Some entry when not (valid_entry t kind entry) ->
+        ignore (Queue.pop queue);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let enqueue t r temp =
+  let key = r.Record.key in
+  let info =
+    match Hashtbl.find_opt t.info key with
+    | Some info -> info
+    | None ->
+        let info = { temp; gen = 0 } in
+        Hashtbl.replace t.info key info;
+        info
+  in
+  info.gen <- info.gen + 1;
+  info.temp <- temp;
+  let entry = (key, info.gen) in
+  match temp with
+  | Hot -> Queue.add entry t.hot
+  | Cold -> Queue.add entry t.cold
+  | In_service -> invalid_arg "Two_queue.enqueue: In_service"
+
+let refresh_backlog t =
+  purge t Hot t.hot;
+  purge t Cold t.cold;
+  Sched.Scheduler.set_backlogged t.sched t.hot_flow (not (Queue.is_empty t.hot));
+  Sched.Scheduler.set_backlogged t.sched t.cold_flow
+    (not (Queue.is_empty t.cold))
+
+let fetch_packet t =
+  refresh_backlog t;
+  match Sched.Scheduler.select t.sched with
+  | None -> None
+  | Some flow ->
+      let queue = if flow = t.hot_flow then t.hot else t.cold in
+      let key, _gen =
+        (* purge guaranteed a valid head for the selected queue *)
+        Queue.pop queue
+      in
+      let r =
+        match Table.find (Base.table t.base) key with
+        | Some r -> r
+        | None -> assert false (* valid entries refer to live records *)
+      in
+      (match Hashtbl.find_opt t.info key with
+      | Some info -> info.temp <- In_service
+      | None -> assert false);
+      Sched.Scheduler.charge t.sched flow (float_of_int r.Record.size_bits);
+      if flow = t.hot_flow then t.sent_hot <- t.sent_hot + 1
+      else t.sent_cold <- t.sent_cold + 1;
+      let seq = t.seq in
+      t.seq <- seq + 1;
+      let ann = Base.announce_of t.base ~seq r in
+      Some (Net.Packet.make ~size_bits:r.Record.size_bits ann)
+
+let wake t = t.kick_fn ()
+
+let serve_completion t ~now key =
+  match Table.find (Base.table t.base) key with
+  | None -> Hashtbl.remove t.info key
+  | Some r ->
+      if Base.death_draw t.base ~now r then ()
+        (* on_death hook already dropped the info entry *)
+      else begin
+        (* After a transmission the record settles in the cold queue
+           for background refreshes — unless an update or a NACK
+           re-queued it hot while it was in service. *)
+        (match Hashtbl.find_opt t.info key with
+        | Some info when info.temp = In_service -> enqueue t r Cold
+        | Some _ | None -> ());
+        wake t
+      end
+
+let reheat t ~now:_ key =
+  match Table.find (Base.table t.base) key, Hashtbl.find_opt t.info key with
+  | Some r, Some info when info.temp = Cold ->
+      enqueue t r Hot;
+      wake t;
+      true
+  | _ -> false
+
+let create_queues ~base ~mu_hot_bps ~mu_cold_bps
+    ?(sched = Sched.Scheduler.Stride) ~sched_rng () =
+  if mu_hot_bps <= 0.0 || mu_cold_bps <= 0.0 then
+    invalid_arg "Two_queue.create: rates must be positive";
+  let scheduler = Sched.Scheduler.create ~rng:sched_rng sched in
+  let hot_flow = Sched.Scheduler.add_flow scheduler ~weight:mu_hot_bps in
+  let cold_flow = Sched.Scheduler.add_flow scheduler ~weight:mu_cold_bps in
+  let t =
+    { base; hot = Queue.create (); cold = Queue.create ();
+      info = Hashtbl.create 256; sched = scheduler; hot_flow; cold_flow;
+      seq = 0; sent_hot = 0; sent_cold = 0; link = None; kick_fn = ignore;
+      kick_attached = false }
+  in
+  Base.set_hooks base
+    ~on_arrival:(fun r ->
+      (* Inserts and updates are both "new data": they go hot. An
+         already-hot record just keeps its place (the announcement
+         will carry the latest version anyway). *)
+      (match Hashtbl.find_opt t.info r.Record.key with
+      | Some info when info.temp = Hot -> ()
+      | Some _ | None -> enqueue t r Hot);
+      wake t)
+    ~on_death:(fun r -> Hashtbl.remove t.info r.Record.key);
+  t
+
+let attach_kick t kick =
+  if t.kick_attached then
+    invalid_arg "Two_queue.attach_kick: already attached";
+  t.kick_attached <- true;
+  t.kick_fn <- kick
+
+let attach_link t link =
+  if t.link <> None then invalid_arg "Two_queue.attach_link: already attached";
+  t.link <- Some link;
+  attach_kick t (fun () -> Net.Link.kick link)
+
+let create ~base ~mu_hot_bps ~mu_cold_bps ?sched ~loss ~link_rng () =
+  let sched_rng = Softstate_util.Rng.split link_rng in
+  let t = create_queues ~base ~mu_hot_bps ~mu_cold_bps ?sched ~sched_rng () in
+  let link =
+    Net.Link.create (Base.engine base)
+      ~rate_bps:(mu_hot_bps +. mu_cold_bps)
+      ~loss
+      ~on_served:(fun ~now packet ->
+        serve_completion t ~now packet.Net.Packet.payload.Base.key)
+      ~rng:link_rng
+      ~fetch:(fun () -> fetch_packet t)
+      ~deliver:(fun ~now ann -> Base.deliver base ~now ~receiver:0 ann)
+      ()
+  in
+  attach_link t link;
+  t
+
+let hot_length t =
+  purge t Hot t.hot;
+  Queue.length t.hot
+
+let cold_length t =
+  purge t Cold t.cold;
+  Queue.length t.cold
+
+let sent_hot t = t.sent_hot
+let sent_cold t = t.sent_cold
+let sent t = t.seq
+let link t = match t.link with Some l -> l | None -> assert false

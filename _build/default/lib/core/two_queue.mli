@@ -1,0 +1,60 @@
+(** Two-level transmission scheduling: hot and cold queues (paper §4).
+
+    New (and freshly updated) records are announced from the "hot"
+    foreground queue; once transmitted at least once they circulate in
+    the "cold" background queue. The data bandwidth is shared between
+    the two proportionally to [mu_hot : mu_cold] by a pluggable
+    proportional-share scheduler (lottery / stride / WFQ / DRR), never
+    strict priority, so cold items cannot starve. Unused hot
+    bandwidth flows to the cold queue because scheduling is
+    work-conserving. *)
+
+type t
+
+val create :
+  base:Base.t ->
+  mu_hot_bps:float ->
+  mu_cold_bps:float ->
+  ?sched:Softstate_sched.Scheduler.algorithm ->
+  loss:Softstate_net.Loss.t ->
+  link_rng:Softstate_util.Rng.t ->
+  unit ->
+  t
+(** The link rate is [mu_hot_bps +. mu_cold_bps]; the two values also
+    serve as the scheduler weights. [sched] defaults to stride. *)
+
+val hot_length : t -> int
+val cold_length : t -> int
+val sent_hot : t -> int
+val sent_cold : t -> int
+val sent : t -> int
+val link : t -> Base.announcement Softstate_net.Link.t
+
+(**/**)
+
+(** Internal surface shared with {!Feedback}; subject to change. *)
+
+val create_queues :
+  base:Base.t ->
+  mu_hot_bps:float ->
+  mu_cold_bps:float ->
+  ?sched:Softstate_sched.Scheduler.algorithm ->
+  sched_rng:Softstate_util.Rng.t ->
+  unit ->
+  t
+(** Queue machinery and base hooks only; the caller must build a link
+    around {!fetch_packet}/{!serve_completion} and {!attach_link} it. *)
+
+val attach_link : t -> Base.announcement Softstate_net.Link.t -> unit
+
+val attach_kick : t -> (unit -> unit) -> unit
+(** For transports other than {!Softstate_net.Link} (e.g. a multicast
+    channel): register how to wake the transport when work arrives. *)
+
+val reheat : t -> now:float -> Record.key -> bool
+(** Move a cold record to the hot queue (NACK response); [false] if
+    the key is dead or already hot. *)
+
+val serve_completion : t -> now:float -> Record.key -> unit
+val fetch_packet : t -> Base.announcement Softstate_net.Packet.t option
+val wake : t -> unit

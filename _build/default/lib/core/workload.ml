@@ -1,0 +1,29 @@
+module Rng = Softstate_util.Rng
+module Dist = Softstate_util.Dist
+
+type t = {
+  arrival_rate : float;
+  size_bits : int;
+  update_fraction : float;
+}
+
+let create ?(update_fraction = 0.0) ~arrival_rate ~size_bits () =
+  if arrival_rate <= 0.0 then
+    invalid_arg "Workload.create: arrival rate must be positive";
+  if size_bits <= 0 then invalid_arg "Workload.create: size must be positive";
+  if update_fraction < 0.0 || update_fraction > 1.0 then
+    invalid_arg "Workload.create: update fraction out of [0,1]";
+  { arrival_rate; size_bits; update_fraction }
+
+let of_kbps ?update_fraction ~lambda_kbps ~size_bits () =
+  if lambda_kbps <= 0.0 then
+    invalid_arg "Workload.of_kbps: lambda must be positive";
+  create ?update_fraction
+    ~arrival_rate:(lambda_kbps *. 1000.0 /. float_of_int size_bits)
+    ~size_bits ()
+
+let lambda_bps t = t.arrival_rate *. float_of_int t.size_bits
+
+let next_interarrival t rng = Dist.exponential rng ~rate:t.arrival_rate
+
+let is_update t rng = Rng.bernoulli rng t.update_fraction

@@ -1,0 +1,39 @@
+(** Publisher update workloads (paper §2).
+
+    The update process adds or touches records in the publisher's
+    table. The paper parameterises it by λ, the average table update
+    rate in announcement-bandwidth units (kb/s); with fixed-size
+    announcements that is a Poisson record-arrival process of rate
+    [λ_bits / size_bits] per second. A fraction of arrivals may
+    update an existing live key instead of inserting a new one —
+    equivalent for the consistency metric, but it keeps the live set
+    (and hence the cold-queue length) bounded differently, which the
+    `ablate` benches explore. *)
+
+type t = private {
+  arrival_rate : float;  (** records per second *)
+  size_bits : int;       (** announcement size per record *)
+  update_fraction : float;
+    (** probability an arrival touches an existing key (when one is
+        live) rather than inserting a new key *)
+}
+
+val create :
+  ?update_fraction:float -> arrival_rate:float -> size_bits:int -> unit -> t
+(** Direct construction in records/second. [update_fraction] defaults
+    to 0 (pure insertions, the paper's model). *)
+
+val of_kbps : ?update_fraction:float -> lambda_kbps:float -> size_bits:int
+  -> unit -> t
+(** [of_kbps ~lambda_kbps ~size_bits ()] converts the paper's λ: a
+    record of [size_bits] bits arriving with Poisson rate
+    [lambda_kbps * 1000 / size_bits] per second. *)
+
+val lambda_bps : t -> float
+(** Offered update load in bits/second, λ. *)
+
+val next_interarrival : t -> Softstate_util.Rng.t -> float
+(** Draw the exponential gap to the next arrival. *)
+
+val is_update : t -> Softstate_util.Rng.t -> bool
+(** Draw whether this arrival updates an existing key. *)

@@ -1,0 +1,1 @@
+lib/net/channel.ml: List Loss Packet Softstate_sim Softstate_util

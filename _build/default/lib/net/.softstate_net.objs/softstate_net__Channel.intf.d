@@ -1,0 +1,1 @@
+lib/net/channel.mli: Loss Packet Softstate_sim Softstate_util

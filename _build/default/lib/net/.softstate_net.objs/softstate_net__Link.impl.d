@@ -1,0 +1,1 @@
+lib/net/link.ml: Loss Packet Softstate_sim Softstate_util

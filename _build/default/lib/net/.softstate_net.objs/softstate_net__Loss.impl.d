@@ -1,0 +1,1 @@
+lib/net/loss.ml: Float Printf Softstate_util

@@ -1,0 +1,1 @@
+lib/net/loss.mli: Softstate_util

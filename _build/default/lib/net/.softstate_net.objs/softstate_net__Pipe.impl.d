@@ -1,0 +1,1 @@
+lib/net/pipe.ml: Link Packet Softstate_util

@@ -1,0 +1,1 @@
+lib/net/pipe.mli: Link Loss Packet Softstate_sim Softstate_util

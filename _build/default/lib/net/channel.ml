@@ -1,0 +1,84 @@
+module Engine = Softstate_sim.Engine
+module Rng = Softstate_util.Rng
+
+type 'a receiver = {
+  id : int;
+  loss : Loss.t;
+  callback : now:float -> 'a -> unit;
+  mutable lost : int;
+}
+
+type subscription = int
+
+type 'a t = {
+  engine : Engine.t;
+  rate_bps : float;
+  delay : float;
+  rng : Rng.t;
+  fetch : unit -> 'a Packet.t option;
+  on_served : (now:float -> 'a Packet.t -> unit) option;
+  mutable receivers : 'a receiver list;
+  mutable next_id : int;
+  mutable busy : bool;
+  mutable served : int;
+  created_at : float;
+  mutable busy_time : float;
+}
+
+let create engine ~rate_bps ?(delay = 0.0) ?on_served ~rng ~fetch () =
+  if rate_bps <= 0.0 then invalid_arg "Channel.create: rate must be positive";
+  if delay < 0.0 then invalid_arg "Channel.create: negative delay";
+  { engine; rate_bps; delay; rng; fetch; on_served; receivers = []; next_id = 0;
+    busy = false; served = 0; created_at = Engine.now engine; busy_time = 0.0 }
+
+let subscribe t ?(loss = Loss.never) callback =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.receivers <- { id; loss; callback; lost = 0 } :: t.receivers;
+  id
+
+let unsubscribe t sub =
+  t.receivers <- List.filter (fun r -> r.id <> sub) t.receivers
+
+let fan_out t payload =
+  (* Draw each receiver's loss independently at service completion;
+     delivery is delayed by propagation. *)
+  List.iter
+    (fun r ->
+      if Loss.drop r.loss t.rng then r.lost <- r.lost + 1
+      else if t.delay = 0.0 then
+        r.callback ~now:(Engine.now t.engine) payload
+      else
+        ignore
+          (Engine.schedule t.engine ~after:t.delay (fun engine ->
+               r.callback ~now:(Engine.now engine) payload)))
+    t.receivers
+
+let rec serve_next t =
+  match t.fetch () with
+  | None -> t.busy <- false
+  | Some packet ->
+      t.busy <- true;
+      let service = float_of_int packet.Packet.size_bits /. t.rate_bps in
+      ignore
+        (Engine.schedule t.engine ~after:service (fun engine ->
+             t.served <- t.served + 1;
+             t.busy_time <- t.busy_time +. service;
+             (match t.on_served with
+             | Some f -> f ~now:(Engine.now engine) packet
+             | None -> ());
+             fan_out t packet.Packet.payload;
+             serve_next t))
+
+let kick t = if not t.busy then serve_next t
+let subscriber_count t = List.length t.receivers
+let served t = t.served
+
+let utilisation t ~now =
+  let span = now -. t.created_at in
+  if span <= 0.0 then 0.0 else t.busy_time /. span
+
+let receiver_losses t sub =
+  match List.find_opt (fun r -> r.id = sub) t.receivers with
+  | Some r -> r.lost
+  | None -> raise Not_found

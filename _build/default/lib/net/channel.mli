@@ -1,0 +1,43 @@
+(** Multicast announcement channel.
+
+    One pull-based server (shared capacity, like {!Link}) whose every
+    served packet is offered to each subscriber through that
+    subscriber's own loss process — the announce/listen medium of the
+    paper generalised from one receiver to a group. With a single
+    subscriber this is exactly a {!Link}. *)
+
+type 'a t
+type subscription
+
+val create :
+  Softstate_sim.Engine.t ->
+  rate_bps:float ->
+  ?delay:float ->
+  ?on_served:(now:float -> 'a Packet.t -> unit) ->
+  rng:Softstate_util.Rng.t ->
+  fetch:(unit -> 'a Packet.t option) ->
+  unit ->
+  'a t
+(** [on_served] fires once per packet when the shared server finishes
+    it, before the per-receiver loss draws. *)
+
+val subscribe :
+  'a t -> ?loss:Loss.t -> (now:float -> 'a -> unit) -> subscription
+(** [subscribe t ~loss f] adds a receiver; every packet surviving
+    [loss] (default lossless) is passed to [f]. Subscribing while the
+    channel is active is allowed — late joiners are a soft-state use
+    case. *)
+
+val unsubscribe : 'a t -> subscription -> unit
+(** Remove a receiver; models a member leaving the session. *)
+
+val kick : 'a t -> unit
+val subscriber_count : 'a t -> int
+val served : 'a t -> int
+(** Packets pushed through the shared server so far. *)
+
+val utilisation : 'a t -> now:float -> float
+(** Fraction of elapsed time the shared server spent serving. *)
+
+val receiver_losses : 'a t -> subscription -> int
+(** Packets this subscriber lost to its own loss process. *)

@@ -1,0 +1,7 @@
+type 'a t = { size_bits : int; payload : 'a }
+
+let make ~size_bits payload =
+  if size_bits <= 0 then invalid_arg "Packet.make: size must be positive";
+  { size_bits; payload }
+
+let map f p = { p with payload = f p.payload }

@@ -1,0 +1,17 @@
+(** Transmission units.
+
+    The network substrate is polymorphic in the payload: protocols
+    define their own message types and wrap them with the size that
+    determines transmission time on rate-limited links. *)
+
+type 'a t = {
+  size_bits : int;  (** wire size, bits; determines service time *)
+  payload : 'a;
+}
+
+val make : size_bits:int -> 'a -> 'a t
+(** [make ~size_bits payload] wraps a payload; [size_bits] must be
+    positive (zero-size packets would make service instantaneous and
+    break FIFO accounting). *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t

@@ -1,0 +1,29 @@
+module Ring = Softstate_util.Ring
+
+type 'a t = {
+  queue : 'a Packet.t Ring.t;
+  link : 'a Link.t;
+  mutable overflows : int;
+}
+
+let create engine ~rate_bps ?delay ?loss ?(queue_capacity = 1024) ~rng
+    ~deliver () =
+  let queue = Ring.create ~capacity:queue_capacity in
+  let fetch () = Ring.pop queue in
+  let link = Link.create engine ~rate_bps ?delay ?loss ~rng ~fetch ~deliver () in
+  { queue; link; overflows = 0 }
+
+let send t packet =
+  if Ring.push t.queue packet then begin
+    Link.kick t.link;
+    true
+  end
+  else begin
+    t.overflows <- t.overflows + 1;
+    false
+  end
+
+let queue_length t = Ring.length t.queue
+let overflows t = t.overflows
+let link_stats t = Link.stats t.link
+let set_rate t rate = Link.set_rate t.link rate

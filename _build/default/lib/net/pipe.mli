@@ -1,0 +1,31 @@
+(** Push-based FIFO link.
+
+    A {!Link.t} with its own bounded queue: senders [send] packets and
+    the pipe drains them in order at its service rate. Used for the
+    feedback (NACK) channel, whose contents are not rescheduled after
+    enqueue. When the queue is full the packet is dropped at the tail
+    and counted, which models feedback-bandwidth starvation — the
+    mechanism behind the consistency collapse in Figure 8. *)
+
+type 'a t
+
+val create :
+  Softstate_sim.Engine.t ->
+  rate_bps:float ->
+  ?delay:float ->
+  ?loss:Loss.t ->
+  ?queue_capacity:int ->
+  rng:Softstate_util.Rng.t ->
+  deliver:(now:float -> 'a -> unit) ->
+  unit ->
+  'a t
+(** [queue_capacity] defaults to 1024 packets. *)
+
+val send : 'a t -> 'a Packet.t -> bool
+(** Enqueue a packet; [false] if the queue overflowed (the packet is
+    lost at the sender). *)
+
+val queue_length : 'a t -> int
+val overflows : 'a t -> int
+val link_stats : 'a t -> Link.Stats.t
+val set_rate : 'a t -> float -> unit

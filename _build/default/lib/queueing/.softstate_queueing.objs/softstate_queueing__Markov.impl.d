@@ -1,0 +1,1 @@
+lib/queueing/markov.ml: Array Float Fun Hashtbl Linalg List

@@ -1,0 +1,1 @@
+lib/queueing/open_loop.ml: Float

@@ -1,0 +1,83 @@
+type t = {
+  gamma : float array;
+  mu : float array;
+  routing : float array array;
+  n : int;
+}
+
+let create ~external_arrivals ~service_rates ~routing =
+  let n = Array.length service_rates in
+  if n = 0 then invalid_arg "Jackson.create: empty network";
+  if Array.length external_arrivals <> n then
+    invalid_arg "Jackson.create: arrival vector size mismatch";
+  if Array.length routing <> n then
+    invalid_arg "Jackson.create: routing matrix size mismatch";
+  Array.iter
+    (fun g ->
+      if g < 0.0 then invalid_arg "Jackson.create: negative arrival rate")
+    external_arrivals;
+  Array.iter
+    (fun m ->
+      if m <= 0.0 then invalid_arg "Jackson.create: service rate must be positive")
+    service_rates;
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Jackson.create: ragged routing";
+      let sum = ref 0.0 in
+      Array.iter
+        (fun p ->
+          if p < 0.0 || p > 1.0 then
+            invalid_arg "Jackson.create: routing probability out of range";
+          sum := !sum +. p)
+        row;
+      if !sum > 1.0 +. 1e-9 then
+        invalid_arg "Jackson.create: routing row exceeds 1")
+    routing;
+  { gamma = Array.copy external_arrivals;
+    mu = Array.copy service_rates;
+    routing = Array.map Array.copy routing;
+    n }
+
+let size t = t.n
+
+let throughputs t =
+  (* Solve (I - R^T) lambda = gamma. *)
+  let a = Array.make_matrix t.n t.n 0.0 in
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      a.(i).(j) <- (if i = j then 1.0 else 0.0) -. t.routing.(j).(i)
+    done
+  done;
+  (try Linalg.solve a t.gamma
+   with Failure _ -> failwith "Jackson.throughputs: singular traffic equations")
+
+let utilisations t =
+  let lambda = throughputs t in
+  Array.init t.n (fun i -> lambda.(i) /. t.mu.(i))
+
+let is_stable t = Array.for_all (fun rho -> rho < 1.0) (utilisations t)
+
+let require_stable t =
+  if not (is_stable t) then failwith "Jackson: network is unstable"
+
+let mean_jobs t =
+  require_stable t;
+  Array.map (fun rho -> rho /. (1.0 -. rho)) (utilisations t)
+
+let mean_sojourn t =
+  require_stable t;
+  let lambda = throughputs t in
+  Array.init t.n (fun i -> 1.0 /. (t.mu.(i) -. lambda.(i)))
+
+let joint_probability t counts =
+  require_stable t;
+  if Array.length counts <> t.n then
+    invalid_arg "Jackson.joint_probability: size mismatch";
+  let rho = utilisations t in
+  let p = ref 1.0 in
+  Array.iteri
+    (fun i n ->
+      if n < 0 then invalid_arg "Jackson.joint_probability: negative count";
+      p := !p *. (1.0 -. rho.(i)) *. (rho.(i) ** float_of_int n))
+    counts;
+  !p

@@ -1,0 +1,44 @@
+(** Open Jackson networks (Baskett–Chandy–Muntz–Palacios [5]).
+
+    The paper's open-loop model is a one-node network with two job
+    classes and Markovian feedback routing (a served announcement
+    re-enters the queue unless it dies). This module implements the
+    general machinery: traffic equations, per-node M/M/1 marginals and
+    the product-form joint law — both to derive the paper's closed
+    forms independently (they agree; see tests) and as reusable
+    analysis substrate. *)
+
+type t
+
+val create :
+  external_arrivals:float array ->
+  service_rates:float array ->
+  routing:float array array ->
+  t
+(** [create ~external_arrivals ~service_rates ~routing] describes a
+    network of [n] exponential single-server FIFO nodes.
+    [routing.(i).(j)] is the probability a job leaving node [i] moves
+    to node [j]; the leftover [1 - Σ_j routing.(i).(j)] is the exit
+    probability (must be ≥ 0). Raises [Invalid_argument] on malformed
+    input. *)
+
+val size : t -> int
+
+val throughputs : t -> float array
+(** Effective arrival rates λ solving λ = γ + Rᵀλ. Raises [Failure]
+    if the traffic equations are singular (jobs that never exit). *)
+
+val utilisations : t -> float array
+(** ρ_i = λ_i/μ_i. *)
+
+val is_stable : t -> bool
+(** All ρ_i < 1. *)
+
+val mean_jobs : t -> float array
+(** E[N_i] = ρ_i/(1−ρ_i) per node (requires stability). *)
+
+val mean_sojourn : t -> float array
+(** Per-node mean sojourn of one visit, 1/(μ_i − λ_i). *)
+
+val joint_probability : t -> int array -> float
+(** Product-form P(n_1, ..., n_k) = Π (1−ρ_i) ρ_i^{n_i}. *)

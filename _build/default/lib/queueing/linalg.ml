@@ -1,0 +1,68 @@
+let dims a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Linalg: empty matrix";
+  let m = Array.length a.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> m then invalid_arg "Linalg: ragged matrix")
+    a;
+  (n, m)
+
+let solve a b =
+  let n, m = dims a in
+  if n <> m then invalid_arg "Linalg.solve: matrix not square";
+  if Array.length b <> n then invalid_arg "Linalg.solve: size mismatch";
+  let a = Array.map Array.copy a in
+  let b = Array.copy b in
+  for col = 0 to n - 1 do
+    (* partial pivot *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if abs_float a.(row).(col) > abs_float a.(!pivot).(col) then pivot := row
+    done;
+    if abs_float a.(!pivot).(col) < 1e-12 then
+      failwith "Linalg.solve: singular system";
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = a.(row).(col) /. a.(col).(col) in
+      if factor <> 0.0 then begin
+        for k = col to n - 1 do
+          a.(row).(k) <- a.(row).(k) -. (factor *. a.(col).(k))
+        done;
+        b.(row) <- b.(row) -. (factor *. b.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let sum = ref b.(row) in
+    for k = row + 1 to n - 1 do
+      sum := !sum -. (a.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !sum /. a.(row).(row)
+  done;
+  x
+
+let mat_vec a x =
+  let n, m = dims a in
+  if Array.length x <> m then invalid_arg "Linalg.mat_vec: size mismatch";
+  Array.init n (fun i ->
+      let sum = ref 0.0 in
+      for j = 0 to m - 1 do
+        sum := !sum +. (a.(i).(j) *. x.(j))
+      done;
+      !sum)
+
+let vec_sub a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Linalg.vec_sub: size mismatch";
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let max_abs v = Array.fold_left (fun acc x -> Float.max acc (abs_float x)) 0.0 v

@@ -1,0 +1,15 @@
+(** Small dense linear algebra for Markov-chain analysis.
+
+    Sized for the handful-of-states chains in this repository
+    (protocol state machines, Gilbert–Elliott, Jackson traffic
+    equations); O(n³) Gaussian elimination is ample. *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] returns [x] with [a·x = b] by Gaussian elimination
+    with partial pivoting. Raises [Failure] on a singular (or
+    numerically singular) system. [a] is not modified. *)
+
+val mat_vec : float array array -> float array -> float array
+val vec_sub : float array -> float array -> float array
+val max_abs : float array -> float
+(** Largest absolute entry ([0.] for the empty vector). *)

@@ -1,0 +1,112 @@
+type t = { p : float array array; n : int }
+
+let create p =
+  let n = Array.length p in
+  if n = 0 then invalid_arg "Markov.create: empty chain";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Markov.create: not square";
+      let sum = ref 0.0 in
+      Array.iter
+        (fun x ->
+          if x < -.1e-12 || x > 1.0 +. 1e-12 then
+            invalid_arg "Markov.create: probability out of range";
+          sum := !sum +. x)
+        row;
+      if abs_float (!sum -. 1.0) > 1e-9 then
+        invalid_arg "Markov.create: row does not sum to 1")
+    p;
+  { p = Array.map Array.copy p; n }
+
+let size t = t.n
+let prob t i j = t.p.(i).(j)
+
+let step t pi =
+  if Array.length pi <> t.n then invalid_arg "Markov.step: size mismatch";
+  Array.init t.n (fun j ->
+      let sum = ref 0.0 in
+      for i = 0 to t.n - 1 do
+        sum := !sum +. (pi.(i) *. t.p.(i).(j))
+      done;
+      !sum)
+
+let stationary t =
+  (* Solve pi (P - I) = 0 with sum pi = 1: replace the last column of
+     (P - I)^T by the all-ones normalisation row. *)
+  let n = t.n in
+  let a = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      (* (P - I)^T entry: P(j,i) - delta *)
+      a.(i).(j) <- t.p.(j).(i) -. (if i = j then 1.0 else 0.0)
+    done
+  done;
+  for j = 0 to n - 1 do
+    a.(n - 1).(j) <- 1.0
+  done;
+  let b = Array.make n 0.0 in
+  b.(n - 1) <- 1.0;
+  let pi = Linalg.solve a b in
+  (* numerical clean-up: clamp tiny negatives, renormalise *)
+  let pi = Array.map (fun x -> Float.max 0.0 x) pi in
+  let total = Array.fold_left ( +. ) 0.0 pi in
+  Array.map (fun x -> x /. total) pi
+
+let check_absorbing t absorbing =
+  List.iter
+    (fun a ->
+      if a < 0 || a >= t.n then invalid_arg "Markov: state out of range";
+      if abs_float (t.p.(a).(a) -. 1.0) > 1e-9 then
+        invalid_arg "Markov: listed state is not absorbing")
+    absorbing
+
+let transient_states t absorbing =
+  let is_absorbing i = List.mem i absorbing in
+  List.filter (fun i -> not (is_absorbing i)) (List.init t.n Fun.id)
+
+let absorption_probabilities t ~absorbing =
+  check_absorbing t absorbing;
+  let transient = transient_states t absorbing in
+  let nt = List.length transient in
+  let index = Hashtbl.create nt in
+  List.iteri (fun k i -> Hashtbl.add index i k) transient;
+  let result = Array.make_matrix t.n (List.length absorbing) 0.0 in
+  List.iteri
+    (fun col a ->
+      (* Solve (I - Q) x = R_a over the transient states. *)
+      let m = Array.make_matrix nt nt 0.0 in
+      let b = Array.make nt 0.0 in
+      List.iteri
+        (fun ri i ->
+          List.iteri
+            (fun rj j ->
+              m.(ri).(rj) <-
+                (if ri = rj then 1.0 else 0.0) -. t.p.(i).(j))
+            transient;
+          b.(ri) <- t.p.(i).(a))
+        transient;
+      let x = if nt = 0 then [||] else Linalg.solve m b in
+      List.iteri (fun ri i -> result.(i).(col) <- x.(ri)) transient;
+      result.(a).(col) <- 1.0)
+    absorbing;
+  result
+
+let expected_steps_to_absorption t ~absorbing =
+  check_absorbing t absorbing;
+  let transient = transient_states t absorbing in
+  let nt = List.length transient in
+  let result = Array.make t.n 0.0 in
+  if nt > 0 then begin
+    let m = Array.make_matrix nt nt 0.0 in
+    let b = Array.make nt 1.0 in
+    List.iteri
+      (fun ri i ->
+        List.iteri
+          (fun rj j ->
+            m.(ri).(rj) <- (if ri = rj then 1.0 else 0.0) -. t.p.(i).(j))
+          transient)
+      transient;
+    let x = Linalg.solve m b in
+    List.iteri (fun ri i -> result.(i) <- x.(ri)) transient
+  end;
+  result

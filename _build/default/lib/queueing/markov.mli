@@ -1,0 +1,36 @@
+(** Discrete-time Markov chains.
+
+    Used for the Gilbert–Elliott stationary loss rate, the record
+    H/C/D state machine of Figure 7, and as a checking tool for the
+    open-loop transition probabilities of Table 1. *)
+
+type t
+(** A finite DTMC given by its row-stochastic transition matrix. *)
+
+val create : float array array -> t
+(** [create p] validates that [p] is square, entries are in [0, 1]
+    and rows sum to 1 (tolerance 1e-9). *)
+
+val size : t -> int
+val prob : t -> int -> int -> float
+
+val step : t -> float array -> float array
+(** One distribution step: [pi' = pi · P]. *)
+
+val stationary : t -> float array
+(** Stationary distribution, solved directly from [pi (P − I) = 0]
+    with the normalisation constraint (Gaussian elimination). For a
+    chain with transient states this returns the stationary
+    distribution of the recurrent part reachable under the
+    normalisation; for the ergodic chains in this repository it is the
+    unique stationary law. *)
+
+val absorption_probabilities : t -> absorbing:int list -> float array array
+(** [absorption_probabilities t ~absorbing] returns, for each state i
+    and each absorbing state a (in the given order), the probability
+    of eventually being absorbed at a starting from i. States listed
+    in [absorbing] must be absorbing (self-loop 1). *)
+
+val expected_steps_to_absorption : t -> absorbing:int list -> float array
+(** Mean number of steps to reach any absorbing state from each
+    transient state (entries for absorbing states are 0). *)

@@ -1,0 +1,38 @@
+type t = { lambda : float; mu : float }
+
+let create ~lambda ~mu =
+  if lambda <= 0.0 || mu <= 0.0 then
+    invalid_arg "Mm1.create: rates must be positive";
+  { lambda; mu }
+
+let utilisation t = t.lambda /. t.mu
+let is_stable t = t.lambda < t.mu
+
+let require_stable t =
+  if not (is_stable t) then failwith "Mm1: queue is unstable (lambda >= mu)"
+
+let mean_number_in_system t =
+  require_stable t;
+  let rho = utilisation t in
+  rho /. (1.0 -. rho)
+
+let mean_number_in_queue t =
+  require_stable t;
+  let rho = utilisation t in
+  rho *. rho /. (1.0 -. rho)
+
+let mean_sojourn_time t =
+  require_stable t;
+  1.0 /. (t.mu -. t.lambda)
+
+let mean_waiting_time t =
+  require_stable t;
+  utilisation t /. (t.mu -. t.lambda)
+
+let prob_n_in_system t n =
+  require_stable t;
+  if n < 0 then invalid_arg "Mm1.prob_n_in_system: negative n";
+  let rho = utilisation t in
+  (1.0 -. rho) *. (rho ** float_of_int n)
+
+let prob_empty t = prob_n_in_system t 0

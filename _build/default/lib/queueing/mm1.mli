@@ -1,0 +1,36 @@
+(** M/M/1 queue formulas.
+
+    The paper approximates the two-queue system at μ_cold ≈ 0 by a
+    single-server single-queue system with exponential interarrivals
+    and service times, quoting the mean sojourn time E[w] = 1/(μ − λ);
+    these are the standard results backing that step (§4, Figure 6
+    discussion) and the simulator cross-validation tests. *)
+
+type t = { lambda : float; mu : float }
+
+val create : lambda:float -> mu:float -> t
+(** Both rates positive; stability ([lambda < mu]) is {e not} required
+    at construction — several quantities below are only defined for
+    stable queues and raise otherwise. *)
+
+val utilisation : t -> float
+(** ρ = λ/μ. *)
+
+val is_stable : t -> bool
+
+val mean_number_in_system : t -> float
+(** L = ρ/(1−ρ). Raises [Failure] if unstable. *)
+
+val mean_number_in_queue : t -> float
+(** Lq = ρ²/(1−ρ). *)
+
+val mean_sojourn_time : t -> float
+(** W = 1/(μ−λ): waiting plus service (the paper's E[w]). *)
+
+val mean_waiting_time : t -> float
+(** Wq = ρ/(μ−λ). *)
+
+val prob_n_in_system : t -> int -> float
+(** P(N = n) = (1−ρ)ρⁿ. *)
+
+val prob_empty : t -> float

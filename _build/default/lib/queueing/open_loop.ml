@@ -1,0 +1,102 @@
+type params = {
+  lambda : float;
+  mu_ch : float;
+  p_loss : float;
+  p_death : float;
+}
+
+let validate p =
+  if p.lambda <= 0.0 then invalid_arg "Open_loop: lambda must be positive";
+  if p.mu_ch <= 0.0 then invalid_arg "Open_loop: mu_ch must be positive";
+  if p.p_loss < 0.0 || p.p_loss >= 1.0 then
+    invalid_arg "Open_loop: p_loss must be in [0,1)";
+  if p.p_death <= 0.0 || p.p_death > 1.0 then
+    invalid_arg "Open_loop: p_death must be in (0,1]"
+
+let transition_matrix ~p_loss ~p_death =
+  if p_loss < 0.0 || p_loss > 1.0 then
+    invalid_arg "Open_loop.transition_matrix: p_loss out of range";
+  if p_death < 0.0 || p_death > 1.0 then
+    invalid_arg "Open_loop.transition_matrix: p_death out of range";
+  (* Rows/cols: I, C, Exit (Table 1 of the paper). *)
+  [|
+    [| p_loss *. (1.0 -. p_death); (1.0 -. p_loss) *. (1.0 -. p_death); p_death |];
+    [| 0.0; 1.0 -. p_death; p_death |];
+    [| 0.0; 0.0; 1.0 |];
+  |]
+
+let survival p = 1.0 -. (p.p_loss *. (1.0 -. p.p_death))
+
+let arrival_rate_inconsistent p =
+  validate p;
+  p.lambda /. survival p
+
+let arrival_rate_consistent p =
+  validate p;
+  (1.0 -. p.p_loss) *. (1.0 -. p.p_death) *. arrival_rate_inconsistent p
+  /. p.p_death
+
+let total_rate p =
+  validate p;
+  p.lambda /. p.p_death
+
+let offered_load p =
+  validate p;
+  p.lambda /. (p.p_death *. p.mu_ch)
+
+let is_stable p = offered_load p < 1.0
+
+let consistent_share p =
+  validate p;
+  (1.0 -. p.p_loss) *. (1.0 -. p.p_death) /. survival p
+
+let redundant_fraction = consistent_share
+
+let expected_consistency p =
+  consistent_share p *. Float.min 1.0 (offered_load p)
+
+let expected_consistency_strict p =
+  if is_stable p then Some (consistent_share p *. offered_load p) else None
+
+let joint_probability p ~n_inconsistent ~n_consistent =
+  validate p;
+  if n_inconsistent < 0 || n_consistent < 0 then
+    invalid_arg "Open_loop.joint_probability: negative count";
+  if not (is_stable p) then failwith "Open_loop: unstable system";
+  let rho = offered_load p in
+  let lam_i = arrival_rate_inconsistent p and lam_c = arrival_rate_consistent p in
+  let lam_hat = lam_i +. lam_c in
+  let total = n_inconsistent + n_consistent in
+  (* multinomial coefficient (n_I + n_C choose n_I) *)
+  let rec binom n k acc =
+    if k = 0 then acc
+    else binom (n - 1) (k - 1) (acc *. float_of_int n /. float_of_int k)
+  in
+  let coeff = binom total (min n_inconsistent n_consistent) 1.0 in
+  coeff
+  *. ((lam_i /. lam_hat) ** float_of_int n_inconsistent)
+  *. ((lam_c /. lam_hat) ** float_of_int n_consistent)
+  *. (1.0 -. rho)
+  *. (rho ** float_of_int total)
+
+let mean_records_in_system p =
+  validate p;
+  if not (is_stable p) then failwith "Open_loop: unstable system";
+  let rho = offered_load p in
+  rho /. (1.0 -. rho)
+
+let expected_services_per_record ~p_death =
+  if p_death <= 0.0 || p_death > 1.0 then
+    invalid_arg "Open_loop: p_death must be in (0,1]";
+  1.0 /. p_death
+
+let first_delivery_attempts ~p_loss ~p_death =
+  if p_death <= 0.0 || p_death > 1.0 then
+    invalid_arg "Open_loop: p_death must be in (0,1]";
+  if p_loss < 0.0 || p_loss >= 1.0 then
+    invalid_arg "Open_loop: p_loss must be in [0,1)";
+  1.0 /. (1.0 -. (p_loss *. (1.0 -. p_death)))
+
+let delivery_probability ~p_loss ~p_death =
+  (1.0 -. p_loss) *. (1.0 -. p_death)
+  *. first_delivery_attempts ~p_loss ~p_death

@@ -1,0 +1,79 @@
+(** Closed-form analysis of the open-loop announce/listen protocol
+    (paper §3, Table 1, Figures 3 and 4).
+
+    A record is Inconsistent until an announcement of it survives the
+    channel, then Consistent; every service kills it with the death
+    probability. The transmission channel is one exponential server
+    shared FIFO by both classes; Jackson's theorem gives the joint law
+    of (n_I, n_C) and, from it, the consistency and redundancy
+    figures. *)
+
+type params = {
+  lambda : float;  (** table update rate λ (announcement payload per second, e.g. kb/s) *)
+  mu_ch : float;   (** channel service rate μ_ch, same unit as λ *)
+  p_loss : float;  (** per-transmission loss probability p_ℓ ∈ [0,1) *)
+  p_death : float; (** per-service death probability p_d ∈ (0,1] *)
+}
+
+val validate : params -> unit
+(** Raises [Invalid_argument] if any field is out of range. *)
+
+(** Table 1 — state-change probabilities when a record leaves the
+    server, as a 3-state DTMC over Inconsistent / Consistent / Exited. *)
+val transition_matrix : p_loss:float -> p_death:float -> float array array
+(** Rows and columns ordered \[I; C; Exit\]; Exit is absorbing. *)
+
+val arrival_rate_inconsistent : params -> float
+(** λ_I = λ / (1 − p_ℓ(1 − p_d)). *)
+
+val arrival_rate_consistent : params -> float
+(** λ_C = (1 − p_ℓ)(1 − p_d) λ_I / p_d. *)
+
+val total_rate : params -> float
+(** λ̂ = λ_I + λ_C = λ / p_d: each record is served Geometric(p_d)
+    times before dying. *)
+
+val offered_load : params -> float
+(** ρ = λ̂ / μ_ch = λ / (p_d μ_ch). *)
+
+val is_stable : params -> bool
+(** ρ < 1, i.e. p_d > λ/μ_ch. *)
+
+val consistent_share : params -> float
+(** s = λ_C/λ̂ = (1−p_ℓ)(1−p_d)/(1−p_ℓ(1−p_d)): the probability that
+    a circulating announcement concerns an already-consistent record.
+    This is also the fraction of channel bandwidth spent on redundant
+    retransmissions — the quantity plotted in Figure 4. *)
+
+val redundant_fraction : params -> float
+(** Alias of {!consistent_share} under its Figure-4 reading. *)
+
+val expected_consistency : params -> float
+(** The paper's E\[c(t)\] = s·ρ — the Figure 3 quantity. Outside the
+    stability region (ρ ≥ 1) the formula is meaningless; we clamp ρ
+    at 1, which corresponds to a saturated channel where the class mix
+    equals the service mix. *)
+
+val expected_consistency_strict : params -> float option
+(** [None] when the queue is unstable, otherwise the exact product
+    form value s·ρ. *)
+
+val joint_probability : params -> n_inconsistent:int -> n_consistent:int
+  -> float
+(** P(n_I, n_C) by the multi-class product form (requires
+    stability). *)
+
+val mean_records_in_system : params -> float
+(** E\[n_I + n_C\] = ρ/(1−ρ) (requires stability). *)
+
+val expected_services_per_record : p_death:float -> float
+(** Mean announcements of one record over its life, 1/p_d. *)
+
+val first_delivery_attempts : p_loss:float -> p_death:float -> float
+(** Expected number of services until a record is first delivered or
+    dies, from the Table-1 chain: 1 / (1 − p_ℓ(1 − p_d)). *)
+
+val delivery_probability : p_loss:float -> p_death:float -> float
+(** Probability a record is ever received (absorption at Exit via C
+    rather than dying while still inconsistent):
+    (1−p_ℓ)(1−p_d) / (1 − p_ℓ(1−p_d)). *)

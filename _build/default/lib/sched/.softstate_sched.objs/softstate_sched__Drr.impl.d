@@ -1,0 +1,1 @@
+lib/sched/drr.ml: Array Float

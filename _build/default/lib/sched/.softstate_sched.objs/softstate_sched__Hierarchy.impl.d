@@ -1,0 +1,1 @@
+lib/sched/hierarchy.ml: Array Float List

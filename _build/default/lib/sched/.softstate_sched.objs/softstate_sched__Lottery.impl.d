@@ -1,0 +1,1 @@
+lib/sched/lottery.ml: Array Softstate_util

@@ -1,0 +1,1 @@
+lib/sched/lottery.mli: Softstate_util

@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Drr Lottery Stride Wfq

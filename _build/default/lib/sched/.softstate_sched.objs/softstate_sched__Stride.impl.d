@@ -1,0 +1,1 @@
+lib/sched/stride.ml: Array Float

@@ -1,0 +1,1 @@
+lib/sched/wfq.ml: Array Float

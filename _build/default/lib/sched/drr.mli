@@ -1,0 +1,32 @@
+(** Deficit round robin (Shreedhar & Varghese).
+
+    Flows are visited in a fixed cycle; each visit adds
+    [quantum * weight] to the flow's deficit and the flow may send
+    while its deficit covers the packet. Because our uniform
+    scheduler interface picks the flow {e before} learning the packet
+    size, this implementation lets the deficit go negative on the last
+    packet of a visit and makes the flow wait for enough replenishment
+    rounds to climb back — long-run shares remain proportional to the
+    weights, with per-round burstiness bounded by one packet. *)
+
+type t
+type flow = int
+(** Registration index of the flow (0, 1, ... in {!add_flow} order). *)
+
+val create : ?quantum:float -> unit -> t
+(** [quantum] is the per-round credit of a weight-1.0 flow, in the
+    same units as [charge] sizes (default 1.0). *)
+
+val add_flow : t -> weight:float -> flow
+val set_weight : t -> flow -> float -> unit
+val weight : t -> flow -> float
+val set_backlogged : t -> flow -> bool -> unit
+
+val select : t -> flow option
+(** The next backlogged flow in round-robin order whose deficit is
+    positive; replenishes deficits round by round as needed. *)
+
+val charge : t -> flow -> float -> unit
+val served : t -> flow -> float
+val deficit : t -> flow -> float
+val flow_count : t -> int

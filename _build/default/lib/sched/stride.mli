@@ -1,0 +1,34 @@
+(** Stride scheduling (Waldspurger & Weihl, MIT/LCS/TM-528).
+
+    The deterministic counterpart of lottery scheduling: each flow
+    advances a {e pass} value by [stride = quantum / weight] per unit
+    of service, and the backlogged flow with the smallest pass is
+    served next. Allocation error is bounded by one quantum, unlike
+    lottery's √n randomness — the reason the paper lists both. Flows
+    re-entering after idleness have their pass brought forward to the
+    global pass so they cannot claim back-service. *)
+
+type t
+type flow = int
+(** Registration index of the flow (0, 1, ... in {!add_flow} order). *)
+
+val create : unit -> t
+
+val add_flow : t -> weight:float -> flow
+val set_weight : t -> flow -> float -> unit
+val weight : t -> flow -> float
+val set_backlogged : t -> flow -> bool -> unit
+
+val select : t -> flow option
+(** Backlogged flow with minimum pass; FIFO on ties. *)
+
+val charge : t -> flow -> float -> unit
+(** [charge t f size] advances [f]'s pass by [size /. weight] and the
+    global pass bookkeeping. Call once per service with the served
+    packet's size. *)
+
+val served : t -> flow -> float
+val pass : t -> flow -> float
+(** Current pass value (exposed for tests of the fairness bound). *)
+
+val flow_count : t -> int

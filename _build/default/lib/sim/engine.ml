@@ -1,0 +1,71 @@
+module Heap = Softstate_util.Heap
+
+type t = {
+  mutable clock : float;
+  calendar : (t -> unit) Heap.t;
+}
+
+type event = Heap.handle
+
+let create ?(start = 0.0) () = { clock = start; calendar = Heap.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Heap.insert t.calendar ~key:time f
+
+let schedule t ~after f =
+  if after < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. after) f
+
+let cancel t e = Heap.remove t.calendar e
+let pending t = Heap.length t.calendar
+
+let step t =
+  match Heap.pop t.calendar with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      f t;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let rec loop () =
+        match Heap.min_key t.calendar with
+        | Some time when time <= horizon ->
+            ignore (step t);
+            loop ()
+        | Some _ | None -> ()
+      in
+      loop ();
+      if t.clock < horizon then t.clock <- horizon
+
+let every t ~period ?jitter f =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  let delay () =
+    match jitter with
+    | None -> period
+    | Some j ->
+        let d = period +. j () in
+        if d <= 0.0 then invalid_arg "Engine.every: jitter exceeds period";
+        d
+  in
+  let current = ref None in
+  let stopped = ref false in
+  let rec tick engine =
+    f engine;
+    if not !stopped then
+      current := Some (schedule engine ~after:(delay ()) tick)
+  in
+  current := Some (schedule t ~after:(delay ()) tick);
+  fun () ->
+    stopped := true;
+    match !current with
+    | None -> false
+    | Some e ->
+        current := None;
+        cancel t e

@@ -1,0 +1,55 @@
+(** Discrete-event simulation engine.
+
+    A calendar of timestamped callbacks drives all protocol
+    simulations in this repository. Time is a float in seconds and
+    advances only when events fire; there is no wall-clock coupling,
+    so simulated years run in milliseconds.
+
+    The engine is deliberately minimal: schedule, cancel, run until a
+    horizon or until the calendar drains. Model processes (arrivals,
+    services, timers) are ordinary closures that reschedule
+    themselves. *)
+
+type t
+
+type event
+(** Cancellable reference to a scheduled callback. *)
+
+val create : ?start:float -> unit -> t
+(** [create ~start ()] makes an engine whose clock starts at [start]
+    (default 0). *)
+
+val now : t -> float
+(** Current simulation time. *)
+
+val schedule : t -> after:float -> (t -> unit) -> event
+(** [schedule t ~after f] arranges for [f t] to run at
+    [now t +. after]. [after] must be non-negative: the past is not
+    schedulable. Events at equal times fire in scheduling order. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> event
+(** Absolute-time variant; [time] must not precede [now t]. *)
+
+val cancel : t -> event -> bool
+(** [cancel t e] prevents [e] from firing; [false] if it already fired
+    or was cancelled. *)
+
+val pending : t -> int
+(** Number of events still scheduled. *)
+
+val step : t -> bool
+(** Fire the single earliest event; [false] when the calendar is
+    empty. *)
+
+val run : ?until:float -> t -> unit
+(** [run ?until t] fires events in time order until the calendar is
+    empty or the next event lies strictly beyond [until]. When a
+    horizon is given the clock is left at [until] (so time-weighted
+    statistics can be closed out at the horizon). *)
+
+val every : t -> period:float -> ?jitter:(unit -> float) -> (t -> unit)
+  -> (unit -> bool)
+(** [every t ~period f] runs [f] at now + period, then repeatedly each
+    [period] (plus [jitter ()] if given, which must return values
+    > -period). Returns a canceller: calling it stops the recurrence
+    and reports whether a firing was still pending. *)

@@ -1,0 +1,1 @@
+lib/sstp/allocator.mli: Profile

@@ -1,0 +1,1 @@
+lib/sstp/group.ml: Array Float Hashtbl List Namespace Path Receiver Sender Softstate_net Softstate_sim Softstate_util String Wire

@@ -1,0 +1,1 @@
+lib/sstp/group.mli: Receiver Sender Softstate_net Softstate_sim Softstate_util

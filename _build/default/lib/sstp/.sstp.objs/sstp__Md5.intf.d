@@ -1,0 +1,1 @@
+lib/sstp/md5.mli:

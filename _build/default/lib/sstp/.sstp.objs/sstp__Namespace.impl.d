@@ -1,0 +1,1 @@
+lib/sstp/namespace.ml: List Map Md5 String

@@ -1,0 +1,1 @@
+lib/sstp/namespace.mli: Md5 Path

@@ -1,0 +1,1 @@
+lib/sstp/path.ml: Format List String

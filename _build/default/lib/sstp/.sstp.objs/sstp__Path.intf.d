@@ -1,0 +1,1 @@
+lib/sstp/path.mli: Format

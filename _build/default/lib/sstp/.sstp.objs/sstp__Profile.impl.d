@@ -1,0 +1,1 @@
+lib/sstp/profile.ml: Array Buffer Float Format List Printf Softstate_queueing String

@@ -1,0 +1,1 @@
+lib/sstp/profile.mli: Format

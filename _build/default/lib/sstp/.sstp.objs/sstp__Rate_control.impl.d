@@ -1,0 +1,1 @@
+lib/sstp/rate_control.ml: Float List Option Softstate_sim

@@ -1,0 +1,1 @@
+lib/sstp/rate_control.mli: Softstate_sim

@@ -1,0 +1,1 @@
+lib/sstp/receiver.ml: Hashtbl List Namespace Path Reports Softstate_sim String Wire

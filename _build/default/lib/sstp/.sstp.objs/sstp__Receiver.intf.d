@@ -1,0 +1,1 @@
+lib/sstp/receiver.mli: Namespace Path Softstate_sim Wire

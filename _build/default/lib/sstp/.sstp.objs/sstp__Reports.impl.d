@@ -1,0 +1,1 @@
+lib/sstp/reports.ml: Float Softstate_util Wire

@@ -1,0 +1,1 @@
+lib/sstp/reports.mli: Wire

@@ -1,0 +1,1 @@
+lib/sstp/sender.ml: Allocator Float Hashtbl List Namespace Option Path Queue Reports Softstate_sched Softstate_sim String Wire

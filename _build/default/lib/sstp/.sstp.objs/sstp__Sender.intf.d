@@ -1,0 +1,1 @@
+lib/sstp/sender.mli: Allocator Namespace Path Softstate_sim Wire

@@ -1,0 +1,1 @@
+lib/sstp/session.ml: Allocator Float Namespace Path Profile Receiver Sender Softstate_net Softstate_sim Softstate_util String Wire

@@ -1,0 +1,1 @@
+lib/sstp/session.mli: Profile Receiver Sender Softstate_net Softstate_sim Softstate_util

@@ -1,0 +1,1 @@
+lib/sstp/wire.ml: List Md5 Printf Softstate_util String

@@ -1,0 +1,1 @@
+lib/sstp/wire.mli: Md5

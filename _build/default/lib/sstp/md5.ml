@@ -1,0 +1,168 @@
+(* Reference implementation of RFC 1321. All arithmetic is on Int32,
+   matching the algorithm's 32-bit modular semantics. *)
+
+type digest = string
+
+let s11, s12, s13, s14 = (7, 12, 17, 22)
+let s21, s22, s23, s24 = (5, 9, 14, 20)
+let s31, s32, s33, s34 = (4, 11, 16, 23)
+let s41, s42, s43, s44 = (6, 10, 15, 21)
+
+(* Per-round sine-derived constants, RFC 1321 section 3.4. *)
+let k =
+  [|
+    0xd76aa478l; 0xe8c7b756l; 0x242070dbl; 0xc1bdceeel; 0xf57c0fafl;
+    0x4787c62al; 0xa8304613l; 0xfd469501l; 0x698098d8l; 0x8b44f7afl;
+    0xffff5bb1l; 0x895cd7bel; 0x6b901122l; 0xfd987193l; 0xa679438el;
+    0x49b40821l; 0xf61e2562l; 0xc040b340l; 0x265e5a51l; 0xe9b6c7aal;
+    0xd62f105dl; 0x02441453l; 0xd8a1e681l; 0xe7d3fbc8l; 0x21e1cde6l;
+    0xc33707d6l; 0xf4d50d87l; 0x455a14edl; 0xa9e3e905l; 0xfcefa3f8l;
+    0x676f02d9l; 0x8d2a4c8al; 0xfffa3942l; 0x8771f681l; 0x6d9d6122l;
+    0xfde5380cl; 0xa4beea44l; 0x4bdecfa9l; 0xf6bb4b60l; 0xbebfbc70l;
+    0x289b7ec6l; 0xeaa127fal; 0xd4ef3085l; 0x04881d05l; 0xd9d4d039l;
+    0xe6db99e5l; 0x1fa27cf8l; 0xc4ac5665l; 0xf4292244l; 0x432aff97l;
+    0xab9423a7l; 0xfc93a039l; 0x655b59c3l; 0x8f0ccc92l; 0xffeff47dl;
+    0x85845dd1l; 0x6fa87e4fl; 0xfe2ce6e0l; 0xa3014314l; 0x4e0811a1l;
+    0xf7537e82l; 0xbd3af235l; 0x2ad7d2bbl; 0xeb86d391l;
+  |]
+
+let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+module Ctx = struct
+  type t = {
+    mutable a : int32;
+    mutable b : int32;
+    mutable c : int32;
+    mutable d : int32;
+    buffer : Bytes.t; (* 64-byte working block *)
+    mutable buffered : int;
+    mutable total_bytes : int64;
+    mutable finalized : bool;
+  }
+
+  let create () =
+    { a = 0x67452301l; b = 0xefcdab89l; c = 0x98badcfel; d = 0x10325476l;
+      buffer = Bytes.create 64; buffered = 0; total_bytes = 0L;
+      finalized = false }
+
+  let transform t block offset =
+    let x = Array.make 16 0l in
+    for i = 0 to 15 do
+      x.(i) <- Bytes.get_int32_le block (offset + (4 * i))
+    done;
+    let a = ref t.a and b = ref t.b and c = ref t.c and d = ref t.d in
+    let step f a b c d xi s ki =
+      let open Int32 in
+      a := add !b (rotl (add (add (add !a (f !b !c !d)) x.(xi)) k.(ki)) s)
+    in
+    let f b c d = Int32.(logor (logand b c) (logand (lognot b) d)) in
+    let g b c d = Int32.(logor (logand b d) (logand c (lognot d))) in
+    let h b c d = Int32.(logxor b (logxor c d)) in
+    let i_ b c d = Int32.(logxor c (logor b (lognot d))) in
+    (* Explicit unrolled rounds (RFC 1321 appendix A.3). *)
+    step f a b c d 0 s11 0;   step f d a b c 1 s12 1;
+    step f c d a b 2 s13 2;   step f b c d a 3 s14 3;
+    step f a b c d 4 s11 4;   step f d a b c 5 s12 5;
+    step f c d a b 6 s13 6;   step f b c d a 7 s14 7;
+    step f a b c d 8 s11 8;   step f d a b c 9 s12 9;
+    step f c d a b 10 s13 10; step f b c d a 11 s14 11;
+    step f a b c d 12 s11 12; step f d a b c 13 s12 13;
+    step f c d a b 14 s13 14; step f b c d a 15 s14 15;
+    step g a b c d 1 s21 16;  step g d a b c 6 s22 17;
+    step g c d a b 11 s23 18; step g b c d a 0 s24 19;
+    step g a b c d 5 s21 20;  step g d a b c 10 s22 21;
+    step g c d a b 15 s23 22; step g b c d a 4 s24 23;
+    step g a b c d 9 s21 24;  step g d a b c 14 s22 25;
+    step g c d a b 3 s23 26;  step g b c d a 8 s24 27;
+    step g a b c d 13 s21 28; step g d a b c 2 s22 29;
+    step g c d a b 7 s23 30;  step g b c d a 12 s24 31;
+    step h a b c d 5 s31 32;  step h d a b c 8 s32 33;
+    step h c d a b 11 s33 34; step h b c d a 14 s34 35;
+    step h a b c d 1 s31 36;  step h d a b c 4 s32 37;
+    step h c d a b 7 s33 38;  step h b c d a 10 s34 39;
+    step h a b c d 13 s31 40; step h d a b c 0 s32 41;
+    step h c d a b 3 s33 42;  step h b c d a 6 s34 43;
+    step h a b c d 9 s31 44;  step h d a b c 12 s32 45;
+    step h c d a b 15 s33 46; step h b c d a 2 s34 47;
+    step i_ a b c d 0 s41 48; step i_ d a b c 7 s42 49;
+    step i_ c d a b 14 s43 50; step i_ b c d a 5 s44 51;
+    step i_ a b c d 12 s41 52; step i_ d a b c 3 s42 53;
+    step i_ c d a b 10 s43 54; step i_ b c d a 1 s44 55;
+    step i_ a b c d 8 s41 56; step i_ d a b c 15 s42 57;
+    step i_ c d a b 6 s43 58; step i_ b c d a 13 s44 59;
+    step i_ a b c d 4 s41 60; step i_ d a b c 11 s42 61;
+    step i_ c d a b 2 s43 62; step i_ b c d a 9 s44 63;
+    t.a <- Int32.add t.a !a;
+    t.b <- Int32.add t.b !b;
+    t.c <- Int32.add t.c !c;
+    t.d <- Int32.add t.d !d
+
+  let feed t s =
+    if t.finalized then invalid_arg "Md5.Ctx.feed: context finalized";
+    t.total_bytes <- Int64.add t.total_bytes (Int64.of_int (String.length s));
+    let pos = ref 0 in
+    let len = String.length s in
+    (* top up a partial block first *)
+    if t.buffered > 0 then begin
+      let take = min (64 - t.buffered) len in
+      Bytes.blit_string s 0 t.buffer t.buffered take;
+      t.buffered <- t.buffered + take;
+      pos := take;
+      if t.buffered = 64 then begin
+        transform t t.buffer 0;
+        t.buffered <- 0
+      end
+    end;
+    (* whole blocks straight from the input *)
+    let block = Bytes.create 64 in
+    while len - !pos >= 64 do
+      Bytes.blit_string s !pos block 0 64;
+      transform t block 0;
+      pos := !pos + 64
+    done;
+    (* stash the tail *)
+    let tail = len - !pos in
+    if tail > 0 then begin
+      Bytes.blit_string s !pos t.buffer t.buffered tail;
+      t.buffered <- t.buffered + tail
+    end
+
+  let finalize t =
+    if t.finalized then invalid_arg "Md5.Ctx.finalize: already finalized";
+    let bit_length = Int64.mul t.total_bytes 8L in
+    (* pad: 0x80, zeros to 56 mod 64, then the 64-bit little-endian
+       bit count *)
+    let pad_len =
+      let r = (t.buffered + 1) mod 64 in
+      if r <= 56 then 56 - r + 1 else 64 - r + 56 + 1
+    in
+    let padding = Bytes.make pad_len '\000' in
+    Bytes.set padding 0 '\x80';
+    let count = Bytes.create 8 in
+    Bytes.set_int64_le count 0 bit_length;
+    feed t (Bytes.to_string padding);
+    t.total_bytes <- Int64.sub t.total_bytes (Int64.of_int pad_len);
+    feed t (Bytes.to_string count);
+    t.finalized <- true;
+    let out = Bytes.create 16 in
+    Bytes.set_int32_le out 0 t.a;
+    Bytes.set_int32_le out 4 t.b;
+    Bytes.set_int32_le out 8 t.c;
+    Bytes.set_int32_le out 12 t.d;
+    Bytes.to_string out
+end
+
+let digest_string s =
+  let ctx = Ctx.create () in
+  Ctx.feed ctx s;
+  Ctx.finalize ctx
+
+let digest_list parts =
+  let ctx = Ctx.create () in
+  List.iter (Ctx.feed ctx) parts;
+  Ctx.finalize ctx
+
+let to_hex d =
+  let buf = Buffer.create 32 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** MD5 message digest (RFC 1321), vendored.
+
+    SSTP namespace nodes are summarised with "a one-way hash function
+    h (e.g. MD5)" (paper §6.2). No cryptographic library ships in the
+    sealed build environment, so the reference algorithm is
+    implemented here and checked against the RFC's test vectors.
+    MD5 is used for change detection, not security — exactly the
+    paper's usage. *)
+
+type digest = string
+(** 16 raw bytes. *)
+
+val digest_string : string -> digest
+val digest_list : string list -> digest
+(** Digest of the concatenation, without building it. *)
+
+val to_hex : digest -> string
+(** Lowercase hexadecimal rendering, 32 characters. *)
+
+module Ctx : sig
+  (** Streaming interface for digesting without concatenation. *)
+
+  type t
+
+  val create : unit -> t
+  val feed : t -> string -> unit
+  val finalize : t -> digest
+  (** The context must not be fed after finalisation. *)
+end

@@ -1,0 +1,66 @@
+(** The SSTP hierarchical namespace: a hash tree over ADUs (§6.2).
+
+    Leaves hold application payloads; every node carries a fixed-size
+    digest computed recursively with MD5 —
+    [h(leaf) = MD5(payload)] and
+    [h(node) = MD5(name₁ · h(c₁) · … · nameₖ · h(cₖ))] over the
+    children in name order. Digest equality of two trees implies (up
+    to hash collisions) equal contents, so a receiver can find every
+    divergence by descending only into mismatching subtrees — the
+    recursive-descent repair of the announcement protocol.
+
+    Digests are cached and recomputed lazily along the dirty spine, so
+    an update costs O(depth) invalidations and a digest read costs
+    O(changed subtree). *)
+
+type t
+
+val create : unit -> t
+
+val put : t -> path:Path.t -> payload:string -> [ `Inserted | `Updated ]
+(** Create or replace the leaf at [path], creating interior nodes as
+    needed. [Invalid_argument] if [path] is the root or names an
+    existing {e interior} node (interior nodes carry no payload). *)
+
+val remove : t -> path:Path.t -> bool
+(** Delete the node (and its subtree); [false] if absent. Interior
+    nodes left childless are pruned. Removing the root clears the
+    tree. *)
+
+val find : t -> Path.t -> string option
+(** Leaf payload, if [path] names a leaf. *)
+
+val mem : t -> Path.t -> bool
+val is_leaf : t -> Path.t -> bool
+
+val version : t -> Path.t -> int option
+(** Monotone per-leaf update counter (0 on insert). *)
+
+val set_meta : t -> path:Path.t -> string list -> unit
+(** Attach application-level tags (e.g. media type) used by receivers
+    to scope repair interest. [Invalid_argument] if absent. *)
+
+val meta : t -> Path.t -> string list
+
+val digest : t -> Path.t -> Md5.digest option
+val root_digest : t -> Md5.digest
+(** The root summary announced on the cold channel. An empty tree has
+    the digest of the empty string. *)
+
+val children : t -> Path.t -> (string * Md5.digest * [ `Leaf | `Interior ]) list
+(** Name-ordered children with their digests — the "next level
+    signatures" a sender returns for a repair query. Empty for leaves
+    and absent paths. *)
+
+val leaf_count : t -> int
+val node_count : t -> int
+(** Nodes including interior ones, excluding the root. *)
+
+val iter_leaves : t -> (Path.t -> string -> unit) -> unit
+(** In name order. *)
+
+val payload_bits : t -> int
+(** Total payload size, bits — used for bandwidth accounting. *)
+
+val equal : t -> t -> bool
+(** Digest-based comparison of two trees. *)

@@ -1,0 +1,32 @@
+(** Hierarchical ADU names.
+
+    SSTP names application data units with slash-separated paths
+    ("conference/video/frame-7"). A path addresses a node in the
+    namespace tree; the empty path addresses the root. *)
+
+type t = string list
+(** Segments, outermost first. Segments are non-empty and contain no
+    '/'. *)
+
+val root : t
+val of_string : string -> t
+(** ["a/b/c"] → [\["a"; "b"; "c"\]]. Leading/trailing/duplicate
+    slashes are rejected with [Invalid_argument], as are empty
+    segments; ["" ] is the root. *)
+
+val to_string : t -> string
+val is_root : t -> bool
+val child : t -> string -> t
+(** Append a segment (validated). *)
+
+val parent : t -> t option
+(** [None] for the root. *)
+
+val basename : t -> string option
+val depth : t -> int
+val is_prefix : prefix:t -> t -> bool
+(** Whether [prefix] is an ancestor-or-self of the path. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

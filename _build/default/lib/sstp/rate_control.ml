@@ -1,0 +1,50 @@
+module Engine = Softstate_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  mutable rate_bps : float;
+  burst_bits : float;
+  mutable tokens : float;
+  mutable last_fill : float;
+  mutable subscribers : (float -> unit) list; (* reverse order *)
+}
+
+let create engine ~rate_bps ?burst_bits () =
+  if rate_bps <= 0.0 then
+    invalid_arg "Rate_control.create: rate must be positive";
+  let burst_bits = Option.value burst_bits ~default:rate_bps in
+  if burst_bits <= 0.0 then
+    invalid_arg "Rate_control.create: burst must be positive";
+  { engine; rate_bps; burst_bits; tokens = burst_bits;
+    last_fill = Engine.now engine; subscribers = [] }
+
+let refill t =
+  let now = Engine.now t.engine in
+  let dt = now -. t.last_fill in
+  if dt > 0.0 then begin
+    t.tokens <- Float.min t.burst_bits (t.tokens +. (dt *. t.rate_bps));
+    t.last_fill <- now
+  end
+
+let rate_bps t = t.rate_bps
+
+let set_rate t rate =
+  if rate <= 0.0 then invalid_arg "Rate_control.set_rate: rate must be positive";
+  refill t;
+  t.rate_bps <- rate;
+  List.iter (fun f -> f rate) (List.rev t.subscribers)
+
+let on_change t f = t.subscribers <- f :: t.subscribers
+
+let try_consume t ~bits =
+  if bits < 0.0 then invalid_arg "Rate_control.try_consume: negative bits";
+  refill t;
+  if t.tokens >= bits then begin
+    t.tokens <- t.tokens -. bits;
+    true
+  end
+  else false
+
+let available_bits t =
+  refill t;
+  t.tokens

@@ -1,0 +1,46 @@
+(** RTCP-style receiver reports and loss estimation (§6.1).
+
+    The receiver counts data-channel packets by their envelope
+    sequence numbers; every reporting interval it computes the loss
+    fraction over the interval and ships it to the sender, which
+    smooths successive reports with an EWMA. The smoothed estimate
+    drives the profile-driven bandwidth allocator. *)
+
+module Receiver_side : sig
+  type t
+
+  val create : unit -> t
+
+  val on_packet : t -> seq:int -> unit
+  (** Record receipt of data-channel sequence number [seq]. *)
+
+  val interval_loss : t -> float
+  (** Loss fraction since the last {!flush}: 1 − received/expected,
+      where expected is the advance of the highest sequence number.
+      0 when nothing was expected. *)
+
+  val flush : t -> Wire.msg
+  (** Produce a {!Wire.Receiver_report} for the elapsed interval and
+      reset the interval counters. *)
+
+  val total_received : t -> int
+  val highest_seq : t -> int
+  (** −1 before any packet. *)
+end
+
+module Sender_side : sig
+  type t
+
+  val create : ?alpha:float -> unit -> t
+  (** [alpha] is the EWMA gain on successive reports (default 0.25,
+      conservative like RFC 3448-style smoothing). *)
+
+  val on_report : t -> Wire.msg -> unit
+  (** Consume a {!Wire.Receiver_report}; other messages raise
+      [Invalid_argument]. *)
+
+  val loss_estimate : t -> float
+  (** Smoothed loss; 0 before the first report (optimistic start). *)
+
+  val reports_seen : t -> int
+end

@@ -1,0 +1,317 @@
+module Engine = Softstate_sim.Engine
+module Hierarchy = Softstate_sched.Hierarchy
+
+type work =
+  | Send_data of Path.t
+  | Send_signatures of Path.t
+  | Send_remove of Path.t
+
+type config = {
+  summary_period : float;
+  mu_hot_bps : float;
+  mu_cold_bps : float;
+  allocator : Allocator.t option;
+  mu_total_bps : float;
+}
+
+let default_config ~mu_total_bps =
+  { summary_period = 1.0;
+    mu_hot_bps = 0.63 *. mu_total_bps;
+    mu_cold_bps = 0.27 *. mu_total_bps;
+    allocator = None;
+    mu_total_bps }
+
+type klass = {
+  node : Hierarchy.node;
+  queue : work Queue.t;
+  mutable sent : int;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  namespace : Namespace.t;
+  classes : (string, klass) Hashtbl.t;
+  class_of_path : (string, string) Hashtbl.t;
+  pending : (string, unit) Hashtbl.t;
+      (* dedup of queued work, keyed by describe-style tags *)
+  sched : Hierarchy.t;
+  data_node : Hierarchy.node;
+  cold_node : Hierarchy.node;
+  reports : Reports.Sender_side.t;
+  mutable mu_hot : float;
+  mutable mu_cold : float;
+  mutable seq : int;
+  mutable next_summary_due : float;
+  mutable sent_data : int;
+  mutable sent_summaries : int;
+  mutable sent_signatures : int;
+  mutable rate_callbacks : (max_rate_bps:float -> unit) list;
+  mutable published_bits : float; (* for lambda estimation *)
+  mutable lambda_window_start : float;
+  mutable lambda_estimate_bps : float;
+}
+
+let default_class = "default"
+
+let create ~engine ~config () =
+  if config.summary_period <= 0.0 then
+    invalid_arg "Sender.create: summary period must be positive";
+  if config.mu_hot_bps <= 0.0 || config.mu_cold_bps <= 0.0 then
+    invalid_arg "Sender.create: rates must be positive";
+  let sched = Hierarchy.create () in
+  let root = Hierarchy.root sched in
+  let data_node =
+    Hierarchy.add_child sched ~parent:root ~weight:config.mu_hot_bps
+      ~label:"data" ()
+  in
+  let cold_node =
+    Hierarchy.add_child sched ~parent:root ~weight:config.mu_cold_bps
+      ~label:"cold" ()
+  in
+  let classes = Hashtbl.create 8 in
+  Hashtbl.replace classes default_class
+    { node =
+        Hierarchy.add_child sched ~parent:data_node ~weight:1.0
+          ~label:default_class ();
+      queue = Queue.create (); sent = 0 };
+  { engine; config; namespace = Namespace.create (); classes;
+    class_of_path = Hashtbl.create 64; pending = Hashtbl.create 64; sched;
+    data_node; cold_node; reports = Reports.Sender_side.create ();
+    mu_hot = config.mu_hot_bps; mu_cold = config.mu_cold_bps; seq = 0;
+    next_summary_due = Engine.now engine; sent_data = 0; sent_summaries = 0;
+    sent_signatures = 0; rate_callbacks = [];
+    published_bits = 0.0; lambda_window_start = Engine.now engine;
+    lambda_estimate_bps = 0.0 }
+
+let namespace t = t.namespace
+
+let add_class t ~name ~weight =
+  if name = default_class then
+    invalid_arg "Sender.add_class: 'default' is reserved";
+  if Hashtbl.mem t.classes name then
+    invalid_arg "Sender.add_class: class exists";
+  if weight <= 0.0 then invalid_arg "Sender.add_class: weight must be positive";
+  Hashtbl.replace t.classes name
+    { node = Hierarchy.add_child t.sched ~parent:t.data_node ~weight ~label:name ();
+      queue = Queue.create (); sent = 0 }
+
+let find_class t name =
+  match Hashtbl.find_opt t.classes name with
+  | Some k -> k
+  | None -> raise Not_found
+
+let set_class_weight t ~name weight =
+  Hierarchy.set_weight t.sched (find_class t name).node weight
+
+let class_for_path t path =
+  match Hashtbl.find_opt t.class_of_path (Path.to_string path) with
+  | Some name -> (
+      match Hashtbl.find_opt t.classes name with
+      | Some k -> k
+      | None -> Hashtbl.find t.classes default_class)
+  | None -> Hashtbl.find t.classes default_class
+
+let work_tag = function
+  | Send_data p -> "d:" ^ Path.to_string p
+  | Send_signatures p -> "s:" ^ Path.to_string p
+  | Send_remove p -> "r:" ^ Path.to_string p
+
+let enqueue_work t klass work =
+  let tag = work_tag work in
+  if not (Hashtbl.mem t.pending tag) then begin
+    Hashtbl.replace t.pending tag ();
+    Queue.add work klass.queue
+  end
+
+let enqueue_for_path t path work =
+  enqueue_work t (class_for_path t path) work
+
+(* Rolling one-second window estimate of the application's publish
+   rate, used for the allocator's rate-constraint check. *)
+let note_published t bits =
+  let now = Engine.now t.engine in
+  let window = now -. t.lambda_window_start in
+  if window >= 1.0 then begin
+    t.lambda_estimate_bps <- t.published_bits /. window;
+    t.published_bits <- 0.0;
+    t.lambda_window_start <- now
+  end;
+  t.published_bits <- t.published_bits +. bits
+
+let publish t ~path ~payload ?meta ?klass () =
+  (match klass with
+  | Some name ->
+      ignore (find_class t name);
+      Hashtbl.replace t.class_of_path (Path.to_string path) name
+  | None -> ());
+  ignore (Namespace.put t.namespace ~path ~payload);
+  (match meta with
+  | Some m -> Namespace.set_meta t.namespace ~path m
+  | None -> ());
+  note_published t (float_of_int (8 * String.length payload));
+  enqueue_for_path t path (Send_data path)
+
+let remove t ~path =
+  if Namespace.remove t.namespace ~path then
+    enqueue_for_path t path (Send_remove path);
+  Hashtbl.remove t.class_of_path (Path.to_string path)
+
+let on_rate_constraint t f = t.rate_callbacks <- f :: t.rate_callbacks
+
+let next_envelope t ~now msg =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  { Wire.seq; sent_at = now; msg }
+
+(* Materialise a queued work item against the *current* namespace:
+   a Data send always carries the latest version, and work whose
+   subject vanished degrades to a Remove (the receiver must not be
+   left with a ghost). *)
+let rec materialise t klass ~now =
+  match Queue.take_opt klass.queue with
+  | None -> None
+  | Some work -> (
+      Hashtbl.remove t.pending (work_tag work);
+      match work with
+      | Send_data path -> (
+          match Namespace.find t.namespace path with
+          | Some payload ->
+              let version =
+                Option.value ~default:0 (Namespace.version t.namespace path)
+              in
+              t.sent_data <- t.sent_data + 1;
+              Some
+                (next_envelope t ~now
+                   (Wire.Data
+                      { path = Path.to_string path; version; payload;
+                        meta = Namespace.meta t.namespace path }))
+          | None ->
+              t.sent_data <- t.sent_data + 1;
+              Some
+                (next_envelope t ~now
+                   (Wire.Remove { path = Path.to_string path })))
+      | Send_remove path ->
+          Some
+            (next_envelope t ~now (Wire.Remove { path = Path.to_string path }))
+      | Send_signatures path -> (
+          match Namespace.children t.namespace path with
+          | [] ->
+              if Namespace.is_leaf t.namespace path then begin
+                (* Query hit a leaf: answer with the data itself. *)
+                Queue.push (Send_data path) klass.queue;
+                materialise t klass ~now
+              end
+              else
+                Some
+                  (next_envelope t ~now
+                     (Wire.Remove { path = Path.to_string path }))
+          | children ->
+              let children =
+                List.map
+                  (fun (name, digest, kind) ->
+                    { Wire.name; digest;
+                      kind =
+                        (match kind with
+                        | `Leaf -> Wire.Leaf
+                        | `Interior -> Wire.Interior);
+                      meta =
+                        Namespace.meta t.namespace (Path.child path name) })
+                  children
+              in
+              t.sent_signatures <- t.sent_signatures + 1;
+              Some
+                (next_envelope t ~now
+                   (Wire.Signatures { path = Path.to_string path; children }))))
+
+let summary_due t ~now = now >= t.next_summary_due
+
+let make_summary t ~now =
+  t.next_summary_due <- now +. t.config.summary_period;
+  t.sent_summaries <- t.sent_summaries + 1;
+  next_envelope t ~now
+    (Wire.Summary
+       { root_digest = Namespace.root_digest t.namespace;
+         leaf_count = Namespace.leaf_count t.namespace })
+
+let node_to_class t node =
+  let found = ref None in
+  Hashtbl.iter
+    (fun _ k -> if k.node = node then found := Some k)
+    t.classes;
+  !found
+
+let refresh_backlog t ~now =
+  Hashtbl.iter
+    (fun _ k ->
+      Hierarchy.set_backlogged t.sched k.node (not (Queue.is_empty k.queue)))
+    t.classes;
+  Hierarchy.set_backlogged t.sched t.cold_node (summary_due t ~now)
+
+let rec fetch t ~now =
+  refresh_backlog t ~now;
+  match Hierarchy.select t.sched with
+  | None -> None
+  | Some leaf when leaf = t.cold_node ->
+      let env = make_summary t ~now in
+      Hierarchy.charge t.sched leaf (float_of_int (Wire.size_bits env));
+      Some env
+  | Some leaf -> (
+      match node_to_class t leaf with
+      | None -> None (* unreachable: every data leaf is a class *)
+      | Some klass -> (
+          match materialise t klass ~now with
+          | Some env ->
+              klass.sent <- klass.sent + 1;
+              Hierarchy.charge t.sched leaf
+                (float_of_int (Wire.size_bits env));
+              Some env
+          | None ->
+              (* the class queue drained to nothing concrete (stale
+                 work); its backlog flag is now wrong - re-select *)
+              fetch t ~now))
+
+let wants_kick_at t = Some t.next_summary_due
+
+let retune t =
+  match t.config.allocator with
+  | None -> ()
+  | Some allocator ->
+      let loss = Reports.Sender_side.loss_estimate t.reports in
+      let decision =
+        Allocator.decide allocator ~mu_total_bps:t.config.mu_total_bps ~loss
+          ~lambda_bps:t.lambda_estimate_bps
+      in
+      t.mu_hot <- decision.Allocator.mu_hot_bps;
+      t.mu_cold <- decision.Allocator.mu_cold_bps;
+      Hierarchy.set_weight t.sched t.data_node (Float.max 1.0 t.mu_hot);
+      Hierarchy.set_weight t.sched t.cold_node (Float.max 1.0 t.mu_cold);
+      if decision.Allocator.rate_constrained then
+        List.iter
+          (fun f -> f ~max_rate_bps:decision.Allocator.max_app_rate_bps)
+          (List.rev t.rate_callbacks)
+
+let handle_feedback t ~now:_ msg =
+  match msg with
+  | Wire.Sig_request { path } ->
+      let path = Path.of_string path in
+      enqueue_for_path t path (Send_signatures path)
+  | Wire.Nack { path } ->
+      let path = Path.of_string path in
+      enqueue_for_path t path (Send_data path)
+  | Wire.Receiver_report _ ->
+      Reports.Sender_side.on_report t.reports msg;
+      retune t
+  | Wire.Data _ | Wire.Summary _ | Wire.Signatures _ | Wire.Remove _ ->
+      invalid_arg "Sender.handle_feedback: not a feedback message"
+
+let hot_backlog t =
+  Hashtbl.fold (fun _ k acc -> acc + Queue.length k.queue) t.classes 0
+
+let class_sent t ~name = (find_class t name).sent
+let class_backlog t ~name = Queue.length (find_class t name).queue
+let sent_data t = t.sent_data
+let sent_summaries t = t.sent_summaries
+let sent_signatures t = t.sent_signatures
+let loss_estimate t = Reports.Sender_side.loss_estimate t.reports
+let current_split t = (t.mu_hot, t.mu_cold)

@@ -1,0 +1,95 @@
+(** SSTP sender state machine (§6).
+
+    Owns the authoritative namespace. Transmits original data and
+    repair responses from per-class foreground queues, announces the
+    root summary cold on a fixed period, and consumes receiver reports
+    to retune its bandwidth split through the allocator.
+
+    Bandwidth is managed by a two-level hierarchical scheduler
+    (§6.1, Figure 12): the root splits between the {e data} class and
+    the {e cold} summary class; within data, the application can
+    register its own classes ("audio", "control", ...) with relative
+    weights and direct every published ADU to one of them —
+    application-controlled bandwidth allocation. ADUs published
+    without a class use the default class.
+
+    The transport pulls work with {!fetch}; feedback messages are
+    pushed in with {!handle_feedback}. *)
+
+type t
+
+type config = {
+  summary_period : float;   (** seconds between cold root summaries *)
+  mu_hot_bps : float;       (** initial data (foreground) weight *)
+  mu_cold_bps : float;      (** initial cold (summary) weight *)
+  allocator : Allocator.t option;
+      (** when present, receiver reports retune the weights *)
+  mu_total_bps : float;     (** session bandwidth for the allocator *)
+}
+
+val default_config : mu_total_bps:float -> config
+(** 70/30 data/cold split of 90% of the session bandwidth, 1 s summary
+    period, no allocator. *)
+
+val create :
+  engine:Softstate_sim.Engine.t -> config:config -> unit -> t
+
+(** {1 Application interface} *)
+
+val add_class : t -> name:string -> weight:float -> unit
+(** Register an application data class with a relative weight among
+    the data classes. [Invalid_argument] if the name exists or is
+    ["default"]. *)
+
+val set_class_weight : t -> name:string -> float -> unit
+(** Re-weight a class (the application reflecting changed priorities
+    into the protocol, §6.1). Raises [Not_found] on unknown names. *)
+
+val publish :
+  t -> path:Path.t -> payload:string -> ?meta:string list ->
+  ?klass:string -> unit -> unit
+(** Insert or update an ADU; queues a foreground {!Wire.Data} in the
+    named class (default class if omitted; unknown class names raise
+    [Not_found]). The path remembers its class: repairs for it are
+    served from the same class's bandwidth. *)
+
+val remove : t -> path:Path.t -> unit
+(** Withdraw a subtree; queues a hot {!Wire.Remove}. *)
+
+val namespace : t -> Namespace.t
+
+val on_rate_constraint : t -> (max_rate_bps:float -> unit) -> unit
+(** Called when the allocator detects the application publishing
+    faster than the hot bandwidth can absorb (§6.1's notification).
+    Requires an allocator. *)
+
+(** {1 Transport interface} *)
+
+val fetch : t -> now:float -> Wire.envelope option
+(** Next envelope to transmit, chosen by the hierarchical scheduler;
+    [None] when nothing is due. *)
+
+val handle_feedback : t -> now:float -> Wire.msg -> unit
+(** Process a receiver-originated message. *)
+
+val wants_kick_at : t -> float option
+(** Next time cold work becomes due (summary timer), so the transport
+    can re-poll after idling. *)
+
+(** {1 Introspection} *)
+
+val hot_backlog : t -> int
+(** Queued foreground work across all classes. *)
+
+val class_sent : t -> name:string -> int
+(** Envelopes transmitted from the named class so far. *)
+
+val class_backlog : t -> name:string -> int
+(** Work items queued in the named class. *)
+
+val sent_data : t -> int
+val sent_summaries : t -> int
+val sent_signatures : t -> int
+val loss_estimate : t -> float
+val current_split : t -> float * float
+(** (data, cold) weights in force. *)

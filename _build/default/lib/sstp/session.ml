@@ -1,0 +1,199 @@
+module Engine = Softstate_sim.Engine
+module Net = Softstate_net
+module Rng = Softstate_util.Rng
+module Stats = Softstate_util.Stats
+
+type reliability =
+  | Announce_only
+  | Target of float
+  | Manual of { mu_hot_bps : float; mu_cold_bps : float; mu_fb_bps : float }
+
+type config = {
+  mu_total_bps : float;
+  loss : Net.Loss.t;
+  fb_loss : Net.Loss.t;
+  delay : float;
+  reliability : reliability;
+  summary_period : float;
+  repair_timeout : float;
+  report_period : float;
+  profile : Profile.t option;
+}
+
+let default_config ~mu_total_bps =
+  { mu_total_bps;
+    loss = Net.Loss.never;
+    fb_loss = Net.Loss.never;
+    delay = 0.0;
+    reliability =
+      Manual
+        { mu_hot_bps = 0.60 *. mu_total_bps;
+          mu_cold_bps = 0.25 *. mu_total_bps;
+          mu_fb_bps = 0.15 *. mu_total_bps };
+    summary_period = 1.0;
+    repair_timeout = 2.0;
+    report_period = 5.0;
+    profile = None }
+
+type t = {
+  engine : Engine.t;
+  sender : Sender.t;
+  receiver : Receiver.t;
+  link : Wire.envelope Net.Link.t;
+  fb_pipe : Wire.msg Net.Pipe.t option;
+  tracker : Stats.Timeweighted.t;
+  mutable tracking : bool;
+}
+
+let splits config =
+  match config.reliability with
+  | Manual { mu_hot_bps; mu_cold_bps; mu_fb_bps } ->
+      (mu_hot_bps, mu_cold_bps, mu_fb_bps, None)
+  | Announce_only ->
+      (0.7 *. config.mu_total_bps, 0.3 *. config.mu_total_bps, 0.0, None)
+  | Target target ->
+      let profile =
+        match config.profile with
+        | Some p -> p
+        | None ->
+            Profile.analytic_open_loop
+              ~lambda_kbps:(0.3 *. config.mu_total_bps /. 1000.0)
+              ~mu_total_kbps:(config.mu_total_bps /. 1000.0)
+              ~p_death:0.2
+      in
+      let allocator =
+        Allocator.create ~profile ~target_consistency:target ()
+      in
+      let d =
+        Allocator.decide allocator ~mu_total_bps:config.mu_total_bps ~loss:0.0
+          ~lambda_bps:(0.2 *. config.mu_total_bps)
+      in
+      ( Float.max 1.0 d.Allocator.mu_hot_bps,
+        Float.max 1.0 d.Allocator.mu_cold_bps,
+        Float.max 1.0 d.Allocator.mu_fb_bps,
+        Some allocator )
+
+let create ~engine ~rng ~config () =
+  if config.mu_total_bps <= 0.0 then
+    invalid_arg "Session.create: bandwidth must be positive";
+  let mu_hot, mu_cold, mu_fb, allocator = splits config in
+  let sender_config =
+    { Sender.summary_period = config.summary_period;
+      mu_hot_bps = mu_hot;
+      mu_cold_bps = mu_cold;
+      allocator;
+      mu_total_bps = config.mu_total_bps }
+  in
+  let sender = Sender.create ~engine ~config:sender_config () in
+  let link_rng = Rng.split rng in
+  let fb_rng = Rng.split rng in
+  (* Forward references broken with a ref cell: the receiver's
+     feedback closure targets the pipe, the pipe's deliver targets the
+     sender, the link's fetch targets the sender and its deliver the
+     receiver. *)
+  let pipe_cell = ref None in
+  let send_feedback msg =
+    match !pipe_cell with
+    | Some pipe ->
+        ignore
+          (Net.Pipe.send pipe
+             (Net.Packet.make
+                ~size_bits:
+                  (Wire.size_bits { Wire.seq = 0; sent_at = 0.0; msg })
+                msg))
+    | None -> ()
+  in
+  let receiver_config =
+    { Receiver.repair_timeout = config.repair_timeout;
+      report_period = config.report_period;
+      max_repair_retries = 32 }
+  in
+  let receiver =
+    Receiver.create ~engine ~config:receiver_config ~send_feedback ()
+  in
+  let fetch () =
+    match Sender.fetch sender ~now:(Engine.now engine) with
+    | Some env -> Some (Net.Packet.make ~size_bits:(Wire.size_bits env) env)
+    | None -> None
+  in
+  let data_link =
+    Net.Link.create engine
+      ~rate_bps:(mu_hot +. mu_cold)
+      ~delay:config.delay ~loss:config.loss ~rng:link_rng ~fetch
+      ~deliver:(fun ~now env -> Receiver.handle receiver ~now env)
+      ()
+  in
+  let fb_pipe =
+    if mu_fb > 0.0 then
+      Some
+        (Net.Pipe.create engine ~rate_bps:mu_fb ~delay:config.delay
+           ~loss:config.fb_loss ~rng:fb_rng
+           ~deliver:(fun ~now msg -> Sender.handle_feedback sender ~now msg)
+           ())
+    else None
+  in
+  pipe_cell := fb_pipe;
+  (* The cold summary timer must re-kick the link when it idles. *)
+  let (_ : unit -> bool) =
+    Engine.every engine ~period:config.summary_period (fun _ ->
+        Net.Link.kick data_link)
+  in
+  { engine; sender; receiver; link = data_link; fb_pipe;
+    tracker = Stats.Timeweighted.create ~start:(Engine.now engine) ();
+    tracking = false }
+
+let sender t = t.sender
+let receiver t = t.receiver
+
+let kick t = Net.Link.kick t.link
+
+let publish t ~path ~payload =
+  Sender.publish t.sender ~path:(Path.of_string path) ~payload ();
+  kick t
+
+let remove t ~path =
+  Sender.remove t.sender ~path:(Path.of_string path);
+  kick t
+
+let consistency t =
+  let sender_ns = Sender.namespace t.sender in
+  let receiver_ns = Receiver.namespace t.receiver in
+  let total = ref 0 and matching = ref 0 in
+  Namespace.iter_leaves sender_ns (fun path _payload ->
+      incr total;
+      match
+        ( Namespace.digest sender_ns path,
+          Namespace.digest receiver_ns path )
+      with
+      | Some a, Some b when String.equal a b -> incr matching
+      | _ -> ());
+  if !total = 0 then 1.0 else float_of_int !matching /. float_of_int !total
+
+let converged t =
+  String.equal
+    (Namespace.root_digest (Sender.namespace t.sender))
+    (Namespace.root_digest (Receiver.namespace t.receiver))
+
+let track_consistency t ~period =
+  if not t.tracking then begin
+    t.tracking <- true;
+    let (_ : unit -> bool) =
+      Engine.every t.engine ~period (fun engine ->
+          Stats.Timeweighted.update t.tracker ~now:(Engine.now engine)
+            ~value:(consistency t))
+    in
+    ()
+  end
+
+let average_consistency t =
+  Stats.Timeweighted.average t.tracker ~now:(Engine.now t.engine)
+
+let data_packets t = (Net.Link.stats t.link).Net.Link.Stats.delivered
+
+let link_utilisation t =
+  Net.Link.utilisation t.link ~now:(Engine.now t.engine)
+
+let feedback_packets t =
+  match t.fb_pipe with
+  | Some pipe -> (Net.Pipe.link_stats pipe).Net.Link.Stats.delivered
+  | None -> 0

@@ -1,0 +1,1 @@
+lib/trace/generators.ml: Array Char List Printf Softstate_util String Trace_event

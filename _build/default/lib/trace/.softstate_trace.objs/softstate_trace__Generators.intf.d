@@ -1,0 +1,1 @@
+lib/trace/generators.mli: Softstate_util Trace_event

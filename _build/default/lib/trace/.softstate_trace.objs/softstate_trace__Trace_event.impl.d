@@ -1,0 +1,1 @@
+lib/trace/trace_event.ml: List Softstate_sim

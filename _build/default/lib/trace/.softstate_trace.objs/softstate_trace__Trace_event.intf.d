@@ -1,0 +1,1 @@
+lib/trace/trace_event.mli: Softstate_sim

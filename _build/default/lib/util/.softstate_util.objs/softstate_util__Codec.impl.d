@@ -1,0 +1,1 @@
+lib/util/codec.ml: Buffer Char Int32 Int64 String

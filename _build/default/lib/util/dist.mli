@@ -1,0 +1,47 @@
+(** Random variate generation on top of {!Rng}.
+
+    Each sampler takes the generator explicitly; none keeps hidden
+    state, so samplers compose freely and remain reproducible. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** [uniform g ~lo ~hi] draws uniformly in [\[lo, hi)]. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** [exponential g ~rate] draws from Exp(rate) by inversion; mean is
+    [1 /. rate]. [rate] must be positive. *)
+
+val geometric : Rng.t -> p:float -> int
+(** [geometric g ~p] is the number of Bernoulli(p) trials up to and
+    including the first success (support 1, 2, ...). [p] in (0, 1]. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** [poisson g ~mean] draws a Poisson variate. Knuth multiplication
+    for small means, normal approximation with continuity correction
+    beyond [mean > 60]. *)
+
+val pareto : Rng.t -> shape:float -> scale:float -> float
+(** [pareto g ~shape ~scale] draws from a Pareto distribution with
+    minimum [scale] and tail index [shape] (both positive). *)
+
+val normal : Rng.t -> mean:float -> std:float -> float
+(** [normal g ~mean ~std] draws a Gaussian by Box–Muller. *)
+
+val zipf : Rng.t -> n:int -> s:float -> int
+(** [zipf g ~n ~s] draws a rank in [\[1, n\]] with probability
+    proportional to [1 /. rank ** s], by inversion over the
+    precomputed partial sums (cost O(log n) after an O(n) table built
+    per call set — see {!Zipf_table} for the amortised variant). *)
+
+module Zipf_table : sig
+  type t
+
+  val create : n:int -> s:float -> t
+  (** Precompute the CDF table once; [draw] is then O(log n). *)
+
+  val draw : t -> Rng.t -> int
+end
+
+val categorical : Rng.t -> float array -> int
+(** [categorical g weights] draws index [i] with probability
+    [weights.(i) /. sum]. Weights must be non-negative with a positive
+    sum. *)

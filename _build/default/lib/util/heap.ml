@@ -1,0 +1,121 @@
+(* Each slot stores the key, a monotonically increasing sequence number
+   (FIFO tie-break), the payload, and the handle record for that
+   element. The handle stores the element's current array index so that
+   removal by handle is O(log n); sift operations keep it in sync. *)
+
+type handle = { mutable index : int } (* -1 when no longer in the heap *)
+
+type 'a slot = {
+  key : float;
+  seq : int;
+  value : 'a;
+  handle : handle;
+}
+
+type 'a t = {
+  mutable slots : 'a slot option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(initial_capacity = 64) () =
+  { slots = Array.make (max 1 initial_capacity) None; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let slot t i =
+  match t.slots.(i) with
+  | Some s -> s
+  | None -> assert false
+
+let precedes a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let set t i s =
+  t.slots.(i) <- Some s;
+  s.handle.index <- i
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let si = slot t i and sp = slot t parent in
+    if precedes si sp then begin
+      set t parent si;
+      set t i sp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && precedes (slot t left) (slot t !smallest) then
+    smallest := left;
+  if right < t.size && precedes (slot t right) (slot t !smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let si = slot t i and ss = slot t !smallest in
+    set t !smallest si;
+    set t i ss;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let slots = Array.make (2 * Array.length t.slots) None in
+  Array.blit t.slots 0 slots 0 t.size;
+  t.slots <- slots
+
+let insert t ~key value =
+  if t.size = Array.length t.slots then grow t;
+  let handle = { index = t.size } in
+  let s = { key; seq = t.next_seq; value; handle } in
+  t.next_seq <- t.next_seq + 1;
+  t.slots.(t.size) <- Some s;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  handle
+
+let min_key t = if t.size = 0 then None else Some (slot t 0).key
+
+let remove_at t i =
+  let removed = slot t i in
+  removed.handle.index <- -1;
+  t.size <- t.size - 1;
+  if i <> t.size then begin
+    let last = slot t t.size in
+    set t i last;
+    t.slots.(t.size) <- None;
+    (* The displaced element may need to move either direction. *)
+    sift_up t i;
+    sift_down t i
+  end
+  else t.slots.(t.size) <- None;
+  removed
+
+let pop t =
+  if t.size = 0 then None
+  else
+    let s = remove_at t 0 in
+    Some (s.key, s.value)
+
+let mem _t h = h.index >= 0
+
+let remove t h =
+  if h.index < 0 then false
+  else begin
+    ignore (remove_at t h.index);
+    true
+  end
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    (slot t i).handle.index <- -1;
+    t.slots.(i) <- None
+  done;
+  t.size <- 0
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    let s = slot t i in
+    f s.key s.value
+  done

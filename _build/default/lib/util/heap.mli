@@ -1,0 +1,40 @@
+(** Array-backed binary min-heap with O(log n) removal of arbitrary
+    elements via handles.
+
+    The simulation event calendar needs three operations fast:
+    insert, extract-min, and cancel (remove an event that has not yet
+    fired). A handle is returned at insertion and stays valid until
+    the element leaves the heap. *)
+
+type 'a t
+(** Heap of elements prioritised by a float key (smallest first); ties
+    broken by insertion order, so equal-key elements dequeue FIFO. *)
+
+type handle
+(** Stable reference to an inserted element. *)
+
+val create : ?initial_capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> key:float -> 'a -> handle
+(** [insert t ~key v] adds [v] with priority [key]. *)
+
+val min_key : 'a t -> float option
+(** Smallest key, or [None] when empty. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum (key, value). *)
+
+val remove : 'a t -> handle -> bool
+(** [remove t h] deletes the element referenced by [h]; [false] if it
+    already left the heap (popped or removed). O(log n). *)
+
+val mem : 'a t -> handle -> bool
+(** Whether the handle still refers to a live element. *)
+
+val clear : 'a t -> unit
+
+val iter : 'a t -> (float -> 'a -> unit) -> unit
+(** Iterate over the live elements in unspecified order. *)

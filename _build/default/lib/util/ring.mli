@@ -1,0 +1,31 @@
+(** Bounded FIFO ring buffer.
+
+    Backs the finite transmission queues of {!module:Softstate_net}
+    links: constant-time push/pop and an explicit notion of overflow
+    so drop-tail behaviour is a policy of the caller, not the
+    container. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty ring holding at most [capacity]
+    elements; [capacity] must be positive. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push t x] enqueues at the tail; [false] (and no change) if full. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue from the head. *)
+
+val peek : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Head-to-tail iteration. *)
+
+val to_list : 'a t -> 'a list
+val clear : 'a t -> unit

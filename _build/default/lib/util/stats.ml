@@ -1,0 +1,176 @@
+module Welford = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let std t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+
+  let confidence95 t =
+    if t.n < 2 then 0.0 else 1.96 *. std t /. sqrt (float_of_int t.n)
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n
+            /. float_of_int n)
+      in
+      { n; mean; m2; min = Float.min a.min b.min; max = Float.max a.max b.max }
+    end
+end
+
+module Timeweighted = struct
+  type t = {
+    mutable start : float;
+    mutable last_time : float;
+    mutable last_value : float;
+    mutable integral : float;
+    mutable started : bool;
+  }
+
+  let create ?(start = 0.0) () =
+    { start; last_time = start; last_value = 0.0; integral = 0.0;
+      started = false }
+
+  let update t ~now ~value =
+    if t.started && now < t.last_time then
+      invalid_arg "Timeweighted.update: time reversed";
+    if t.started then
+      t.integral <- t.integral +. (t.last_value *. (now -. t.last_time))
+    else begin
+      (* The observation window opens at the first update; integrating
+         an assumed zero before it would bias short runs. *)
+      t.started <- true;
+      t.start <- now
+    end;
+    t.last_time <- now;
+    t.last_value <- value
+
+  let elapsed t ~now = now -. t.start
+
+  let average t ~now =
+    if not t.started then nan
+    else
+      let span = now -. t.start in
+      if span <= 0.0 then t.last_value
+      else (t.integral +. (t.last_value *. (now -. t.last_time))) /. span
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    width : float;
+    counts : int array;
+    mutable underflow : int;
+    mutable overflow : int;
+    mutable total : int;
+    sum : Welford.t;
+  }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+    if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+    { lo; hi; width = (hi -. lo) /. float_of_int bins;
+      counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0;
+      sum = Welford.create () }
+
+  let add t x =
+    t.total <- t.total + 1;
+    Welford.add t.sum x;
+    if x < t.lo then t.underflow <- t.underflow + 1
+    else if x >= t.hi then t.overflow <- t.overflow + 1
+    else begin
+      let i = int_of_float ((x -. t.lo) /. t.width) in
+      let i = Stdlib.min i (Array.length t.counts - 1) in
+      t.counts.(i) <- t.counts.(i) + 1
+    end
+
+  let count t = t.total
+  let bin_count t i = t.counts.(i)
+  let underflow t = t.underflow
+  let overflow t = t.overflow
+  let mean t = Welford.mean t.sum
+
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q in [0,1]";
+    let in_range = t.total - t.underflow - t.overflow in
+    if in_range <= 0 then invalid_arg "Histogram.quantile: no in-range sample";
+    let target = q *. float_of_int in_range in
+    let rec walk i acc =
+      if i >= Array.length t.counts then t.hi
+      else
+        let acc' = acc +. float_of_int t.counts.(i) in
+        if acc' >= target && t.counts.(i) > 0 then
+          let frac =
+            if t.counts.(i) = 0 then 0.0
+            else (target -. acc) /. float_of_int t.counts.(i)
+          in
+          t.lo +. ((float_of_int i +. Float.max 0.0 frac) *. t.width)
+        else walk (i + 1) acc'
+    in
+    walk 0 0.0
+end
+
+module Series = struct
+  type t = {
+    capacity : int;
+    mutable stride : int;
+    mutable seen : int;
+    mutable points : (float * float) list; (* newest first *)
+    mutable length : int;
+  }
+
+  let create ?(capacity = 4096) () =
+    if capacity < 2 then invalid_arg "Series.create: capacity too small";
+    { capacity; stride = 1; seen = 0; points = []; length = 0 }
+
+  let thin t =
+    (* Keep every second retained point (oldest-preserving), doubling
+       the effective stride. *)
+    let rec keep_alternate keep = function
+      | [] -> []
+      | p :: rest ->
+          if keep then p :: keep_alternate false rest
+          else keep_alternate true rest
+    in
+    t.points <- keep_alternate true t.points;
+    t.length <- List.length t.points;
+    t.stride <- t.stride * 2
+
+  let add t ~time ~value =
+    if t.seen mod t.stride = 0 then begin
+      t.points <- (time, value) :: t.points;
+      t.length <- t.length + 1;
+      if t.length > t.capacity then thin t
+    end;
+    t.seen <- t.seen + 1
+
+  let to_list t = List.rev t.points
+  let length t = t.length
+end

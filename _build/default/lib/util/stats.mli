@@ -1,0 +1,86 @@
+(** Online statistics used by the consistency and latency trackers.
+
+    All accumulators are single-pass and O(1) memory unless stated
+    otherwise, so they can run inside long simulations without
+    retaining per-sample data. *)
+
+module Welford : sig
+  (** Numerically stable running mean / variance (Welford 1962). *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** Mean of the samples so far; [nan] if no sample was added. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [0.] with fewer than two samples. *)
+
+  val std : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val confidence95 : t -> float
+  (** Half-width of the normal-approximation 95% confidence interval
+      of the mean ([1.96 σ/√n]); [0.] with fewer than two samples. *)
+
+  val merge : t -> t -> t
+  (** Combine two accumulators as if all samples were seen by one. *)
+end
+
+module Timeweighted : sig
+  (** Time-weighted average of a piecewise-constant signal, e.g. the
+      instantaneous consistency c(t) between simulation events. *)
+
+  type t
+
+  val create : ?start:float -> unit -> t
+  val update : t -> now:float -> value:float -> unit
+  (** [update t ~now ~value] records that the signal holds [value]
+      from [now] onwards; the previous value is integrated over
+      [now - last_update]. Calls must have non-decreasing [now]. *)
+
+  val average : t -> now:float -> float
+  (** Time average over [\[start, now\]], integrating the current
+      value up to [now]. [nan] before the first update. *)
+
+  val elapsed : t -> now:float -> float
+end
+
+module Histogram : sig
+  (** Fixed-width binned histogram with under/overflow bins. *)
+
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val bin_count : t -> int -> int
+  (** Count in bin [i] of [bins]; raises [Invalid_argument] out of
+      range. Underflow and overflow are reported separately. *)
+
+  val underflow : t -> int
+  val overflow : t -> int
+
+  val quantile : t -> float -> float
+  (** [quantile t q] approximates the [q]-quantile ([0 ≤ q ≤ 1]) by
+      linear interpolation within the containing bin. Requires at
+      least one in-range sample. *)
+
+  val mean : t -> float
+end
+
+module Series : sig
+  (** Bounded reservoir of (time, value) points for plotting
+      time-series such as Figure 8. Keeps every k-th point once the
+      capacity is exceeded (systematic thinning, preserving shape). *)
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val add : t -> time:float -> value:float -> unit
+  val to_list : t -> (float * float) list
+  val length : t -> int
+end

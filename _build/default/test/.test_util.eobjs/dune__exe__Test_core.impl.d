@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Hashtbl List Printf Softstate_core Softstate_queueing Softstate_sched Softstate_sim Softstate_util

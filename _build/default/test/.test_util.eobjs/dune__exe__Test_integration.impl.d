@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Printf Softstate_net Softstate_sim Softstate_trace Softstate_util Sstp String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Queue Softstate_net Softstate_sim Softstate_util String

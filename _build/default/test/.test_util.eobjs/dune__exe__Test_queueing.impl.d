@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Array List Queue Softstate_queueing Softstate_sim Softstate_util

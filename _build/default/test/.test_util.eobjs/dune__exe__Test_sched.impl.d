@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Gen Hashtbl List Option Printf QCheck QCheck_alcotest Softstate_sched Softstate_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Softstate_sim Softstate_util

@@ -1,0 +1,1 @@
+test/test_sstp.ml: Alcotest Array Char Filename Fun Gen List Map Printf QCheck QCheck_alcotest Softstate_net Softstate_sim Softstate_util Sstp String Sys

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Hashtbl List Option Printf Softstate_sim Softstate_trace Softstate_util String

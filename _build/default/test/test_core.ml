@@ -1,0 +1,738 @@
+(* Tests for the soft-state core: data model, consistency metric,
+   protocol variants, and agreement with the analytic model. *)
+
+module Engine = Softstate_sim.Engine
+module Rng = Softstate_util.Rng
+module Core = Softstate_core
+module Record = Core.Record
+module Table = Core.Table
+module Consistency = Core.Consistency
+module Workload = Core.Workload
+module Base = Core.Base
+module Experiment = Core.Experiment
+module Q = Softstate_queueing.Open_loop
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Record / Table *)
+
+let test_record_touch () =
+  let r = Record.make ~key:1 ~now:10.0 ~size_bits:100 in
+  Alcotest.(check int) "version 0" 0 r.Record.version;
+  Alcotest.(check (float 0.0)) "born" 10.0 r.Record.born;
+  Record.touch r ~now:20.0;
+  Alcotest.(check int) "version 1" 1 r.Record.version;
+  Alcotest.(check (float 0.0)) "born moves" 20.0 r.Record.born;
+  Alcotest.(check (float 0.0)) "created stays" 10.0 r.Record.created
+
+let test_table_insert_remove () =
+  let t = Table.create () in
+  let r = Record.make ~key:5 ~now:0.0 ~size_bits:10 in
+  Table.insert t r;
+  Alcotest.(check int) "live" 1 (Table.live_count t);
+  Alcotest.(check bool) "mem" true (Table.mem t 5);
+  Alcotest.check_raises "duplicate key"
+    (Invalid_argument "Table.insert: key already live") (fun () ->
+      Table.insert t (Record.make ~key:5 ~now:0.0 ~size_bits:10));
+  (match Table.remove t 5 with
+  | Some r' -> Alcotest.(check int) "same record" r.Record.key r'.Record.key
+  | None -> Alcotest.fail "remove failed");
+  Alcotest.(check int) "empty" 0 (Table.live_count t);
+  Alcotest.(check bool) "remove absent" true (Table.remove t 5 = None)
+
+let test_table_random_key () =
+  let t = Table.create () in
+  let g = Rng.create 1 in
+  Alcotest.(check bool) "empty none" true (Table.random_key t g = None);
+  for k = 0 to 9 do
+    Table.insert t (Record.make ~key:k ~now:0.0 ~size_bits:10)
+  done;
+  let seen = Hashtbl.create 10 in
+  for _ = 1 to 1000 do
+    match Table.random_key t g with
+    | Some k -> Hashtbl.replace seen k ()
+    | None -> Alcotest.fail "no key"
+  done;
+  Alcotest.(check int) "all keys reachable" 10 (Hashtbl.length seen)
+
+(* ------------------------------------------------------------------ *)
+(* Consistency tracker *)
+
+let test_tracker_counts () =
+  let t = Consistency.create ~now:0.0 () in
+  Consistency.on_birth t ~now:1.0;
+  Consistency.on_birth t ~now:1.0;
+  Alcotest.(check int) "live 2" 2 (Consistency.live t);
+  Alcotest.(check (float 0.0)) "c=0 live unmatched" 0.0
+    (Consistency.instantaneous t);
+  Consistency.on_match t ~now:2.0;
+  check_close 1e-9 "c=1/2" 0.5 (Consistency.instantaneous t);
+  Consistency.on_death t ~now:3.0 ~matching:0;
+  check_close 1e-9 "c=1 after unmatched death" 1.0 (Consistency.instantaneous t);
+  Consistency.on_death t ~now:4.0 ~matching:1;
+  Alcotest.(check int) "live 0" 0 (Consistency.live t)
+
+let test_tracker_time_average () =
+  let t = Consistency.create ~empty_policy:Consistency.Empty_is_zero ~now:0.0 () in
+  (* starts at 0 (empty, zero policy); birth at t=0 keeps c=0; match at
+     t=5 raises c to 1; at t=10 average = 0.5 *)
+  Consistency.on_birth t ~now:0.0;
+  Consistency.on_match t ~now:5.0;
+  check_close 1e-9 "average" 0.5 (Consistency.average t ~now:10.0)
+
+let test_tracker_empty_policies () =
+  let mk policy =
+    let t = Consistency.create ~empty_policy:policy ~now:0.0 () in
+    Consistency.instantaneous t
+  in
+  check_close 0.0 "consistent" 1.0 (mk Consistency.Empty_is_consistent);
+  check_close 0.0 "zero" 0.0 (mk Consistency.Empty_is_zero);
+  (* hold-last keeps the last defined value *)
+  let t = Consistency.create ~empty_policy:Consistency.Empty_holds_last ~now:0.0 () in
+  Consistency.on_birth t ~now:1.0;
+  Consistency.on_match t ~now:2.0;
+  Consistency.on_death t ~now:3.0 ~matching:1;
+  check_close 0.0 "held" 1.0 (Consistency.instantaneous t)
+
+let test_tracker_update_breaks_match () =
+  let t = Consistency.create ~now:0.0 () in
+  Consistency.on_birth t ~now:0.0;
+  Consistency.on_match t ~now:1.0;
+  Consistency.on_update t ~now:2.0 ~matching:1;
+  check_close 0.0 "update invalidates" 0.0 (Consistency.instantaneous t)
+
+let test_tracker_latency_and_redundancy () =
+  let t = Consistency.create ~now:0.0 () in
+  Consistency.on_first_delivery t ~now:5.0 ~born:2.0;
+  Consistency.on_first_delivery t ~now:9.0 ~born:2.0;
+  check_close 1e-9 "mean latency" 5.0
+    (Softstate_util.Stats.Welford.mean (Consistency.latency t));
+  Consistency.on_transmission t ~redundant:false;
+  Consistency.on_transmission t ~redundant:true;
+  Consistency.on_transmission t ~redundant:true;
+  check_close 1e-9 "redundancy" (2.0 /. 3.0) (Consistency.redundancy t)
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+let test_workload_of_kbps () =
+  let w = Workload.of_kbps ~lambda_kbps:15.0 ~size_bits:1000 () in
+  check_close 1e-9 "records per second" 15.0 w.Workload.arrival_rate;
+  check_close 1e-9 "bits per second" 15_000.0 (Workload.lambda_bps w)
+
+let test_workload_interarrival_mean () =
+  let w = Workload.create ~arrival_rate:10.0 ~size_bits:100 () in
+  let g = Rng.create 2 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Workload.next_interarrival w g
+  done;
+  check_close 0.002 "mean gap" 0.1 (!sum /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Base *)
+
+let make_base ?(death = Base.Per_service 0.5) ?(update_fraction = 0.0) engine =
+  let workload =
+    Workload.of_kbps ~update_fraction ~lambda_kbps:10.0 ~size_bits:1000 ()
+  in
+  let tracker = Consistency.create ~now:0.0 () in
+  let base =
+    Base.create ~engine ~rng:(Rng.create 3) ~workload ~death ~tracker ()
+  in
+  (base, tracker)
+
+let test_base_arrivals_populate_table () =
+  let engine = Engine.create () in
+  let base, tracker = make_base engine in
+  let arrivals = ref 0 in
+  Base.set_hooks base ~on_arrival:(fun _ -> incr arrivals) ~on_death:(fun _ -> ());
+  Base.start base;
+  Engine.run ~until:100.0 engine;
+  Alcotest.(check bool) "arrivals happened" true (!arrivals > 500);
+  Alcotest.(check int) "tracker live = table live"
+    (Table.live_count (Base.table base))
+    (Consistency.live tracker)
+
+let test_base_deliver_updates_tracker () =
+  let engine = Engine.create () in
+  let base, tracker = make_base engine in
+  Base.set_hooks base ~on_arrival:(fun _ -> ()) ~on_death:(fun _ -> ());
+  Base.start base;
+  (* run until at least one record exists *)
+  Engine.run ~until:1.0 engine;
+  let r =
+    match
+      Table.fold (Base.table base) ~init:None ~f:(fun acc r ->
+          match acc with Some _ -> acc | None -> Some r)
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "no record arrived"
+  in
+  Alcotest.(check bool) "not matching yet" false (Base.is_matching base ~receiver:0 r);
+  let ann = Base.announce_of base ~seq:0 r in
+  Base.deliver base ~now:1.5 ~receiver:0 ann;
+  Alcotest.(check bool) "matching after delivery" true (Base.is_matching base ~receiver:0 r);
+  Alcotest.(check int) "one matching" 1 (Consistency.matching tracker);
+  (* stale duplicate is absorbed *)
+  Base.deliver base ~now:1.6 ~receiver:0 ann;
+  Alcotest.(check int) "still one matching" 1 (Consistency.matching tracker)
+
+let test_base_stale_version_ignored () =
+  let engine = Engine.create () in
+  let base, _ = make_base engine in
+  Base.set_hooks base ~on_arrival:(fun _ -> ()) ~on_death:(fun _ -> ());
+  Base.start base;
+  Engine.run ~until:1.0 engine;
+  let r =
+    match
+      Table.fold (Base.table base) ~init:None ~f:(fun acc r ->
+          match acc with Some _ -> acc | None -> Some r)
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "no record"
+  in
+  let old = Base.announce_of base ~seq:0 r in
+  Record.touch r ~now:2.0;
+  Base.deliver base ~now:2.5 ~receiver:0 old;
+  Alcotest.(check bool) "old version does not match" false
+    (Base.is_matching base ~receiver:0 r);
+  let fresh = Base.announce_of base ~seq:1 r in
+  Base.deliver base ~now:3.0 ~receiver:0 fresh;
+  Alcotest.(check bool) "fresh version matches" true (Base.is_matching base ~receiver:0 r);
+  (* a late stale copy cannot regress the receiver *)
+  Base.deliver base ~now:3.5 ~receiver:0 old;
+  Alcotest.(check bool) "no regression" true (Base.is_matching base ~receiver:0 r)
+
+let test_base_death_draw () =
+  let engine = Engine.create () in
+  let base, tracker = make_base engine ~death:(Base.Per_service 1.0) in
+  let deaths = ref 0 in
+  Base.set_hooks base ~on_arrival:(fun _ -> ()) ~on_death:(fun _ -> incr deaths);
+  Base.start base;
+  Engine.run ~until:1.0 engine;
+  let r =
+    match
+      Table.fold (Base.table base) ~init:None ~f:(fun acc r ->
+          match acc with Some _ -> acc | None -> Some r)
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "no record"
+  in
+  Alcotest.(check bool) "p=1 always dies" true (Base.death_draw base ~now:2.0 r);
+  Alcotest.(check int) "death hook fired" 1 !deaths;
+  Alcotest.(check bool) "gone from table" false (Table.mem (Base.table base) r.Record.key);
+  ignore tracker
+
+let test_base_lifetime_expiry () =
+  let engine = Engine.create () in
+  let base, _ = make_base engine ~death:(Base.Lifetime_fixed 5.0) in
+  Base.set_hooks base ~on_arrival:(fun _ -> ()) ~on_death:(fun _ -> ());
+  Base.start base;
+  Engine.run ~until:4.0 engine;
+  let live_young = Table.live_count (Base.table base) in
+  Alcotest.(check bool) "records alive before ttl" true (live_young > 0);
+  (* death_draw never kills under lifetime death *)
+  let r =
+    match
+      Table.fold (Base.table base) ~init:None ~f:(fun acc r ->
+          match acc with Some _ -> acc | None -> Some r)
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "no record"
+  in
+  Alcotest.(check bool) "no per-service death" false
+    (Base.death_draw base ~now:4.0 r);
+  Engine.run ~until:200.0 engine;
+  (* steady state: live ≈ rate × ttl = 10 × 5 = 50 *)
+  let live = Table.live_count (Base.table base) in
+  Alcotest.(check bool) "bounded live set" true (live > 20 && live < 100)
+
+let test_base_updates () =
+  let engine = Engine.create () in
+  let base, _ = make_base engine ~update_fraction:1.0 ~death:(Base.Lifetime_fixed 1e9) in
+  let updates = ref 0 and inserts = ref 0 in
+  Base.set_hooks base
+    ~on_arrival:(fun r -> if r.Record.version > 0 then incr updates else incr inserts)
+    ~on_death:(fun _ -> ());
+  Base.start base;
+  Engine.run ~until:50.0 engine;
+  (* first arrival inserts (empty table), the rest update *)
+  Alcotest.(check int) "single insert" 1 !inserts;
+  Alcotest.(check bool) "rest update" true (!updates > 100)
+
+let test_base_kill () =
+  let engine = Engine.create () in
+  let base, tracker = make_base engine in
+  Base.set_hooks base ~on_arrival:(fun _ -> ()) ~on_death:(fun _ -> ());
+  Base.start base;
+  Engine.run ~until:1.0 engine;
+  let key =
+    match
+      Table.fold (Base.table base) ~init:None ~f:(fun acc r ->
+          match acc with Some _ -> acc | None -> Some r.Record.key)
+    with
+    | Some k -> k
+    | None -> Alcotest.fail "no record"
+  in
+  let live_before = Consistency.live tracker in
+  Base.kill base ~now:1.5 key;
+  Alcotest.(check int) "live decremented" (live_before - 1)
+    (Consistency.live tracker);
+  Base.kill base ~now:1.6 key (* idempotent *)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment: protocol end-to-end behaviour *)
+
+let run_open_loop ?(seed = 1) ?(duration = 20_000.0) ~p_loss ~p_death ~mu () =
+  Experiment.run
+    { Experiment.default with
+      Experiment.seed;
+      duration;
+      death = Base.Per_service p_death;
+      loss = Experiment.Bernoulli p_loss;
+      protocol = Experiment.Open_loop { mu_data_kbps = mu };
+      empty_policy = Consistency.Empty_is_zero }
+
+let test_open_loop_matches_analytic () =
+  (* The headline validation: simulated open-loop consistency within a
+     few points of the closed form, across several operating points. *)
+  List.iter
+    (fun (p_loss, p_death) ->
+      let r = run_open_loop ~p_loss ~p_death ~mu:45.0 () in
+      let analytic =
+        Q.expected_consistency
+          { Q.lambda = 15.0; mu_ch = 45.0; p_loss; p_death }
+      in
+      if abs_float (r.Experiment.avg_consistency -. analytic) > 0.05 then
+        Alcotest.fail
+          (Printf.sprintf "loss=%.2f death=%.2f: sim %.4f vs analytic %.4f"
+             p_loss p_death r.Experiment.avg_consistency analytic))
+    [ (0.1, 0.5); (0.2, 0.5); (0.3, 0.6); (0.05, 0.4); (0.5, 0.8) ]
+
+let test_open_loop_redundancy_matches_share () =
+  let r = run_open_loop ~p_loss:0.2 ~p_death:0.5 ~mu:45.0 () in
+  let share =
+    Q.consistent_share { Q.lambda = 15.0; mu_ch = 45.0; p_loss = 0.2; p_death = 0.5 }
+  in
+  check_close 0.02 "measured redundancy = analytic share" share
+    r.Experiment.redundant_fraction
+
+let test_open_loop_lossless_latency () =
+  (* With no loss and a fast channel, records are delivered almost
+     immediately. Under the Empty_is_zero policy the average is
+     dominated by the near-empty system (rho = 15/(0.5*450) = 0.067),
+     so it must sit near s*rho, not near 1 - the analytic formula's
+     regime. *)
+  let r = run_open_loop ~p_loss:0.0 ~p_death:0.5 ~mu:450.0 ~duration:2000.0 () in
+  Alcotest.(check bool) "tiny latency" true (r.Experiment.latency_mean < 0.1);
+  let analytic =
+    Q.expected_consistency { Q.lambda = 15.0; mu_ch = 450.0; p_loss = 0.0; p_death = 0.5 }
+  in
+  check_close 0.02 "matches analytic small-rho regime" analytic
+    r.Experiment.avg_consistency
+
+let test_open_loop_deterministic_given_seed () =
+  let a = run_open_loop ~seed:9 ~p_loss:0.2 ~p_death:0.5 ~mu:45.0 ~duration:500.0 () in
+  let b = run_open_loop ~seed:9 ~p_loss:0.2 ~p_death:0.5 ~mu:45.0 ~duration:500.0 () in
+  check_close 0.0 "same seed, same answer" a.Experiment.avg_consistency
+    b.Experiment.avg_consistency;
+  Alcotest.(check int) "same transmissions" a.Experiment.transmissions
+    b.Experiment.transmissions;
+  let c = run_open_loop ~seed:10 ~p_loss:0.2 ~p_death:0.5 ~mu:45.0 ~duration:500.0 () in
+  Alcotest.(check bool) "different seed differs" true
+    (a.Experiment.transmissions <> c.Experiment.transmissions)
+
+let test_consistency_decreases_with_loss () =
+  let c p_loss =
+    (run_open_loop ~p_loss ~p_death:0.5 ~mu:45.0 ~duration:5000.0 ()).Experiment.avg_consistency
+  in
+  let c1 = c 0.05 and c2 = c 0.3 and c3 = c 0.6 in
+  Alcotest.(check bool) "monotone-ish in loss" true (c1 > c2 && c2 > c3)
+
+let two_queue_config ~mu_hot ~mu_cold ~p_loss =
+  { Experiment.default with
+    Experiment.duration = 10_000.0;
+    death = Base.Lifetime_fixed 30.0;
+    loss = Experiment.Bernoulli p_loss;
+    protocol = Experiment.Two_queue { mu_hot_kbps = mu_hot; mu_cold_kbps = mu_cold } }
+
+let test_two_queue_beats_open_loop () =
+  (* Figure 5's claim: two-level scheduling with adequate hot
+     bandwidth beats the single open-loop queue at equal total
+     bandwidth. *)
+  let tq = Experiment.run (two_queue_config ~mu_hot:20.0 ~mu_cold:25.0 ~p_loss:0.3) in
+  let ol =
+    Experiment.run
+      { (two_queue_config ~mu_hot:20.0 ~mu_cold:25.0 ~p_loss:0.3) with
+        Experiment.protocol = Experiment.Open_loop { mu_data_kbps = 45.0 } }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "two-queue %.3f > open-loop %.3f"
+       tq.Experiment.avg_consistency ol.Experiment.avg_consistency)
+    true
+    (tq.Experiment.avg_consistency > ol.Experiment.avg_consistency)
+
+let test_two_queue_starves_below_lambda () =
+  (* Figure 5: consistency is poor while mu_hot < lambda and improves
+     sharply beyond. *)
+  let low = Experiment.run (two_queue_config ~mu_hot:5.0 ~mu_cold:40.0 ~p_loss:0.1) in
+  let high = Experiment.run (two_queue_config ~mu_hot:25.0 ~mu_cold:20.0 ~p_loss:0.1) in
+  Alcotest.(check bool) "knee at lambda" true
+    (high.Experiment.avg_consistency -. low.Experiment.avg_consistency > 0.2)
+
+let test_two_queue_hot_sends_once_per_record () =
+  let r = Experiment.run (two_queue_config ~mu_hot:25.0 ~mu_cold:20.0 ~p_loss:0.0) in
+  (* without updates and without NACKs every record passes the hot
+     queue exactly once *)
+  let expected_records = 15.0 *. 10_000.0 in
+  check_close (0.05 *. expected_records) "hot sends = arrivals"
+    expected_records
+    (float_of_int r.Experiment.sent_hot)
+
+let feedback_config ?(nack_bits = 1000) ?(fb_lossy = false) ~mu_hot ~mu_cold
+    ~mu_fb ~p_loss () =
+  { Experiment.default with
+    Experiment.duration = 10_000.0;
+    death = Base.Lifetime_fixed 30.0;
+    loss = Experiment.Bernoulli p_loss;
+    protocol =
+      Experiment.Feedback
+        { mu_hot_kbps = mu_hot; mu_cold_kbps = mu_cold; mu_fb_kbps = mu_fb;
+          nack_bits; fb_lossy } }
+
+let test_feedback_improves_consistency_under_loss () =
+  (* §5's headline: at high loss, feedback lifts consistency
+     dramatically versus the same bandwidth open loop. *)
+  let fb =
+    Experiment.run (feedback_config ~mu_hot:27.0 ~mu_cold:7.0 ~mu_fb:11.0 ~p_loss:0.4 ())
+  in
+  let ol =
+    Experiment.run
+      { (feedback_config ~mu_hot:27.0 ~mu_cold:7.0 ~mu_fb:11.0 ~p_loss:0.4 ()) with
+        Experiment.protocol = Experiment.Open_loop { mu_data_kbps = 45.0 } }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "feedback %.3f vs open loop %.3f"
+       fb.Experiment.avg_consistency ol.Experiment.avg_consistency)
+    true
+    (fb.Experiment.avg_consistency > ol.Experiment.avg_consistency +. 0.1);
+  Alcotest.(check bool) "nacks flowed" true (fb.Experiment.nacks_sent > 0);
+  Alcotest.(check bool) "reheats happened" true (fb.Experiment.reheats > 0)
+
+let test_feedback_collapse_when_fb_starves_data () =
+  (* Figure 8: when feedback eats most of the bandwidth, data starves
+     and consistency collapses. *)
+  let good =
+    Experiment.run (feedback_config ~mu_hot:25.0 ~mu_cold:9.0 ~mu_fb:11.0 ~p_loss:0.4 ())
+  in
+  let collapsed =
+    Experiment.run (feedback_config ~mu_hot:9.0 ~mu_cold:4.0 ~mu_fb:32.0 ~p_loss:0.4 ())
+  in
+  Alcotest.(check bool) "collapse" true
+    (good.Experiment.avg_consistency -. collapsed.Experiment.avg_consistency
+    > 0.3)
+
+let test_feedback_no_loss_no_nacks () =
+  let r =
+    Experiment.run (feedback_config ~mu_hot:25.0 ~mu_cold:9.0 ~mu_fb:11.0 ~p_loss:0.0 ())
+  in
+  Alcotest.(check int) "no nacks without loss" 0 r.Experiment.nacks_sent;
+  Alcotest.(check bool) "near-perfect consistency" true
+    (r.Experiment.avg_consistency > 0.97)
+
+let test_feedback_lossy_channel_still_helps () =
+  let fb_lossless =
+    Experiment.run (feedback_config ~mu_hot:27.0 ~mu_cold:7.0 ~mu_fb:11.0 ~p_loss:0.4 ())
+  in
+  let fb_lossy =
+    Experiment.run
+      (feedback_config ~fb_lossy:true ~mu_hot:27.0 ~mu_cold:7.0 ~mu_fb:11.0
+         ~p_loss:0.4 ())
+  in
+  Alcotest.(check bool) "lossy feedback loses some nacks" true
+    (fb_lossy.Experiment.nacks_delivered < fb_lossy.Experiment.nacks_sent);
+  Alcotest.(check bool) "still better than nothing" true
+    (fb_lossy.Experiment.avg_consistency
+    > 0.8 *. fb_lossless.Experiment.avg_consistency)
+
+let test_scheduler_choice_is_secondary () =
+  (* §4 claims the sharing mechanism (lottery vs stride vs WFQ) is a
+     policy detail; consistency should be nearly identical. *)
+  let run sched =
+    (Experiment.run
+       { (two_queue_config ~mu_hot:20.0 ~mu_cold:25.0 ~p_loss:0.3) with
+         Experiment.sched })
+      .Experiment.avg_consistency
+  in
+  let module S = Softstate_sched.Scheduler in
+  let results = List.map run [ S.Lottery; S.Stride; S.Wfq; S.Drr ] in
+  let lo = List.fold_left Float.min 1.0 results in
+  let hi = List.fold_left Float.max 0.0 results in
+  Alcotest.(check bool)
+    (Printf.sprintf "spread %.4f" (hi -. lo))
+    true
+    (hi -. lo < 0.03)
+
+let test_gilbert_elliott_same_mean_same_consistency () =
+  (* §3's claim: the metric depends only on the mean loss rate, not
+     the pattern. Compare Bernoulli vs bursty Gilbert-Elliott at an
+     equal 20% mean. *)
+  let base = run_open_loop ~p_loss:0.2 ~p_death:0.5 ~mu:45.0 () in
+  let bursty =
+    Experiment.run
+      { Experiment.default with
+        Experiment.duration = 20_000.0;
+        death = Base.Per_service 0.5;
+        loss =
+          Experiment.Gilbert_elliott
+            { p_good_to_bad = 0.05; p_bad_to_good = 0.2; loss_good = 0.08;
+              loss_bad = 0.68 };
+        protocol = Experiment.Open_loop { mu_data_kbps = 45.0 };
+        empty_policy = Consistency.Empty_is_zero }
+  in
+  (* verify the GE parameters indeed give a 20% mean *)
+  check_close 1e-9 "GE mean is 20%" 0.2
+    (Experiment.loss_mean
+       (Experiment.Gilbert_elliott
+          { p_good_to_bad = 0.05; p_bad_to_good = 0.2; loss_good = 0.08;
+            loss_bad = 0.68 }));
+  check_close 0.04 "pattern-insensitive consistency"
+    base.Experiment.avg_consistency bursty.Experiment.avg_consistency
+
+let test_receive_latency_hump () =
+  (* Figure 6: receive latency first *rises* with cold bandwidth
+     (near-zero cold only measures the lucky first transmissions -
+     survivorship bias the paper calls out explicitly), peaks, then
+     falls as cold retransmissions recover losses quickly. Delivery
+     counts must rise monotonically with cold, confirming the bias. *)
+  let run mu_cold =
+    Experiment.run
+      { (two_queue_config ~mu_hot:16.0 ~mu_cold ~p_loss:0.3) with
+        Experiment.duration = 20_000.0 }
+  in
+  let tiny = run 0.5 and mid = run 16.0 and big = run 60.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "rising edge: %.3f < %.3f" tiny.Experiment.latency_mean
+       mid.Experiment.latency_mean)
+    true
+    (tiny.Experiment.latency_mean < mid.Experiment.latency_mean);
+  Alcotest.(check bool)
+    (Printf.sprintf "falling edge: %.3f > %.3f" mid.Experiment.latency_mean
+       big.Experiment.latency_mean)
+    true
+    (mid.Experiment.latency_mean > big.Experiment.latency_mean);
+  Alcotest.(check bool) "deliveries rise with cold" true
+    (tiny.Experiment.deliveries < mid.Experiment.deliveries
+    && mid.Experiment.deliveries < big.Experiment.deliveries)
+
+(* ------------------------------------------------------------------ *)
+(* Multicast *)
+
+let multicast_config ?(receivers = 4) ?(suppression = true) ?(loss = 0.2) () =
+  { Experiment.default with
+    Experiment.duration = 2000.0;
+    death = Base.Lifetime_fixed 30.0;
+    loss = Experiment.Bernoulli loss;
+    protocol =
+      Experiment.Multicast
+        { receivers; mu_hot_kbps = 28.0; mu_cold_kbps = 6.0;
+          mu_fb_kbps = 11.0; nack_bits = 500; suppression; nack_slot = 0.5 } }
+
+let test_multicast_lossless_group_consistent () =
+  let r = Experiment.run (multicast_config ~receivers:8 ~loss:0.0 ()) in
+  Alcotest.(check bool) "group near-fully consistent" true
+    (r.Experiment.avg_consistency > 0.97);
+  Alcotest.(check int) "no nacks without loss" 0 r.Experiment.nacks_wanted
+
+let test_multicast_suppression_reduces_traffic () =
+  let naive = Experiment.run (multicast_config ~receivers:16 ~suppression:false ()) in
+  let damped = Experiment.run (multicast_config ~receivers:16 ~suppression:true ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sent %d (damped) << %d (naive)"
+       damped.Experiment.nacks_sent naive.Experiment.nacks_sent)
+    true
+    (damped.Experiment.nacks_sent * 2 < naive.Experiment.nacks_sent);
+  Alcotest.(check bool) "suppressions counted" true
+    (damped.Experiment.nacks_suppressed > 0);
+  Alcotest.(check int) "naive suppresses nothing" 0
+    naive.Experiment.nacks_suppressed;
+  (* accounting: wanted = sent + suppressed, up to requests still
+     sitting in their slot delay when the horizon hits *)
+  let in_flight =
+    damped.Experiment.nacks_wanted
+    - (damped.Experiment.nacks_sent + damped.Experiment.nacks_suppressed)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "damped accounting (in flight %d)" in_flight)
+    true
+    (in_flight >= 0 && in_flight < 100);
+  Alcotest.(check bool) "similar consistency" true
+    (abs_float
+       (damped.Experiment.avg_consistency -. naive.Experiment.avg_consistency)
+    < 0.1)
+
+let test_multicast_wanted_scales_with_group () =
+  let want n =
+    (Experiment.run (multicast_config ~receivers:n ())).Experiment.nacks_wanted
+  in
+  let w2 = want 2 and w8 = want 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "wanted scales: %d (n=2) vs %d (n=8)" w2 w8)
+    true
+    (w8 > 3 * w2)
+
+let test_multicast_deterministic () =
+  let a = Experiment.run (multicast_config ()) in
+  let b = Experiment.run (multicast_config ()) in
+  Alcotest.(check int) "same nack count" a.Experiment.nacks_sent
+    b.Experiment.nacks_sent;
+  Alcotest.(check (float 0.0)) "same consistency" a.Experiment.avg_consistency
+    b.Experiment.avg_consistency
+
+(* ------------------------------------------------------------------ *)
+(* Soft-state expiry timers *)
+
+let expiry_config multiple =
+  { Experiment.default with
+    Experiment.duration = 3000.0;
+    death = Base.Lifetime_fixed 60.0;
+    expiry = Base.Refresh_timeout { multiple; sweep_period = 1.0 };
+    loss = Experiment.Bernoulli 0.2;
+    protocol = Experiment.Open_loop { mu_data_kbps = 45.0 } }
+
+let test_expiry_generous_multiple_is_harmless () =
+  let with_timers = Experiment.run (expiry_config 8.0) in
+  let without =
+    Experiment.run { (expiry_config 8.0) with Experiment.expiry = Base.No_expiry }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "false expiries rare (%d)" with_timers.Experiment.false_expiries)
+    true
+    (with_timers.Experiment.false_expiries < 20);
+  Alcotest.(check bool) "consistency unharmed" true
+    (abs_float
+       (with_timers.Experiment.avg_consistency -. without.Experiment.avg_consistency)
+    < 0.01)
+
+let test_expiry_tight_multiple_misfires () =
+  let tight = Experiment.run (expiry_config 1.5) in
+  let loose = Experiment.run (expiry_config 5.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tight misfires more: %d vs %d"
+       tight.Experiment.false_expiries loose.Experiment.false_expiries)
+    true
+    (tight.Experiment.false_expiries > 10 * max 1 loose.Experiment.false_expiries)
+
+let test_expiry_collects_dead_state () =
+  let r = Experiment.run (expiry_config 3.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "stale entries purged (%d)" r.Experiment.stale_purged)
+    true
+    (r.Experiment.stale_purged > 1000)
+
+let test_expiry_disabled_counts_nothing () =
+  let r =
+    Experiment.run { (expiry_config 3.0) with Experiment.expiry = Base.No_expiry }
+  in
+  Alcotest.(check int) "no false expiries" 0 r.Experiment.false_expiries;
+  Alcotest.(check int) "no stale purges" 0 r.Experiment.stale_purged
+
+let () =
+  Alcotest.run "softstate_core"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "record touch" `Quick test_record_touch;
+          Alcotest.test_case "table insert/remove" `Quick test_table_insert_remove;
+          Alcotest.test_case "table random key" `Quick test_table_random_key;
+        ] );
+      ( "tracker",
+        [
+          Alcotest.test_case "counts" `Quick test_tracker_counts;
+          Alcotest.test_case "time average" `Quick test_tracker_time_average;
+          Alcotest.test_case "empty policies" `Quick test_tracker_empty_policies;
+          Alcotest.test_case "update breaks match" `Quick
+            test_tracker_update_breaks_match;
+          Alcotest.test_case "latency and redundancy" `Quick
+            test_tracker_latency_and_redundancy;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "of_kbps" `Quick test_workload_of_kbps;
+          Alcotest.test_case "interarrival mean" `Slow
+            test_workload_interarrival_mean;
+        ] );
+      ( "base",
+        [
+          Alcotest.test_case "arrivals" `Quick test_base_arrivals_populate_table;
+          Alcotest.test_case "deliver" `Quick test_base_deliver_updates_tracker;
+          Alcotest.test_case "stale versions" `Quick test_base_stale_version_ignored;
+          Alcotest.test_case "death draw" `Quick test_base_death_draw;
+          Alcotest.test_case "lifetime expiry" `Quick test_base_lifetime_expiry;
+          Alcotest.test_case "updates" `Quick test_base_updates;
+          Alcotest.test_case "kill" `Quick test_base_kill;
+        ] );
+      ( "open-loop",
+        [
+          Alcotest.test_case "matches analytic model" `Slow
+            test_open_loop_matches_analytic;
+          Alcotest.test_case "redundancy = share" `Slow
+            test_open_loop_redundancy_matches_share;
+          Alcotest.test_case "lossless latency" `Quick test_open_loop_lossless_latency;
+          Alcotest.test_case "deterministic" `Quick
+            test_open_loop_deterministic_given_seed;
+          Alcotest.test_case "monotone in loss" `Slow
+            test_consistency_decreases_with_loss;
+        ] );
+      ( "two-queue",
+        [
+          Alcotest.test_case "beats open loop" `Slow test_two_queue_beats_open_loop;
+          Alcotest.test_case "knee at lambda" `Slow
+            test_two_queue_starves_below_lambda;
+          Alcotest.test_case "hot sends once" `Slow
+            test_two_queue_hot_sends_once_per_record;
+          Alcotest.test_case "figure-6 latency hump" `Slow
+            test_receive_latency_hump;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "improves under loss" `Slow
+            test_feedback_improves_consistency_under_loss;
+          Alcotest.test_case "collapse when starved" `Slow
+            test_feedback_collapse_when_fb_starves_data;
+          Alcotest.test_case "no loss no nacks" `Slow test_feedback_no_loss_no_nacks;
+          Alcotest.test_case "lossy feedback channel" `Slow
+            test_feedback_lossy_channel_still_helps;
+        ] );
+      ( "multicast",
+        [
+          Alcotest.test_case "lossless group" `Slow
+            test_multicast_lossless_group_consistent;
+          Alcotest.test_case "suppression reduces traffic" `Slow
+            test_multicast_suppression_reduces_traffic;
+          Alcotest.test_case "wanted scales with group" `Slow
+            test_multicast_wanted_scales_with_group;
+          Alcotest.test_case "deterministic" `Slow test_multicast_deterministic;
+        ] );
+      ( "expiry",
+        [
+          Alcotest.test_case "generous multiple harmless" `Slow
+            test_expiry_generous_multiple_is_harmless;
+          Alcotest.test_case "tight multiple misfires" `Slow
+            test_expiry_tight_multiple_misfires;
+          Alcotest.test_case "collects dead state" `Slow
+            test_expiry_collects_dead_state;
+          Alcotest.test_case "disabled counts nothing" `Quick
+            test_expiry_disabled_counts_nothing;
+        ] );
+      ( "claims",
+        [
+          Alcotest.test_case "scheduler choice secondary" `Slow
+            test_scheduler_choice_is_secondary;
+          Alcotest.test_case "loss-pattern insensitivity" `Slow
+            test_gilbert_elliott_same_mean_same_consistency;
+        ] );
+    ]

@@ -1,0 +1,231 @@
+(* Cross-library integration tests: SSTP sessions driven by realistic
+   workload traces, robustness under partitions and churn, and the
+   soft-state survivability properties the paper motivates. *)
+
+module Engine = Softstate_sim.Engine
+module Rng = Softstate_util.Rng
+module Net = Softstate_net
+module Trace = Softstate_trace.Trace_event
+module Gen = Softstate_trace.Generators
+module Session = Sstp.Session
+module Namespace = Sstp.Namespace
+
+let make_session ?(loss = Net.Loss.never) ?(mu = 128_000.0) ~seed engine =
+  let config =
+    { (Session.default_config ~mu_total_bps:mu) with
+      Session.loss; summary_period = 0.5 }
+  in
+  Session.create ~engine ~rng:(Rng.create seed) ~config ()
+
+let drive_trace engine session trace =
+  Trace.replay engine trace
+    ~put:(fun ~path ~payload -> Session.publish session ~path ~payload)
+    ~remove:(fun ~path -> Session.remove session ~path)
+
+(* ------------------------------------------------------------------ *)
+
+let test_session_directory_over_sstp () =
+  (* An sdr-like directory disseminated over SSTP at 10% loss: after
+     the trace quiesces the receiver's directory equals the
+     sender's. *)
+  let engine = Engine.create () in
+  let s = make_session ~loss:(Net.Loss.bernoulli 0.1) ~seed:1 engine in
+  let trace =
+    Gen.session_directory ~rng:(Rng.create 2) ~duration:600.0
+      ~arrival_rate:0.2 ~mean_lifetime:120.0 ()
+  in
+  drive_trace engine s trace;
+  Engine.run ~until:(Trace.duration trace +. 60.0) engine;
+  Alcotest.(check bool) "directory converged" true (Session.converged s);
+  Alcotest.(check bool) "directory non-empty" true
+    (Namespace.leaf_count (Sstp.Sender.namespace (Session.sender s)) > 0)
+
+let test_routing_table_over_sstp () =
+  let engine = Engine.create () in
+  let s = make_session ~loss:(Net.Loss.bernoulli 0.2) ~seed:3 ~mu:256_000.0 engine in
+  let trace =
+    Gen.routing_updates ~rng:(Rng.create 4) ~duration:300.0 ~prefixes:100 ()
+  in
+  drive_trace engine s trace;
+  Engine.run ~until:400.0 engine;
+  Alcotest.(check bool) "routing table converged" true (Session.converged s);
+  (* a calm prefix must exist at the receiver with the sender's value *)
+  let sns = Sstp.Sender.namespace (Session.sender s) in
+  let rns = Sstp.Receiver.namespace (Session.receiver s) in
+  let checked = ref 0 in
+  Namespace.iter_leaves sns (fun path payload ->
+      incr checked;
+      if Namespace.find rns path <> Some payload then
+        Alcotest.fail ("mismatch at " ^ Sstp.Path.to_string path));
+  Alcotest.(check bool) "prefixes survive flapping" true (!checked > 50)
+
+let test_stock_ticker_freshness () =
+  (* High-churn quotes: perfect convergence is impossible while
+     updates keep flowing, but consistency must stay high and the
+     final state must converge once the market closes. *)
+  let engine = Engine.create () in
+  let s = make_session ~loss:(Net.Loss.bernoulli 0.05) ~seed:5 ~mu:512_000.0 engine in
+  Session.track_consistency s ~period:0.5;
+  let trace =
+    Gen.stock_ticker ~rng:(Rng.create 6) ~duration:120.0 ~symbols:50
+      ~update_rate:10.0 ()
+  in
+  drive_trace engine s trace;
+  Engine.run ~until:150.0 engine;
+  Alcotest.(check bool) "closing state converged" true (Session.converged s);
+  let avg = Session.average_consistency s in
+  Alcotest.(check bool)
+    (Printf.sprintf "intraday consistency high (%.3f)" avg)
+    true (avg > 0.85)
+
+let test_partition_and_heal () =
+  (* The paper's survivability story: a partition makes the receiver
+     stale; once the partition heals, normal protocol operation alone
+     (summaries + repair) restores consistency. *)
+  let engine = Engine.create () in
+  let loss, set_loss = Net.Loss.controlled () in
+  let s = make_session ~loss ~seed:7 engine in
+  Session.publish s ~path:"cfg/a" ~payload:"1";
+  Session.publish s ~path:"cfg/b" ~payload:"2";
+  Engine.run ~until:10.0 engine;
+  Alcotest.(check bool) "synced before partition" true (Session.converged s);
+  (* partition: all data packets drop *)
+  set_loss 1.0;
+  Session.publish s ~path:"cfg/a" ~payload:"1'";
+  Session.publish s ~path:"cfg/c" ~payload:"3";
+  Session.remove s ~path:"cfg/b";
+  Engine.run ~until:40.0 engine;
+  Alcotest.(check bool) "stale during partition" false (Session.converged s);
+  (* heal *)
+  set_loss 0.0;
+  Engine.run ~until:120.0 engine;
+  Alcotest.(check bool) "reconverged after heal" true (Session.converged s);
+  let rns = Sstp.Receiver.namespace (Session.receiver s) in
+  Alcotest.(check (option string)) "update healed" (Some "1'")
+    (Namespace.find rns (Sstp.Path.of_string "cfg/a"));
+  Alcotest.(check (option string)) "insert healed" (Some "3")
+    (Namespace.find rns (Sstp.Path.of_string "cfg/c"));
+  Alcotest.(check bool) "withdrawal healed" false
+    (Namespace.mem rns (Sstp.Path.of_string "cfg/b"))
+
+let test_receiver_crash_restart () =
+  (* A crashed receiver is a fresh receiver: late-join recovery must
+     rebuild the whole store from summaries and repair, with no
+     sender-side involvement beyond normal protocol operation. *)
+  let engine = Engine.create () in
+  let loss, set_loss = Net.Loss.controlled () in
+  let s = make_session ~loss ~seed:8 engine in
+  for i = 0 to 19 do
+    Session.publish s ~path:(Printf.sprintf "store/k%02d" i)
+      ~payload:(string_of_int i)
+  done;
+  (* receiver "down" while the store is published *)
+  set_loss 1.0;
+  Engine.run ~until:30.0 engine;
+  Alcotest.(check int) "receiver empty while down" 0
+    (Namespace.leaf_count (Sstp.Receiver.namespace (Session.receiver s)));
+  (* receiver restarts *)
+  set_loss 0.0;
+  Engine.run ~until:120.0 engine;
+  Alcotest.(check bool) "restart recovered everything" true
+    (Session.converged s);
+  Alcotest.(check int) "all twenty keys" 20
+    (Namespace.leaf_count (Sstp.Receiver.namespace (Session.receiver s)))
+
+let test_open_loop_vs_sstp_messages () =
+  (* SSTP's hierarchical repair should need far fewer messages than a
+     flat periodic re-announcement of every record to resynchronise a
+     single divergent leaf in a large store. *)
+  let engine = Engine.create () in
+  let loss, set_loss = Net.Loss.controlled () in
+  let s = make_session ~loss ~seed:9 ~mu:512_000.0 engine in
+  let n = 200 in
+  for i = 0 to n - 1 do
+    Session.publish s ~path:(Printf.sprintf "db/g%d/k%03d" (i mod 10) i)
+      ~payload:(String.make 100 'x')
+  done;
+  Engine.run ~until:60.0 engine;
+  Alcotest.(check bool) "initial sync" true (Session.converged s);
+  let data0 = Session.data_packets s in
+  (* one leaf diverges while partitioned *)
+  set_loss 1.0;
+  Session.publish s ~path:"db/g3/k033" ~payload:"changed";
+  Engine.run ~until:62.0 engine;
+  set_loss 0.0;
+  (* allow repair *)
+  let t = ref 62.0 in
+  while (not (Session.converged s)) && !t < 120.0 do
+    t := !t +. 1.0;
+    Engine.run ~until:!t engine
+  done;
+  Alcotest.(check bool) "repaired" true (Session.converged s);
+  let repair_cost = Session.data_packets s - data0 in
+  (* flat re-announcement would be >= n data packets; recursive
+     descent needs summaries + a handful of signature/data messages *)
+  Alcotest.(check bool)
+    (Printf.sprintf "repair cost %d << %d" repair_cost n)
+    true
+    (repair_cost < n / 2)
+
+let test_two_sessions_independent_rngs () =
+  (* Two sessions on one engine must not interfere statistically or
+     structurally. *)
+  let engine = Engine.create () in
+  let s1 = make_session ~loss:(Net.Loss.bernoulli 0.3) ~seed:10 engine in
+  let s2 = make_session ~loss:(Net.Loss.bernoulli 0.3) ~seed:11 engine in
+  for i = 0 to 9 do
+    Session.publish s1 ~path:(Printf.sprintf "a/%d" i) ~payload:"s1";
+    Session.publish s2 ~path:(Printf.sprintf "b/%d" i) ~payload:"s2"
+  done;
+  Engine.run ~until:60.0 engine;
+  Alcotest.(check bool) "s1 converged" true (Session.converged s1);
+  Alcotest.(check bool) "s2 converged" true (Session.converged s2);
+  Alcotest.(check int) "s1 has only its keys" 10
+    (Namespace.leaf_count (Sstp.Receiver.namespace (Session.receiver s1)))
+
+let test_core_and_sstp_agree_on_openloop_trend () =
+  (* The low-level announce/listen simulator and the full SSTP stack
+     are different codebases; both must show consistency falling as
+     loss rises. *)
+  let sstp_consistency loss =
+    let engine = Engine.create () in
+    let s =
+      make_session ~loss:(Net.Loss.bernoulli loss) ~seed:12 ~mu:64_000.0 engine
+    in
+    Session.track_consistency s ~period:0.5;
+    for i = 0 to 29 do
+      Session.publish s ~path:(Printf.sprintf "x/%d" i) ~payload:"v"
+    done;
+    Engine.run ~until:30.0 engine;
+    Session.average_consistency s
+  in
+  let c1 = sstp_consistency 0.05 and c2 = sstp_consistency 0.6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sstp: %.3f (5%% loss) > %.3f (60%% loss)" c1 c2)
+    true (c1 > c2)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "applications",
+        [
+          Alcotest.test_case "session directory over sstp" `Slow
+            test_session_directory_over_sstp;
+          Alcotest.test_case "routing table over sstp" `Slow
+            test_routing_table_over_sstp;
+          Alcotest.test_case "stock ticker freshness" `Slow
+            test_stock_ticker_freshness;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
+          Alcotest.test_case "receiver crash/restart" `Quick
+            test_receiver_crash_restart;
+          Alcotest.test_case "repair efficiency vs flat" `Slow
+            test_open_loop_vs_sstp_messages;
+          Alcotest.test_case "independent sessions" `Quick
+            test_two_sessions_independent_rngs;
+          Alcotest.test_case "loss trend agreement" `Slow
+            test_core_and_sstp_agree_on_openloop_trend;
+        ] );
+    ]

@@ -1,0 +1,400 @@
+(* Tests for the network substrate: loss models, links, pipes,
+   channels. *)
+
+module Engine = Softstate_sim.Engine
+module Rng = Softstate_util.Rng
+module Net = Softstate_net
+module Loss = Net.Loss
+module Packet = Net.Packet
+module Link = Net.Link
+module Pipe = Net.Pipe
+module Channel = Net.Channel
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Loss *)
+
+let test_loss_never () =
+  let g = Rng.create 1 in
+  for _ = 1 to 1000 do
+    if Loss.drop Loss.never g then Alcotest.fail "lossless dropped"
+  done
+
+let test_loss_bernoulli_rate () =
+  let g = Rng.create 2 in
+  let l = Loss.bernoulli 0.25 in
+  let n = 100_000 in
+  let drops = ref 0 in
+  for _ = 1 to n do
+    if Loss.drop l g then incr drops
+  done;
+  check_close 0.01 "empirical rate" 0.25 (float_of_int !drops /. float_of_int n);
+  check_close 0.0 "mean_rate" 0.25 (Loss.mean_rate l)
+
+let test_loss_deterministic () =
+  let g = Rng.create 3 in
+  let l = Loss.deterministic ~period:4 in
+  let pattern = List.init 8 (fun _ -> Loss.drop l g) in
+  Alcotest.(check (list bool)) "every 4th"
+    [ false; false; false; true; false; false; false; true ]
+    pattern;
+  Loss.reset l;
+  Alcotest.(check bool) "reset phase" false (Loss.drop l g)
+
+let test_gilbert_elliott_mean () =
+  let g = Rng.create 4 in
+  let l =
+    Loss.gilbert_elliott ~p_good_to_bad:0.1 ~p_bad_to_good:0.3 ~loss_good:0.01
+      ~loss_bad:0.5
+  in
+  (* stationary: pi_bad = 0.1/0.4 = 0.25 -> mean = 0.75*0.01+0.25*0.5 *)
+  check_close 1e-9 "analytic mean" 0.1325 (Loss.mean_rate l);
+  let n = 400_000 in
+  let drops = ref 0 in
+  for _ = 1 to n do
+    if Loss.drop l g then incr drops
+  done;
+  check_close 0.005 "empirical matches stationary" 0.1325
+    (float_of_int !drops /. float_of_int n)
+
+let test_gilbert_elliott_burstiness () =
+  (* With sticky states, consecutive losses should be much more common
+     than under Bernoulli at equal mean. *)
+  let g = Rng.create 5 in
+  let l =
+    Loss.gilbert_elliott ~p_good_to_bad:0.01 ~p_bad_to_good:0.1 ~loss_good:0.0
+      ~loss_bad:1.0
+  in
+  let n = 200_000 in
+  let prev = ref false in
+  let consecutive = ref 0 and losses = ref 0 in
+  for _ = 1 to n do
+    let d = Loss.drop l g in
+    if d then begin
+      incr losses;
+      if !prev then incr consecutive
+    end;
+    prev := d
+  done;
+  let p_loss = float_of_int !losses /. float_of_int n in
+  let p_cc = float_of_int !consecutive /. float_of_int !losses in
+  Alcotest.(check bool) "bursty: P(loss|loss) >> P(loss)" true
+    (p_cc > 3.0 *. p_loss)
+
+
+let test_loss_controlled () =
+  let l, set = Loss.controlled () in
+  let g = Rng.create 6 in
+  for _ = 1 to 100 do
+    if Loss.drop l g then Alcotest.fail "starts lossless"
+  done;
+  set 1.0;
+  check_close 0.0 "mean reflects setting" 1.0 (Loss.mean_rate l);
+  for _ = 1 to 100 do
+    if not (Loss.drop l g) then Alcotest.fail "full loss drops all"
+  done;
+  set 0.0;
+  for _ = 1 to 100 do
+    if Loss.drop l g then Alcotest.fail "healed"
+  done;
+  (* setter clamps *)
+  set 7.5;
+  check_close 0.0 "clamped high" 1.0 (Loss.mean_rate l);
+  set (-3.0);
+  check_close 0.0 "clamped low" 0.0 (Loss.mean_rate l)
+
+let test_loss_validation () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Loss.bernoulli: probability out of [0,1]") (fun () ->
+      ignore (Loss.bernoulli 1.5));
+  Alcotest.check_raises "period < 1"
+    (Invalid_argument "Loss.deterministic: period must be >= 1") (fun () ->
+      ignore (Loss.deterministic ~period:0))
+
+(* ------------------------------------------------------------------ *)
+(* Packet *)
+
+let test_packet_make () =
+  let p = Packet.make ~size_bits:100 "x" in
+  Alcotest.(check int) "size" 100 p.Packet.size_bits;
+  Alcotest.(check string) "payload" "x" p.Packet.payload;
+  let q = Packet.map String.length p in
+  Alcotest.(check int) "map" 1 q.Packet.payload;
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Packet.make: size must be positive") (fun () ->
+      ignore (Packet.make ~size_bits:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Link *)
+
+(* A link that drains a list of packets and records deliveries. *)
+let make_drain_link ?loss ?delay ?(rate = 1000.0) engine packets =
+  let remaining = ref packets in
+  let delivered = ref [] in
+  let fetch () =
+    match !remaining with
+    | [] -> None
+    | p :: rest ->
+        remaining := rest;
+        Some p
+  in
+  let link =
+    Link.create engine ~rate_bps:rate ?delay ?loss ~rng:(Rng.create 10) ~fetch
+      ~deliver:(fun ~now payload -> delivered := (now, payload) :: !delivered)
+      ()
+  in
+  (link, delivered)
+
+let test_link_service_time () =
+  let e = Engine.create () in
+  let packets = [ Packet.make ~size_bits:1000 "a"; Packet.make ~size_bits:500 "b" ] in
+  let link, delivered = make_drain_link e packets ~rate:1000.0 in
+  Link.kick link;
+  Engine.run e;
+  (* 1000 bits at 1000 bps = 1 s; then 500 bits = 0.5 s later *)
+  match List.rev !delivered with
+  | [ (t1, "a"); (t2, "b") ] ->
+      check_close 1e-9 "first at 1s" 1.0 t1;
+      check_close 1e-9 "second at 1.5s" 1.5 t2
+  | _ -> Alcotest.fail "wrong deliveries"
+
+let test_link_propagation_delay () =
+  let e = Engine.create () in
+  let link, delivered =
+    make_drain_link e [ Packet.make ~size_bits:1000 "a" ] ~rate:1000.0
+      ~delay:0.25
+  in
+  Link.kick link;
+  Engine.run e;
+  match !delivered with
+  | [ (t, "a") ] -> check_close 1e-9 "service + delay" 1.25 t
+  | _ -> Alcotest.fail "wrong deliveries"
+
+let test_link_loss_counting () =
+  let e = Engine.create () in
+  let packets = List.init 1000 (fun i -> Packet.make ~size_bits:10 i) in
+  let link, delivered =
+    make_drain_link e packets ~loss:(Loss.deterministic ~period:2)
+  in
+  Link.kick link;
+  Engine.run e;
+  let stats = Link.stats link in
+  Alcotest.(check int) "fetched all" 1000 stats.Link.Stats.fetched;
+  Alcotest.(check int) "half dropped" 500 stats.Link.Stats.dropped;
+  Alcotest.(check int) "half delivered" 500 stats.Link.Stats.delivered;
+  Alcotest.(check int) "delivery list" 500 (List.length !delivered)
+
+let test_link_idles_and_kicks () =
+  let e = Engine.create () in
+  let source = Queue.create () in
+  let delivered = ref 0 in
+  let link =
+    Link.create e ~rate_bps:1000.0 ~rng:(Rng.create 11)
+      ~fetch:(fun () -> Queue.take_opt source)
+      ~deliver:(fun ~now:_ _ -> incr delivered)
+      ()
+  in
+  Link.kick link;
+  Engine.run e;
+  Alcotest.(check int) "nothing yet" 0 !delivered;
+  Alcotest.(check bool) "idle" false (Link.is_busy link);
+  Queue.add (Packet.make ~size_bits:100 ()) source;
+  Link.kick link;
+  Engine.run e;
+  Alcotest.(check int) "delivered after kick" 1 !delivered
+
+let test_link_on_served_before_loss () =
+  let e = Engine.create () in
+  let served = ref 0 in
+  let source = ref (List.init 10 (fun i -> Packet.make ~size_bits:10 i)) in
+  let link =
+    Link.create e ~rate_bps:1000.0
+      ~loss:(Loss.bernoulli 1.0) (* everything lost *)
+      ~on_served:(fun ~now:_ _ -> incr served)
+      ~rng:(Rng.create 12)
+      ~fetch:(fun () ->
+        match !source with
+        | [] -> None
+        | p :: rest ->
+            source := rest;
+            Some p)
+      ~deliver:(fun ~now:_ _ -> Alcotest.fail "nothing should arrive")
+      ()
+  in
+  Link.kick link;
+  Engine.run e;
+  Alcotest.(check int) "on_served fires despite loss" 10 !served
+
+let test_link_utilisation () =
+  let e = Engine.create () in
+  let link, _ =
+    make_drain_link e [ Packet.make ~size_bits:1000 "a" ] ~rate:1000.0
+  in
+  Link.kick link;
+  Engine.run ~until:2.0 e;
+  check_close 1e-9 "busy half the time" 0.5 (Link.utilisation link ~now:2.0)
+
+let test_link_set_rate () =
+  let e = Engine.create () in
+  let link, delivered =
+    make_drain_link e
+      [ Packet.make ~size_bits:1000 "a"; Packet.make ~size_bits:1000 "b" ]
+      ~rate:1000.0
+  in
+  Link.kick link;
+  (* double the rate while the first packet is in service: it keeps
+     its old service time, the second uses the new rate *)
+  ignore (Engine.schedule e ~after:0.1 (fun _ -> Link.set_rate link 2000.0));
+  Engine.run e;
+  match List.rev !delivered with
+  | [ (t1, _); (t2, _) ] ->
+      check_close 1e-9 "first unchanged" 1.0 t1;
+      check_close 1e-9 "second at new rate" 1.5 t2
+  | _ -> Alcotest.fail "wrong deliveries"
+
+(* ------------------------------------------------------------------ *)
+(* Pipe *)
+
+let test_pipe_fifo_delivery () =
+  let e = Engine.create () in
+  let delivered = ref [] in
+  let pipe =
+    Pipe.create e ~rate_bps:1000.0 ~rng:(Rng.create 13)
+      ~deliver:(fun ~now:_ x -> delivered := x :: !delivered)
+      ()
+  in
+  for i = 1 to 5 do
+    Alcotest.(check bool) "send ok" true
+      (Pipe.send pipe (Packet.make ~size_bits:100 i))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !delivered)
+
+let test_pipe_overflow () =
+  let e = Engine.create () in
+  let pipe =
+    Pipe.create e ~rate_bps:1.0 ~queue_capacity:2 ~rng:(Rng.create 14)
+      ~deliver:(fun ~now:_ _ -> ())
+      ()
+  in
+  (* first send goes straight into service, so capacity 2 + 1 in
+     flight accepts three *)
+  Alcotest.(check bool) "send 1" true (Pipe.send pipe (Packet.make ~size_bits:1000 1));
+  Alcotest.(check bool) "send 2" true (Pipe.send pipe (Packet.make ~size_bits:1000 2));
+  Alcotest.(check bool) "send 3" true (Pipe.send pipe (Packet.make ~size_bits:1000 3));
+  Alcotest.(check bool) "overflow" false (Pipe.send pipe (Packet.make ~size_bits:1000 4));
+  Alcotest.(check int) "overflow count" 1 (Pipe.overflows pipe)
+
+(* ------------------------------------------------------------------ *)
+(* Channel *)
+
+let test_channel_fan_out () =
+  let e = Engine.create () in
+  let source = ref (List.init 100 (fun i -> Packet.make ~size_bits:10 i)) in
+  let chan =
+    Channel.create e ~rate_bps:10_000.0 ~rng:(Rng.create 15)
+      ~fetch:(fun () ->
+        match !source with
+        | [] -> None
+        | p :: rest ->
+            source := rest;
+            Some p)
+      ()
+  in
+  let got_a = ref 0 and got_b = ref 0 in
+  let _a = Channel.subscribe chan (fun ~now:_ _ -> incr got_a) in
+  let b = Channel.subscribe chan ~loss:(Loss.deterministic ~period:2)
+      (fun ~now:_ _ -> incr got_b)
+  in
+  Channel.kick chan;
+  Engine.run e;
+  Alcotest.(check int) "lossless receiver" 100 !got_a;
+  Alcotest.(check int) "lossy receiver" 50 !got_b;
+  Alcotest.(check int) "server count" 100 (Channel.served chan);
+  Alcotest.(check int) "per-receiver losses" 50 (Channel.receiver_losses chan b)
+
+let test_channel_unsubscribe () =
+  let e = Engine.create () in
+  let source = ref (List.init 10 (fun i -> Packet.make ~size_bits:10 i)) in
+  let chan =
+    Channel.create e ~rate_bps:10_000.0 ~rng:(Rng.create 16)
+      ~fetch:(fun () ->
+        match !source with
+        | [] -> None
+        | p :: rest ->
+            source := rest;
+            Some p)
+      ()
+  in
+  let got = ref 0 in
+  let sub = Channel.subscribe chan (fun ~now:_ _ -> incr got) in
+  Alcotest.(check int) "one subscriber" 1 (Channel.subscriber_count chan);
+  Channel.unsubscribe chan sub;
+  Channel.kick chan;
+  Engine.run e;
+  Alcotest.(check int) "no deliveries" 0 !got;
+  Alcotest.(check int) "zero subscribers" 0 (Channel.subscriber_count chan)
+
+let test_channel_late_join () =
+  let e = Engine.create () in
+  let sent = ref 0 in
+  let chan_ref = ref None in
+  let chan =
+    Channel.create e ~rate_bps:1000.0 ~rng:(Rng.create 17)
+      ~fetch:(fun () ->
+        if !sent >= 20 then None
+        else begin
+          incr sent;
+          Some (Packet.make ~size_bits:100 !sent)
+        end)
+      ()
+  in
+  chan_ref := Some chan;
+  let got = ref 0 in
+  (* join after 10 packets (1 s) *)
+  ignore
+    (Engine.schedule e ~after:1.05 (fun _ ->
+         ignore (Channel.subscribe chan (fun ~now:_ _ -> incr got))));
+  Channel.kick chan;
+  Engine.run e;
+  Alcotest.(check bool) "late joiner gets the tail" true (!got > 0 && !got < 20)
+
+let () =
+  Alcotest.run "softstate_net"
+    [
+      ( "loss",
+        [
+          Alcotest.test_case "never" `Quick test_loss_never;
+          Alcotest.test_case "bernoulli rate" `Slow test_loss_bernoulli_rate;
+          Alcotest.test_case "deterministic" `Quick test_loss_deterministic;
+          Alcotest.test_case "gilbert-elliott mean" `Slow test_gilbert_elliott_mean;
+          Alcotest.test_case "gilbert-elliott bursts" `Slow
+            test_gilbert_elliott_burstiness;
+          Alcotest.test_case "controlled" `Quick test_loss_controlled;
+          Alcotest.test_case "validation" `Quick test_loss_validation;
+        ] );
+      ("packet", [ Alcotest.test_case "make/map" `Quick test_packet_make ]);
+      ( "link",
+        [
+          Alcotest.test_case "service time" `Quick test_link_service_time;
+          Alcotest.test_case "propagation delay" `Quick test_link_propagation_delay;
+          Alcotest.test_case "loss counting" `Quick test_link_loss_counting;
+          Alcotest.test_case "idle/kick" `Quick test_link_idles_and_kicks;
+          Alcotest.test_case "on_served before loss" `Quick
+            test_link_on_served_before_loss;
+          Alcotest.test_case "utilisation" `Quick test_link_utilisation;
+          Alcotest.test_case "set_rate" `Quick test_link_set_rate;
+        ] );
+      ( "pipe",
+        [
+          Alcotest.test_case "fifo" `Quick test_pipe_fifo_delivery;
+          Alcotest.test_case "overflow" `Quick test_pipe_overflow;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "fan out" `Quick test_channel_fan_out;
+          Alcotest.test_case "unsubscribe" `Quick test_channel_unsubscribe;
+          Alcotest.test_case "late join" `Quick test_channel_late_join;
+        ] );
+    ]
