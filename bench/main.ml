@@ -29,6 +29,7 @@ let experiments =
     ("sstp-repair", "SSTP: single-leaf repair vs store size", Sstp_bench.repair);
     ("sstp-continuum", "SSTP: the reliability continuum", Sstp_bench.continuum);
     ("sstp-group", "SSTP: multicast group scaling", Sstp_bench.group);
+    ("obs-smoke", "Observability: traced-run throughput", Obs_smoke.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

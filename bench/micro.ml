@@ -31,6 +31,18 @@ let bench_engine =
          done;
          Engine.run e))
 
+let bench_engine_probed =
+  Test.make ~name:"obs overhead: engine 1000 events, probes attached"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         let obs = Softstate_obs.Obs.create () in
+         Softstate_obs.Engine_probe.attach ~obs e;
+         let g = Rng.create 2 in
+         for _ = 1 to 1000 do
+           ignore (Engine.schedule e ~after:(Rng.float g) (fun _ -> ()))
+         done;
+         Engine.run e))
+
 let bench_md5 =
   let payload = String.make 1024 'x' in
   Test.make ~name:"md5 1 KiB"
@@ -104,8 +116,8 @@ let bench_open_loop_sim =
 
 let all_tests =
   Test.make_grouped ~name:"softstate"
-    [ bench_heap; bench_engine; bench_md5; bench_stride; bench_lottery;
-      bench_namespace; bench_wire; bench_open_loop_sim ]
+    [ bench_heap; bench_engine; bench_engine_probed; bench_md5; bench_stride;
+      bench_lottery; bench_namespace; bench_wire; bench_open_loop_sim ]
 
 let run () =
   Tables.header "Micro-benchmarks (bechamel)";

@@ -1,0 +1,58 @@
+(* Observability smoke benchmark: run the same lossy two-queue
+   experiment with tracing off and with tracing into a counting sink,
+   report event throughput and the tracing overhead, and record the
+   numbers to BENCH_obs.json for trend tracking. *)
+
+module E = Softstate_core.Experiment
+module Obs = Softstate_obs.Obs
+module Trace = Softstate_obs.Trace
+module Json = Softstate_obs.Json
+
+let config ~obs =
+  { E.default with
+    E.duration = 500.0;
+    loss = E.Bernoulli 0.3;
+    protocol = E.Two_queue { mu_hot_kbps = 20.0; mu_cold_kbps = 25.0 };
+    obs }
+
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let run () =
+  Tables.header "Observability smoke (BENCH_obs.json)";
+  let _, base_s = timed (fun () -> E.run (config ~obs:None)) in
+  let events = ref 0 in
+  let counting =
+    Trace.filter
+      (fun _ ->
+        incr events;
+        false)
+      Trace.null
+  in
+  let obs = Obs.create ~trace:counting () in
+  let r, traced_s = timed (fun () -> E.run (config ~obs:(Some obs))) in
+  let events_per_s =
+    if traced_s > 0.0 then float_of_int !events /. traced_s else 0.0
+  in
+  let overhead = if base_s > 0.0 then (traced_s -. base_s) /. base_s else 0.0 in
+  Printf.printf "untraced run            %.3f s\n" base_s;
+  Printf.printf "traced run              %.3f s (overhead %+.1f%%)\n" traced_s
+    (100.0 *. overhead);
+  Printf.printf "trace events emitted    %d (%.0f events/s wall)\n" !events
+    events_per_s;
+  Printf.printf "final consistency       %.4f\n" r.E.final_consistency;
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc
+    (Json.obj
+       [ ("experiment", Json.string "obs-smoke");
+         ("sim_duration_s", Json.float 500.0);
+         ("untraced_wall_s", Json.float base_s);
+         ("traced_wall_s", Json.float traced_s);
+         ("trace_events", Json.int !events);
+         ("events_per_wall_s", Json.float events_per_s);
+         ("tracing_overhead", Json.float overhead) ]);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_obs.json"

@@ -1,0 +1,75 @@
+(* Shared observability plumbing for the command-line front ends:
+   --trace FILE streams the structured event trace (JSON lines, or CSV
+   when the file name ends in .csv), --metrics FILE writes the
+   end-of-run metrics snapshot as JSON, --report FORMAT renders the
+   summary as a table or machine JSON instead of the legacy printf
+   output. *)
+
+open Cmdliner
+module Obs = Softstate_obs.Obs
+module Trace = Softstate_obs.Trace
+module Metrics = Softstate_obs.Metrics
+
+let trace_arg =
+  let doc =
+    "Stream the structured event trace to $(docv) as the run executes \
+     (one JSON object per line; CSV when the name ends in .csv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Write the end-of-run metrics snapshot to $(docv) as JSON." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let report_arg =
+  let doc = "Render the run summary as $(docv): table or json." in
+  Arg.(
+    value
+    & opt (some (enum [ ("table", `Table); ("json", `Json) ])) None
+    & info [ "report" ] ~docv:"FORMAT" ~doc)
+
+type t = {
+  obs : Obs.t option;
+  report : [ `Table | `Json ] option;
+  finish : now:float -> unit;
+      (* write the metrics file and close the trace stream *)
+}
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let open_file file =
+  try open_out file
+  with Sys_error msg ->
+    Printf.eprintf "cannot write %s\n" msg;
+    exit 1
+
+let setup ~trace_file ~metrics_file ~report =
+  if trace_file = None && metrics_file = None && report = None then
+    { obs = None; report = None; finish = (fun ~now:_ -> ()) }
+  else begin
+    let closers = ref [] in
+    let trace =
+      match trace_file with
+      | None -> Trace.null
+      | Some file ->
+          let oc = open_file file in
+          closers := (fun () -> close_out oc) :: !closers;
+          let write s = output_string oc s in
+          if ends_with ~suffix:".csv" file then Trace.csv_writer write
+          else Trace.jsonl_writer write
+    in
+    let obs = Obs.create ~trace () in
+    let finish ~now =
+      (match metrics_file with
+      | None -> ()
+      | Some file ->
+          let oc = open_file file in
+          output_string oc (Metrics.to_json (Obs.metrics obs) ~now);
+          output_char oc '\n';
+          close_out oc);
+      List.iter (fun close -> close ()) !closers
+    in
+    { obs = Some obs; report; finish }
+  end

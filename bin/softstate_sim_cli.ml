@@ -80,7 +80,7 @@ let sched_arg =
     & info [ "sched" ] ~doc)
 
 let run protocol seed duration lambda size_bits loss mu_data mu_hot mu_cold
-    mu_fb nack_bits death sched =
+    mu_fb nack_bits death sched trace_file metrics_file report =
   let protocol =
     match protocol with
     | `Open_loop -> E.Open_loop { mu_data_kbps = mu_data }
@@ -90,26 +90,38 @@ let run protocol seed duration lambda size_bits loss mu_data mu_hot mu_cold
           { mu_hot_kbps = mu_hot; mu_cold_kbps = mu_cold; mu_fb_kbps = mu_fb;
             nack_bits; fb_lossy = false }
   in
+  let obs = Obs_cli.setup ~trace_file ~metrics_file ~report in
   let config =
     { E.seed; duration; lambda_kbps = lambda; size_bits; death;
       expiry = Base.No_expiry;
       update_fraction = 0.0; loss = E.Bernoulli loss; protocol; sched;
-      empty_policy = Consistency.Empty_is_consistent; record_series = false }
+      empty_policy = Consistency.Empty_is_consistent; record_series = false;
+      obs = obs.Obs_cli.obs }
   in
   let r = E.run config in
-  Printf.printf "average consistency   %.4f\n" r.E.avg_consistency;
-  Printf.printf "final consistency     %.4f\n" r.E.final_consistency;
-  Printf.printf "receive latency       %.3f s (+/- %.3f, n=%d)\n"
-    r.E.latency_mean r.E.latency_ci95 r.E.deliveries;
-  Printf.printf "transmissions         %d (redundant fraction %.3f)\n"
-    r.E.transmissions r.E.redundant_fraction;
-  if r.E.sent_hot + r.E.sent_cold > 0 then
-    Printf.printf "hot/cold sends        %d / %d\n" r.E.sent_hot r.E.sent_cold;
-  if r.E.nacks_sent > 0 then
-    Printf.printf "nacks                 %d sent, %d delivered, %d overflowed, %d reheats\n"
-      r.E.nacks_sent r.E.nacks_delivered r.E.nack_overflows r.E.reheats;
-  Printf.printf "link utilisation      %.3f\n" r.E.utilisation;
-  Printf.printf "live records at end   %d\n" r.E.live_at_end
+  obs.Obs_cli.finish ~now:duration;
+  match obs.Obs_cli.report with
+  | Some format ->
+      print_string
+        (Softstate_obs.Report.render format
+           (E.report ?obs:obs.Obs_cli.obs ~config r));
+      print_newline ()
+  | None ->
+      Printf.printf "average consistency   %.4f\n" r.E.avg_consistency;
+      Printf.printf "final consistency     %.4f\n" r.E.final_consistency;
+      Printf.printf "receive latency       %.3f s (+/- %.3f, n=%d)\n"
+        r.E.latency_mean r.E.latency_ci95 r.E.deliveries;
+      Printf.printf "transmissions         %d (redundant fraction %.3f)\n"
+        r.E.transmissions r.E.redundant_fraction;
+      if r.E.sent_hot + r.E.sent_cold > 0 then
+        Printf.printf "hot/cold sends        %d / %d\n" r.E.sent_hot
+          r.E.sent_cold;
+      if r.E.nacks_sent > 0 then
+        Printf.printf
+          "nacks                 %d sent, %d delivered, %d overflowed, %d reheats\n"
+          r.E.nacks_sent r.E.nacks_delivered r.E.nack_overflows r.E.reheats;
+      Printf.printf "link utilisation      %.3f\n" r.E.utilisation;
+      Printf.printf "live records at end   %d\n" r.E.live_at_end
 
 let cmd =
   let doc = "simulate one soft-state announce/listen experiment" in
@@ -118,6 +130,7 @@ let cmd =
     Term.(
       const run $ protocol_arg $ seed_arg $ duration_arg $ lambda_arg
       $ size_arg $ loss_arg $ mu_data_arg $ mu_hot_arg $ mu_cold_arg
-      $ mu_fb_arg $ nack_arg $ death_arg $ sched_arg)
+      $ mu_fb_arg $ nack_arg $ death_arg $ sched_arg $ Obs_cli.trace_arg
+      $ Obs_cli.metrics_arg $ Obs_cli.report_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -54,6 +54,7 @@ type config = {
   sched : Sched.algorithm;
   empty_policy : Consistency.empty_policy;
   record_series : bool;
+  obs : Softstate_obs.Obs.t option;
 }
 
 let default =
@@ -62,7 +63,8 @@ let default =
     update_fraction = 0.0;
     loss = Bernoulli 0.1;
     protocol = Open_loop { mu_data_kbps = 45.0 }; sched = Sched.Stride;
-    empty_policy = Consistency.Empty_is_consistent; record_series = false }
+    empty_policy = Consistency.Empty_is_consistent; record_series = false;
+    obs = None }
 
 type result = {
   avg_consistency : float;
@@ -111,6 +113,10 @@ let run config =
   in
   let loss = make_loss config.loss in
   let link_rng = Rng.split rng in
+  let obs = config.obs in
+  (match obs with
+  | Some o -> Softstate_obs.Engine_probe.attach ~obs:o engine
+  | None -> ());
   (* per-variant plumbing: how to read utilisation and the feedback
      counters at the end of the run *)
   let no_counters () = (0, 0, 0, 0, 0, 0, 0, 0) in
@@ -118,14 +124,14 @@ let run config =
     match config.protocol with
     | Open_loop { mu_data_kbps } ->
         let p =
-          Open_loop.create ~base ~mu_data_bps:(kbps mu_data_kbps) ~loss
+          Open_loop.create ~base ~mu_data_bps:(kbps mu_data_kbps) ?obs ~loss
             ~link_rng ()
         in
         ((fun ~now -> Net.Link.utilisation (Open_loop.link p) ~now), no_counters)
     | Two_queue { mu_hot_kbps; mu_cold_kbps } ->
         let p =
           Two_queue.create ~base ~mu_hot_bps:(kbps mu_hot_kbps)
-            ~mu_cold_bps:(kbps mu_cold_kbps) ~sched:config.sched ~loss
+            ~mu_cold_bps:(kbps mu_cold_kbps) ~sched:config.sched ?obs ~loss
             ~link_rng ()
         in
         ( (fun ~now -> Net.Link.utilisation (Two_queue.link p) ~now),
@@ -139,7 +145,7 @@ let run config =
         let p =
           Feedback.create ~base ~mu_hot_bps:(kbps mu_hot_kbps)
             ~mu_cold_bps:(kbps mu_cold_kbps) ~mu_fb_bps:(kbps mu_fb_kbps)
-            ~sched:config.sched ~nack_bits ~fb_loss ~loss ~link_rng ()
+            ~sched:config.sched ?obs ~nack_bits ~fb_loss ~loss ~link_rng ()
         in
         ( (fun ~now ->
             Net.Link.utilisation (Two_queue.link (Feedback.sender p)) ~now),
@@ -161,7 +167,7 @@ let run config =
         let p =
           Multicast.create ~base ~mu_hot_bps:(kbps mu_hot_kbps)
             ~mu_cold_bps:(kbps mu_cold_kbps) ~mu_fb_bps:(kbps mu_fb_kbps)
-            ~sched:config.sched ~nack_bits ~suppression ~nack_slot
+            ~sched:config.sched ?obs ~nack_bits ~suppression ~nack_slot
             ~receiver_loss ~link_rng ()
         in
         ( (fun ~now -> Net.Channel.utilisation (Multicast.channel p) ~now),
@@ -197,3 +203,51 @@ let run config =
     live_at_end = Table.live_count (Base.table base);
     utilisation = utilisation ~now;
     series = Consistency.series tracker }
+
+let protocol_name = function
+  | Open_loop _ -> "open-loop"
+  | Two_queue _ -> "two-queue"
+  | Feedback _ -> "feedback"
+  | Multicast _ -> "multicast"
+
+let report ?obs ~config r =
+  let module R = Softstate_obs.Report in
+  let run_rows =
+    [ ("protocol", R.string (protocol_name config.protocol));
+      ("seed", R.int config.seed);
+      ("duration_s", R.float config.duration);
+      ("lambda_kbps", R.float config.lambda_kbps);
+      ("mean_loss", R.float (loss_mean config.loss)) ]
+  in
+  let consistency_rows =
+    [ ("average", R.float r.avg_consistency);
+      ("final", R.float r.final_consistency);
+      ("latency_mean_s", R.float r.latency_mean);
+      ("latency_ci95_s", R.float r.latency_ci95);
+      ("deliveries", R.int r.deliveries) ]
+  in
+  let traffic_rows =
+    [ ("transmissions", R.int r.transmissions);
+      ("redundant_fraction", R.float r.redundant_fraction);
+      ("sent_hot", R.int r.sent_hot);
+      ("sent_cold", R.int r.sent_cold);
+      ("nacks_sent", R.int r.nacks_sent);
+      ("nacks_delivered", R.int r.nacks_delivered);
+      ("nack_overflows", R.int r.nack_overflows);
+      ("reheats", R.int r.reheats);
+      ("utilisation", R.float r.utilisation);
+      ("live_at_end", R.int r.live_at_end) ]
+  in
+  let sections =
+    [ R.section "run" run_rows;
+      R.section "consistency" consistency_rows;
+      R.section "traffic" traffic_rows ]
+  in
+  let sections =
+    match obs with
+    | None -> sections
+    | Some o ->
+        sections
+        @ [ R.of_metrics (Softstate_obs.Obs.metrics o) ~now:config.duration ]
+  in
+  R.make ~name:"softstate-sim" sections

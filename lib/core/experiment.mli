@@ -51,6 +51,9 @@ type config = {
   sched : Softstate_sched.Scheduler.algorithm;
   empty_policy : Consistency.empty_policy;
   record_series : bool;
+  obs : Softstate_obs.Obs.t option;
+      (** observability context: when present, every link/pipe and the
+          engine register metrics probes and emit trace events *)
 }
 
 val default : config
@@ -82,3 +85,9 @@ type result = {
 }
 
 val run : config -> result
+
+val report :
+  ?obs:Softstate_obs.Obs.t -> config:config -> result -> Softstate_obs.Report.t
+(** Render a run as a structured report (run / consistency / traffic
+    sections, plus a metrics section when [obs] is given — normally
+    the same context stored in [config.obs]). *)

@@ -1,6 +1,8 @@
 module Engine = Softstate_sim.Engine
 module Net = Softstate_net
 module Rng = Softstate_util.Rng
+module Obs = Softstate_obs.Obs
+module Trace = Softstate_obs.Trace
 
 type nack = { missing_seq : int }
 
@@ -9,6 +11,7 @@ type t = {
   sender : Two_queue.t;
   seq_to_key : (int, Record.key) Hashtbl.t;
   nack_bits : int;
+  trace : Trace.t;
   mutable fb_pipe : nack Net.Pipe.t option;
   mutable expected_seq : int;
   mutable nacks_sent : int;
@@ -47,6 +50,10 @@ let receiver_deliver t ~now (ann : Base.announcement) =
   if ann.Base.seq > t.expected_seq then begin
     for missing = t.expected_seq to ann.Base.seq - 1 do
       t.nacks_sent <- t.nacks_sent + 1;
+      if Trace.enabled t.trace then
+        Trace.emit t.trace
+          (Trace.event ~time:now ~src:"feedback"
+             ~detail:(string_of_int missing) Trace.Nack);
       match t.fb_pipe with
       | Some pipe ->
           ignore
@@ -58,7 +65,8 @@ let receiver_deliver t ~now (ann : Base.announcement) =
   if ann.Base.seq >= t.expected_seq then t.expected_seq <- ann.Base.seq + 1;
   Base.deliver t.base ~now ~receiver:0 ann
 
-let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?(nack_bits = 256)
+let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs
+    ?(nack_bits = 256)
     ?(fb_queue_capacity = 1024) ?(fb_loss = Net.Loss.never) ~loss ~link_rng ()
     =
   if mu_fb_bps <= 0.0 then
@@ -66,10 +74,12 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?(nack_bits = 256)
   let sched_rng = Rng.split link_rng in
   let fb_rng = Rng.split link_rng in
   let sender =
-    Two_queue.create_queues ~base ~mu_hot_bps ~mu_cold_bps ?sched ~sched_rng ()
+    Two_queue.create_queues ~base ~mu_hot_bps ~mu_cold_bps ?sched ?obs
+      ~sched_rng ()
   in
   let t =
     { base; sender; seq_to_key = Hashtbl.create 1024; nack_bits;
+      trace = Obs.trace_of obs;
       fb_pipe = None; expected_seq = 0; nacks_sent = 0; nacks_delivered = 0;
       reheats = 0 }
   in
@@ -89,6 +99,7 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?(nack_bits = 256)
       ~on_served:(fun ~now packet ->
         Two_queue.serve_completion sender ~now
           packet.Net.Packet.payload.Base.key)
+      ?obs ~label:"feedback.data"
       ~rng:link_rng ~fetch
       ~deliver:(fun ~now ann -> receiver_deliver t ~now ann)
       ()
@@ -96,7 +107,7 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?(nack_bits = 256)
   Two_queue.attach_link sender link;
   let pipe =
     Net.Pipe.create (Base.engine base) ~rate_bps:mu_fb_bps ~loss:fb_loss
-      ~queue_capacity:fb_queue_capacity ~rng:fb_rng
+      ~queue_capacity:fb_queue_capacity ?obs ~label:"feedback.fb" ~rng:fb_rng
       ~deliver:(fun ~now nack -> on_nack t ~now nack)
       ()
   in

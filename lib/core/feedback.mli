@@ -21,6 +21,7 @@ val create :
   mu_cold_bps:float ->
   mu_fb_bps:float ->
   ?sched:Softstate_sched.Scheduler.algorithm ->
+  ?obs:Softstate_obs.Obs.t ->
   ?nack_bits:int ->
   ?fb_queue_capacity:int ->
   ?fb_loss:Softstate_net.Loss.t ->

@@ -111,7 +111,7 @@ let on_nack t ~now nack =
       if Two_queue.reheat t.sender ~now key then
         t.reheats <- t.reheats + 1
 
-let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched
+let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs
     ?(nack_bits = 500) ?(fb_queue_capacity = 4096) ?(suppression = true)
     ?(nack_slot = 0.5) ~receiver_loss ~link_rng () =
   if mu_fb_bps <= 0.0 then
@@ -122,7 +122,8 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched
   let fb_rng = Rng.split link_rng in
   let slot_rng = Rng.split link_rng in
   let sender =
-    Two_queue.create_queues ~base ~mu_hot_bps ~mu_cold_bps ?sched ~sched_rng ()
+    Two_queue.create_queues ~base ~mu_hot_bps ~mu_cold_bps ?sched ?obs
+      ~sched_rng ()
   in
   let t =
     { base; sender; seq_to_key = Hashtbl.create 1024; nack_bits; suppression;
@@ -145,6 +146,7 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched
       ~on_served:(fun ~now packet ->
         Two_queue.serve_completion sender ~now
           packet.Net.Packet.payload.Base.key)
+      ?obs ~label:"multicast.data"
       ~rng:link_rng ~fetch ()
   in
   for i = 0 to Base.receiver_count base - 1 do
@@ -157,7 +159,7 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched
   Two_queue.attach_kick sender (fun () -> Net.Channel.kick channel);
   let pipe =
     Net.Pipe.create (Base.engine base) ~rate_bps:mu_fb_bps
-      ~queue_capacity:fb_queue_capacity ~rng:fb_rng
+      ~queue_capacity:fb_queue_capacity ?obs ~label:"multicast.fb" ~rng:fb_rng
       ~deliver:(fun ~now nack -> on_nack t ~now nack)
       ()
   in

@@ -23,6 +23,7 @@ val create :
   mu_cold_bps:float ->
   mu_fb_bps:float ->
   ?sched:Softstate_sched.Scheduler.algorithm ->
+  ?obs:Softstate_obs.Obs.t ->
   ?nack_bits:int ->
   ?fb_queue_capacity:int ->
   ?suppression:bool ->

@@ -1,5 +1,7 @@
 module Engine = Softstate_sim.Engine
 module Net = Softstate_net
+module Obs = Softstate_obs.Obs
+module Trace = Softstate_obs.Trace
 
 (* Circulation status of a live record. A record is always exactly one
    of: queued, in service, or dead — so updates never need to enqueue
@@ -11,6 +13,7 @@ type t = {
   base : Base.t;
   queue : Record.key Queue.t;
   status : (Record.key, status) Hashtbl.t;
+  trace : Trace.t;
   mutable seq : int;
   mutable link : Base.announcement Net.Link.t option;
 }
@@ -27,6 +30,12 @@ let rec fetch t () =
           Hashtbl.replace t.status key In_service;
           let seq = t.seq in
           t.seq <- seq + 1;
+          if Trace.enabled t.trace then
+            Trace.emit t.trace
+              (Trace.event
+                 ~time:(Engine.now (Base.engine t.base))
+                 ~src:"open_loop" ~detail:(string_of_int key)
+                 Trace.Announce);
           let ann = Base.announce_of t.base ~seq r in
           Some (Net.Packet.make ~size_bits:r.Record.size_bits ann))
 
@@ -43,14 +52,15 @@ let on_served t ~now (packet : Base.announcement Net.Packet.t) =
         match t.link with Some l -> Net.Link.kick l | None -> ()
       end
 
-let create ~base ~mu_data_bps ~loss ~link_rng () =
+let create ~base ~mu_data_bps ?obs ~loss ~link_rng () =
   let t =
-    { base; queue = Queue.create (); status = Hashtbl.create 256; seq = 0;
-      link = None }
+    { base; queue = Queue.create (); status = Hashtbl.create 256;
+      trace = Obs.trace_of obs; seq = 0; link = None }
   in
   let link =
     Net.Link.create (Base.engine base) ~rate_bps:mu_data_bps ~loss
       ~on_served:(fun ~now packet -> on_served t ~now packet)
+      ?obs ~label:"open_loop.data"
       ~rng:link_rng
       ~fetch:(fetch t)
       ~deliver:(fun ~now ann -> Base.deliver base ~now ~receiver:0 ann)

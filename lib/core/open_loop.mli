@@ -12,12 +12,15 @@ type t
 val create :
   base:Base.t ->
   mu_data_bps:float ->
+  ?obs:Softstate_obs.Obs.t ->
   loss:Softstate_net.Loss.t ->
   link_rng:Softstate_util.Rng.t ->
   unit ->
   t
 (** Wires the protocol onto [base]'s engine and hooks; call
-    {!Base.start} afterwards to begin the workload. *)
+    {!Base.start} afterwards to begin the workload. With [obs] the
+    link is instrumented as ["open_loop.data"] and every announcement
+    emits an [Announce] trace event. *)
 
 val queue_length : t -> int
 (** Records awaiting (re)announcement. *)

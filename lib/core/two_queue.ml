@@ -1,6 +1,8 @@
 module Engine = Softstate_sim.Engine
 module Net = Softstate_net
 module Sched = Softstate_sched
+module Obs = Softstate_obs.Obs
+module Trace = Softstate_obs.Trace
 
 (* Queue entries are (key, generation): a record's generation counter
    advances every time it is (re)enqueued, so an entry is valid only if
@@ -23,6 +25,7 @@ type t = {
   sched : Sched.Scheduler.t;
   hot_flow : Sched.Scheduler.flow;
   cold_flow : Sched.Scheduler.flow;
+  trace : Trace.t;
   mutable seq : int;
   mutable sent_hot : int;
   mutable sent_cold : int;
@@ -91,8 +94,15 @@ let fetch_packet t =
       | Some info -> info.temp <- In_service
       | None -> assert false);
       Sched.Scheduler.charge t.sched flow (float_of_int r.Record.size_bits);
-      if flow = t.hot_flow then t.sent_hot <- t.sent_hot + 1
+      let hot = flow = t.hot_flow in
+      if hot then t.sent_hot <- t.sent_hot + 1
       else t.sent_cold <- t.sent_cold + 1;
+      if Trace.enabled t.trace then
+        Trace.emit t.trace
+          (Trace.event
+             ~time:(Engine.now (Base.engine t.base))
+             ~src:"two_queue" ~detail:(string_of_int key)
+             (if hot then Trace.Announce else Trace.Refresh));
       let seq = t.seq in
       t.seq <- seq + 1;
       let ann = Base.announce_of t.base ~seq r in
@@ -116,16 +126,20 @@ let serve_completion t ~now key =
         wake t
       end
 
-let reheat t ~now:_ key =
+let reheat t ~now key =
   match Table.find (Base.table t.base) key, Hashtbl.find_opt t.info key with
   | Some r, Some info when info.temp = Cold ->
       enqueue t r Hot;
+      if Trace.enabled t.trace then
+        Trace.emit t.trace
+          (Trace.event ~time:now ~src:"two_queue"
+             ~detail:(string_of_int key) Trace.Repair);
       wake t;
       true
   | _ -> false
 
 let create_queues ~base ~mu_hot_bps ~mu_cold_bps
-    ?(sched = Sched.Scheduler.Stride) ~sched_rng () =
+    ?(sched = Sched.Scheduler.Stride) ?obs ~sched_rng () =
   if mu_hot_bps <= 0.0 || mu_cold_bps <= 0.0 then
     invalid_arg "Two_queue.create: rates must be positive";
   let scheduler = Sched.Scheduler.create ~rng:sched_rng sched in
@@ -134,6 +148,7 @@ let create_queues ~base ~mu_hot_bps ~mu_cold_bps
   let t =
     { base; hot = Queue.create (); cold = Queue.create ();
       info = Hashtbl.create 256; sched = scheduler; hot_flow; cold_flow;
+      trace = Obs.trace_of obs;
       seq = 0; sent_hot = 0; sent_cold = 0; link = None; kick_fn = ignore;
       kick_attached = false }
   in
@@ -160,15 +175,18 @@ let attach_link t link =
   t.link <- Some link;
   attach_kick t (fun () -> Net.Link.kick link)
 
-let create ~base ~mu_hot_bps ~mu_cold_bps ?sched ~loss ~link_rng () =
+let create ~base ~mu_hot_bps ~mu_cold_bps ?sched ?obs ~loss ~link_rng () =
   let sched_rng = Softstate_util.Rng.split link_rng in
-  let t = create_queues ~base ~mu_hot_bps ~mu_cold_bps ?sched ~sched_rng () in
+  let t =
+    create_queues ~base ~mu_hot_bps ~mu_cold_bps ?sched ?obs ~sched_rng ()
+  in
   let link =
     Net.Link.create (Base.engine base)
       ~rate_bps:(mu_hot_bps +. mu_cold_bps)
       ~loss
       ~on_served:(fun ~now packet ->
         serve_completion t ~now packet.Net.Packet.payload.Base.key)
+      ?obs ~label:"two_queue.data"
       ~rng:link_rng
       ~fetch:(fun () -> fetch_packet t)
       ~deliver:(fun ~now ann -> Base.deliver base ~now ~receiver:0 ann)

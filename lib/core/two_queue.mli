@@ -16,12 +16,16 @@ val create :
   mu_hot_bps:float ->
   mu_cold_bps:float ->
   ?sched:Softstate_sched.Scheduler.algorithm ->
+  ?obs:Softstate_obs.Obs.t ->
   loss:Softstate_net.Loss.t ->
   link_rng:Softstate_util.Rng.t ->
   unit ->
   t
 (** The link rate is [mu_hot_bps +. mu_cold_bps]; the two values also
-    serve as the scheduler weights. [sched] defaults to stride. *)
+    serve as the scheduler weights. [sched] defaults to stride. With
+    [obs] the link is instrumented as ["two_queue.data"], hot sends
+    emit [Announce], cold sends [Refresh], and NACK reheats
+    [Repair]. *)
 
 val hot_length : t -> int
 val cold_length : t -> int
@@ -39,6 +43,7 @@ val create_queues :
   mu_hot_bps:float ->
   mu_cold_bps:float ->
   ?sched:Softstate_sched.Scheduler.algorithm ->
+  ?obs:Softstate_obs.Obs.t ->
   sched_rng:Softstate_util.Rng.t ->
   unit ->
   t

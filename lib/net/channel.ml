@@ -1,5 +1,8 @@
 module Engine = Softstate_sim.Engine
 module Rng = Softstate_util.Rng
+module Obs = Softstate_obs.Obs
+module Metrics = Softstate_obs.Metrics
+module Trace = Softstate_obs.Trace
 
 type 'a receiver = {
   id : int;
@@ -17,6 +20,8 @@ type 'a t = {
   rng : Rng.t;
   fetch : unit -> 'a Packet.t option;
   on_served : (now:float -> 'a Packet.t -> unit) option;
+  trace : Trace.t;
+  src : string;
   mutable receivers : 'a receiver list;
   mutable next_id : int;
   mutable busy : bool;
@@ -25,11 +30,25 @@ type 'a t = {
   mutable busy_time : float;
 }
 
-let create engine ~rate_bps ?(delay = 0.0) ?on_served ~rng ~fetch () =
+let create engine ~rate_bps ?(delay = 0.0) ?on_served ?obs
+    ?(label = "channel") ~rng ~fetch () =
   if rate_bps <= 0.0 then invalid_arg "Channel.create: rate must be positive";
   if delay < 0.0 then invalid_arg "Channel.create: negative delay";
-  { engine; rate_bps; delay; rng; fetch; on_served; receivers = []; next_id = 0;
-    busy = false; served = 0; created_at = Engine.now engine; busy_time = 0.0 }
+  let t =
+    { engine; rate_bps; delay; rng; fetch; on_served;
+      trace = Obs.trace_of obs; src = label; receivers = []; next_id = 0;
+      busy = false; served = 0; created_at = Engine.now engine;
+      busy_time = 0.0 }
+  in
+  (match obs with
+  | Some o ->
+      let m = Obs.metrics o in
+      Metrics.probe m (label ^ ".sent") (fun ~now:_ -> float_of_int t.served);
+      Metrics.probe m (label ^ ".utilisation") (fun ~now ->
+          let span = now -. t.created_at in
+          if span <= 0.0 then 0.0 else t.busy_time /. span)
+  | None -> ());
+  t
 
 let subscribe t ?(loss = Loss.never) callback =
   let id = t.next_id in
@@ -43,15 +62,28 @@ let unsubscribe t sub =
 let fan_out t payload =
   (* Draw each receiver's loss independently at service completion;
      delivery is delayed by propagation. *)
+  let traced = Trace.enabled t.trace in
+  let now = Engine.now t.engine in
   List.iter
     (fun r ->
-      if Loss.drop r.loss t.rng then r.lost <- r.lost + 1
-      else if t.delay = 0.0 then
-        r.callback ~now:(Engine.now t.engine) payload
-      else
-        ignore
-          (Engine.schedule t.engine ~after:t.delay (fun engine ->
-               r.callback ~now:(Engine.now engine) payload)))
+      if Loss.drop r.loss t.rng then begin
+        r.lost <- r.lost + 1;
+        if traced then
+          Trace.emit t.trace
+            (Trace.event ~time:now ~src:t.src
+               ~detail:(string_of_int r.id) Trace.Packet_dropped)
+      end
+      else begin
+        if traced then
+          Trace.emit t.trace
+            (Trace.event ~time:now ~src:t.src
+               ~detail:(string_of_int r.id) Trace.Packet_delivered);
+        if t.delay = 0.0 then r.callback ~now payload
+        else
+          ignore
+            (Engine.schedule t.engine ~after:t.delay (fun engine ->
+                 r.callback ~now:(Engine.now engine) payload))
+      end)
     t.receivers
 
 let rec serve_next t =
@@ -67,6 +99,11 @@ let rec serve_next t =
              (match t.on_served with
              | Some f -> f ~now:(Engine.now engine) packet
              | None -> ());
+             if Trace.enabled t.trace then
+               Trace.emit t.trace
+                 (Trace.event ~time:(Engine.now engine) ~src:t.src
+                    ~value:(float_of_int packet.Packet.size_bits)
+                    Trace.Packet_sent);
              fan_out t packet.Packet.payload;
              serve_next t))
 

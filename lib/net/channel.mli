@@ -14,12 +14,19 @@ val create :
   rate_bps:float ->
   ?delay:float ->
   ?on_served:(now:float -> 'a Packet.t -> unit) ->
+  ?obs:Softstate_obs.Obs.t ->
+  ?label:string ->
   rng:Softstate_util.Rng.t ->
   fetch:(unit -> 'a Packet.t option) ->
   unit ->
   'a t
 (** [on_served] fires once per packet when the shared server finishes
-    it, before the per-receiver loss draws. *)
+    it, before the per-receiver loss draws.
+
+    With [obs], registers [<label>.sent] / [<label>.utilisation]
+    probes (default label ["channel"]) and emits one [Packet_sent]
+    per served packet plus a [Packet_dropped] or [Packet_delivered]
+    per subscriber, tagged with the subscriber id in [detail]. *)
 
 val subscribe :
   'a t -> ?loss:Loss.t -> (now:float -> 'a -> unit) -> subscription

@@ -1,5 +1,8 @@
 module Engine = Softstate_sim.Engine
 module Rng = Softstate_util.Rng
+module Obs = Softstate_obs.Obs
+module Metrics = Softstate_obs.Metrics
+module Trace = Softstate_obs.Trace
 
 module Stats = struct
   type t = {
@@ -21,6 +24,8 @@ type 'a t = {
   deliver : now:float -> 'a -> unit;
   on_served : (now:float -> 'a Packet.t -> unit) option;
   created_at : float;
+  trace : Trace.t;
+  src : string;
   mutable busy : bool;
   mutable fetched : int;
   mutable delivered : int;
@@ -29,13 +34,29 @@ type 'a t = {
   mutable busy_time : float;
 }
 
+let register_probes t obs =
+  let m = Obs.metrics obs in
+  Metrics.probe m (t.src ^ ".sent") (fun ~now:_ -> float_of_int t.fetched);
+  Metrics.probe m (t.src ^ ".delivered") (fun ~now:_ ->
+      float_of_int t.delivered);
+  Metrics.probe m (t.src ^ ".dropped") (fun ~now:_ -> float_of_int t.dropped);
+  Metrics.probe m (t.src ^ ".bits_served") (fun ~now:_ -> t.bits_served);
+  Metrics.probe m (t.src ^ ".utilisation") (fun ~now ->
+      let span = now -. t.created_at in
+      if span <= 0.0 then 0.0 else t.busy_time /. span)
+
 let create engine ~rate_bps ?(delay = 0.0) ?(loss = Loss.never) ?on_served
-    ~rng ~fetch ~deliver () =
+    ?obs ?(label = "link") ~rng ~fetch ~deliver () =
   if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
   if delay < 0.0 then invalid_arg "Link.create: negative delay";
-  { engine; rate_bps; delay; loss; rng; fetch; deliver; on_served;
-    created_at = Engine.now engine; busy = false; fetched = 0; delivered = 0;
-    dropped = 0; bits_served = 0.0; busy_time = 0.0 }
+  let t =
+    { engine; rate_bps; delay; loss; rng; fetch; deliver; on_served;
+      created_at = Engine.now engine; trace = Obs.trace_of obs; src = label;
+      busy = false; fetched = 0; delivered = 0;
+      dropped = 0; bits_served = 0.0; busy_time = 0.0 }
+  in
+  (match obs with Some o -> register_probes t o | None -> ());
+  t
 
 let rec serve_next t =
   match t.fetch () with
@@ -51,9 +72,29 @@ let rec serve_next t =
              (match t.on_served with
              | Some f -> f ~now:(Engine.now engine) packet
              | None -> ());
-             if Loss.drop t.loss t.rng then t.dropped <- t.dropped + 1
+             (* One Packet_sent is always followed by exactly one
+                Packet_dropped or Packet_delivered, so per-source trace
+                streams satisfy sent = dropped + delivered. *)
+             let traced = Trace.enabled t.trace in
+             let size = float_of_int packet.Packet.size_bits in
+             let now = Engine.now engine in
+             if traced then
+               Trace.emit t.trace
+                 (Trace.event ~time:now ~src:t.src ~value:size
+                    Trace.Packet_sent);
+             if Loss.drop t.loss t.rng then begin
+               t.dropped <- t.dropped + 1;
+               if traced then
+                 Trace.emit t.trace
+                   (Trace.event ~time:now ~src:t.src ~value:size
+                      Trace.Packet_dropped)
+             end
              else begin
                t.delivered <- t.delivered + 1;
+               if traced then
+                 Trace.emit t.trace
+                   (Trace.event ~time:now ~src:t.src ~value:size
+                      Trace.Packet_delivered);
                let payload = packet.Packet.payload in
                if t.delay = 0.0 then
                  t.deliver ~now:(Engine.now engine) payload
@@ -70,7 +111,11 @@ let rate_bps t = t.rate_bps
 
 let set_rate t rate =
   if rate <= 0.0 then invalid_arg "Link.set_rate: rate must be positive";
-  t.rate_bps <- rate
+  t.rate_bps <- rate;
+  if Trace.enabled t.trace then
+    Trace.emit t.trace
+      (Trace.event ~time:(Engine.now t.engine) ~src:t.src ~value:rate
+         Trace.Rate_change)
 
 let stats t =
   { Stats.fetched = t.fetched; delivered = t.delivered; dropped = t.dropped;

@@ -20,6 +20,8 @@ val create :
   ?delay:float ->
   ?loss:Loss.t ->
   ?on_served:(now:float -> 'a Packet.t -> unit) ->
+  ?obs:Softstate_obs.Obs.t ->
+  ?label:string ->
   rng:Softstate_util.Rng.t ->
   fetch:(unit -> 'a Packet.t option) ->
   deliver:(now:float -> 'a -> unit) ->
@@ -33,7 +35,14 @@ val create :
     [on_served] fires at the sender when a packet finishes service,
     {e before} the loss draw — the hook where announce/listen decides
     a record's fate (death, requeue) independent of whether the
-    network then loses the packet. *)
+    network then loses the packet.
+
+    With [obs], the link registers [<label>.sent] / [.delivered] /
+    [.dropped] / [.bits_served] / [.utilisation] probes on the metrics
+    registry and emits [Packet_sent] / [Packet_dropped] /
+    [Packet_delivered] trace events (source [label], default
+    ["link"]) at the loss-decision point, so per-source streams
+    satisfy sent = dropped + delivered exactly. *)
 
 val kick : 'a t -> unit
 (** Wake the link if idle; no-op while busy. Call whenever [fetch]

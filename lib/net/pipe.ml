@@ -1,17 +1,39 @@
 module Ring = Softstate_util.Ring
+module Engine = Softstate_sim.Engine
+module Obs = Softstate_obs.Obs
+module Metrics = Softstate_obs.Metrics
+module Trace = Softstate_obs.Trace
 
 type 'a t = {
+  engine : Engine.t;
   queue : 'a Packet.t Ring.t;
   link : 'a Link.t;
+  trace : Trace.t;
+  src : string;
   mutable overflows : int;
 }
 
-let create engine ~rate_bps ?delay ?loss ?(queue_capacity = 1024) ~rng
-    ~deliver () =
+let create engine ~rate_bps ?delay ?loss ?(queue_capacity = 1024) ?obs
+    ?(label = "pipe") ~rng ~deliver () =
   let queue = Ring.create ~capacity:queue_capacity in
   let fetch () = Ring.pop queue in
-  let link = Link.create engine ~rate_bps ?delay ?loss ~rng ~fetch ~deliver () in
-  { queue; link; overflows = 0 }
+  let link =
+    Link.create engine ~rate_bps ?delay ?loss ?obs ~label ~rng ~fetch ~deliver
+      ()
+  in
+  let t =
+    { engine; queue; link; trace = Obs.trace_of obs; src = label;
+      overflows = 0 }
+  in
+  (match obs with
+  | Some o ->
+      let m = Obs.metrics o in
+      Metrics.probe m (label ^ ".overflows") (fun ~now:_ ->
+          float_of_int t.overflows);
+      Metrics.probe m (label ^ ".queue_len") (fun ~now:_ ->
+          float_of_int (Ring.length t.queue))
+  | None -> ());
+  t
 
 let send t packet =
   if Ring.push t.queue packet then begin
@@ -20,6 +42,11 @@ let send t packet =
   end
   else begin
     t.overflows <- t.overflows + 1;
+    if Trace.enabled t.trace then
+      Trace.emit t.trace
+        (Trace.event ~time:(Engine.now t.engine) ~src:t.src
+           ~value:(float_of_int packet.Packet.size_bits)
+           Trace.Queue_overflow);
     false
   end
 

@@ -15,11 +15,17 @@ val create :
   ?delay:float ->
   ?loss:Loss.t ->
   ?queue_capacity:int ->
+  ?obs:Softstate_obs.Obs.t ->
+  ?label:string ->
   rng:Softstate_util.Rng.t ->
   deliver:(now:float -> 'a -> unit) ->
   unit ->
   'a t
-(** [queue_capacity] defaults to 1024 packets. *)
+(** [queue_capacity] defaults to 1024 packets. With [obs], the inner
+    link is instrumented under [label] (default ["pipe"]) and the pipe
+    additionally registers [<label>.overflows] / [<label>.queue_len]
+    probes and emits a [Queue_overflow] trace event per rejected
+    packet. *)
 
 val send : 'a t -> 'a Packet.t -> bool
 (** Enqueue a packet; [false] if the queue overflowed (the packet is

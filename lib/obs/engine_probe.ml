@@ -1,0 +1,29 @@
+module Engine = Softstate_sim.Engine
+
+let attach ~obs ?(src = "engine") ?(trace_steps = false) engine =
+  let m = Obs.metrics obs in
+  Metrics.probe m (src ^ ".events_fired") (fun ~now:_ ->
+      float_of_int (Engine.events_fired engine));
+  Metrics.probe m (src ^ ".pending") (fun ~now:_ ->
+      float_of_int (Engine.pending engine));
+  Metrics.probe m (src ^ ".calendar_high_water") (fun ~now:_ ->
+      float_of_int (Engine.high_water engine));
+  (* Wall-clock coupling is measured from the moment of attachment so
+     setup cost outside the event loop is excluded. *)
+  let cpu0 = Sys.time () in
+  let sim0 = Engine.now engine in
+  let fired0 = Engine.events_fired engine in
+  Metrics.probe m (src ^ ".wall_s_per_sim_s") (fun ~now ->
+      let sim = now -. sim0 in
+      if sim <= 0.0 then nan else (Sys.time () -. cpu0) /. sim);
+  Metrics.probe m (src ^ ".events_per_wall_s") (fun ~now:_ ->
+      let wall = Sys.time () -. cpu0 in
+      if wall <= 0.0 then nan
+      else float_of_int (Engine.events_fired engine - fired0) /. wall);
+  let trace = Obs.trace obs in
+  if trace_steps && Trace.enabled trace then
+    Engine.on_step engine (fun e ->
+        Trace.emit trace
+          (Trace.event ~time:(Engine.now e) ~src
+             ~value:(float_of_int (Engine.pending e))
+             Trace.Timer_fired))

@@ -1,0 +1,16 @@
+(** Loop-health probes for the discrete-event engine.
+
+    {!attach} registers derived metrics on the context's registry —
+    [<src>.events_fired], [<src>.pending], [<src>.calendar_high_water],
+    [<src>.wall_s_per_sim_s] and [<src>.events_per_wall_s] — so any
+    simulation gets engine telemetry in its report for free. With
+    [trace_steps:true] every fired event additionally emits a
+    [Timer_fired] trace event carrying the calendar depth (verbose:
+    reserve for debugging). *)
+
+val attach :
+  obs:Obs.t ->
+  ?src:string ->
+  ?trace_steps:bool ->
+  Softstate_sim.Engine.t ->
+  unit

@@ -1,0 +1,177 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let string s = "\"" ^ escape s ^ "\""
+let int n = string_of_int n
+let bool b = if b then "true" else "false"
+
+let float x =
+  if Float.is_nan x then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else
+    (* shortest representation that still round-trips *)
+    let s = Printf.sprintf "%.12g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let obj fields =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> string k ^ ": " ^ v) fields)
+  ^ "}"
+
+let list items = "[" ^ String.concat ", " items ^ "]"
+
+(* ------------------------------------------------------------------ *)
+(* Flat-object parser: accepts one object whose values are strings,
+   numbers, booleans or null — exactly the shape the encoders above
+   produce for trace events and metric snapshots. *)
+
+type value = String of string | Number of float | Bool of bool | Null
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec loop () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> Buffer.add_char buf '"'; advance c; loop ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance c; loop ()
+        | Some '/' -> Buffer.add_char buf '/'; advance c; loop ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance c; loop ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance c; loop ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance c; loop ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance c; loop ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance c; loop ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then fail c "bad \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail c "bad \\u escape"
+            in
+            c.pos <- c.pos + 4;
+            (* flat encoder only emits \u00XX for control bytes *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+            loop ()
+        | _ -> fail c "bad escape")
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_scalar c =
+  skip_ws c;
+  match peek c with
+  | Some '"' -> String (parse_string c)
+  | Some 't' ->
+      if c.pos + 4 <= String.length c.src
+         && String.sub c.src c.pos 4 = "true"
+      then (c.pos <- c.pos + 4; Bool true)
+      else fail c "bad literal"
+  | Some 'f' ->
+      if c.pos + 5 <= String.length c.src
+         && String.sub c.src c.pos 5 = "false"
+      then (c.pos <- c.pos + 5; Bool false)
+      else fail c "bad literal"
+  | Some 'n' ->
+      if c.pos + 4 <= String.length c.src
+         && String.sub c.src c.pos 4 = "null"
+      then (c.pos <- c.pos + 4; Null)
+      else fail c "bad literal"
+  | Some ('-' | '0' .. '9') ->
+      let start = c.pos in
+      let rec loop () =
+        match peek c with
+        | Some ('-' | '+' | '.' | 'e' | 'E' | '0' .. '9') ->
+            advance c;
+            loop ()
+        | _ -> ()
+      in
+      loop ();
+      let text = String.sub c.src start (c.pos - start) in
+      (match float_of_string_opt text with
+      | Some x -> Number x
+      | None -> fail c "bad number")
+  | Some ('{' | '[') -> fail c "nested values not supported"
+  | _ -> fail c "expected a value"
+
+let parse_flat line =
+  let c = { src = line; pos = 0 } in
+  try
+    expect c '{';
+    skip_ws c;
+    let fields = ref [] in
+    (match peek c with
+    | Some '}' -> advance c
+    | _ ->
+        let rec members () =
+          skip_ws c;
+          let key = parse_string c in
+          expect c ':';
+          let v = parse_scalar c in
+          fields := (key, v) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; members ()
+          | Some '}' -> advance c
+          | _ -> fail c "expected ',' or '}'"
+        in
+        members ());
+    skip_ws c;
+    (match peek c with
+    | None -> ()
+    | Some _ -> fail c "trailing garbage");
+    Ok (List.rev !fields)
+  with Parse_error msg -> Error msg
+
+let member name fields = List.assoc_opt name fields

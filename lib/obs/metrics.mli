@@ -1,0 +1,96 @@
+(** Metrics registry: named counters, gauges, time-weighted gauges and
+    fixed-bucket histograms, cheap enough for simulation hot paths.
+
+    Creating (or re-fetching) an instrument hashes its name once and
+    returns a {e handle} — a direct pointer to the mutable cell — so
+    per-increment cost is a single store, never a hash lookup. The
+    registry exists to enumerate everything at report time
+    ({!snapshot}), in registration order. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Standalone (unregistered) counter; see {!val-counter} for the
+      registered variant. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+  val name : t -> string
+end
+
+(** A gauge integrated against simulation time: {!average} is the
+    time-weighted mean of the values {!set} over the observation
+    window (which opens at the first [set]). *)
+module Tw_gauge : sig
+  type t
+
+  val make : string -> t
+  val set : t -> now:float -> float -> unit
+  val last : t -> float
+  val average : t -> now:float -> float
+  val name : t -> string
+end
+
+module Hist : sig
+  type t
+
+  val make : string -> lo:float -> hi:float -> bins:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val quantile : t -> float -> float
+  (** Linear interpolation within the bucket; [nan] when no in-range
+      sample has been recorded. *)
+
+  val name : t -> string
+end
+
+type t
+(** The registry. *)
+
+val create : unit -> t
+
+val counter : t -> string -> Counter.t
+(** [counter t name] registers (or re-fetches) the counter [name].
+    Raises [Invalid_argument] if [name] is registered as another
+    instrument kind. *)
+
+val gauge : t -> string -> Gauge.t
+val tw_gauge : t -> string -> Tw_gauge.t
+val hist : t -> string -> lo:float -> hi:float -> bins:int -> Hist.t
+
+val probe : t -> string -> (now:float -> float) -> unit
+(** A derived metric: [read ~now] is called at snapshot time. Useful
+    for exposing counters a component already maintains without double
+    counting. Re-registering a probe name replaces its closure. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Dist of { count : int; mean : float; p50 : float; p90 : float; p99 : float }
+
+val snapshot : t -> now:float -> (string * value) list
+(** All instruments, in registration order. [now] closes out
+    time-weighted gauges and drives probes. *)
+
+val get : t -> string -> now:float -> value option
+
+val names : t -> string list
+
+val value_to_json : value -> string
+
+val to_json : t -> now:float -> string
+(** One JSON object mapping metric names to values. *)

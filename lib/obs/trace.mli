@@ -1,0 +1,95 @@
+(** Structured event tracing: sim-time-stamped protocol events flowing
+    into a pluggable sink.
+
+    Sinks compose: a {!memory} ring for tests, streaming {!jsonl_writer}
+    / {!csv_writer} for the CLIs, {!filter} / {!with_src} /
+    {!with_kinds} to narrow by component or event kind, {!tee} to fan
+    out. {!null} swallows everything; instrumented hot paths guard
+    event construction with {!enabled} so a disabled trace costs one
+    branch per site. *)
+
+type kind =
+  | Packet_sent      (** a packet finished service at a link *)
+  | Packet_dropped   (** the loss process destroyed it *)
+  | Packet_delivered (** it survived and reached the receiver *)
+  | Queue_overflow   (** a bounded queue rejected an enqueue *)
+  | Announce         (** new state transmitted (hot queue / Data) *)
+  | Refresh          (** periodic re-announcement (cold queue) *)
+  | Summary          (** namespace digest summary sent *)
+  | Nack             (** negative acknowledgement issued *)
+  | Query            (** signature request issued *)
+  | Repair           (** repair response or reheat performed *)
+  | Remove           (** state withdrawal propagated *)
+  | Digest_mismatch  (** receiver digest disagreed with a summary *)
+  | Timer_fired      (** engine calendar event fired *)
+  | Rate_change      (** a link's service rate was retuned *)
+  | Custom of string
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind
+(** Unknown strings map to [Custom]. *)
+
+type event = {
+  time : float;   (** simulation time, seconds *)
+  src : string;   (** component instance, e.g. ["session.data"] *)
+  kind : kind;
+  detail : string;(** kind-dependent: path, reason, ... *)
+  value : float;  (** kind-dependent: size in bits, depth, ... *)
+}
+
+val event :
+  time:float -> src:string -> ?detail:string -> ?value:float -> kind -> event
+
+type t
+(** A sink. *)
+
+val null : t
+(** Swallows every event. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!null}: hot paths use it to skip event
+    construction entirely. *)
+
+val emit : t -> event -> unit
+
+val memory : ?capacity:int -> unit -> t
+(** In-memory ring keeping the last [capacity] (default 65536)
+    events; older events are overwritten. *)
+
+val events : t -> event list
+(** Contents of a {!memory} sink, oldest first. Raises
+    [Invalid_argument] on other sinks. *)
+
+val overwritten : t -> int
+(** Events lost to the {!memory} ring's capacity. *)
+
+val count : t -> kind -> int
+(** Occurrences of [kind] in a {!memory} sink. *)
+
+val filter : (event -> bool) -> t -> t
+
+val with_src : string -> t -> t
+(** Keep events whose [src] starts with the given prefix. *)
+
+val with_kinds : kind list -> t -> t
+
+val tee : t list -> t
+
+val jsonl_writer : (string -> unit) -> t
+(** Streams one JSON object per event; each call receives a complete
+    line including the newline. *)
+
+val csv_writer : (string -> unit) -> t
+(** Same, in CSV; emits a header row before the first event. *)
+
+val to_json : event -> string
+(** One-line JSON encoding ([detail] and [value] omitted when empty /
+    zero). *)
+
+val of_json : string -> (event, string) result
+(** Inverse of {!to_json}. *)
+
+val csv_header : string
+
+val to_csv : event -> string

@@ -3,17 +3,25 @@ module Heap = Softstate_util.Heap
 type t = {
   mutable clock : float;
   calendar : (t -> unit) Heap.t;
+  mutable events_fired : int;
+  mutable high_water : int;
+  mutable on_step : (t -> unit) option;
 }
 
 type event = Heap.handle
 
-let create ?(start = 0.0) () = { clock = start; calendar = Heap.create () }
+let create ?(start = 0.0) () =
+  { clock = start; calendar = Heap.create (); events_fired = 0;
+    high_water = 0; on_step = None }
 
 let now t = t.clock
 
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Heap.insert t.calendar ~key:time f
+  let e = Heap.insert t.calendar ~key:time f in
+  let depth = Heap.length t.calendar in
+  if depth > t.high_water then t.high_water <- depth;
+  e
 
 let schedule t ~after f =
   if after < 0.0 then invalid_arg "Engine.schedule: negative delay";
@@ -22,12 +30,23 @@ let schedule t ~after f =
 let cancel t e = Heap.remove t.calendar e
 let pending t = Heap.length t.calendar
 
+let events_fired t = t.events_fired
+let high_water t = t.high_water
+
+let on_step t f =
+  t.on_step <-
+    (match t.on_step with
+    | None -> Some f
+    | Some g -> Some (fun engine -> g engine; f engine))
+
 let step t =
   match Heap.pop t.calendar with
   | None -> false
   | Some (time, f) ->
       t.clock <- time;
+      t.events_fired <- t.events_fired + 1;
       f t;
+      (match t.on_step with None -> () | Some g -> g t);
       true
 
 let run ?until t =

@@ -37,6 +37,18 @@ val cancel : t -> event -> bool
 val pending : t -> int
 (** Number of events still scheduled. *)
 
+val events_fired : t -> int
+(** Total events fired since creation. *)
+
+val high_water : t -> int
+(** Deepest the calendar has ever been — the loop-health number that
+    catches runaway self-rescheduling. *)
+
+val on_step : t -> (t -> unit) -> unit
+(** [on_step t f] runs [f t] after every fired event (composing with
+    any hook already installed). The observability layer uses this to
+    sample loop health; keep [f] cheap. *)
+
 val step : t -> bool
 (** Fire the single earliest event; [false] when the calendar is
     empty. *)

@@ -1,4 +1,7 @@
 module Engine = Softstate_sim.Engine
+module Obs = Softstate_obs.Obs
+module Metrics = Softstate_obs.Metrics
+module Trace = Softstate_obs.Trace
 
 type config = {
   repair_timeout : float;
@@ -15,6 +18,7 @@ type t = {
   namespace : Namespace.t;
   send_feedback : Wire.msg -> unit;
   reports : Reports.Receiver_side.t;
+  trace : Trace.t;
   outstanding : (string, int) Hashtbl.t; (* repair tag -> retries left *)
   mutable interest : Path.t -> meta:string list -> bool;
   mutable update_callbacks : (Path.t -> string -> unit) list;
@@ -31,12 +35,13 @@ type t = {
   mutable packets_received : int;
 }
 
-let create ~engine ~config ~send_feedback () =
+let create ?obs ~engine ~config ~send_feedback () =
   if config.repair_timeout <= 0.0 || config.report_period <= 0.0 then
     invalid_arg "Receiver.create: periods must be positive";
   let t =
     { engine; config; namespace = Namespace.create (); send_feedback;
       reports = Reports.Receiver_side.create ();
+      trace = Obs.trace_of obs;
       outstanding = Hashtbl.create 64;
       interest = (fun _ ~meta:_ -> true);
       last_summary_digest = None; reconciled_root = None;
@@ -44,6 +49,18 @@ let create ~engine ~config ~send_feedback () =
       nacks_sent = 0; queries_sent = 0; reports_sent = 0;
       packets_received = 0 }
   in
+  (match obs with
+  | Some o ->
+      let m = Obs.metrics o in
+      Metrics.probe m "receiver.nacks_sent" (fun ~now:_ ->
+          float_of_int t.nacks_sent);
+      Metrics.probe m "receiver.queries_sent" (fun ~now:_ ->
+          float_of_int t.queries_sent);
+      Metrics.probe m "receiver.packets_received" (fun ~now:_ ->
+          float_of_int t.packets_received);
+      Metrics.probe m "receiver.outstanding_repairs" (fun ~now:_ ->
+          float_of_int (Hashtbl.length t.outstanding))
+  | None -> ());
   let (_ : unit -> bool) =
     Engine.every engine ~period:config.report_period (fun _ ->
         t.reports_sent <- t.reports_sent + 1;
@@ -84,11 +101,19 @@ let request_once t ~now:_ tag send =
 let send_query t ~now path =
   request_once t ~now ("q:" ^ Path.to_string path) (fun () ->
       t.queries_sent <- t.queries_sent + 1;
+      if Trace.enabled t.trace then
+        Trace.emit t.trace
+          (Trace.event ~time:(Engine.now t.engine) ~src:"receiver"
+             ~detail:(Path.to_string path) Trace.Query);
       t.send_feedback (Wire.Sig_request { path = Path.to_string path }))
 
 let send_nack t ~now path =
   request_once t ~now ("n:" ^ Path.to_string path) (fun () ->
       t.nacks_sent <- t.nacks_sent + 1;
+      if Trace.enabled t.trace then
+        Trace.emit t.trace
+          (Trace.event ~time:(Engine.now t.engine) ~src:"receiver"
+             ~detail:(Path.to_string path) Trace.Nack);
       t.send_feedback (Wire.Nack { path = Path.to_string path }))
 
 (* Stop repairing below a withdrawn subtree, or retries would fight
@@ -181,7 +206,12 @@ let handle t ~now (env : Wire.envelope) =
       if
         (not (String.equal root_digest (Namespace.root_digest t.namespace)))
         && t.reconciled_root <> Some root_digest
-      then send_query t ~now Path.root
+      then begin
+        if Trace.enabled t.trace then
+          Trace.emit t.trace
+            (Trace.event ~time:now ~src:"receiver" Trace.Digest_mismatch);
+        send_query t ~now Path.root
+      end
   | Wire.Signatures { path; children } ->
       let path = Path.of_string path in
       Hashtbl.remove t.outstanding ("q:" ^ Path.to_string path);
@@ -189,7 +219,13 @@ let handle t ~now (env : Wire.envelope) =
   | Wire.Remove { path } ->
       let path = Path.of_string path in
       purge_outstanding_under t path;
-      if Namespace.remove t.namespace ~path then notify_remove t path
+      if Namespace.remove t.namespace ~path then begin
+        if Trace.enabled t.trace then
+          Trace.emit t.trace
+            (Trace.event ~time:now ~src:"receiver"
+               ~detail:(Path.to_string path) Trace.Remove);
+        notify_remove t path
+      end
   | Wire.Sig_request _ | Wire.Nack _ | Wire.Receiver_report _ ->
       invalid_arg "Receiver.handle: feedback message on the data channel"
 

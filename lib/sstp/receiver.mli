@@ -26,13 +26,17 @@ val default_config : config
 (** 2 s repair timer, 5 s report period, 32 retries. *)
 
 val create :
+  ?obs:Softstate_obs.Obs.t ->
   engine:Softstate_sim.Engine.t ->
   config:config ->
   send_feedback:(Wire.msg -> unit) ->
   unit ->
   t
 (** [send_feedback] hands a message to the feedback transport. The
-    periodic report timer starts immediately. *)
+    periodic report timer starts immediately. With [obs], registers
+    [receiver.*] metrics probes and traces repair activity
+    ([Digest_mismatch] on a diverging summary, [Query]/[Nack] per
+    repair request including retries, [Remove] on withdrawals). *)
 
 val set_interest : t -> (Path.t -> meta:string list -> bool) -> unit
 (** Repair is not requested below paths for which the predicate is

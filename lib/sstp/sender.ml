@@ -1,5 +1,8 @@
 module Engine = Softstate_sim.Engine
 module Hierarchy = Softstate_sched.Hierarchy
+module Obs = Softstate_obs.Obs
+module Metrics = Softstate_obs.Metrics
+module Trace = Softstate_obs.Trace
 
 type work =
   | Send_data of Path.t
@@ -39,6 +42,7 @@ type t = {
   data_node : Hierarchy.node;
   cold_node : Hierarchy.node;
   reports : Reports.Sender_side.t;
+  trace : Trace.t;
   mutable mu_hot : float;
   mutable mu_cold : float;
   mutable seq : int;
@@ -54,7 +58,7 @@ type t = {
 
 let default_class = "default"
 
-let create ~engine ~config () =
+let create ?obs ~engine ~config () =
   if config.summary_period <= 0.0 then
     invalid_arg "Sender.create: summary period must be positive";
   if config.mu_hot_bps <= 0.0 || config.mu_cold_bps <= 0.0 then
@@ -75,14 +79,34 @@ let create ~engine ~config () =
         Hierarchy.add_child sched ~parent:data_node ~weight:1.0
           ~label:default_class ();
       queue = Queue.create (); sent = 0 };
-  { engine; config; namespace = Namespace.create (); classes;
-    class_of_path = Hashtbl.create 64; pending = Hashtbl.create 64; sched;
-    data_node; cold_node; reports = Reports.Sender_side.create ();
-    mu_hot = config.mu_hot_bps; mu_cold = config.mu_cold_bps; seq = 0;
-    next_summary_due = Engine.now engine; sent_data = 0; sent_summaries = 0;
-    sent_signatures = 0; rate_callbacks = [];
-    published_bits = 0.0; lambda_window_start = Engine.now engine;
-    lambda_estimate_bps = 0.0 }
+  let t =
+    { engine; config; namespace = Namespace.create (); classes;
+      class_of_path = Hashtbl.create 64; pending = Hashtbl.create 64; sched;
+      data_node; cold_node; reports = Reports.Sender_side.create ();
+      trace = Obs.trace_of obs;
+      mu_hot = config.mu_hot_bps; mu_cold = config.mu_cold_bps; seq = 0;
+      next_summary_due = Engine.now engine; sent_data = 0; sent_summaries = 0;
+      sent_signatures = 0; rate_callbacks = [];
+      published_bits = 0.0; lambda_window_start = Engine.now engine;
+      lambda_estimate_bps = 0.0 }
+  in
+  (match obs with
+  | Some o ->
+      let m = Obs.metrics o in
+      Metrics.probe m "sender.sent_data" (fun ~now:_ ->
+          float_of_int t.sent_data);
+      Metrics.probe m "sender.sent_summaries" (fun ~now:_ ->
+          float_of_int t.sent_summaries);
+      Metrics.probe m "sender.sent_signatures" (fun ~now:_ ->
+          float_of_int t.sent_signatures);
+      Metrics.probe m "sender.hot_backlog" (fun ~now:_ ->
+          float_of_int
+            (Hashtbl.fold (fun _ k acc -> acc + Queue.length k.queue)
+               t.classes 0));
+      Metrics.probe m "sender.loss_estimate" (fun ~now:_ ->
+          Reports.Sender_side.loss_estimate t.reports)
+  | None -> ());
+  t
 
 let namespace t = t.namespace
 
@@ -162,6 +186,20 @@ let on_rate_constraint t f = t.rate_callbacks <- f :: t.rate_callbacks
 let next_envelope t ~now msg =
   let seq = t.seq in
   t.seq <- seq + 1;
+  (if Trace.enabled t.trace then
+     let kind, detail =
+       match msg with
+       | Wire.Data { path; _ } -> (Trace.Announce, path)
+       | Wire.Summary _ -> (Trace.Summary, "")
+       | Wire.Signatures { path; _ } -> (Trace.Repair, path)
+       | Wire.Remove { path } -> (Trace.Remove, path)
+       | Wire.Sig_request { path } -> (Trace.Query, path)
+       | Wire.Nack { path } -> (Trace.Nack, path)
+       | Wire.Receiver_report _ -> (Trace.Custom "report", "")
+     in
+     Trace.emit t.trace
+       (Trace.event ~time:now ~src:"sender" ~detail
+          ~value:(float_of_int seq) kind));
   { Wire.seq; sent_at = now; msg }
 
 (* Materialise a queued work item against the *current* namespace:

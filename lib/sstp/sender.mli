@@ -32,7 +32,12 @@ val default_config : mu_total_bps:float -> config
     period, no allocator. *)
 
 val create :
+  ?obs:Softstate_obs.Obs.t ->
   engine:Softstate_sim.Engine.t -> config:config -> unit -> t
+(** With [obs], registers [sender.*] metrics probes (sent counts,
+    backlog, loss estimate) and traces every outgoing envelope
+    (Data as [Announce], Summary, Signatures as [Repair], Remove)
+    with the wire sequence number as the event value. *)
 
 (** {1 Application interface} *)
 

@@ -2,6 +2,8 @@ module Engine = Softstate_sim.Engine
 module Net = Softstate_net
 module Rng = Softstate_util.Rng
 module Stats = Softstate_util.Stats
+module Obs = Softstate_obs.Obs
+module Metrics = Softstate_obs.Metrics
 
 type reliability =
   | Announce_only
@@ -45,6 +47,47 @@ type t = {
   mutable tracking : bool;
 }
 
+(* Canonical counter readings; exposed both as accessors and, when an
+   observability context is supplied, as [session.*] registry probes
+   (the probes and the accessors share these, so they can never
+   disagree). *)
+let data_packets t = (Net.Link.stats t.link).Net.Link.Stats.delivered
+
+let link_utilisation t =
+  Net.Link.utilisation t.link ~now:(Engine.now t.engine)
+
+let feedback_packets t =
+  match t.fb_pipe with
+  | Some pipe -> (Net.Pipe.link_stats pipe).Net.Link.Stats.delivered
+  | None -> 0
+
+let consistency t =
+  let sender_ns = Sender.namespace t.sender in
+  let receiver_ns = Receiver.namespace t.receiver in
+  let total = ref 0 and matching = ref 0 in
+  Namespace.iter_leaves sender_ns (fun path _payload ->
+      incr total;
+      match
+        ( Namespace.digest sender_ns path,
+          Namespace.digest receiver_ns path )
+      with
+      | Some a, Some b when String.equal a b -> incr matching
+      | _ -> ());
+  if !total = 0 then 1.0 else float_of_int !matching /. float_of_int !total
+
+let register_session_probes t obs =
+  match obs with
+  | None -> ()
+  | Some o ->
+      let m = Obs.metrics o in
+      Metrics.probe m "session.data_packets" (fun ~now:_ ->
+          float_of_int (data_packets t));
+      Metrics.probe m "session.feedback_packets" (fun ~now:_ ->
+          float_of_int (feedback_packets t));
+      Metrics.probe m "session.link_utilisation" (fun ~now ->
+          Net.Link.utilisation t.link ~now);
+      Metrics.probe m "session.consistency" (fun ~now:_ -> consistency t)
+
 let splits config =
   match config.reliability with
   | Manual { mu_hot_bps; mu_cold_bps; mu_fb_bps } ->
@@ -73,7 +116,7 @@ let splits config =
         Float.max 1.0 d.Allocator.mu_fb_bps,
         Some allocator )
 
-let create ~engine ~rng ~config () =
+let create ?obs ~engine ~rng ~config () =
   if config.mu_total_bps <= 0.0 then
     invalid_arg "Session.create: bandwidth must be positive";
   let mu_hot, mu_cold, mu_fb, allocator = splits config in
@@ -84,7 +127,7 @@ let create ~engine ~rng ~config () =
       allocator;
       mu_total_bps = config.mu_total_bps }
   in
-  let sender = Sender.create ~engine ~config:sender_config () in
+  let sender = Sender.create ?obs ~engine ~config:sender_config () in
   let link_rng = Rng.split rng in
   let fb_rng = Rng.split rng in
   (* Forward references broken with a ref cell: the receiver's
@@ -109,7 +152,7 @@ let create ~engine ~rng ~config () =
       max_repair_retries = 32 }
   in
   let receiver =
-    Receiver.create ~engine ~config:receiver_config ~send_feedback ()
+    Receiver.create ?obs ~engine ~config:receiver_config ~send_feedback ()
   in
   let fetch () =
     match Sender.fetch sender ~now:(Engine.now engine) with
@@ -119,7 +162,8 @@ let create ~engine ~rng ~config () =
   let data_link =
     Net.Link.create engine
       ~rate_bps:(mu_hot +. mu_cold)
-      ~delay:config.delay ~loss:config.loss ~rng:link_rng ~fetch
+      ~delay:config.delay ~loss:config.loss ?obs ~label:"session.data"
+      ~rng:link_rng ~fetch
       ~deliver:(fun ~now env -> Receiver.handle receiver ~now env)
       ()
   in
@@ -127,7 +171,7 @@ let create ~engine ~rng ~config () =
     if mu_fb > 0.0 then
       Some
         (Net.Pipe.create engine ~rate_bps:mu_fb ~delay:config.delay
-           ~loss:config.fb_loss ~rng:fb_rng
+           ~loss:config.fb_loss ?obs ~label:"session.fb" ~rng:fb_rng
            ~deliver:(fun ~now msg -> Sender.handle_feedback sender ~now msg)
            ())
     else None
@@ -138,9 +182,13 @@ let create ~engine ~rng ~config () =
     Engine.every engine ~period:config.summary_period (fun _ ->
         Net.Link.kick data_link)
   in
-  { engine; sender; receiver; link = data_link; fb_pipe;
-    tracker = Stats.Timeweighted.create ~start:(Engine.now engine) ();
-    tracking = false }
+  let t =
+    { engine; sender; receiver; link = data_link; fb_pipe;
+      tracker = Stats.Timeweighted.create ~start:(Engine.now engine) ();
+      tracking = false }
+  in
+  register_session_probes t obs;
+  t
 
 let sender t = t.sender
 let receiver t = t.receiver
@@ -154,20 +202,6 @@ let publish t ~path ~payload =
 let remove t ~path =
   Sender.remove t.sender ~path:(Path.of_string path);
   kick t
-
-let consistency t =
-  let sender_ns = Sender.namespace t.sender in
-  let receiver_ns = Receiver.namespace t.receiver in
-  let total = ref 0 and matching = ref 0 in
-  Namespace.iter_leaves sender_ns (fun path _payload ->
-      incr total;
-      match
-        ( Namespace.digest sender_ns path,
-          Namespace.digest receiver_ns path )
-      with
-      | Some a, Some b when String.equal a b -> incr matching
-      | _ -> ());
-  if !total = 0 then 1.0 else float_of_int !matching /. float_of_int !total
 
 let converged t =
   String.equal
@@ -187,13 +221,3 @@ let track_consistency t ~period =
 
 let average_consistency t =
   Stats.Timeweighted.average t.tracker ~now:(Engine.now t.engine)
-
-let data_packets t = (Net.Link.stats t.link).Net.Link.Stats.delivered
-
-let link_utilisation t =
-  Net.Link.utilisation t.link ~now:(Engine.now t.engine)
-
-let feedback_packets t =
-  match t.fb_pipe with
-  | Some pipe -> (Net.Pipe.link_stats pipe).Net.Link.Stats.delivered
-  | None -> 0

@@ -35,11 +35,18 @@ val default_config : mu_total_bps:float -> config
 type t
 
 val create :
+  ?obs:Softstate_obs.Obs.t ->
   engine:Softstate_sim.Engine.t ->
   rng:Softstate_util.Rng.t ->
   config:config ->
   unit ->
   t
+(** With [obs], the data link ([session.data]), feedback pipe
+    ([session.fb]), sender and receiver all register metrics probes
+    and emit trace events; the session additionally registers
+    [session.data_packets], [session.feedback_packets],
+    [session.link_utilisation] and [session.consistency] probes —
+    the same readings the accessors below return. *)
 
 val sender : t -> Sender.t
 val receiver : t -> Receiver.t
@@ -71,4 +78,6 @@ val data_packets : t -> int
 val feedback_packets : t -> int
 
 val link_utilisation : t -> float
-(** Busy fraction of the data link since session start. *)
+(** Busy fraction of the data link since session start. These three
+    accessors are thin wrappers over the same readings the
+    [session.*] registry probes report. *)

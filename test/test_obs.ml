@@ -1,0 +1,408 @@
+(* Tests for the observability layer: metrics registry, trace sinks,
+   JSON round-trips, reports, and the instrumented SSTP session. *)
+
+module Metrics = Softstate_obs.Metrics
+module Trace = Softstate_obs.Trace
+module Report = Softstate_obs.Report
+module Json = Softstate_obs.Json
+module Obs = Softstate_obs.Obs
+module Engine = Softstate_sim.Engine
+module Net = Softstate_net
+
+(* ---- metrics ---- *)
+
+let test_counter () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "packets" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 41;
+  Alcotest.(check int) "accumulates" 42 (Metrics.Counter.value c);
+  let c' = Metrics.counter m "packets" in
+  Metrics.Counter.incr c';
+  Alcotest.(check int) "re-fetch shares the cell" 43 (Metrics.Counter.value c)
+
+let test_gauge () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "depth" in
+  Metrics.Gauge.set g 3.0;
+  Metrics.Gauge.add g 1.5;
+  Alcotest.(check (float 1e-12)) "set+add" 4.5 (Metrics.Gauge.value g)
+
+let test_tw_gauge () =
+  let m = Metrics.create () in
+  let g = Metrics.tw_gauge m "queue" in
+  Metrics.Tw_gauge.set g ~now:0.0 0.0;
+  Metrics.Tw_gauge.set g ~now:10.0 1.0;
+  Alcotest.(check (float 1e-9)) "time-weighted mean" 0.5
+    (Metrics.Tw_gauge.average g ~now:20.0);
+  Alcotest.(check (float 0.0)) "last" 1.0 (Metrics.Tw_gauge.last g)
+
+let test_hist_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.hist m "lat" ~lo:0.0 ~hi:100.0 ~bins:100 in
+  (* one sample per bucket centre: quantiles of uniform(0,100) *)
+  for i = 0 to 99 do
+    Metrics.Hist.add h (float_of_int i +. 0.5)
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.Hist.count h);
+  Alcotest.(check (float 1e-9)) "mean" 50.0 (Metrics.Hist.mean h);
+  Alcotest.(check (float 2.0)) "p50" 50.0 (Metrics.Hist.quantile h 0.5);
+  Alcotest.(check (float 2.0)) "p90" 90.0 (Metrics.Hist.quantile h 0.9);
+  Alcotest.(check (float 2.0)) "p99" 99.0 (Metrics.Hist.quantile h 0.99);
+  let empty = Metrics.hist m "empty" ~lo:0.0 ~hi:1.0 ~bins:4 in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Metrics.Hist.quantile empty 0.5))
+
+let test_registry_kind_clash () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  Alcotest.(check bool) "clash raises" true
+    (try
+       ignore (Metrics.gauge m "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_snapshot_order_and_probe () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "first" in
+  ignore (Metrics.gauge m "second");
+  Metrics.probe m "third" (fun ~now -> now *. 2.0);
+  Metrics.Counter.add c 7;
+  let names = List.map fst (Metrics.snapshot m ~now:5.0) in
+  Alcotest.(check (list string)) "registration order"
+    [ "first"; "second"; "third" ] names;
+  (match Metrics.get m "third" ~now:5.0 with
+  | Some (Metrics.Float v) -> Alcotest.(check (float 0.0)) "probe reads" 10.0 v
+  | _ -> Alcotest.fail "probe missing");
+  match Metrics.get m "first" ~now:5.0 with
+  | Some (Metrics.Int v) -> Alcotest.(check int) "counter value" 7 v
+  | _ -> Alcotest.fail "counter missing"
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a" in
+  Metrics.Counter.add c 3;
+  let g = Metrics.gauge m "b" in
+  Metrics.Gauge.set g 1.5;
+  Alcotest.(check string) "snapshot json" {|{"a": 3, "b": 1.5}|}
+    (Metrics.to_json m ~now:0.0)
+
+(* ---- trace sinks and serialisation ---- *)
+
+let ev ?(detail = "") ?(value = 0.0) ~time ~src kind =
+  Trace.event ~time ~src ~detail ~value kind
+
+let test_null_disabled () =
+  Alcotest.(check bool) "null disabled" false (Trace.enabled Trace.null);
+  Alcotest.(check bool) "memory enabled" true
+    (Trace.enabled (Trace.memory ()));
+  (* emitting into null is a no-op, not an error *)
+  Trace.emit Trace.null (ev ~time:0.0 ~src:"x" Trace.Announce)
+
+let test_memory_ring () =
+  let t = Trace.memory ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.emit t (ev ~time:(float_of_int i) ~src:"x" Trace.Announce)
+  done;
+  let times = List.map (fun e -> e.Trace.time) (Trace.events t) in
+  Alcotest.(check (list (float 0.0))) "keeps the newest" [ 3.0; 4.0; 5.0 ] times;
+  Alcotest.(check int) "overwritten" 2 (Trace.overwritten t);
+  Alcotest.(check int) "count by kind" 3 (Trace.count t Trace.Announce)
+
+let test_filters () =
+  let t = Trace.memory () in
+  let filtered = Trace.with_src "link" (Trace.with_kinds [ Trace.Nack ] t) in
+  Trace.emit filtered (ev ~time:1.0 ~src:"link.a" Trace.Nack);
+  Trace.emit filtered (ev ~time:2.0 ~src:"other" Trace.Nack);
+  Trace.emit filtered (ev ~time:3.0 ~src:"link.b" Trace.Announce);
+  let srcs = List.map (fun e -> e.Trace.src) (Trace.events t) in
+  Alcotest.(check (list string)) "src prefix and kind" [ "link.a" ] srcs
+
+let test_tee () =
+  let a = Trace.memory () and b = Trace.memory () in
+  let t = Trace.tee [ a; b ] in
+  Trace.emit t (ev ~time:1.0 ~src:"x" Trace.Refresh);
+  Alcotest.(check int) "both sinks" 2
+    (Trace.count a Trace.Refresh + Trace.count b Trace.Refresh)
+
+let test_json_golden () =
+  let e =
+    ev ~time:1.5 ~src:"session.data" ~detail:"a/b" ~value:1000.0
+      Trace.Packet_dropped
+  in
+  Alcotest.(check string) "golden encoding"
+    {|{"t": 1.5, "src": "session.data", "kind": "packet_dropped", "detail": "a/b", "v": 1000}|}
+    (Trace.to_json e);
+  (* zero value and empty detail are omitted *)
+  Alcotest.(check string) "minimal encoding"
+    {|{"t": 2, "src": "x", "kind": "summary"}|}
+    (Trace.to_json (ev ~time:2.0 ~src:"x" Trace.Summary))
+
+let test_json_roundtrip () =
+  let cases =
+    [ ev ~time:1.5 ~src:"session.data" ~detail:"a/b" ~value:1000.0
+        Trace.Packet_dropped;
+      ev ~time:0.0 ~src:"eng\"ine" Trace.Timer_fired;
+      ev ~time:123.456789 ~src:"r" ~detail:"path/with,comma"
+        (Trace.Custom "odd kind");
+      ev ~time:2.0 ~src:"x" ~value:(-3.5) Trace.Rate_change ]
+  in
+  List.iter
+    (fun e ->
+      match Trace.of_json (Trace.to_json e) with
+      | Error msg -> Alcotest.fail ("round-trip failed: " ^ msg)
+      | Ok e' ->
+          Alcotest.(check string) "src" e.Trace.src e'.Trace.src;
+          Alcotest.(check string) "detail" e.Trace.detail e'.Trace.detail;
+          Alcotest.(check (float 0.0)) "time" e.Trace.time e'.Trace.time;
+          Alcotest.(check (float 0.0)) "value" e.Trace.value e'.Trace.value;
+          Alcotest.(check string) "kind"
+            (Trace.kind_to_string e.Trace.kind)
+            (Trace.kind_to_string e'.Trace.kind))
+    cases
+
+let test_of_json_rejects () =
+  (match Trace.of_json "not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Trace.of_json {|{"src": "x"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing fields accepted"
+
+let test_jsonl_writer_streams () =
+  let buf = Buffer.create 256 in
+  let t = Trace.jsonl_writer (Buffer.add_string buf) in
+  Trace.emit t (ev ~time:1.0 ~src:"a" Trace.Announce);
+  Trace.emit t (ev ~time:2.0 ~src:"b" Trace.Refresh);
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Trace.of_json line with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail ("stream line unparsable: " ^ msg))
+    lines
+
+let test_csv_writer () =
+  let buf = Buffer.create 256 in
+  let t = Trace.csv_writer (Buffer.add_string buf) in
+  Trace.emit t (ev ~time:1.0 ~src:"a,b" ~detail:"he said \"hi\"" Trace.Nack);
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "header + row" 2 (List.length lines);
+  Alcotest.(check string) "header" Trace.csv_header (List.nth lines 0);
+  Alcotest.(check string) "quoted fields"
+    {|1,"a,b",nack,"he said ""hi""",0|}
+    (List.nth lines 1)
+
+(* ---- flat JSON parser ---- *)
+
+let test_json_parse_flat () =
+  match Json.parse_flat {|{"a": 1.5, "b": "x\"y", "c": true, "d": null}|} with
+  | Error msg -> Alcotest.fail msg
+  | Ok fields -> (
+      (match Json.member "a" fields with
+      | Some (Json.Number x) -> Alcotest.(check (float 0.0)) "number" 1.5 x
+      | _ -> Alcotest.fail "a");
+      (match Json.member "b" fields with
+      | Some (Json.String s) -> Alcotest.(check string) "escape" "x\"y" s
+      | _ -> Alcotest.fail "b");
+      (match Json.member "c" fields with
+      | Some (Json.Bool b) -> Alcotest.(check bool) "bool" true b
+      | _ -> Alcotest.fail "c");
+      match Json.member "d" fields with
+      | Some Json.Null -> ()
+      | _ -> Alcotest.fail "d")
+
+(* ---- reports ---- *)
+
+let test_report_render () =
+  let r =
+    Report.make ~name:"demo"
+      [ Report.section "totals"
+          [ ("packets", Report.int 12); ("ok", Report.bool true);
+            ("rate", Report.float 1.5) ] ]
+  in
+  let table = Report.to_table r in
+  Alcotest.(check bool) "table mentions section" true
+    (String.length table > 0
+    &&
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    contains table "totals" && contains table "packets");
+  Alcotest.(check string) "json"
+    {|{"name": "demo", "totals": {"packets": 12, "ok": true, "rate": 1.5}}|}
+    (Report.to_json r)
+
+let test_report_of_metrics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "n" in
+  Metrics.Counter.add c 2;
+  let s = Report.of_metrics m ~now:1.0 in
+  Alcotest.(check string) "default title" "metrics" s.Report.title;
+  Alcotest.(check int) "one row" 1 (List.length s.Report.rows)
+
+(* ---- instrumented session: trace/metrics consistency ---- *)
+
+let run_lossy_session () =
+  let engine = Engine.create () in
+  let trace = Trace.memory () in
+  let obs = Obs.create ~trace () in
+  Softstate_obs.Engine_probe.attach ~obs engine;
+  let config =
+    { (Sstp.Session.default_config ~mu_total_bps:64_000.0) with
+      Sstp.Session.loss = Net.Loss.bernoulli 0.3;
+      summary_period = 0.5 }
+  in
+  let session =
+    Sstp.Session.create ~obs ~engine
+      ~rng:(Softstate_util.Rng.create 7)
+      ~config ()
+  in
+  let rng = Softstate_util.Rng.create 11 in
+  let next = ref 0.0 in
+  for i = 0 to 199 do
+    next := !next +. (0.05 +. (0.4 *. Softstate_util.Rng.float rng));
+    let path = Printf.sprintf "app/item%d" (i mod 50) in
+    ignore
+      (Engine.schedule_at engine ~time:!next (fun _ ->
+           Sstp.Session.publish session ~path ~payload:(string_of_int i)))
+  done;
+  Engine.run ~until:90.0 engine;
+  (engine, obs, trace, session)
+
+let test_session_trace_consistency () =
+  let _engine, obs, trace, session = run_lossy_session () in
+  let data_events =
+    List.filter
+      (fun e -> e.Trace.src = "session.data")
+      (Trace.events trace)
+  in
+  let count k =
+    List.length (List.filter (fun e -> e.Trace.kind = k) data_events)
+  in
+  let sent = count Trace.Packet_sent in
+  let dropped = count Trace.Packet_dropped in
+  let delivered = count Trace.Packet_delivered in
+  Alcotest.(check bool) "ran long enough to lose packets" true
+    (sent > 50 && dropped > 0);
+  Alcotest.(check int) "sent = dropped + delivered" sent (dropped + delivered);
+  (* the trace agrees with the metrics registry... *)
+  let m = Obs.metrics obs in
+  (match Metrics.get m "session.data.dropped" ~now:90.0 with
+  | Some (Metrics.Float v) ->
+      Alcotest.(check int) "registry drop tally" dropped (int_of_float v)
+  | _ -> Alcotest.fail "session.data.dropped probe missing");
+  (* ...and with the session's own accessors (satellite counters) *)
+  Alcotest.(check int) "data_packets accessor" delivered
+    (Sstp.Session.data_packets session);
+  match Metrics.get m "session.data_packets" ~now:90.0 with
+  | Some (Metrics.Float v) ->
+      Alcotest.(check int) "session.data_packets probe" delivered
+        (int_of_float v)
+  | _ -> Alcotest.fail "session.data_packets probe missing"
+
+let test_session_repair_traffic_traced () =
+  let _engine, obs, trace, session = run_lossy_session () in
+  ignore session;
+  let kinds k = Trace.count trace k in
+  (* 30% loss must provoke the repair machinery, and every repair
+     action leaves a trace event *)
+  Alcotest.(check bool) "digest mismatches seen" true
+    (kinds Trace.Digest_mismatch > 0);
+  Alcotest.(check bool) "receiver nacked or queried" true
+    (kinds Trace.Nack > 0 || kinds Trace.Query > 0);
+  Alcotest.(check bool) "sender announced" true (kinds Trace.Announce > 0);
+  Alcotest.(check bool) "sender sent summaries" true
+    (kinds Trace.Summary > 0);
+  let m = Obs.metrics obs in
+  match Metrics.get m "engine.events_fired" ~now:90.0 with
+  | Some (Metrics.Float v) ->
+      Alcotest.(check bool) "engine probe live" true (v > 0.0)
+  | _ -> Alcotest.fail "engine.events_fired probe missing"
+
+let test_disabled_trace_changes_nothing () =
+  (* same seeds with and without observability: identical outcome *)
+  let run obs =
+    let engine = Engine.create () in
+    let config =
+      { (Sstp.Session.default_config ~mu_total_bps:64_000.0) with
+        Sstp.Session.loss = Net.Loss.bernoulli 0.3 }
+    in
+    let session =
+      Sstp.Session.create ?obs ~engine
+        ~rng:(Softstate_util.Rng.create 7)
+        ~config ()
+    in
+    for i = 0 to 49 do
+      let t = 0.1 +. (0.5 *. float_of_int i) in
+      ignore
+        (Engine.schedule_at engine ~time:t (fun _ ->
+             Sstp.Session.publish session
+               ~path:(Printf.sprintf "k/%d" (i mod 10))
+               ~payload:(string_of_int i)))
+    done;
+    Engine.run ~until:60.0 engine;
+    ( Sstp.Session.data_packets session,
+      Sstp.Session.feedback_packets session,
+      Sstp.Session.consistency session )
+  in
+  let plain = run None in
+  let traced = run (Some (Obs.create ~trace:(Trace.memory ()) ())) in
+  let d1, f1, c1 = plain and d2, f2, c2 = traced in
+  Alcotest.(check int) "data packets equal" d1 d2;
+  Alcotest.(check int) "feedback packets equal" f1 f2;
+  Alcotest.(check (float 0.0)) "consistency equal" c1 c2
+
+let () =
+  Alcotest.run "softstate_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "tw gauge" `Quick test_tw_gauge;
+          Alcotest.test_case "hist quantiles" `Quick test_hist_quantiles;
+          Alcotest.test_case "kind clash" `Quick test_registry_kind_clash;
+          Alcotest.test_case "snapshot order" `Quick
+            test_snapshot_order_and_probe;
+          Alcotest.test_case "metrics json" `Quick test_metrics_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "null disabled" `Quick test_null_disabled;
+          Alcotest.test_case "memory ring" `Quick test_memory_ring;
+          Alcotest.test_case "filters" `Quick test_filters;
+          Alcotest.test_case "tee" `Quick test_tee;
+          Alcotest.test_case "json golden" `Quick test_json_golden;
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "of_json rejects" `Quick test_of_json_rejects;
+          Alcotest.test_case "jsonl writer" `Quick test_jsonl_writer_streams;
+          Alcotest.test_case "csv writer" `Quick test_csv_writer;
+          Alcotest.test_case "flat parser" `Quick test_json_parse_flat;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "render" `Quick test_report_render;
+          Alcotest.test_case "of metrics" `Quick test_report_of_metrics;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "trace consistency" `Quick
+            test_session_trace_consistency;
+          Alcotest.test_case "repair traffic traced" `Quick
+            test_session_repair_traffic_traced;
+          Alcotest.test_case "disabled trace is inert" `Quick
+            test_disabled_trace_changes_nothing;
+        ] );
+    ]

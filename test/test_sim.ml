@@ -125,6 +125,33 @@ let test_every_jitter () =
   Engine.run ~until:3.0 e;
   Alcotest.(check bool) "fired at least twice" true (List.length !times >= 2)
 
+let test_loop_telemetry () =
+  let e = Engine.create () in
+  Alcotest.(check int) "no events yet" 0 (Engine.events_fired e);
+  Alcotest.(check int) "empty high water" 0 (Engine.high_water e);
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~after:(float_of_int i) (fun _ -> ()))
+  done;
+  Alcotest.(check int) "high water tracks peak depth" 10 (Engine.high_water e);
+  Engine.run ~until:4.5 e;
+  Alcotest.(check int) "four fired" 4 (Engine.events_fired e);
+  Alcotest.(check (float 0.0)) "clock exactly at horizon" 4.5 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "all fired" 10 (Engine.events_fired e);
+  Alcotest.(check int) "high water is a peak, not depth" 10
+    (Engine.high_water e)
+
+let test_on_step_composes () =
+  let e = Engine.create () in
+  let steps = ref 0 in
+  Engine.on_step e (fun _ -> incr steps);
+  Engine.on_step e (fun _ -> incr steps);
+  for i = 1 to 3 do
+    ignore (Engine.schedule e ~after:(float_of_int i) (fun _ -> ()))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "both hooks ran per step" 6 !steps
+
 let test_many_events_throughput () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -155,6 +182,8 @@ let () =
           Alcotest.test_case "step" `Quick test_step;
           Alcotest.test_case "every period" `Quick test_every_period;
           Alcotest.test_case "every jitter" `Quick test_every_jitter;
+          Alcotest.test_case "loop telemetry" `Quick test_loop_telemetry;
+          Alcotest.test_case "on_step composes" `Quick test_on_step_composes;
           Alcotest.test_case "50k events" `Slow test_many_events_throughput;
         ] );
     ]
