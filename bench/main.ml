@@ -4,9 +4,12 @@
 
      dune exec bench/main.exe              -- run everything
      dune exec bench/main.exe -- --exp fig9
+     dune exec bench/main.exe -- --jobs 4 --exp fig5
      dune exec bench/main.exe -- --list
 
-   Experiment ids match DESIGN.md section 2. *)
+   Experiment ids match DESIGN.md section 2. --jobs N fans the
+   parallelisable sweeps across N domains (0 = all recommended);
+   results are identical for every job count. *)
 
 let experiments =
   [
@@ -30,6 +33,7 @@ let experiments =
     ("sstp-continuum", "SSTP: the reliability continuum", Sstp_bench.continuum);
     ("sstp-group", "SSTP: multicast group scaling", Sstp_bench.group);
     ("obs-smoke", "Observability: traced-run throughput", Obs_smoke.run);
+    ("perf", "Performance suite: calendar + parallel sweep", Perf.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 
@@ -46,8 +50,26 @@ let run_one id =
       list_experiments ();
       exit 1
 
+let usage () =
+  prerr_endline "usage: main.exe [--jobs N] [--list | --exp <id> [<id> ...]]";
+  exit 1
+
 let () =
   let args = Array.to_list Sys.argv in
+  (* peel off a leading --jobs N (applies to every experiment run) *)
+  let args =
+    match args with
+    | argv0 :: "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some jobs ->
+            Tables.jobs := jobs;
+            Perf.jobs :=
+              (if jobs <= 0 then Softstate_sim.Parallel.recommended_jobs ()
+               else jobs);
+            argv0 :: rest
+        | None -> usage ())
+    | _ -> args
+  in
   match args with
   | _ :: "--list" :: _ -> list_experiments ()
   | _ :: "--exp" :: ids when ids <> [] -> List.iter run_one ids
@@ -56,6 +78,4 @@ let () =
         "softstate reproduction harness - regenerating all paper artefacts";
       print_endline "(run with --list to see individual experiment ids)";
       List.iter (fun (_, _, f) -> f ()) experiments
-  | _ ->
-      prerr_endline "usage: main.exe [--list | --exp <id> [<id> ...]]";
-      exit 1
+  | _ -> usage ()

@@ -1,28 +1,41 @@
 (* Observability smoke benchmark: run the same lossy two-queue
-   experiment with tracing off and with tracing into a counting sink,
-   report event throughput and the tracing overhead, and record the
-   numbers to BENCH_obs.json for trend tracking. *)
+   experiment bare (no obs context), with an obs context whose trace
+   sink is disabled, and with tracing into a counting sink; report the
+   two overheads and record the numbers to BENCH_obs.json for trend
+   tracking.
+
+   The disabled-sink row is the one the obs fast path is judged on:
+   every instrumented component hoists the "any sink attached?" check
+   into a [traced] flag at creation, so an untraced run must skip
+   event construction entirely and stay within ~5% of the bare run.
+   The counting-sink row is the honest price of tracing when it is
+   switched on (event construction + sink dispatch per event).
+
+   Timing is best-of-3 over a 6000 s simulation, with the three
+   configurations interleaved round-robin: a single short run is
+   dominated by allocator and scheduler noise (the previously recorded
+   15% "overhead" mostly was), and timing the configurations in blocks
+   lets progressive GC heap growth bias whichever runs last. *)
 
 module E = Softstate_core.Experiment
 module Obs = Softstate_obs.Obs
 module Trace = Softstate_obs.Trace
 module Json = Softstate_obs.Json
 
+let sim_duration = 6000.0
+
 let config ~obs =
   { E.default with
-    E.duration = 500.0;
+    E.duration = sim_duration;
     loss = E.Bernoulli 0.3;
     protocol = E.Two_queue { mu_hot_kbps = 20.0; mu_cold_kbps = 25.0 };
     obs }
 
-let timed f =
-  let t0 = Sys.time () in
-  let r = f () in
-  (r, Sys.time () -. t0)
-
 let run () =
   Tables.header "Observability smoke (BENCH_obs.json)";
-  let _, base_s = timed (fun () -> E.run (config ~obs:None)) in
+  let bare_run () = E.run (config ~obs:None) in
+  (* obs context attached, but no trace sink: the fast-path case *)
+  let null_run () = E.run (config ~obs:(Some (Obs.create ()))) in
   let events = ref 0 in
   let counting =
     Trace.filter
@@ -31,15 +44,39 @@ let run () =
         false)
       Trace.null
   in
-  let obs = Obs.create ~trace:counting () in
-  let r, traced_s = timed (fun () -> E.run (config ~obs:(Some obs))) in
+  let traced_run () =
+    events := 0;
+    let obs = Obs.create ~trace:counting () in
+    E.run (config ~obs:(Some obs))
+  in
+  (* warm-up every configuration: fault in code, grow the GC heap *)
+  ignore (bare_run ());
+  ignore (null_run ());
+  let r = traced_run () in
+  let base_s = ref infinity and null_s = ref infinity
+  and traced_s = ref infinity in
+  let time best f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  in
+  for _round = 1 to 3 do
+    time base_s bare_run;
+    time null_s null_run;
+    time traced_s traced_run
+  done;
+  let base_s = !base_s and null_s = !null_s and traced_s = !traced_s in
   let events_per_s =
     if traced_s > 0.0 then float_of_int !events /. traced_s else 0.0
   in
-  let overhead = if base_s > 0.0 then (traced_s -. base_s) /. base_s else 0.0 in
-  Printf.printf "untraced run            %.3f s\n" base_s;
-  Printf.printf "traced run              %.3f s (overhead %+.1f%%)\n" traced_s
-    (100.0 *. overhead);
+  let over x = if base_s > 0.0 then (x -. base_s) /. base_s else 0.0 in
+  let null_overhead = over null_s and traced_overhead = over traced_s in
+  Printf.printf "bare run (no obs)       %.3f s (best of 3)\n" base_s;
+  Printf.printf "obs, sink disabled      %.3f s (overhead %+.1f%%)\n" null_s
+    (100.0 *. null_overhead);
+  Printf.printf "obs, counting sink      %.3f s (overhead %+.1f%%)\n" traced_s
+    (100.0 *. traced_overhead);
   Printf.printf "trace events emitted    %d (%.0f events/s wall)\n" !events
     events_per_s;
   Printf.printf "final consistency       %.4f\n" r.E.final_consistency;
@@ -47,12 +84,14 @@ let run () =
   output_string oc
     (Json.obj
        [ ("experiment", Json.string "obs-smoke");
-         ("sim_duration_s", Json.float 500.0);
+         ("sim_duration_s", Json.float sim_duration);
          ("untraced_wall_s", Json.float base_s);
+         ("null_sink_wall_s", Json.float null_s);
          ("traced_wall_s", Json.float traced_s);
          ("trace_events", Json.int !events);
          ("events_per_wall_s", Json.float events_per_s);
-         ("tracing_overhead", Json.float overhead) ]);
+         ("untraced_overhead", Json.float null_overhead);
+         ("tracing_overhead", Json.float traced_overhead) ]);
   output_char oc '\n';
   close_out oc;
   print_endline "wrote BENCH_obs.json"

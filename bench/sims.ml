@@ -11,6 +11,34 @@ module Q = Softstate_queueing.Open_loop
 
 let duration = 8000.0
 
+(* Run a row-major [xs x cols] grid of configurations, optionally
+   across domains (main.exe --jobs), and hand each row back as
+   (x, per-column results). Results are independent of the job
+   count — see Experiment.run_grid. *)
+let grid_rows ~xs ~cols ~config =
+  let configs =
+    List.concat_map (fun x -> List.map (fun c -> config x c) cols) xs
+  in
+  let results = E.run_grid ~jobs:!Tables.jobs configs in
+  let ncols = List.length cols in
+  let rec rows xs results =
+    match xs with
+    | [] -> []
+    | x :: xs' ->
+        let rec take n l =
+          if n = 0 then ([], l)
+          else
+            match l with
+            | [] -> invalid_arg "grid_rows: short result list"
+            | r :: l' ->
+                let row, rest = take (n - 1) l' in
+                (r :: row, rest)
+        in
+        let row, rest = take ncols results in
+        (x, row) :: rows xs' rest
+  in
+  rows xs results
+
 let lifetime_config =
   { E.default with
     E.duration;
@@ -25,26 +53,21 @@ let fig5 () =
     "Figure 5 - two-queue consistency vs mu_hot (lambda=15, mu_data=45 kb/s)";
   let losses = [ 0.1; 0.3; 0.5 ] in
   let hots = [ 5.0; 10.0; 14.0; 16.0; 20.0; 25.0; 30.0; 35.0; 40.0 ] in
+  let rows =
+    grid_rows ~xs:hots ~cols:losses ~config:(fun mu_hot loss ->
+        { lifetime_config with
+          E.loss = E.Bernoulli loss;
+          protocol =
+            E.Two_queue { mu_hot_kbps = mu_hot; mu_cold_kbps = 45.0 -. mu_hot }
+        })
+  in
   Tables.series ~x_label:"mu_hot" ~x_format:Tables.kbps
     ~columns:(List.map (fun l -> Printf.sprintf "loss %s" (Tables.pct l)) losses)
     ~rows:
       (List.map
-         (fun mu_hot ->
-           ( mu_hot,
-             List.map
-               (fun loss ->
-                 let r =
-                   E.run
-                     { lifetime_config with
-                       E.loss = E.Bernoulli loss;
-                       protocol =
-                         E.Two_queue
-                           { mu_hot_kbps = mu_hot;
-                             mu_cold_kbps = 45.0 -. mu_hot } }
-                 in
-                 r.E.avg_consistency)
-               losses ))
-         hots)
+         (fun (mu_hot, rs) ->
+           (mu_hot, List.map (fun r -> r.E.avg_consistency) rs))
+         rows)
     ();
   print_newline ();
   print_endline
@@ -149,25 +172,20 @@ let fig9 () =
     "Figure 9 - consistency vs feedback share (lambda=15, mu_tot=45 kb/s)";
   let losses = [ 0.1; 0.3; 0.5 ] in
   let shares = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6 ] in
+  let rows =
+    grid_rows ~xs:shares ~cols:losses ~config:(fun share loss ->
+        { lifetime_config with
+          E.loss = E.Bernoulli loss;
+          protocol =
+            feedback_protocol ~mu_tot:45.0 ~fb_share:share ~hot_frac:0.8 })
+  in
   Tables.series ~x_label:"fb share" ~x_format:Tables.pct
     ~columns:(List.map (fun l -> Printf.sprintf "loss %s" (Tables.pct l)) losses)
     ~rows:
       (List.map
-         (fun share ->
-           ( share,
-             List.map
-               (fun loss ->
-                 let r =
-                   E.run
-                     { lifetime_config with
-                       E.loss = E.Bernoulli loss;
-                       protocol =
-                         feedback_protocol ~mu_tot:45.0 ~fb_share:share
-                           ~hot_frac:0.8 }
-                 in
-                 r.E.avg_consistency)
-               losses ))
-         shares)
+         (fun (share, rs) ->
+           (share, List.map (fun r -> r.E.avg_consistency) rs))
+         rows)
     ();
   print_newline ();
   print_endline
@@ -213,28 +231,23 @@ let fig11 () =
     "Figure 11 - consistency vs mu_hot/mu_data across loss rates (mu_fb=7)";
   let losses = [ 0.01; 0.2; 0.3; 0.4; 0.5 ] in
   let fracs = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ] in
+  let rows =
+    grid_rows ~xs:fracs ~cols:losses ~config:(fun frac loss ->
+        { lifetime_config with
+          E.loss = E.Bernoulli loss;
+          protocol =
+            E.Feedback
+              { mu_hot_kbps = frac *. 38.0;
+                mu_cold_kbps = (1.0 -. frac) *. 38.0;
+                mu_fb_kbps = 7.0; nack_bits = 1000; fb_lossy = false } })
+  in
   Tables.series ~x_label:"hot/data" ~x_format:Tables.pct
     ~columns:(List.map (fun l -> Printf.sprintf "loss %s" (Tables.pct l)) losses)
     ~rows:
       (List.map
-         (fun frac ->
-           ( frac,
-             List.map
-               (fun loss ->
-                 let r =
-                   E.run
-                     { lifetime_config with
-                       E.loss = E.Bernoulli loss;
-                       protocol =
-                         E.Feedback
-                           { mu_hot_kbps = frac *. 38.0;
-                             mu_cold_kbps = (1.0 -. frac) *. 38.0;
-                             mu_fb_kbps = 7.0; nack_bits = 1000;
-                             fb_lossy = false } }
-                 in
-                 r.E.avg_consistency)
-               losses ))
-         fracs)
+         (fun (frac, rs) ->
+           (frac, List.map (fun r -> r.E.avg_consistency) rs))
+         rows)
     ();
   print_newline ();
   print_endline

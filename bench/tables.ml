@@ -1,5 +1,9 @@
 (* Aligned-table printing for the experiment harness. *)
 
+(* Domain count for parallelisable sweeps; set by main.exe --jobs N
+   (0 = all recommended domains). *)
+let jobs = ref 1
+
 let hrule width = print_endline (String.make width '-')
 
 let header title =

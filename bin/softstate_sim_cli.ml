@@ -79,8 +79,22 @@ let sched_arg =
         Sched.Stride
     & info [ "sched" ] ~doc)
 
+let replications_arg =
+  int_arg [ "replications"; "r" ]
+    1
+    "Independent replications (seeds derived from --seed); with more \
+     than one, the summary reports means and confidence intervals and \
+     the obs flags are ignored."
+
+let jobs_arg =
+  int_arg [ "jobs"; "j" ]
+    1
+    "Domains to fan replications across (0 = all recommended). The \
+     summary is identical for every job count."
+
 let run protocol seed duration lambda size_bits loss mu_data mu_hot mu_cold
-    mu_fb nack_bits death sched trace_file metrics_file report =
+    mu_fb nack_bits death sched replications jobs trace_file metrics_file
+    report =
   let protocol =
     match protocol with
     | `Open_loop -> E.Open_loop { mu_data_kbps = mu_data }
@@ -98,6 +112,33 @@ let run protocol seed duration lambda size_bits loss mu_data mu_hot mu_cold
       empty_policy = Consistency.Empty_is_consistent; record_series = false;
       obs = obs.Obs_cli.obs }
   in
+  if replications > 1 then begin
+    let s, _ = E.run_many ~jobs ~replications config in
+    match obs.Obs_cli.report with
+    | Some format ->
+        print_string
+          (Softstate_obs.Report.render format (E.summary_report ~config s));
+        print_newline ()
+    | None ->
+        Printf.printf "replications          %d (jobs %d)\n" s.E.replications
+          jobs;
+        Printf.printf "average consistency   %.4f +/- %.4f\n"
+          s.E.consistency_mean s.E.consistency_ci95;
+        Printf.printf "final consistency     %.4f\n"
+          s.E.final_consistency_mean;
+        Printf.printf "receive latency       %.3f s (+/- %.3f, n=%d)\n"
+          s.E.latency_mean s.E.latency_ci95 s.E.deliveries;
+        Printf.printf "transmissions         %d (redundant fraction %.3f)\n"
+          s.E.transmissions s.E.redundant_fraction_mean;
+        if s.E.sent_hot + s.E.sent_cold > 0 then
+          Printf.printf "hot/cold sends        %d / %d\n" s.E.sent_hot
+            s.E.sent_cold;
+        if s.E.nacks_sent > 0 then
+          Printf.printf "nacks                 %d sent, %d delivered, %d reheats\n"
+            s.E.nacks_sent s.E.nacks_delivered s.E.reheats;
+        Printf.printf "link utilisation      %.3f\n" s.E.utilisation_mean
+  end
+  else
   let r = E.run config in
   obs.Obs_cli.finish ~now:duration;
   match obs.Obs_cli.report with
@@ -130,7 +171,8 @@ let cmd =
     Term.(
       const run $ protocol_arg $ seed_arg $ duration_arg $ lambda_arg
       $ size_arg $ loss_arg $ mu_data_arg $ mu_hot_arg $ mu_cold_arg
-      $ mu_fb_arg $ nack_arg $ death_arg $ sched_arg $ Obs_cli.trace_arg
-      $ Obs_cli.metrics_arg $ Obs_cli.report_arg)
+      $ mu_fb_arg $ nack_arg $ death_arg $ sched_arg $ replications_arg
+      $ jobs_arg $ Obs_cli.trace_arg $ Obs_cli.metrics_arg
+      $ Obs_cli.report_arg)
 
 let () = exit (Cmd.eval cmd)

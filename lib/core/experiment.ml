@@ -204,6 +204,223 @@ let run config =
     utilisation = utilisation ~now;
     series = Consistency.series tracker }
 
+(* ------------------------------------------------------------------ *)
+(* Replicated runs across domains                                      *)
+
+module Parallel = Softstate_sim.Parallel
+module Metrics = Softstate_obs.Metrics
+
+type summary = {
+  replications : int;
+  consistency_mean : float;
+  consistency_ci95 : float;
+  final_consistency_mean : float;
+  latency_mean : float;
+  latency_ci95 : float;
+  deliveries : int;
+  transmissions : int;
+  redundant_fraction_mean : float;
+  utilisation_mean : float;
+  sent_hot : int;
+  sent_cold : int;
+  nacks_sent : int;
+  nacks_delivered : int;
+  reheats : int;
+  false_expiries : int;
+  stale_purged : int;
+  metrics : (string * Metrics.value) list;
+}
+
+(* Per-replication seeds are drawn sequentially from a chain seeded by
+   the experiment seed, before any fan-out — so replication [i] sees
+   the same seed whatever the job count. *)
+let replication_seeds config n =
+  let chain = Rng.create config.seed in
+  Array.init n (fun _ ->
+      Int64.to_int (Int64.shift_right_logical (Rng.bits64 chain) 1))
+
+(* Counters sum; gauges and probes average; distributions combine by
+   sample-count weighting (quantiles approximately so). *)
+let combine_metric n vs =
+  let fail () = invalid_arg "Experiment.run_many: metric kind mismatch" in
+  match vs with
+  | [] -> fail ()
+  | Metrics.Int _ :: _ ->
+      Metrics.Int
+        (List.fold_left
+           (fun acc v -> match v with Metrics.Int i -> acc + i | _ -> fail ())
+           0 vs)
+  | Metrics.Float _ :: _ ->
+      Metrics.Float
+        (List.fold_left
+           (fun acc v ->
+             match v with Metrics.Float f -> acc +. f | _ -> fail ())
+           0.0 vs
+        /. float_of_int n)
+  | Metrics.Dist _ :: _ ->
+      let dists =
+        List.map
+          (fun v ->
+            match v with
+            | Metrics.Dist { count; mean; p50; p90; p99 } ->
+                (count, mean, p50, p90, p99)
+            | _ -> fail ())
+          vs
+      in
+      let total = List.fold_left (fun acc (c, _, _, _, _) -> acc + c) 0 dists in
+      let wmean field =
+        if total = 0 then 0.0
+        else
+          List.fold_left
+            (fun acc d ->
+              let (c, _, _, _, _) = d in
+              acc +. (float_of_int c *. field d))
+            0.0 dists
+          /. float_of_int total
+      in
+      Metrics.Dist
+        { count = total;
+          mean = wmean (fun (_, m, _, _, _) -> m);
+          p50 = wmean (fun (_, _, p, _, _) -> p);
+          p90 = wmean (fun (_, _, _, p, _) -> p);
+          p99 = wmean (fun (_, _, _, _, p) -> p) }
+
+let merge_snapshots snaps =
+  match snaps with
+  | [] -> []
+  | first :: _ ->
+      let n = List.length snaps in
+      List.mapi
+        (fun i (name, _) ->
+          let vs =
+            List.map
+              (fun snap ->
+                match List.nth_opt snap i with
+                | Some (name', v) when String.equal name name' -> v
+                | _ ->
+                    invalid_arg
+                      "Experiment.run_many: divergent metric snapshots")
+              snaps
+          in
+          (name, combine_metric n vs))
+        first
+
+let summarise ~metrics results =
+  let n = Array.length results in
+  if n = 0 then invalid_arg "Experiment.summarise: no results";
+  let cons = Stats.Welford.create () in
+  let lat = Stats.Welford.create () in
+  let final = ref 0.0 and redundant = ref 0.0 and util = ref 0.0 in
+  let deliveries = ref 0 and transmissions = ref 0 in
+  let sent_hot = ref 0 and sent_cold = ref 0 in
+  let nacks_sent = ref 0 and nacks_delivered = ref 0 in
+  let reheats = ref 0 and false_expiries = ref 0 and stale_purged = ref 0 in
+  Array.iter
+    (fun r ->
+      Stats.Welford.add cons r.avg_consistency;
+      (* a replication with no deliveries has no latency sample *)
+      if r.deliveries > 0 then Stats.Welford.add lat r.latency_mean;
+      final := !final +. r.final_consistency;
+      redundant := !redundant +. r.redundant_fraction;
+      util := !util +. r.utilisation;
+      deliveries := !deliveries + r.deliveries;
+      transmissions := !transmissions + r.transmissions;
+      sent_hot := !sent_hot + r.sent_hot;
+      sent_cold := !sent_cold + r.sent_cold;
+      nacks_sent := !nacks_sent + r.nacks_sent;
+      nacks_delivered := !nacks_delivered + r.nacks_delivered;
+      reheats := !reheats + r.reheats;
+      false_expiries := !false_expiries + r.false_expiries;
+      stale_purged := !stale_purged + r.stale_purged)
+    results;
+  let fn = float_of_int n in
+  { replications = n;
+    consistency_mean = Stats.Welford.mean cons;
+    consistency_ci95 = Stats.Welford.confidence95 cons;
+    final_consistency_mean = !final /. fn;
+    latency_mean = Stats.Welford.mean lat;
+    latency_ci95 = Stats.Welford.confidence95 lat;
+    deliveries = !deliveries;
+    transmissions = !transmissions;
+    redundant_fraction_mean = !redundant /. fn;
+    utilisation_mean = !util /. fn;
+    sent_hot = !sent_hot;
+    sent_cold = !sent_cold;
+    nacks_sent = !nacks_sent;
+    nacks_delivered = !nacks_delivered;
+    reheats = !reheats;
+    false_expiries = !false_expiries;
+    stale_purged = !stale_purged;
+    metrics }
+
+let run_many ?(jobs = 1) ?(with_metrics = false) ~replications config =
+  if replications < 1 then
+    invalid_arg "Experiment.run_many: replications must be positive";
+  let seeds = replication_seeds config replications in
+  let outcomes =
+    Parallel.map ~jobs replications (fun i ->
+        (* each replication is self-contained: own seed, own obs
+           context, no shared series buffers *)
+        let obs = if with_metrics then Some (Softstate_obs.Obs.create ()) else None in
+        let r =
+          run
+            { config with
+              seed = seeds.(i); obs; record_series = false }
+        in
+        let snapshot =
+          match obs with
+          | None -> []
+          | Some o ->
+              Metrics.snapshot (Softstate_obs.Obs.metrics o)
+                ~now:config.duration
+        in
+        (r, snapshot))
+  in
+  let results = Array.map fst outcomes in
+  let metrics =
+    if with_metrics then
+      merge_snapshots (Array.to_list (Array.map snd outcomes))
+    else []
+  in
+  (summarise ~metrics results, results)
+
+let run_grid ?(jobs = 1) configs =
+  let effective =
+    if jobs <= 0 then Parallel.recommended_jobs () else jobs
+  in
+  let prepare c =
+    (* an obs context is single-domain mutable state: detach it from
+       configs that will run on helper domains *)
+    if effective > 1 then { c with obs = None } else c
+  in
+  Parallel.map_list ~jobs configs (fun c -> run (prepare c))
+
+let summary_report ~config s =
+  let module R = Softstate_obs.Report in
+  let run_rows =
+    [ ("protocol", R.string (match config.protocol with
+        | Open_loop _ -> "open-loop" | Two_queue _ -> "two-queue"
+        | Feedback _ -> "feedback" | Multicast _ -> "multicast"));
+      ("seed", R.int config.seed);
+      ("replications", R.int s.replications);
+      ("duration_s", R.float config.duration) ]
+  in
+  let rows =
+    [ ("consistency_mean", R.float s.consistency_mean);
+      ("consistency_ci95", R.float s.consistency_ci95);
+      ("final_consistency_mean", R.float s.final_consistency_mean);
+      ("latency_mean_s", R.float s.latency_mean);
+      ("latency_ci95_s", R.float s.latency_ci95);
+      ("deliveries", R.int s.deliveries);
+      ("transmissions", R.int s.transmissions);
+      ("redundant_fraction_mean", R.float s.redundant_fraction_mean);
+      ("utilisation_mean", R.float s.utilisation_mean);
+      ("nacks_sent", R.int s.nacks_sent);
+      ("reheats", R.int s.reheats) ]
+  in
+  R.make ~name:"softstate-sim-replicated"
+    [ R.section "run" run_rows; R.section "summary" rows ]
+
 let protocol_name = function
   | Open_loop _ -> "open-loop"
   | Two_queue _ -> "two-queue"

@@ -86,6 +86,67 @@ type result = {
 
 val run : config -> result
 
+(** {1 Replicated runs}
+
+    Many independent replications of one configuration, optionally
+    fanned out across domains. Replication [i] always runs with the
+    same derived seed regardless of job count, and merging happens in
+    replication-index order, so every summary field is bit-identical
+    for any [jobs] value. *)
+
+type summary = {
+  replications : int;
+  consistency_mean : float;   (** mean of per-replication averages *)
+  consistency_ci95 : float;   (** 95% CI half-width across replications *)
+  final_consistency_mean : float;
+  latency_mean : float;       (** over replications with deliveries *)
+  latency_ci95 : float;
+  deliveries : int;           (** summed over replications *)
+  transmissions : int;
+  redundant_fraction_mean : float;
+  utilisation_mean : float;
+  sent_hot : int;
+  sent_cold : int;
+  nacks_sent : int;
+  nacks_delivered : int;
+  reheats : int;
+  false_expiries : int;
+  stale_purged : int;
+  metrics : (string * Softstate_obs.Metrics.value) list;
+      (** merged obs snapshots: counters summed, gauges averaged,
+          distributions combined by sample-count weighting; empty
+          unless [with_metrics] was set *)
+}
+
+val run_many :
+  ?jobs:int -> ?with_metrics:bool -> replications:int -> config ->
+  summary * result array
+(** [run_many ~jobs ~replications config] runs [replications]
+    independent copies of [config] (per-replication seeds derived from
+    [config.seed]; [config.obs] and [record_series] are overridden —
+    each replication gets its own fresh obs context when
+    [with_metrics] is set). [jobs <= 0] uses all recommended domains.
+    Returns the deterministic merged summary plus the per-replication
+    results in index order. *)
+
+val run_grid : ?jobs:int -> config list -> result list
+(** Run a list of distinct configurations (a parameter sweep),
+    optionally across domains, preserving order. Each config's [obs]
+    context is detached when running with more than one job (an obs
+    context is single-domain mutable state). *)
+
+val replication_seeds : config -> int -> int array
+(** The per-replication seeds [run_many] derives from [config.seed] —
+    a pure function of the config, independent of the job count, so
+    any replication can be reproduced standalone by running [config]
+    with the corresponding seed. *)
+
+val summarise : metrics:(string * Softstate_obs.Metrics.value) list ->
+  result array -> summary
+(** Merge results in array order (exposed for tests). *)
+
+val summary_report : config:config -> summary -> Softstate_obs.Report.t
+
 val report :
   ?obs:Softstate_obs.Obs.t -> config:config -> result -> Softstate_obs.Report.t
 (** Render a run as a structured report (run / consistency / traffic

@@ -12,6 +12,7 @@ type t = {
   seq_to_key : (int, Record.key) Hashtbl.t;
   nack_bits : int;
   trace : Trace.t;
+  traced : bool; (* Trace.enabled, hoisted to creation time *)
   mutable fb_pipe : nack Net.Pipe.t option;
   mutable expected_seq : int;
   mutable nacks_sent : int;
@@ -50,7 +51,7 @@ let receiver_deliver t ~now (ann : Base.announcement) =
   if ann.Base.seq > t.expected_seq then begin
     for missing = t.expected_seq to ann.Base.seq - 1 do
       t.nacks_sent <- t.nacks_sent + 1;
-      if Trace.enabled t.trace then
+      if t.traced then
         Trace.emit t.trace
           (Trace.event ~time:now ~src:"feedback"
              ~detail:(string_of_int missing) Trace.Nack);
@@ -79,7 +80,7 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs
   in
   let t =
     { base; sender; seq_to_key = Hashtbl.create 1024; nack_bits;
-      trace = Obs.trace_of obs;
+      trace = Obs.trace_of obs; traced = Trace.enabled (Obs.trace_of obs);
       fb_pipe = None; expected_seq = 0; nacks_sent = 0; nacks_delivered = 0;
       reheats = 0 }
   in

@@ -14,6 +14,7 @@ type t = {
   queue : Record.key Queue.t;
   status : (Record.key, status) Hashtbl.t;
   trace : Trace.t;
+  traced : bool; (* Trace.enabled, hoisted to creation time *)
   mutable seq : int;
   mutable link : Base.announcement Net.Link.t option;
 }
@@ -30,7 +31,7 @@ let rec fetch t () =
           Hashtbl.replace t.status key In_service;
           let seq = t.seq in
           t.seq <- seq + 1;
-          if Trace.enabled t.trace then
+          if t.traced then
             Trace.emit t.trace
               (Trace.event
                  ~time:(Engine.now (Base.engine t.base))
@@ -55,7 +56,7 @@ let on_served t ~now (packet : Base.announcement Net.Packet.t) =
 let create ~base ~mu_data_bps ?obs ~loss ~link_rng () =
   let t =
     { base; queue = Queue.create (); status = Hashtbl.create 256;
-      trace = Obs.trace_of obs; seq = 0; link = None }
+      trace = Obs.trace_of obs; traced = Trace.enabled (Obs.trace_of obs); seq = 0; link = None }
   in
   let link =
     Net.Link.create (Base.engine base) ~rate_bps:mu_data_bps ~loss

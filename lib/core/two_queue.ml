@@ -26,6 +26,7 @@ type t = {
   hot_flow : Sched.Scheduler.flow;
   cold_flow : Sched.Scheduler.flow;
   trace : Trace.t;
+  traced : bool; (* Trace.enabled, hoisted to creation time *)
   mutable seq : int;
   mutable sent_hot : int;
   mutable sent_cold : int;
@@ -97,7 +98,7 @@ let fetch_packet t =
       let hot = flow = t.hot_flow in
       if hot then t.sent_hot <- t.sent_hot + 1
       else t.sent_cold <- t.sent_cold + 1;
-      if Trace.enabled t.trace then
+      if t.traced then
         Trace.emit t.trace
           (Trace.event
              ~time:(Engine.now (Base.engine t.base))
@@ -130,7 +131,7 @@ let reheat t ~now key =
   match Table.find (Base.table t.base) key, Hashtbl.find_opt t.info key with
   | Some r, Some info when info.temp = Cold ->
       enqueue t r Hot;
-      if Trace.enabled t.trace then
+      if t.traced then
         Trace.emit t.trace
           (Trace.event ~time:now ~src:"two_queue"
              ~detail:(string_of_int key) Trace.Repair);
@@ -148,7 +149,7 @@ let create_queues ~base ~mu_hot_bps ~mu_cold_bps
   let t =
     { base; hot = Queue.create (); cold = Queue.create ();
       info = Hashtbl.create 256; sched = scheduler; hot_flow; cold_flow;
-      trace = Obs.trace_of obs;
+      trace = Obs.trace_of obs; traced = Trace.enabled (Obs.trace_of obs);
       seq = 0; sent_hot = 0; sent_cold = 0; link = None; kick_fn = ignore;
       kick_attached = false }
   in

@@ -21,6 +21,7 @@ type 'a t = {
   fetch : unit -> 'a Packet.t option;
   on_served : (now:float -> 'a Packet.t -> unit) option;
   trace : Trace.t;
+  traced : bool; (* Trace.enabled, hoisted to creation time *)
   src : string;
   mutable receivers : 'a receiver list;
   mutable next_id : int;
@@ -34,9 +35,11 @@ let create engine ~rate_bps ?(delay = 0.0) ?on_served ?obs
     ?(label = "channel") ~rng ~fetch () =
   if rate_bps <= 0.0 then invalid_arg "Channel.create: rate must be positive";
   if delay < 0.0 then invalid_arg "Channel.create: negative delay";
+  let trace = Obs.trace_of obs in
   let t =
     { engine; rate_bps; delay; rng; fetch; on_served;
-      trace = Obs.trace_of obs; src = label; receivers = []; next_id = 0;
+      trace; traced = Trace.enabled trace;
+      src = label; receivers = []; next_id = 0;
       busy = false; served = 0; created_at = Engine.now engine;
       busy_time = 0.0 }
   in
@@ -62,7 +65,7 @@ let unsubscribe t sub =
 let fan_out t payload =
   (* Draw each receiver's loss independently at service completion;
      delivery is delayed by propagation. *)
-  let traced = Trace.enabled t.trace in
+  let traced = t.traced in
   let now = Engine.now t.engine in
   List.iter
     (fun r ->
@@ -99,7 +102,7 @@ let rec serve_next t =
              (match t.on_served with
              | Some f -> f ~now:(Engine.now engine) packet
              | None -> ());
-             if Trace.enabled t.trace then
+             if t.traced then
                Trace.emit t.trace
                  (Trace.event ~time:(Engine.now engine) ~src:t.src
                     ~value:(float_of_int packet.Packet.size_bits)

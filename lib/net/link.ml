@@ -25,6 +25,8 @@ type 'a t = {
   on_served : (now:float -> 'a Packet.t -> unit) option;
   created_at : float;
   trace : Trace.t;
+  traced : bool; (* Trace.enabled, hoisted to creation time: untraced
+                    runs pay one immutable-field load per guard *)
   src : string;
   mutable busy : bool;
   mutable fetched : int;
@@ -49,9 +51,11 @@ let create engine ~rate_bps ?(delay = 0.0) ?(loss = Loss.never) ?on_served
     ?obs ?(label = "link") ~rng ~fetch ~deliver () =
   if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
   if delay < 0.0 then invalid_arg "Link.create: negative delay";
+  let trace = Obs.trace_of obs in
   let t =
     { engine; rate_bps; delay; loss; rng; fetch; deliver; on_served;
-      created_at = Engine.now engine; trace = Obs.trace_of obs; src = label;
+      created_at = Engine.now engine; trace;
+      traced = Trace.enabled trace; src = label;
       busy = false; fetched = 0; delivered = 0;
       dropped = 0; bits_served = 0.0; busy_time = 0.0 }
   in
@@ -75,7 +79,7 @@ let rec serve_next t =
              (* One Packet_sent is always followed by exactly one
                 Packet_dropped or Packet_delivered, so per-source trace
                 streams satisfy sent = dropped + delivered. *)
-             let traced = Trace.enabled t.trace in
+             let traced = t.traced in
              let size = float_of_int packet.Packet.size_bits in
              let now = Engine.now engine in
              if traced then
@@ -112,7 +116,7 @@ let rate_bps t = t.rate_bps
 let set_rate t rate =
   if rate <= 0.0 then invalid_arg "Link.set_rate: rate must be positive";
   t.rate_bps <- rate;
-  if Trace.enabled t.trace then
+  if t.traced then
     Trace.emit t.trace
       (Trace.event ~time:(Engine.now t.engine) ~src:t.src ~value:rate
          Trace.Rate_change)

@@ -9,6 +9,7 @@ type 'a t = {
   queue : 'a Packet.t Ring.t;
   link : 'a Link.t;
   trace : Trace.t;
+  traced : bool; (* Trace.enabled, hoisted to creation time *)
   src : string;
   mutable overflows : int;
 }
@@ -21,8 +22,9 @@ let create engine ~rate_bps ?delay ?loss ?(queue_capacity = 1024) ?obs
     Link.create engine ~rate_bps ?delay ?loss ?obs ~label ~rng ~fetch ~deliver
       ()
   in
+  let trace = Obs.trace_of obs in
   let t =
-    { engine; queue; link; trace = Obs.trace_of obs; src = label;
+    { engine; queue; link; trace; traced = Trace.enabled trace; src = label;
       overflows = 0 }
   in
   (match obs with
@@ -42,7 +44,7 @@ let send t packet =
   end
   else begin
     t.overflows <- t.overflows + 1;
-    if Trace.enabled t.trace then
+    if t.traced then
       Trace.emit t.trace
         (Trace.event ~time:(Engine.now t.engine) ~src:t.src
            ~value:(float_of_int packet.Packet.size_bits)

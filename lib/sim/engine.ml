@@ -1,8 +1,10 @@
 module Heap = Softstate_util.Heap
+module Wheel = Timer_wheel
 
 type t = {
   mutable clock : float;
   calendar : (t -> unit) Heap.t;
+  wheel : (t -> unit) Wheel.t;
   mutable events_fired : int;
   mutable high_water : int;
   mutable on_step : (t -> unit) option;
@@ -10,17 +12,34 @@ type t = {
 
 type event = Heap.handle
 
-let create ?(start = 0.0) () =
-  { clock = start; calendar = Heap.create (); events_fired = 0;
-    high_water = 0; on_step = None }
+(* A self-rearming wheel entry. [timer] is the currently armed
+   occurrence (None only transiently, inside the firing callback);
+   [stopped] makes cancellation idempotent and stops rearming if the
+   cancel lands while the callback is running. *)
+type periodic = {
+  mutable timer : Wheel.timer option;
+  mutable stopped : bool;
+}
+
+let create ?(start = 0.0) ?wheel_slots ?wheel_granularity () =
+  { clock = start;
+    calendar = Heap.create ();
+    wheel =
+      Wheel.create ?slots:wheel_slots ?granularity:wheel_granularity
+        ~start ();
+    events_fired = 0; high_water = 0; on_step = None }
 
 let now t = t.clock
+let pending t = Heap.length t.calendar + Wheel.length t.wheel
+
+let note_depth t =
+  let depth = pending t in
+  if depth > t.high_water then t.high_water <- depth
 
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
   let e = Heap.insert t.calendar ~key:time f in
-  let depth = Heap.length t.calendar in
-  if depth > t.high_water then t.high_water <- depth;
+  note_depth t;
   e
 
 let schedule t ~after f =
@@ -28,7 +47,6 @@ let schedule t ~after f =
   schedule_at t ~time:(t.clock +. after) f
 
 let cancel t e = Heap.remove t.calendar e
-let pending t = Heap.length t.calendar
 
 let events_fired t = t.events_fired
 let high_water t = t.high_water
@@ -39,22 +57,38 @@ let on_step t f =
     | None -> Some f
     | Some g -> Some (fun engine -> g engine; f engine))
 
+let fire t time f =
+  t.clock <- time;
+  t.events_fired <- t.events_fired + 1;
+  f t;
+  match t.on_step with None -> () | Some g -> g t
+
+(* Determinism contract: at equal timestamps, calendar events fire
+   before wheel timers ([pop_before] is strict), and each source is
+   FIFO within itself. *)
 let step t =
-  match Heap.pop t.calendar with
-  | None -> false
-  | Some (time, f) ->
-      t.clock <- time;
-      t.events_fired <- t.events_fired + 1;
-      f t;
-      (match t.on_step with None -> () | Some g -> g t);
-      true
+  let limit =
+    match Heap.min_key t.calendar with Some k -> k | None -> infinity
+  in
+  match Wheel.pop_before t.wheel ~limit with
+  | Some (time, f) -> fire t time f; true
+  | None -> (
+      match Heap.pop t.calendar with
+      | None -> false
+      | Some (time, f) -> fire t time f; true)
+
+let next_time t =
+  match Heap.min_key t.calendar, Wheel.next_due t.wheel with
+  | None, None -> None
+  | (Some _ as k), None | None, (Some _ as k) -> k
+  | Some a, Some b -> Some (Float.min a b)
 
 let run ?until t =
   match until with
   | None -> while step t do () done
   | Some horizon ->
       let rec loop () =
-        match Heap.min_key t.calendar with
+        match next_time t with
         | Some time when time <= horizon ->
             ignore (step t);
             loop ()
@@ -63,28 +97,56 @@ let run ?until t =
       loop ();
       if t.clock < horizon then t.clock <- horizon
 
-let every t ~period ?jitter f =
-  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+let schedule_periodic t ~period ?jitter f =
+  if period <= 0.0 then
+    invalid_arg "Engine.schedule_periodic: period must be positive";
   let delay () =
     match jitter with
     | None -> period
     | Some j ->
         let d = period +. j () in
-        if d <= 0.0 then invalid_arg "Engine.every: jitter exceeds period";
+        if d <= 0.0 then
+          invalid_arg "Engine.schedule_periodic: jitter exceeds period";
         d
   in
-  let current = ref None in
-  let stopped = ref false in
-  let rec tick engine =
-    f engine;
-    if not !stopped then
-      current := Some (schedule engine ~after:(delay ()) tick)
+  let p = { timer = None; stopped = false } in
+  let rec arm engine =
+    p.timer <-
+      Some
+        (Wheel.schedule engine.wheel
+           ~time:(engine.clock +. delay ())
+           (fun engine ->
+             p.timer <- None;
+             f engine;
+             if not p.stopped then arm engine));
+    note_depth engine
   in
-  current := Some (schedule t ~after:(delay ()) tick);
-  fun () ->
-    stopped := true;
-    match !current with
+  arm t;
+  p
+
+let cancel_periodic t p =
+  if p.stopped then false
+  else begin
+    p.stopped <- true;
+    match p.timer with
     | None -> false
-    | Some e ->
-        current := None;
-        cancel t e
+    | Some timer ->
+        p.timer <- None;
+        Wheel.cancel t.wheel timer
+  end
+
+let every t ~period ?jitter f =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  let jitter =
+    match jitter with
+    | None -> None
+    | Some j ->
+        Some
+          (fun () ->
+            let d = j () in
+            if period +. d <= 0.0 then
+              invalid_arg "Engine.every: jitter exceeds period";
+            d)
+  in
+  let p = schedule_periodic t ~period ?jitter f in
+  fun () -> cancel_periodic t p

@@ -8,16 +8,29 @@
     The engine is deliberately minimal: schedule, cancel, run until a
     horizon or until the calendar drains. Model processes (arrivals,
     services, timers) are ordinary closures that reschedule
-    themselves. *)
+    themselves.
+
+    Two calendars back the engine: a binary heap for one-shot events
+    and a hashed timing wheel for the periodic-refresh class
+    ([schedule_periodic] / [every]), where schedule and cancel are
+    O(1). Determinism contract: events fire in (time, source, FIFO)
+    order — at equal timestamps every heap event precedes every wheel
+    timer, and each source is FIFO within itself. *)
 
 type t
 
 type event
 (** Cancellable reference to a scheduled callback. *)
 
-val create : ?start:float -> unit -> t
+type periodic
+(** Cancellable reference to a recurring timer on the wheel. *)
+
+val create :
+  ?start:float -> ?wheel_slots:int -> ?wheel_granularity:float -> unit -> t
 (** [create ~start ()] makes an engine whose clock starts at [start]
-    (default 0). *)
+    (default 0). [wheel_slots] and [wheel_granularity] size the timing
+    wheel (defaults 256 slots of 0.25 s); periods beyond the wheel's
+    span still work, via its overflow heap. *)
 
 val now : t -> float
 (** Current simulation time. *)
@@ -59,9 +72,19 @@ val run : ?until:float -> t -> unit
     horizon is given the clock is left at [until] (so time-weighted
     statistics can be closed out at the horizon). *)
 
+val schedule_periodic :
+  t -> period:float -> ?jitter:(unit -> float) -> (t -> unit) -> periodic
+(** [schedule_periodic t ~period f] arms a recurring timer on the
+    timing wheel: [f] runs at now + period, then repeatedly each
+    [period] (plus [jitter ()] if given, which must return values
+    > -period). Scheduling and cancelling each occurrence is O(1). *)
+
+val cancel_periodic : t -> periodic -> bool
+(** Stop a recurrence; [false] if already cancelled or no firing was
+    pending. *)
+
 val every : t -> period:float -> ?jitter:(unit -> float) -> (t -> unit)
   -> (unit -> bool)
-(** [every t ~period f] runs [f] at now + period, then repeatedly each
-    [period] (plus [jitter ()] if given, which must return values
-    > -period). Returns a canceller: calling it stops the recurrence
-    and reports whether a firing was still pending. *)
+(** [every t ~period f] is [schedule_periodic] packaged as a closure:
+    the returned canceller stops the recurrence and reports whether a
+    firing was still pending. *)

@@ -1,0 +1,24 @@
+(** Domain-parallel replication fan-out.
+
+    Independent replications (each with its own engine and RNG stream)
+    are spread across OCaml domains with a static index partition;
+    results come back in index order, so the output — and anything
+    merged from it in index order — is identical for every job count.
+
+    The closure passed in must not share mutable state across calls
+    (in particular, not a shared observability context): each index
+    must be self-contained. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [jobs <= 0] resolves
+    to. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] computes [| f 0; ...; f (n-1) |] across
+    [min jobs n] domains. [jobs <= 0] means use all recommended
+    domains; the default [jobs:1] runs sequentially on the calling
+    domain. If any [f i] raises, all domains are joined first and one
+    of the exceptions is re-raised. *)
+
+val map_list : ?jobs:int -> 'a list -> ('a -> 'b) -> 'b list
+(** [map] over a list, preserving order. *)

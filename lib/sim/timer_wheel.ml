@@ -1,0 +1,177 @@
+(* Hashed timing wheel with heap overflow.
+
+   Periodic refresh timers — the bulk of a soft-state calendar — land
+   a fixed, small delay ahead of now, so a hashed wheel gives O(1)
+   schedule and cancel: bucket index is [floor (time / granularity)
+   mod slots]. Entries falling beyond the wheel's span (one full
+   rotation ahead of the current tick) go to an overflow heap and are
+   never migrated: extraction just compares the best in-window bucket
+   candidate against the overflow minimum, so far-future timers cost a
+   heap op and everything else costs a bucket push.
+
+   Ordering contract: entries are delivered in (time, seq) order where
+   [seq] is allocation order — equal-deadline timers fire FIFO, and
+   the order is identical whether an entry lived in a bucket or in the
+   overflow heap.
+
+   Correctness of the bucket scan: every live bucket entry has
+   tick in [cur_tick, cur_tick + slots) — enforced at insert and
+   preserved because cur_tick only advances to the tick of an
+   extracted minimum. Tick is monotone in time, so the first non-empty
+   bucket at or after cur_tick contains the bucket-resident minimum.
+
+   Cancellation is lazy here too: [cancel] flips the timer's live bit;
+   dead entries are filtered out of a bucket when the scan first
+   touches it, and dead overflow entries are discarded when they
+   surface at the heap root. *)
+
+module Heap = Softstate_util.Heap
+
+type timer = {
+  mutable live : bool;
+  in_bucket : bool; (* fixed at schedule time: bucket vs overflow *)
+}
+
+type 'a entry = { time : float; seq : int; value : 'a; timer : timer }
+
+type 'a t = {
+  granularity : float;
+  slots : int;
+  buckets : 'a entry list array;
+  overflow : 'a entry Heap.t;
+  mutable cur_tick : int;
+  mutable total_live : int; (* live entries, buckets + overflow *)
+  mutable bucket_live : int; (* live entries resident in buckets *)
+  mutable next_seq : int;
+}
+
+let create ?(slots = 256) ?(granularity = 0.25) ~start () =
+  if slots < 1 then invalid_arg "Timer_wheel.create: slots must be positive";
+  if granularity <= 0.0 then
+    invalid_arg "Timer_wheel.create: granularity must be positive";
+  let start = Float.max 0.0 start in
+  { granularity; slots;
+    buckets = Array.make slots [];
+    overflow = Heap.create ();
+    cur_tick = int_of_float (start /. granularity);
+    total_live = 0; bucket_live = 0; next_seq = 0 }
+
+let length t = t.total_live
+let is_empty t = t.total_live = 0
+
+let tick_of t time = int_of_float (time /. t.granularity)
+
+let schedule t ~time value =
+  if not (Float.is_finite time) then
+    invalid_arg "Timer_wheel.schedule: time must be finite";
+  (* clamp: a deadline at or before the wheel's position still fires,
+     from the current bucket *)
+  let tick = max t.cur_tick (tick_of t time) in
+  let in_bucket = tick < t.cur_tick + t.slots in
+  let timer = { live = true; in_bucket } in
+  let e = { time; seq = t.next_seq; value; timer } in
+  t.next_seq <- t.next_seq + 1;
+  t.total_live <- t.total_live + 1;
+  if in_bucket then begin
+    let b = tick mod t.slots in
+    t.buckets.(b) <- e :: t.buckets.(b);
+    t.bucket_live <- t.bucket_live + 1
+  end
+  else ignore (Heap.insert t.overflow ~key:time e);
+  timer
+
+let cancel t timer =
+  if not timer.live then false
+  else begin
+    timer.live <- false;
+    t.total_live <- t.total_live - 1;
+    if timer.in_bucket then t.bucket_live <- t.bucket_live - 1;
+    true
+  end
+
+let mem _t timer = timer.live
+
+let entry_precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+(* Minimum live bucket entry and its tick, compacting dead entries out
+   of every bucket the scan touches. Only called when bucket_live > 0,
+   so the scan always terminates inside the window. *)
+let bucket_min t =
+  let found = ref None in
+  let k = ref t.cur_tick in
+  while !found = None && !k < t.cur_tick + t.slots do
+    let b = !k mod t.slots in
+    (match t.buckets.(b) with
+    | [] -> ()
+    | l ->
+        let alive = List.filter (fun e -> e.timer.live) l in
+        t.buckets.(b) <- alive;
+        (match alive with
+        | [] -> ()
+        | e0 :: rest ->
+            let best =
+              List.fold_left
+                (fun acc e -> if entry_precedes e acc then e else acc)
+                e0 rest
+            in
+            found := Some (!k, best)));
+    if !found = None then incr k
+  done;
+  (* bucket_live > 0 guarantees a live entry inside the window *)
+  match !found with Some r -> r | None -> assert false
+
+(* Live overflow minimum, discarding dead entries at the root. *)
+let rec overflow_min t =
+  match Heap.peek t.overflow with
+  | None -> None
+  | Some (_, e) when not e.timer.live ->
+      ignore (Heap.pop t.overflow);
+      overflow_min t
+  | Some (_, e) -> Some e
+
+let next_entry t =
+  if t.total_live = 0 then None
+  else begin
+    let from_bucket =
+      if t.bucket_live = 0 then None
+      else
+        let tick, e = bucket_min t in
+        Some (tick, e)
+    in
+    match from_bucket, overflow_min t with
+    | None, None -> None
+    | Some (tick, e), None -> Some (`Bucket tick, e)
+    | None, Some e -> Some (`Overflow, e)
+    | Some (tick, be), Some oe ->
+        if entry_precedes oe be then Some (`Overflow, oe)
+        else Some (`Bucket tick, be)
+  end
+
+let next_due t =
+  match next_entry t with None -> None | Some (_, e) -> Some e.time
+
+let take t where e =
+  (match where with
+  | `Bucket tick ->
+      let b = tick mod t.slots in
+      t.buckets.(b) <- List.filter (fun x -> x != e) t.buckets.(b);
+      t.bucket_live <- t.bucket_live - 1;
+      (* advance the wheel: every remaining live entry has tick >=
+         this minimum's tick, so the window invariant holds *)
+      t.cur_tick <- max t.cur_tick tick
+  | `Overflow ->
+      ignore (Heap.pop t.overflow);
+      t.cur_tick <- max t.cur_tick (tick_of t e.time));
+  e.timer.live <- false;
+  t.total_live <- t.total_live - 1;
+  (e.time, e.value)
+
+let pop_before t ~limit =
+  match next_entry t with
+  | Some (where, e) when e.time < limit -> Some (take t where e)
+  | _ -> None
+
+let pop t =
+  match next_entry t with
+  | Some (where, e) -> Some (take t where e)
+  | None -> None

@@ -1,0 +1,48 @@
+(** Hashed timing wheel with heap overflow.
+
+    Designed for the periodic-refresh class of simulation timers:
+    deadlines a short, bounded delay ahead of now. Scheduling and
+    cancelling such a timer is O(1) (a bucket push / a tombstone
+    flip); deadlines beyond the wheel's span — [slots * granularity]
+    seconds ahead — spill into an overflow heap and cost O(log n).
+
+    Delivery order is by (deadline, allocation order): equal-deadline
+    timers fire FIFO, regardless of whether they sat in a bucket or in
+    the overflow heap. Cancellation is lazy; cancelled entries are
+    reclaimed as extraction passes over them. *)
+
+type 'a t
+
+type timer
+(** Reference to a scheduled entry; invalid once fired or cancelled. *)
+
+val create : ?slots:int -> ?granularity:float -> start:float -> unit -> 'a t
+(** [create ~start ()] positions the wheel at time [start] (clamped to
+    0). Defaults: 256 slots of 0.25 s — a 64 s in-window span. *)
+
+val length : 'a t -> int
+(** Live (scheduled, not yet fired or cancelled) entry count. *)
+
+val is_empty : 'a t -> bool
+
+val schedule : 'a t -> time:float -> 'a -> timer
+(** [schedule t ~time v] registers [v] to surface at [time]. Deadlines
+    at or before the wheel's position fire immediately on the next
+    extraction. *)
+
+val cancel : 'a t -> timer -> bool
+(** O(1) lazy cancel; [false] if the entry already fired or was
+    cancelled. *)
+
+val mem : 'a t -> timer -> bool
+
+val next_due : 'a t -> float option
+(** Deadline of the earliest live entry. *)
+
+val pop_before : 'a t -> limit:float -> (float * 'a) option
+(** Extract the earliest live entry with deadline strictly below
+    [limit] — the engine uses this to interleave wheel timers with
+    calendar events (calendar wins ties). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Extract the earliest live entry unconditionally. *)

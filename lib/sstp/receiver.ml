@@ -19,6 +19,7 @@ type t = {
   send_feedback : Wire.msg -> unit;
   reports : Reports.Receiver_side.t;
   trace : Trace.t;
+  traced : bool; (* Trace.enabled, hoisted to creation time *)
   outstanding : (string, int) Hashtbl.t; (* repair tag -> retries left *)
   mutable interest : Path.t -> meta:string list -> bool;
   mutable update_callbacks : (Path.t -> string -> unit) list;
@@ -41,7 +42,7 @@ let create ?obs ~engine ~config ~send_feedback () =
   let t =
     { engine; config; namespace = Namespace.create (); send_feedback;
       reports = Reports.Receiver_side.create ();
-      trace = Obs.trace_of obs;
+      trace = Obs.trace_of obs; traced = Trace.enabled (Obs.trace_of obs);
       outstanding = Hashtbl.create 64;
       interest = (fun _ ~meta:_ -> true);
       last_summary_digest = None; reconciled_root = None;
@@ -101,7 +102,7 @@ let request_once t ~now:_ tag send =
 let send_query t ~now path =
   request_once t ~now ("q:" ^ Path.to_string path) (fun () ->
       t.queries_sent <- t.queries_sent + 1;
-      if Trace.enabled t.trace then
+      if t.traced then
         Trace.emit t.trace
           (Trace.event ~time:(Engine.now t.engine) ~src:"receiver"
              ~detail:(Path.to_string path) Trace.Query);
@@ -110,7 +111,7 @@ let send_query t ~now path =
 let send_nack t ~now path =
   request_once t ~now ("n:" ^ Path.to_string path) (fun () ->
       t.nacks_sent <- t.nacks_sent + 1;
-      if Trace.enabled t.trace then
+      if t.traced then
         Trace.emit t.trace
           (Trace.event ~time:(Engine.now t.engine) ~src:"receiver"
              ~detail:(Path.to_string path) Trace.Nack);
@@ -207,7 +208,7 @@ let handle t ~now (env : Wire.envelope) =
         (not (String.equal root_digest (Namespace.root_digest t.namespace)))
         && t.reconciled_root <> Some root_digest
       then begin
-        if Trace.enabled t.trace then
+        if t.traced then
           Trace.emit t.trace
             (Trace.event ~time:now ~src:"receiver" Trace.Digest_mismatch);
         send_query t ~now Path.root
@@ -220,7 +221,7 @@ let handle t ~now (env : Wire.envelope) =
       let path = Path.of_string path in
       purge_outstanding_under t path;
       if Namespace.remove t.namespace ~path then begin
-        if Trace.enabled t.trace then
+        if t.traced then
           Trace.emit t.trace
             (Trace.event ~time:now ~src:"receiver"
                ~detail:(Path.to_string path) Trace.Remove);

@@ -43,6 +43,7 @@ type t = {
   cold_node : Hierarchy.node;
   reports : Reports.Sender_side.t;
   trace : Trace.t;
+  traced : bool; (* Trace.enabled, hoisted to creation time *)
   mutable mu_hot : float;
   mutable mu_cold : float;
   mutable seq : int;
@@ -83,7 +84,7 @@ let create ?obs ~engine ~config () =
     { engine; config; namespace = Namespace.create (); classes;
       class_of_path = Hashtbl.create 64; pending = Hashtbl.create 64; sched;
       data_node; cold_node; reports = Reports.Sender_side.create ();
-      trace = Obs.trace_of obs;
+      trace = Obs.trace_of obs; traced = Trace.enabled (Obs.trace_of obs);
       mu_hot = config.mu_hot_bps; mu_cold = config.mu_cold_bps; seq = 0;
       next_summary_due = Engine.now engine; sent_data = 0; sent_summaries = 0;
       sent_signatures = 0; rate_callbacks = [];
@@ -186,7 +187,7 @@ let on_rate_constraint t f = t.rate_callbacks <- f :: t.rate_callbacks
 let next_envelope t ~now msg =
   let seq = t.seq in
   t.seq <- seq + 1;
-  (if Trace.enabled t.trace then
+  (if t.traced then
      let kind, detail =
        match msg with
        | Wire.Data { path; _ } -> (Trace.Announce, path)

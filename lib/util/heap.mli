@@ -1,10 +1,18 @@
-(** Array-backed binary min-heap with O(log n) removal of arbitrary
+(** Array-backed binary min-heap with O(1) lazy removal of arbitrary
     elements via handles.
 
-    The simulation event calendar needs three operations fast:
-    insert, extract-min, and cancel (remove an event that has not yet
-    fired). A handle is returned at insertion and stays valid until
-    the element leaves the heap. *)
+    The simulation event calendar needs three operations fast: insert,
+    extract-min, and cancel (remove an event that has not yet fired).
+    A handle is returned at insertion and stays valid until the
+    element leaves the heap.
+
+    Internally the heap stores elements in unboxed parallel arrays
+    (flat float keys, int sequence numbers, values, handles) rather
+    than boxed per-slot records, and cancellation is {e lazy}:
+    [remove] tombstones the slot in O(1); dead slots are skipped at
+    extraction and swept out in O(n) once tombstones outnumber live
+    elements. Soft-state timer workloads cancel most timers before
+    they fire, which makes cancel the operation to optimise for. *)
 
 type 'a t
 (** Heap of elements prioritised by a float key (smallest first); ties
@@ -16,25 +24,40 @@ type handle
 val create : ?initial_capacity:int -> unit -> 'a t
 
 val length : 'a t -> int
+(** Number of live (non-tombstoned) elements. *)
+
 val is_empty : 'a t -> bool
 
 val insert : 'a t -> key:float -> 'a -> handle
 (** [insert t ~key v] adds [v] with priority [key]. *)
 
 val min_key : 'a t -> float option
-(** Smallest key, or [None] when empty. *)
+(** Smallest live key, or [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum live (key, value) without removing it. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum (key, value). *)
 
 val remove : 'a t -> handle -> bool
 (** [remove t h] deletes the element referenced by [h]; [false] if it
-    already left the heap (popped or removed). O(log n). *)
+    already left the heap (popped or removed). O(1) amortised: the
+    slot is tombstoned and physically reclaimed later. *)
 
 val mem : 'a t -> handle -> bool
 (** Whether the handle still refers to a live element. *)
 
 val clear : 'a t -> unit
+(** Empty the heap: invalidates all outstanding handles, resets the
+    FIFO sequence counter, drops payload references and shrinks the
+    backing arrays back below a fixed threshold. *)
 
 val iter : 'a t -> (float -> 'a -> unit) -> unit
 (** Iterate over the live elements in unspecified order. *)
+
+val capacity : 'a t -> int
+(** Current backing-array length (exposed for tests and benchmarks). *)
+
+val tombstones : 'a t -> int
+(** Cancelled-but-unreclaimed slot count (exposed for tests). *)

@@ -640,6 +640,64 @@ let test_expiry_disabled_counts_nothing () =
   Alcotest.(check int) "no false expiries" 0 r.Experiment.false_expiries;
   Alcotest.(check int) "no stale purges" 0 r.Experiment.stale_purged
 
+(* ------------------------------------------------------------------ *)
+(* Parallel replication runner *)
+
+let run_many_config =
+  { Experiment.default with
+    Experiment.duration = 400.0;
+    loss = Experiment.Bernoulli 0.3;
+    protocol = Experiment.Two_queue { mu_hot_kbps = 20.0; mu_cold_kbps = 25.0 } }
+
+let test_run_many_deterministic_across_jobs () =
+  (* the fan-out contract: the summary (and every per-replication
+     result) is a function of the config alone, not of the domain
+     count. [compare] rather than [<>]: nan = nan under compare. *)
+  let s1, r1 = Experiment.run_many ~jobs:1 ~replications:6 run_many_config in
+  let s4, r4 = Experiment.run_many ~jobs:4 ~replications:6 run_many_config in
+  Alcotest.(check bool) "summaries byte-identical" true (compare s1 s4 = 0);
+  Alcotest.(check bool) "per-replication results identical" true
+    (compare r1 r4 = 0);
+  Alcotest.(check int) "replication count" 6 s1.Experiment.replications
+
+let test_run_many_reports_spread () =
+  let s, results = Experiment.run_many ~jobs:1 ~replications:5 run_many_config in
+  Alcotest.(check int) "five results" 5 (Array.length results);
+  Alcotest.(check bool) "mean in [0,1]" true
+    (s.Experiment.consistency_mean >= 0.0 && s.Experiment.consistency_mean <= 1.0);
+  Alcotest.(check bool) "nonzero ci from independent seeds" true
+    (s.Experiment.consistency_ci95 > 0.0);
+  (* replications use distinct derived seeds, so runs differ *)
+  Alcotest.(check bool) "replications not clones" true
+    (results.(0).Experiment.avg_consistency
+    <> results.(1).Experiment.avg_consistency);
+  (* and the summary mean is the mean of the per-replication results *)
+  let mean =
+    Array.fold_left
+      (fun acc r -> acc +. r.Experiment.avg_consistency)
+      0.0 results
+    /. 5.0
+  in
+  Alcotest.(check (float 1e-9)) "summary mean matches results" mean
+    s.Experiment.consistency_mean
+
+let test_run_many_single_replication_matches_run () =
+  let config = { run_many_config with Experiment.seed = 77 } in
+  let _, results = Experiment.run_many ~jobs:2 ~replications:3 config in
+  (* each replication must equal a standalone run with its derived seed *)
+  let seeds = Experiment.replication_seeds config 3 in
+  Array.iteri
+    (fun i r ->
+      let solo =
+        Experiment.run
+          { config with Experiment.seed = seeds.(i); obs = None }
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "replication %d reproducible standalone" i)
+        true
+        (compare r solo = 0))
+    results
+
 let () =
   Alcotest.run "softstate_core"
     [
@@ -727,6 +785,14 @@ let () =
             test_expiry_collects_dead_state;
           Alcotest.test_case "disabled counts nothing" `Quick
             test_expiry_disabled_counts_nothing;
+        ] );
+      ( "run_many",
+        [
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_run_many_deterministic_across_jobs;
+          Alcotest.test_case "summary spread" `Quick test_run_many_reports_spread;
+          Alcotest.test_case "replications reproducible standalone" `Quick
+            test_run_many_single_replication_matches_run;
         ] );
       ( "claims",
         [

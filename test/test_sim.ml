@@ -152,6 +152,109 @@ let test_on_step_composes () =
   Engine.run e;
   Alcotest.(check int) "both hooks ran per step" 6 !steps
 
+(* ------------------------------------------------------------------ *)
+(* Timing wheel and periodic timers *)
+
+module Wheel = Softstate_sim.Timer_wheel
+
+let test_wheel_ordering () =
+  let w = Wheel.create ~start:0.0 () in
+  (* mix in-window buckets with overflow (beyond 256 * 0.25 = 64 s) *)
+  ignore (Wheel.schedule w ~time:1.0 "bucket-1");
+  ignore (Wheel.schedule w ~time:100.0 "overflow");
+  ignore (Wheel.schedule w ~time:0.5 "bucket-0.5");
+  ignore (Wheel.schedule w ~time:1.0 "bucket-1b");
+  Alcotest.(check int) "length" 4 (Wheel.length w);
+  Alcotest.(check (option (float 0.0))) "next due" (Some 0.5) (Wheel.next_due w);
+  let pop () = match Wheel.pop w with Some (_, v) -> v | None -> "?" in
+  Alcotest.(check string) "earliest first" "bucket-0.5" (pop ());
+  Alcotest.(check string) "fifo at equal deadline" "bucket-1" (pop ());
+  Alcotest.(check string) "fifo at equal deadline 2" "bucket-1b" (pop ());
+  Alcotest.(check string) "overflow last" "overflow" (pop ());
+  Alcotest.(check bool) "drained" true (Wheel.is_empty w)
+
+let test_wheel_cancel () =
+  let w = Wheel.create ~start:0.0 () in
+  let a = Wheel.schedule w ~time:1.0 "a" in
+  let b = Wheel.schedule w ~time:2.0 "b" in
+  let c = Wheel.schedule w ~time:200.0 "c" in
+  Alcotest.(check bool) "cancel bucket" true (Wheel.cancel w a);
+  Alcotest.(check bool) "cancel twice" false (Wheel.cancel w a);
+  Alcotest.(check bool) "cancel overflow" true (Wheel.cancel w c);
+  Alcotest.(check bool) "b still member" true (Wheel.mem w b);
+  Alcotest.(check int) "one live" 1 (Wheel.length w);
+  (match Wheel.pop w with
+  | Some (t, v) ->
+      Alcotest.(check (float 0.0)) "survivor time" 2.0 t;
+      Alcotest.(check string) "survivor" "b" v
+  | None -> Alcotest.fail "wheel empty");
+  Alcotest.(check bool) "fired handle dead" false (Wheel.cancel w b)
+
+let test_wheel_pop_before_strict () =
+  let w = Wheel.create ~start:0.0 () in
+  ignore (Wheel.schedule w ~time:1.0 ());
+  Alcotest.(check bool) "limit is exclusive" true
+    (Wheel.pop_before w ~limit:1.0 = None);
+  Alcotest.(check bool) "just past the deadline" true
+    (Wheel.pop_before w ~limit:1.0000001 <> None)
+
+let test_schedule_periodic_times () =
+  let e = Engine.create () in
+  let times = ref [] in
+  let _p =
+    Engine.schedule_periodic e ~period:1.0 (fun e ->
+        times := Engine.now e :: !times)
+  in
+  Engine.run ~until:5.5 e;
+  Alcotest.(check (list (float 1e-9))) "fires every period"
+    [ 1.0; 2.0; 3.0; 4.0; 5.0 ] (List.rev !times)
+
+let test_cancel_periodic () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let p = Engine.schedule_periodic e ~period:1.0 (fun _ -> incr count) in
+  Engine.run ~until:2.5 e;
+  Alcotest.(check int) "two firings" 2 !count;
+  Alcotest.(check bool) "cancel" true (Engine.cancel_periodic e p);
+  Alcotest.(check bool) "cancel twice" false (Engine.cancel_periodic e p);
+  Engine.run ~until:10.0 e;
+  Alcotest.(check int) "stopped" 2 !count
+
+let test_periodic_beyond_wheel_span () =
+  (* period far beyond the wheel's 64 s window: rides the overflow
+     heap, still fires at exact multiples *)
+  let e = Engine.create () in
+  let times = ref [] in
+  let _p =
+    Engine.schedule_periodic e ~period:100.0 (fun e ->
+        times := Engine.now e :: !times)
+  in
+  Engine.run ~until:250.0 e;
+  Alcotest.(check (list (float 1e-9))) "overflow periods exact"
+    [ 100.0; 200.0 ] (List.rev !times)
+
+let test_heap_event_precedes_wheel_tie () =
+  (* determinism contract: at equal timestamps, one-shot calendar
+     events fire before wheel timers — even when the one-shot was
+     scheduled after the periodic was armed *)
+  let e = Engine.create () in
+  let order = ref [] in
+  let _p =
+    Engine.schedule_periodic e ~period:2.0 (fun _ -> order := "wheel" :: !order)
+  in
+  ignore (Engine.schedule e ~after:2.0 (fun _ -> order := "heap" :: !order));
+  Engine.run ~until:2.0 e;
+  Alcotest.(check (list string)) "heap wins the tie" [ "heap"; "wheel" ]
+    (List.rev !order)
+
+let test_pending_counts_both_calendars () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~after:1.0 (fun _ -> ()));
+  let p = Engine.schedule_periodic e ~period:5.0 (fun _ -> ()) in
+  Alcotest.(check int) "one-shot plus periodic" 2 (Engine.pending e);
+  ignore (Engine.cancel_periodic e p);
+  Alcotest.(check int) "periodic cancelled" 1 (Engine.pending e)
+
 let test_many_events_throughput () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -185,5 +288,18 @@ let () =
           Alcotest.test_case "loop telemetry" `Quick test_loop_telemetry;
           Alcotest.test_case "on_step composes" `Quick test_on_step_composes;
           Alcotest.test_case "50k events" `Slow test_many_events_throughput;
+          Alcotest.test_case "wheel ordering" `Quick test_wheel_ordering;
+          Alcotest.test_case "wheel cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "wheel pop_before strict" `Quick
+            test_wheel_pop_before_strict;
+          Alcotest.test_case "periodic firing times" `Quick
+            test_schedule_periodic_times;
+          Alcotest.test_case "periodic cancel" `Quick test_cancel_periodic;
+          Alcotest.test_case "periodic beyond wheel span" `Quick
+            test_periodic_beyond_wheel_span;
+          Alcotest.test_case "heap precedes wheel at ties" `Quick
+            test_heap_event_precedes_wheel_tie;
+          Alcotest.test_case "pending counts both calendars" `Quick
+            test_pending_counts_both_calendars;
         ] );
     ]

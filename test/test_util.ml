@@ -42,6 +42,36 @@ let test_rng_split_independent () =
   let ys = List.init 50 (fun _ -> Rng.bits64 b) in
   Alcotest.(check bool) "streams disjoint" false (xs = ys)
 
+let test_rng_split_reproducible () =
+  (* splitting is a pure function of the parent state: two identical
+     parents yield identical children, and the children stay in
+     lock-step however they interleave with their parents — the
+     property the parallel replication runner relies on. *)
+  let a = Rng.create 13 and a' = Rng.create 13 in
+  let b = Rng.split a and b' = Rng.split a' in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "children agree" (Rng.bits64 b) (Rng.bits64 b')
+  done;
+  ignore (Rng.bits64 a);
+  (* drawing from one parent must not perturb either child *)
+  Alcotest.(check int64) "child unaffected by parent draws" (Rng.bits64 b)
+    (Rng.bits64 b')
+
+let test_rng_split_siblings_differ () =
+  let a = Rng.create 14 in
+  let kids = List.init 4 (fun _ -> Rng.split a) in
+  let streams =
+    List.map (fun g -> List.init 20 (fun _ -> Rng.bits64 g)) kids
+  in
+  List.iteri
+    (fun i si ->
+      List.iteri
+        (fun j sj ->
+          if i < j then
+            Alcotest.(check bool) "sibling streams differ" false (si = sj))
+        streams)
+    streams
+
 let test_rng_float_range () =
   let g = Rng.create 3 in
   for _ = 1 to 10_000 do
@@ -399,6 +429,137 @@ let test_heap_clear () =
   Alcotest.(check int) "empty" 0 (Heap.length h);
   Alcotest.(check bool) "handle invalidated" false (Heap.remove h h1)
 
+let test_heap_clear_shrinks_and_resets () =
+  let h = Heap.create () in
+  let handles = Array.init 5_000 (fun i -> Heap.insert h ~key:(float_of_int i) i) in
+  Alcotest.(check bool) "grew past shrink threshold" true (Heap.capacity h > 256);
+  Heap.clear h;
+  Alcotest.(check int) "empty after clear" 0 (Heap.length h);
+  Alcotest.(check int) "tombstones reset" 0 (Heap.tombstones h);
+  Alcotest.(check bool) "capacity shrunk" true (Heap.capacity h <= 256);
+  Array.iter
+    (fun hd -> Alcotest.(check bool) "old handle dead" false (Heap.remove h hd))
+    handles;
+  (* the calendar is fully reusable: FIFO tie order restarts cleanly *)
+  ignore (Heap.insert h ~key:1.0 1);
+  ignore (Heap.insert h ~key:1.0 2);
+  (match Heap.peek h with
+  | Some (k, v) ->
+      Alcotest.(check (float 0.0)) "peek key" 1.0 k;
+      Alcotest.(check int) "fifo restarts" 1 v
+  | None -> Alcotest.fail "heap empty after reuse");
+  Alcotest.(check int) "reused length" 2 (Heap.length h)
+
+(* Model check: drive the heap through a long random interleaving of
+   insert / pop / remove (live and stale) / peek / clear and compare
+   every observable against a naive sorted-list reference. Keys are
+   drawn from 8 distinct values so FIFO tie-breaking is exercised
+   constantly, and the 75%-cancel mix drives the lazy-cancellation
+   machinery through many compaction cycles. *)
+let test_heap_model_check () =
+  let h = Heap.create () in
+  let g = Rng.create 99 in
+  (* model: live entries as (key, seq, id) with their heap handles *)
+  let model = ref [] in
+  let retired = ref [] in
+  let seq = ref 0 in
+  let next_id = ref 0 in
+  let model_min () =
+    List.fold_left
+      (fun best ((k, s, _, _) as e) ->
+        match best with
+        | None -> Some e
+        | Some (bk, bs, _, _) ->
+            if k < bk || (k = bk && s < bs) then Some e else best)
+      None !model
+  in
+  let drop_entry (_, s, _, _) =
+    model := List.filter (fun (_, s', _, _) -> s' <> s) !model
+  in
+  for _step = 1 to 20_000 do
+    let r = Rng.float g in
+    if r < 0.45 then begin
+      (* insert with a tie-prone key *)
+      let key = float_of_int (Rng.int g 8) in
+      let id = !next_id in
+      incr next_id;
+      let hd = Heap.insert h ~key id in
+      model := (key, !seq, id, hd) :: !model;
+      incr seq
+    end
+    else if r < 0.60 then begin
+      (* pop must agree with the reference minimum *)
+      match (Heap.pop h, model_min ()) with
+      | None, None -> ()
+      | Some (k, v), Some ((mk, _, mid, _) as e) ->
+          Alcotest.(check (float 0.0)) "pop key" mk k;
+          Alcotest.(check int) "pop value" mid v;
+          drop_entry e;
+          retired := e :: !retired
+      | Some _, None -> Alcotest.fail "heap popped but model empty"
+      | None, Some _ -> Alcotest.fail "heap empty but model not"
+    end
+    else if r < 0.90 then begin
+      (* cancel a random live timer *)
+      match !model with
+      | [] -> ()
+      | entries ->
+          let n = List.length entries in
+          let ((_, _, _, hd) as e) = List.nth entries (Rng.int g n) in
+          Alcotest.(check bool) "remove live" true (Heap.remove h hd);
+          drop_entry e;
+          retired := e :: !retired;
+          (* lazy-cancellation invariant: a cancel leaves tombstones
+             outnumbering the living only below the compaction floor *)
+          let live = Heap.length h and dead = Heap.tombstones h in
+          if live + dead > 64 then
+            Alcotest.(check bool) "compaction keeps dead <= live" true
+              (dead <= live)
+    end
+    else if r < 0.97 then begin
+      (* stale handles (popped or cancelled) must stay dead *)
+      match !retired with
+      | [] -> ()
+      | (_, _, _, hd) :: _ ->
+          Alcotest.(check bool) "stale remove" false (Heap.remove h hd);
+          Alcotest.(check bool) "stale mem" false (Heap.mem h hd)
+    end
+    else if r < 0.985 then begin
+      match (Heap.peek h, model_min ()) with
+      | None, None -> ()
+      | Some (k, v), Some (mk, _, mid, _) ->
+          Alcotest.(check (float 0.0)) "peek key" mk k;
+          Alcotest.(check int) "peek value" mid v;
+          Alcotest.(check (option (float 0.0))) "min_key" (Some mk)
+            (Heap.min_key h)
+      | _ -> Alcotest.fail "peek disagrees on emptiness"
+    end
+    else begin
+      Heap.clear h;
+      List.iter
+        (fun (_, _, _, hd) ->
+          Alcotest.(check bool) "cleared handle dead" false (Heap.mem h hd))
+        !model;
+      retired := !model @ !retired;
+      model := []
+    end;
+    Alcotest.(check int) "length tracks model" (List.length !model)
+      (Heap.length h)
+  done;
+  (* final drain stays sorted and FIFO-stable *)
+  let rec drain last =
+    match (Heap.pop h, model_min ()) with
+    | None, None -> ()
+    | Some (k, v), Some ((mk, _, mid, _) as e) ->
+        if k < last then Alcotest.fail "final drain out of order";
+        Alcotest.(check (float 0.0)) "drain key" mk k;
+        Alcotest.(check int) "drain value" mid v;
+        drop_entry e;
+        drain k
+    | _ -> Alcotest.fail "drain length mismatch"
+  in
+  drain neg_infinity
+
 (* ------------------------------------------------------------------ *)
 (* Ewma *)
 
@@ -564,6 +725,9 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
           Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "split reproducible" `Quick test_rng_split_reproducible;
+          Alcotest.test_case "split siblings differ" `Quick
+            test_rng_split_siblings_differ;
           Alcotest.test_case "float range" `Quick test_rng_float_range;
           Alcotest.test_case "float mean" `Slow test_rng_float_mean;
           Alcotest.test_case "int uniform" `Slow test_rng_int_uniform;
@@ -612,6 +776,10 @@ let () =
           Alcotest.test_case "stale handle" `Quick test_heap_remove_stale_after_pop;
           Alcotest.test_case "mixed ops" `Quick test_heap_random_mixed_ops;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "clear shrinks and resets" `Quick
+            test_heap_clear_shrinks_and_resets;
+          Alcotest.test_case "model check vs sorted reference" `Slow
+            test_heap_model_check;
         ] );
       ( "ewma",
         [
