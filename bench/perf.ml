@@ -21,6 +21,7 @@ module Heap = Softstate_util.Heap
 module E = Softstate_core.Experiment
 module Engine = Softstate_sim.Engine
 module Json = Softstate_obs.Json
+module Net = Softstate_net
 
 (* The seed repository's heap, kept verbatim as the baseline: boxed
    ['a slot option] cells, eager O(log n) removal. *)
@@ -190,6 +191,42 @@ let storm_ref ~rounds ~batch ~resident =
             match Ref_heap.pop h with Some (_, v) -> Some v | None -> None
           else None)
 
+(* Topology fan-out: flood packets down a complete k-ary multicast
+   tree with a subscriber at every non-root node — the hop-by-hop
+   replication path that dominates large-group runs. Every packet
+   crosses every cable once and is delivered to every receiver, so
+   deliveries/s measures the per-hop overlay machinery. *)
+let fanout_storm ~arity ~depth ~packets =
+  let e = Engine.create () in
+  let topo =
+    Net.Topology.kary_tree ~engine:e ~rng:(Rng.create 17)
+      ~rate_bps:1_000_000_000.0 ~arity ~depth ()
+  in
+  let tr = Net.Topology.transport topo in
+  let sent = ref 0 in
+  let delivered = ref 0 in
+  let f =
+    tr.Net.Transport.fanout ~rate_bps:1_000_000_000.0 ~label:"fan"
+      ~rng:(Rng.create 18)
+      ~fetch:(fun () ->
+        if !sent >= packets then None
+        else begin
+          incr sent;
+          Some (Net.Packet.make ~size_bits:1_000 !sent)
+        end)
+      ()
+  in
+  let receivers = Net.Topology.node_count topo - 1 in
+  for _ = 1 to receivers do
+    ignore
+      (f.Net.Transport.f_subscribe ~loss:Net.Loss.never (fun ~now:_ _ ->
+           incr delivered))
+  done;
+  f.Net.Transport.f_kick ();
+  Engine.run e;
+  assert (!delivered = packets * receivers);
+  (receivers, !delivered)
+
 (* Engine-level storm: periodic refresh timers on the wheel plus
    one-shot deaths on the heap, most cancelled before firing. *)
 let engine_storm ~records =
@@ -320,6 +357,18 @@ let run () =
   Printf.printf "sweep        consistency %.4f +/- %.4f (identical at any job count)\n"
     s1.E.consistency_mean s1.E.consistency_ci95;
 
+  (* 5. topology fan-out: k-ary multicast tree, >= 1k receivers *)
+  let fan_arity = 4 and fan_depth = 5 in
+  let fan_packets = if q then 100 else 500 in
+  let (fan_receivers, fan_deliveries), fan_s =
+    timed (fun () -> fanout_storm ~arity:fan_arity ~depth:fan_depth
+                       ~packets:fan_packets)
+  in
+  let fan_rate = float_of_int fan_deliveries /. fan_s in
+  Printf.printf
+    "tree fan-out %10.0f deliveries/s  (%d-ary depth %d, %d receivers, %d pkts, %.3f s)\n"
+    fan_rate fan_arity fan_depth fan_receivers fan_packets fan_s;
+
   if q then regression_check ~speedup;
 
   let out = if q then "BENCH_perf_quick.json" else "BENCH_perf.json" in
@@ -340,6 +389,13 @@ let run () =
          ("fig5_sim_s", Json.float cfg.E.duration);
          ("fig5_wall_s", Json.float e2e_s);
          ("fig5_sim_s_per_wall_s", Json.float (cfg.E.duration /. e2e_s));
+         ("fanout_tree_arity", Json.int fan_arity);
+         ("fanout_tree_depth", Json.int fan_depth);
+         ("fanout_receivers", Json.int fan_receivers);
+         ("fanout_packets", Json.int fan_packets);
+         ("fanout_deliveries", Json.int fan_deliveries);
+         ("fanout_wall_s", Json.float fan_s);
+         ("fanout_deliveries_per_s", Json.float fan_rate);
          ("sweep_replications", Json.int reps);
          ("sweep_jobs", Json.int !jobs);
          ("sweep_wall_jobs1_s", Json.float wall1);

@@ -13,11 +13,13 @@ module Consistency = Softstate_core.Consistency
 module Sched = Softstate_sched.Scheduler
 
 let protocol_arg =
-  let doc = "Protocol variant: open-loop, two-queue, or feedback." in
+  let doc =
+    "Protocol variant: open-loop, two-queue, feedback, or multicast."
+  in
   Arg.(
     value
     & opt (enum [ ("open-loop", `Open_loop); ("two-queue", `Two_queue);
-                  ("feedback", `Feedback) ])
+                  ("feedback", `Feedback); ("multicast", `Multicast) ])
         `Open_loop
     & info [ "protocol"; "p" ] ~doc)
 
@@ -37,6 +39,75 @@ let mu_hot_arg = float_arg [ "mu-hot" ] 20.0 "Hot queue rate, kb/s."
 let mu_cold_arg = float_arg [ "mu-cold" ] 25.0 "Cold queue rate, kb/s."
 let mu_fb_arg = float_arg [ "mu-fb" ] 7.0 "Feedback channel rate, kb/s."
 let nack_arg = int_arg [ "nack-bits" ] 500 "NACK packet size, bits."
+
+let receivers_arg =
+  int_arg [ "receivers" ] 8 "Multicast group size (multicast protocol only)."
+
+let topology_arg =
+  let doc =
+    "Run over a multi-hop topology instead of a direct link: star:LEAVES, \
+     chain:HOPS, tree:ARITY[:DEPTH] (depth defaults to 3) or \
+     random:NODES:EDGE_PROB. Every edge gets the protocol's data rate and \
+     its own instance of the loss process; the protocol itself then runs \
+     lossless."
+  in
+  let parse s =
+    let num f x = Option.to_result ~none:(`Msg ("bad number " ^ x)) (f x) in
+    match String.split_on_char ':' s with
+    | [ "single-hop" ] -> Ok E.Single_hop
+    | [ "star"; n ] ->
+        Result.map (fun leaves -> E.Star { leaves }) (num int_of_string_opt n)
+    | [ "chain"; n ] ->
+        Result.map (fun hops -> E.Chain { hops }) (num int_of_string_opt n)
+    | [ "tree"; k ] ->
+        Result.map
+          (fun arity -> E.Kary_tree { arity; depth = 3 })
+          (num int_of_string_opt k)
+    | [ "tree"; k; d ] ->
+        Result.bind (num int_of_string_opt k) (fun arity ->
+            Result.map
+              (fun depth -> E.Kary_tree { arity; depth })
+              (num int_of_string_opt d))
+    | [ "random"; n; p ] ->
+        Result.bind (num int_of_string_opt n) (fun nodes ->
+            Result.map
+              (fun edge_prob -> E.Random_graph { nodes; edge_prob })
+              (num float_of_string_opt p))
+    | _ ->
+        Error
+          (`Msg
+             "expected star:LEAVES, chain:HOPS, tree:ARITY[:DEPTH] or \
+              random:NODES:EDGE_PROB")
+  in
+  let print fmt = function
+    | E.Single_hop -> Format.fprintf fmt "single-hop"
+    | E.Star { leaves } -> Format.fprintf fmt "star:%d" leaves
+    | E.Chain { hops } -> Format.fprintf fmt "chain:%d" hops
+    | E.Kary_tree { arity; depth } -> Format.fprintf fmt "tree:%d:%d" arity depth
+    | E.Random_graph { nodes; edge_prob } ->
+        Format.fprintf fmt "random:%d:%g" nodes edge_prob
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) E.Single_hop
+    & info [ "topology" ] ~doc)
+
+let faults_arg =
+  let doc =
+    "Comma-separated fault schedule over the topology (requires \
+     --topology): cable:I@T1-T2, node:I@T1-T2, partition@T1-T2, \
+     flap:RATE:MEAN or churn:RATE:MEAN."
+  in
+  let parse s =
+    Result.map_error
+      (fun e -> `Msg e)
+      (Softstate_net.Fault.specs_of_string s)
+  in
+  let print fmt specs =
+    Format.fprintf fmt "%s"
+      (String.concat "," (List.map Softstate_net.Fault.spec_to_string specs))
+  in
+  Arg.(value & opt (conv (parse, print)) [] & info [ "faults" ] ~doc)
 
 let death_arg =
   let doc =
@@ -93,8 +164,8 @@ let jobs_arg =
      summary is identical for every job count."
 
 let run protocol seed duration lambda size_bits loss mu_data mu_hot mu_cold
-    mu_fb nack_bits death sched replications jobs trace_file metrics_file
-    report =
+    mu_fb nack_bits receivers topology faults death sched replications jobs
+    trace_file metrics_file report =
   let protocol =
     match protocol with
     | `Open_loop -> E.Open_loop { mu_data_kbps = mu_data }
@@ -103,12 +174,18 @@ let run protocol seed duration lambda size_bits loss mu_data mu_hot mu_cold
         E.Feedback
           { mu_hot_kbps = mu_hot; mu_cold_kbps = mu_cold; mu_fb_kbps = mu_fb;
             nack_bits; fb_lossy = false }
+    | `Multicast ->
+        E.Multicast
+          { receivers; mu_hot_kbps = mu_hot; mu_cold_kbps = mu_cold;
+            mu_fb_kbps = mu_fb; nack_bits; suppression = true;
+            nack_slot = 0.5 }
   in
   let obs = Obs_cli.setup ~trace_file ~metrics_file ~report in
   let config =
     { E.seed; duration; lambda_kbps = lambda; size_bits; death;
       expiry = Base.No_expiry;
-      update_fraction = 0.0; loss = E.Bernoulli loss; protocol; sched;
+      update_fraction = 0.0; loss = E.Bernoulli loss; protocol;
+      topology; faults; sched;
       empty_policy = Consistency.Empty_is_consistent; record_series = false;
       obs = obs.Obs_cli.obs }
   in
@@ -162,6 +239,9 @@ let run protocol seed duration lambda size_bits loss mu_data mu_hot mu_cold
           "nacks                 %d sent, %d delivered, %d overflowed, %d reheats\n"
           r.E.nacks_sent r.E.nacks_delivered r.E.nack_overflows r.E.reheats;
       Printf.printf "link utilisation      %.3f\n" r.E.utilisation;
+      if r.E.fault_transitions > 0 || r.E.fault_drops > 0 then
+        Printf.printf "faults                %d transitions, %d packets dropped\n"
+          r.E.fault_transitions r.E.fault_drops;
       Printf.printf "live records at end   %d\n" r.E.live_at_end
 
 let cmd =
@@ -171,7 +251,8 @@ let cmd =
     Term.(
       const run $ protocol_arg $ seed_arg $ duration_arg $ lambda_arg
       $ size_arg $ loss_arg $ mu_data_arg $ mu_hot_arg $ mu_cold_arg
-      $ mu_fb_arg $ nack_arg $ death_arg $ sched_arg $ replications_arg
+      $ mu_fb_arg $ nack_arg $ receivers_arg $ topology_arg $ faults_arg
+      $ death_arg $ sched_arg $ replications_arg
       $ jobs_arg $ Obs_cli.trace_arg $ Obs_cli.metrics_arg
       $ Obs_cli.report_arg)
 

@@ -41,6 +41,13 @@ type protocol_spec =
       nack_slot : float;
     }
 
+type topology_spec =
+  | Single_hop
+  | Star of { leaves : int }
+  | Chain of { hops : int }
+  | Kary_tree of { arity : int; depth : int }
+  | Random_graph of { nodes : int; edge_prob : float }
+
 type config = {
   seed : int;
   duration : float;
@@ -51,6 +58,8 @@ type config = {
   update_fraction : float;
   loss : loss_spec;
   protocol : protocol_spec;
+  topology : topology_spec;
+  faults : Net.Fault.spec list;
   sched : Sched.algorithm;
   empty_policy : Consistency.empty_policy;
   record_series : bool;
@@ -62,7 +71,9 @@ let default =
     death = Base.Lifetime_fixed 30.0; expiry = Base.No_expiry;
     update_fraction = 0.0;
     loss = Bernoulli 0.1;
-    protocol = Open_loop { mu_data_kbps = 45.0 }; sched = Sched.Stride;
+    protocol = Open_loop { mu_data_kbps = 45.0 };
+    topology = Single_hop; faults = [];
+    sched = Sched.Stride;
     empty_policy = Consistency.Empty_is_consistent; record_series = false;
     obs = None }
 
@@ -86,10 +97,19 @@ type result = {
   stale_purged : int;
   live_at_end : int;
   utilisation : float;
+  fault_transitions : int;
+  fault_drops : int;
   series : (float * float) list;
 }
 
 let kbps x = x *. 1000.0
+
+let data_rate_kbps = function
+  | Open_loop { mu_data_kbps } -> mu_data_kbps
+  | Two_queue { mu_hot_kbps; mu_cold_kbps }
+  | Feedback { mu_hot_kbps; mu_cold_kbps; _ }
+  | Multicast { mu_hot_kbps; mu_cold_kbps; _ } ->
+      mu_hot_kbps +. mu_cold_kbps
 
 let run config =
   if config.duration <= 0.0 then
@@ -111,12 +131,53 @@ let run config =
     Base.create ~engine ~rng:(Rng.split rng) ~workload ~death:config.death
       ~expiry:config.expiry ~receivers ~tracker ()
   in
-  let loss = make_loss config.loss in
   let link_rng = Rng.split rng in
   let obs = config.obs in
   (match obs with
   | Some o -> Softstate_obs.Engine_probe.attach ~obs:o engine
   | None -> ());
+  (* Topology mode moves the loss processes onto the graph's edges
+     (one fresh instance per overlay edge), so the protocol itself
+     runs lossless; the extra generator splits happen only here,
+     keeping single-hop runs byte-identical to the pre-topology
+     code. *)
+  let topo =
+    match config.topology with
+    | Single_hop ->
+        if config.faults <> [] then
+          invalid_arg "Experiment.run: faults need a topology";
+        None
+    | spec ->
+        let topo_rng = Rng.split rng in
+        let edge_loss () = make_loss config.loss in
+        let rate_bps = kbps (data_rate_kbps config.protocol) in
+        let t =
+          match spec with
+          | Single_hop -> assert false
+          | Star { leaves } ->
+              Net.Topology.star ~engine ~rng:topo_rng ?obs ~loss:edge_loss
+                ~rate_bps ~leaves ()
+          | Chain { hops } ->
+              Net.Topology.chain ~engine ~rng:topo_rng ?obs ~loss:edge_loss
+                ~rate_bps ~hops ()
+          | Kary_tree { arity; depth } ->
+              Net.Topology.kary_tree ~engine ~rng:topo_rng ?obs
+                ~loss:edge_loss ~rate_bps ~arity ~depth ()
+          | Random_graph { nodes; edge_prob } ->
+              Net.Topology.random_graph ~engine ~rng:topo_rng ?obs
+                ~loss:edge_loss ~rate_bps ~nodes ~edge_prob ()
+        in
+        (if config.faults <> [] then
+           let fault_rng = Rng.split rng in
+           Net.Fault.install t
+             (Net.Fault.compile ~rng:fault_rng ~until:config.duration t
+                config.faults));
+        Some t
+  in
+  let transport = Option.map Net.Topology.transport topo in
+  let loss =
+    match topo with None -> make_loss config.loss | Some _ -> Net.Loss.never
+  in
   (* per-variant plumbing: how to read utilisation and the feedback
      counters at the end of the run *)
   let no_counters () = (0, 0, 0, 0, 0, 0, 0, 0) in
@@ -124,31 +185,35 @@ let run config =
     match config.protocol with
     | Open_loop { mu_data_kbps } ->
         let p =
-          Open_loop.create ~base ~mu_data_bps:(kbps mu_data_kbps) ?obs ~loss
-            ~link_rng ()
+          Open_loop.create ~base ~mu_data_bps:(kbps mu_data_kbps) ?obs
+            ?transport ~loss ~link_rng ()
         in
-        ((fun ~now -> Net.Link.utilisation (Open_loop.link p) ~now), no_counters)
+        ( (fun ~now -> (Open_loop.unicast p).Net.Transport.u_utilisation ~now),
+          no_counters )
     | Two_queue { mu_hot_kbps; mu_cold_kbps } ->
         let p =
           Two_queue.create ~base ~mu_hot_bps:(kbps mu_hot_kbps)
-            ~mu_cold_bps:(kbps mu_cold_kbps) ~sched:config.sched ?obs ~loss
-            ~link_rng ()
+            ~mu_cold_bps:(kbps mu_cold_kbps) ~sched:config.sched ?obs
+            ?transport ~loss ~link_rng ()
         in
-        ( (fun ~now -> Net.Link.utilisation (Two_queue.link p) ~now),
+        ( (fun ~now -> (Two_queue.unicast p).Net.Transport.u_utilisation ~now),
           fun () ->
             (Two_queue.sent_hot p, Two_queue.sent_cold p, 0, 0, 0, 0, 0, 0) )
     | Feedback { mu_hot_kbps; mu_cold_kbps; mu_fb_kbps; nack_bits; fb_lossy }
       ->
         let fb_loss =
-          if fb_lossy then make_loss config.loss else Net.Loss.never
+          if fb_lossy && topo = None then make_loss config.loss
+          else Net.Loss.never
         in
         let p =
           Feedback.create ~base ~mu_hot_bps:(kbps mu_hot_kbps)
             ~mu_cold_bps:(kbps mu_cold_kbps) ~mu_fb_bps:(kbps mu_fb_kbps)
-            ~sched:config.sched ?obs ~nack_bits ~fb_loss ~loss ~link_rng ()
+            ~sched:config.sched ?obs ?transport ~nack_bits ~fb_loss ~loss
+            ~link_rng ()
         in
         ( (fun ~now ->
-            Net.Link.utilisation (Two_queue.link (Feedback.sender p)) ~now),
+            (Two_queue.unicast (Feedback.sender p)).Net.Transport.u_utilisation
+              ~now),
           fun () ->
             ( Two_queue.sent_hot (Feedback.sender p),
               Two_queue.sent_cold (Feedback.sender p),
@@ -162,15 +227,20 @@ let run config =
         { receivers = _; mu_hot_kbps; mu_cold_kbps; mu_fb_kbps; nack_bits;
           suppression; nack_slot } ->
         (* each receiver gets an independent loss process built from
-           the same spec *)
-        let receiver_loss _ = make_loss config.loss in
+           the same spec; over a topology the per-link processes do
+           the losing and the last hop is clean *)
+        let receiver_loss _ =
+          match topo with
+          | None -> make_loss config.loss
+          | Some _ -> Net.Loss.never
+        in
         let p =
           Multicast.create ~base ~mu_hot_bps:(kbps mu_hot_kbps)
             ~mu_cold_bps:(kbps mu_cold_kbps) ~mu_fb_bps:(kbps mu_fb_kbps)
-            ~sched:config.sched ?obs ~nack_bits ~suppression ~nack_slot
-            ~receiver_loss ~link_rng ()
+            ~sched:config.sched ?obs ?transport ~nack_bits ~suppression
+            ~nack_slot ~receiver_loss ~link_rng ()
         in
-        ( (fun ~now -> Net.Channel.utilisation (Multicast.channel p) ~now),
+        ( (fun ~now -> (Multicast.fanout p).Net.Transport.f_utilisation ~now),
           fun () ->
             ( Two_queue.sent_hot (Multicast.sender p),
               Two_queue.sent_cold (Multicast.sender p),
@@ -202,6 +272,10 @@ let run config =
     stale_purged = Base.stale_purged base;
     live_at_end = Table.live_count (Base.table base);
     utilisation = utilisation ~now;
+    fault_transitions =
+      (match topo with Some t -> Net.Topology.fault_transitions t | None -> 0);
+    fault_drops =
+      (match topo with Some t -> Net.Topology.fault_drops t | None -> 0);
     series = Consistency.series tracker }
 
 (* ------------------------------------------------------------------ *)
@@ -427,14 +501,33 @@ let protocol_name = function
   | Feedback _ -> "feedback"
   | Multicast _ -> "multicast"
 
+let topology_name = function
+  | Single_hop -> "single-hop"
+  | Star { leaves } -> Printf.sprintf "star:%d" leaves
+  | Chain { hops } -> Printf.sprintf "chain:%d" hops
+  | Kary_tree { arity; depth } -> Printf.sprintf "tree:%d:%d" arity depth
+  | Random_graph { nodes; edge_prob } ->
+      Printf.sprintf "random:%d:%g" nodes edge_prob
+
 let report ?obs ~config r =
   let module R = Softstate_obs.Report in
+  let topo_rows =
+    (* only surfaced for topology runs, so single-hop reports render
+       exactly as before *)
+    match config.topology with
+    | Single_hop -> []
+    | spec ->
+        [ ("topology", R.string (topology_name spec));
+          ("fault_transitions", R.int r.fault_transitions);
+          ("fault_drops", R.int r.fault_drops) ]
+  in
   let run_rows =
     [ ("protocol", R.string (protocol_name config.protocol));
       ("seed", R.int config.seed);
       ("duration_s", R.float config.duration);
       ("lambda_kbps", R.float config.lambda_kbps);
       ("mean_loss", R.float (loss_mean config.loss)) ]
+    @ topo_rows
   in
   let consistency_rows =
     [ ("average", R.float r.avg_consistency);

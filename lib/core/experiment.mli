@@ -38,6 +38,21 @@ type protocol_spec =
       nack_slot : float;
     }  (** one sender, a group of receivers with independent loss *)
 
+(** Where the traffic runs. [Single_hop] is the historical direct
+    sender→receiver wiring; the others route through a
+    {!Softstate_net.Topology} whose every edge gets the protocol's
+    data rate and an independent instance of the configured loss
+    process (the protocol itself then runs lossless — loss happens on
+    the links, hop by hop). Node 0 is the sender; the unicast
+    receiver sits at the farthest node; multicast receivers attach
+    round-robin over the other nodes. *)
+type topology_spec =
+  | Single_hop
+  | Star of { leaves : int }
+  | Chain of { hops : int }
+  | Kary_tree of { arity : int; depth : int }
+  | Random_graph of { nodes : int; edge_prob : float }
+
 type config = {
   seed : int;
   duration : float;     (** simulated seconds *)
@@ -48,6 +63,10 @@ type config = {
   update_fraction : float;
   loss : loss_spec;
   protocol : protocol_spec;
+  topology : topology_spec;
+  faults : Softstate_net.Fault.spec list;
+      (** compiled against the topology with a seed-derived generator
+          and installed before the run; non-empty requires a topology *)
   sched : Softstate_sched.Scheduler.algorithm;
   empty_policy : Consistency.empty_policy;
   record_series : bool;
@@ -81,6 +100,8 @@ type result = {
   stale_purged : int;          (** receiver timeouts of dead records *)
   live_at_end : int;
   utilisation : float;         (** data link busy fraction *)
+  fault_transitions : int;     (** effective topology fault flips *)
+  fault_drops : int;           (** packets destroyed by down elements *)
   series : (float * float) list; (** (t, c(t)) if requested *)
 }
 

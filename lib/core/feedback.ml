@@ -13,7 +13,7 @@ type t = {
   nack_bits : int;
   trace : Trace.t;
   traced : bool; (* Trace.enabled, hoisted to creation time *)
-  mutable fb_pipe : nack Net.Pipe.t option;
+  mutable fb_outbox : nack Net.Transport.outbox option;
   mutable expected_seq : int;
   mutable nacks_sent : int;
   mutable nacks_delivered : int;
@@ -55,10 +55,10 @@ let receiver_deliver t ~now (ann : Base.announcement) =
         Trace.emit t.trace
           (Trace.event ~time:now ~src:"feedback"
              ~detail:(string_of_int missing) Trace.Nack);
-      match t.fb_pipe with
-      | Some pipe ->
+      match t.fb_outbox with
+      | Some ob ->
           ignore
-            (Net.Pipe.send pipe
+            (ob.Net.Transport.o_send
                (Net.Packet.make ~size_bits:t.nack_bits { missing_seq = missing }))
       | None -> ()
     done
@@ -66,12 +66,17 @@ let receiver_deliver t ~now (ann : Base.announcement) =
   if ann.Base.seq >= t.expected_seq then t.expected_seq <- ann.Base.seq + 1;
   Base.deliver t.base ~now ~receiver:0 ann
 
-let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs
+let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs ?transport
     ?(nack_bits = 256)
     ?(fb_queue_capacity = 1024) ?(fb_loss = Net.Loss.never) ~loss ~link_rng ()
     =
   if mu_fb_bps <= 0.0 then
     invalid_arg "Feedback.create: feedback rate must be positive";
+  let transport =
+    match transport with
+    | Some tr -> tr
+    | None -> Net.Transport.single_hop ?obs (Base.engine base)
+  in
   let sched_rng = Rng.split link_rng in
   let fb_rng = Rng.split link_rng in
   let sender =
@@ -81,7 +86,7 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs
   let t =
     { base; sender; seq_to_key = Hashtbl.create 1024; nack_bits;
       trace = Obs.trace_of obs; traced = Trace.enabled (Obs.trace_of obs);
-      fb_pipe = None; expected_seq = 0; nacks_sent = 0; nacks_delivered = 0;
+      fb_outbox = None; expected_seq = 0; nacks_sent = 0; nacks_delivered = 0;
       reheats = 0 }
   in
   let fetch () =
@@ -93,26 +98,26 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs
         prune_seq_map t ann.Base.seq;
         Some packet
   in
-  let link =
-    Net.Link.create (Base.engine base)
+  let unicast =
+    transport.Net.Transport.unicast
       ~rate_bps:(mu_hot_bps +. mu_cold_bps)
       ~loss
       ~on_served:(fun ~now packet ->
         Two_queue.serve_completion sender ~now
           packet.Net.Packet.payload.Base.key)
-      ?obs ~label:"feedback.data"
+      ~label:"feedback.data"
       ~rng:link_rng ~fetch
       ~deliver:(fun ~now ann -> receiver_deliver t ~now ann)
       ()
   in
-  Two_queue.attach_link sender link;
-  let pipe =
-    Net.Pipe.create (Base.engine base) ~rate_bps:mu_fb_bps ~loss:fb_loss
-      ~queue_capacity:fb_queue_capacity ?obs ~label:"feedback.fb" ~rng:fb_rng
+  Two_queue.attach_unicast sender unicast;
+  let outbox =
+    transport.Net.Transport.outbox ~rate_bps:mu_fb_bps ~loss:fb_loss
+      ~queue_capacity:fb_queue_capacity ~label:"feedback.fb" ~rng:fb_rng
       ~deliver:(fun ~now nack -> on_nack t ~now nack)
       ()
   in
-  t.fb_pipe <- Some pipe;
+  t.fb_outbox <- Some outbox;
   t
 
 let sender t = t.sender
@@ -120,6 +125,8 @@ let nacks_sent t = t.nacks_sent
 let nacks_delivered t = t.nacks_delivered
 
 let nacks_dropped_overflow t =
-  match t.fb_pipe with Some p -> Net.Pipe.overflows p | None -> 0
+  match t.fb_outbox with
+  | Some ob -> ob.Net.Transport.o_overflows ()
+  | None -> 0
 
 let reheats t = t.reheats

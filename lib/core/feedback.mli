@@ -22,6 +22,7 @@ val create :
   mu_fb_bps:float ->
   ?sched:Softstate_sched.Scheduler.algorithm ->
   ?obs:Softstate_obs.Obs.t ->
+  ?transport:Softstate_net.Transport.t ->
   ?nack_bits:int ->
   ?fb_queue_capacity:int ->
   ?fb_loss:Softstate_net.Loss.t ->

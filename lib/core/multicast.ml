@@ -21,8 +21,8 @@ type t = {
   (* seq -> time a NACK for it was last heard on the feedback channel;
      receivers use it for damping, and it doubles as the prune clock *)
   heard : (int, float) Hashtbl.t;
-  mutable fb_pipe : nack Net.Pipe.t option;
-  mutable channel : Base.announcement Net.Channel.t option;
+  mutable fb_outbox : nack Net.Transport.outbox option;
+  mutable fanout : Base.announcement Net.Transport.fanout option;
   mutable nacks_wanted : int;
   mutable nacks_sent : int;
   mutable nacks_suppressed : int;
@@ -60,9 +60,9 @@ let heard_recently t ~now seq =
   | None -> false
 
 let send_nack t ~now receiver seq =
-  match t.fb_pipe with
+  match t.fb_outbox with
   | None -> ()
-  | Some pipe ->
+  | Some ob ->
       t.nacks_sent <- t.nacks_sent + 1;
       (* the NACK is multicast: all members (and the sender) hear it
          as soon as it clears the feedback channel; for damping we
@@ -73,7 +73,7 @@ let send_nack t ~now receiver seq =
         prune_heard t now
       end;
       ignore
-        (Net.Pipe.send pipe
+        (ob.Net.Transport.o_send
            (Net.Packet.make ~size_bits:t.nack_bits
               { missing_seq = seq; origin = receiver }))
 
@@ -111,13 +111,18 @@ let on_nack t ~now nack =
       if Two_queue.reheat t.sender ~now key then
         t.reheats <- t.reheats + 1
 
-let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs
+let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs ?transport
     ?(nack_bits = 500) ?(fb_queue_capacity = 4096) ?(suppression = true)
     ?(nack_slot = 0.5) ~receiver_loss ~link_rng () =
   if mu_fb_bps <= 0.0 then
     invalid_arg "Multicast.create: feedback rate must be positive";
   if nack_slot <= 0.0 then
     invalid_arg "Multicast.create: nack slot must be positive";
+  let transport =
+    match transport with
+    | Some tr -> tr
+    | None -> Net.Transport.single_hop ?obs (Base.engine base)
+  in
   let sched_rng = Rng.split link_rng in
   let fb_rng = Rng.split link_rng in
   let slot_rng = Rng.split link_rng in
@@ -127,8 +132,8 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs
   in
   let t =
     { base; sender; seq_to_key = Hashtbl.create 1024; nack_bits; suppression;
-      nack_slot; slot_rng; heard = Hashtbl.create 1024; fb_pipe = None;
-      channel = None; nacks_wanted = 0; nacks_sent = 0; nacks_suppressed = 0;
+      nack_slot; slot_rng; heard = Hashtbl.create 1024; fb_outbox = None;
+      fanout = None; nacks_wanted = 0; nacks_sent = 0; nacks_suppressed = 0;
       nacks_delivered = 0; reheats = 0 }
   in
   let fetch () =
@@ -140,36 +145,36 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs
         prune_seq_map t ann.Base.seq;
         Some packet
   in
-  let channel =
-    Net.Channel.create (Base.engine base)
+  let fanout =
+    transport.Net.Transport.fanout
       ~rate_bps:(mu_hot_bps +. mu_cold_bps)
       ~on_served:(fun ~now packet ->
         Two_queue.serve_completion sender ~now
           packet.Net.Packet.payload.Base.key)
-      ?obs ~label:"multicast.data"
+      ~label:"multicast.data"
       ~rng:link_rng ~fetch ()
   in
   for i = 0 to Base.receiver_count base - 1 do
     let state = { index = i; expected_seq = 0 } in
     ignore
-      (Net.Channel.subscribe channel ~loss:(receiver_loss i)
+      (fanout.Net.Transport.f_subscribe ~loss:(receiver_loss i)
          (fun ~now ann -> receiver_deliver t state ~now ann))
   done;
-  t.channel <- Some channel;
-  Two_queue.attach_kick sender (fun () -> Net.Channel.kick channel);
-  let pipe =
-    Net.Pipe.create (Base.engine base) ~rate_bps:mu_fb_bps
-      ~queue_capacity:fb_queue_capacity ?obs ~label:"multicast.fb" ~rng:fb_rng
+  t.fanout <- Some fanout;
+  Two_queue.attach_kick sender (fun () -> fanout.Net.Transport.f_kick ());
+  let outbox =
+    transport.Net.Transport.outbox ~rate_bps:mu_fb_bps
+      ~queue_capacity:fb_queue_capacity ~label:"multicast.fb" ~rng:fb_rng
       ~deliver:(fun ~now nack -> on_nack t ~now nack)
       ()
   in
-  t.fb_pipe <- Some pipe;
+  t.fb_outbox <- Some outbox;
   t
 
 let sender t = t.sender
 
-let channel t =
-  match t.channel with Some c -> c | None -> assert false
+let fanout t =
+  match t.fanout with Some f -> f | None -> assert false
 
 let nacks_wanted t = t.nacks_wanted
 let nacks_sent t = t.nacks_sent
@@ -177,6 +182,8 @@ let nacks_suppressed t = t.nacks_suppressed
 let nacks_delivered t = t.nacks_delivered
 
 let nack_overflows t =
-  match t.fb_pipe with Some p -> Net.Pipe.overflows p | None -> 0
+  match t.fb_outbox with
+  | Some ob -> ob.Net.Transport.o_overflows ()
+  | None -> 0
 
 let reheats t = t.reheats

@@ -24,6 +24,7 @@ val create :
   mu_fb_bps:float ->
   ?sched:Softstate_sched.Scheduler.algorithm ->
   ?obs:Softstate_obs.Obs.t ->
+  ?transport:Softstate_net.Transport.t ->
   ?nack_bits:int ->
   ?fb_queue_capacity:int ->
   ?suppression:bool ->
@@ -40,7 +41,7 @@ val create :
     the implosion baseline. [nack_bits] defaults to 500. *)
 
 val sender : t -> Two_queue.t
-val channel : t -> Base.announcement Softstate_net.Channel.t
+val fanout : t -> Base.announcement Softstate_net.Transport.fanout
 
 val nacks_wanted : t -> int
 (** Loss detections that wanted a repair (before suppression). *)

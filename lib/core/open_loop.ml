@@ -16,7 +16,7 @@ type t = {
   trace : Trace.t;
   traced : bool; (* Trace.enabled, hoisted to creation time *)
   mutable seq : int;
-  mutable link : Base.announcement Net.Link.t option;
+  mutable unicast : Net.Transport.unicast option;
 }
 
 let rec fetch t () =
@@ -50,24 +50,29 @@ let on_served t ~now (packet : Base.announcement Net.Packet.t) =
         (* Survived: circulate for the next periodic announcement. *)
         Hashtbl.replace t.status key Queued;
         Queue.add key t.queue;
-        match t.link with Some l -> Net.Link.kick l | None -> ()
+        match t.unicast with Some u -> u.Net.Transport.u_kick () | None -> ()
       end
 
-let create ~base ~mu_data_bps ?obs ~loss ~link_rng () =
+let create ~base ~mu_data_bps ?obs ?transport ~loss ~link_rng () =
+  let transport =
+    match transport with
+    | Some tr -> tr
+    | None -> Net.Transport.single_hop ?obs (Base.engine base)
+  in
   let t =
     { base; queue = Queue.create (); status = Hashtbl.create 256;
-      trace = Obs.trace_of obs; traced = Trace.enabled (Obs.trace_of obs); seq = 0; link = None }
+      trace = Obs.trace_of obs; traced = Trace.enabled (Obs.trace_of obs); seq = 0; unicast = None }
   in
-  let link =
-    Net.Link.create (Base.engine base) ~rate_bps:mu_data_bps ~loss
+  let unicast =
+    transport.Net.Transport.unicast ~rate_bps:mu_data_bps ~loss
       ~on_served:(fun ~now packet -> on_served t ~now packet)
-      ?obs ~label:"open_loop.data"
+      ~label:"open_loop.data"
       ~rng:link_rng
       ~fetch:(fetch t)
       ~deliver:(fun ~now ann -> Base.deliver base ~now ~receiver:0 ann)
       ()
   in
-  t.link <- Some link;
+  t.unicast <- Some unicast;
   Base.set_hooks base
     ~on_arrival:(fun r ->
       let key = r.Record.key in
@@ -75,12 +80,12 @@ let create ~base ~mu_data_bps ?obs ~loss ~link_rng () =
         Hashtbl.replace t.status key Queued;
         Queue.add key t.queue
       end;
-      Net.Link.kick link)
+      unicast.Net.Transport.u_kick ())
     ~on_death:(fun r -> Hashtbl.remove t.status r.Record.key);
   t
 
 let queue_length t = Queue.length t.queue
 
-let link t = match t.link with Some l -> l | None -> assert false
+let unicast t = match t.unicast with Some u -> u | None -> assert false
 
 let sent t = t.seq

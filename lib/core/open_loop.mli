@@ -13,18 +13,24 @@ val create :
   base:Base.t ->
   mu_data_bps:float ->
   ?obs:Softstate_obs.Obs.t ->
+  ?transport:Softstate_net.Transport.t ->
   loss:Softstate_net.Loss.t ->
   link_rng:Softstate_util.Rng.t ->
   unit ->
   t
 (** Wires the protocol onto [base]'s engine and hooks; call
-    {!Base.start} afterwards to begin the workload. With [obs] the
-    link is instrumented as ["open_loop.data"] and every announcement
-    emits an [Announce] trace event. *)
+    {!Base.start} afterwards to begin the workload. The announcement
+    channel is created through [transport] (default
+    {!Softstate_net.Transport.single_hop}, a direct sender→receiver
+    link — byte-identical to the pre-transport behaviour). With [obs]
+    the link is instrumented as ["open_loop.data"] and every
+    announcement emits an [Announce] trace event. *)
 
 val queue_length : t -> int
 (** Records awaiting (re)announcement. *)
 
-val link : t -> Base.announcement Softstate_net.Link.t
+val unicast : t -> Softstate_net.Transport.unicast
+(** The data channel's handle (stats, utilisation, kick). *)
+
 val sent : t -> int
 (** Announcements put on the channel so far. *)

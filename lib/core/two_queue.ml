@@ -30,7 +30,7 @@ type t = {
   mutable seq : int;
   mutable sent_hot : int;
   mutable sent_cold : int;
-  mutable link : Base.announcement Net.Link.t option;
+  mutable unicast : Net.Transport.unicast option;
   mutable kick_fn : unit -> unit;
   mutable kick_attached : bool;
 }
@@ -150,7 +150,7 @@ let create_queues ~base ~mu_hot_bps ~mu_cold_bps
     { base; hot = Queue.create (); cold = Queue.create ();
       info = Hashtbl.create 256; sched = scheduler; hot_flow; cold_flow;
       trace = Obs.trace_of obs; traced = Trace.enabled (Obs.trace_of obs);
-      seq = 0; sent_hot = 0; sent_cold = 0; link = None; kick_fn = ignore;
+      seq = 0; sent_hot = 0; sent_cold = 0; unicast = None; kick_fn = ignore;
       kick_attached = false }
   in
   Base.set_hooks base
@@ -171,29 +171,36 @@ let attach_kick t kick =
   t.kick_attached <- true;
   t.kick_fn <- kick
 
-let attach_link t link =
-  if t.link <> None then invalid_arg "Two_queue.attach_link: already attached";
-  t.link <- Some link;
-  attach_kick t (fun () -> Net.Link.kick link)
+let attach_unicast t unicast =
+  if t.unicast <> None then
+    invalid_arg "Two_queue.attach_unicast: already attached";
+  t.unicast <- Some unicast;
+  attach_kick t (fun () -> unicast.Net.Transport.u_kick ())
 
-let create ~base ~mu_hot_bps ~mu_cold_bps ?sched ?obs ~loss ~link_rng () =
+let create ~base ~mu_hot_bps ~mu_cold_bps ?sched ?obs ?transport ~loss
+    ~link_rng () =
+  let transport =
+    match transport with
+    | Some tr -> tr
+    | None -> Net.Transport.single_hop ?obs (Base.engine base)
+  in
   let sched_rng = Softstate_util.Rng.split link_rng in
   let t =
     create_queues ~base ~mu_hot_bps ~mu_cold_bps ?sched ?obs ~sched_rng ()
   in
-  let link =
-    Net.Link.create (Base.engine base)
+  let unicast =
+    transport.Net.Transport.unicast
       ~rate_bps:(mu_hot_bps +. mu_cold_bps)
       ~loss
       ~on_served:(fun ~now packet ->
         serve_completion t ~now packet.Net.Packet.payload.Base.key)
-      ?obs ~label:"two_queue.data"
+      ~label:"two_queue.data"
       ~rng:link_rng
       ~fetch:(fun () -> fetch_packet t)
-      ~deliver:(fun ~now ann -> Base.deliver base ~now ~receiver:0 ann)
+      ~deliver:(fun ~now ann -> Base.deliver t.base ~now ~receiver:0 ann)
       ()
   in
-  attach_link t link;
+  attach_unicast t unicast;
   t
 
 let hot_length t =
@@ -207,4 +214,4 @@ let cold_length t =
 let sent_hot t = t.sent_hot
 let sent_cold t = t.sent_cold
 let sent t = t.seq
-let link t = match t.link with Some l -> l | None -> assert false
+let unicast t = match t.unicast with Some u -> u | None -> assert false

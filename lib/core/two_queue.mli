@@ -17,22 +17,24 @@ val create :
   mu_cold_bps:float ->
   ?sched:Softstate_sched.Scheduler.algorithm ->
   ?obs:Softstate_obs.Obs.t ->
+  ?transport:Softstate_net.Transport.t ->
   loss:Softstate_net.Loss.t ->
   link_rng:Softstate_util.Rng.t ->
   unit ->
   t
 (** The link rate is [mu_hot_bps +. mu_cold_bps]; the two values also
-    serve as the scheduler weights. [sched] defaults to stride. With
-    [obs] the link is instrumented as ["two_queue.data"], hot sends
-    emit [Announce], cold sends [Refresh], and NACK reheats
-    [Repair]. *)
+    serve as the scheduler weights. [sched] defaults to stride. The
+    data channel is created through [transport] (default
+    {!Softstate_net.Transport.single_hop}). With [obs] the link is
+    instrumented as ["two_queue.data"], hot sends emit [Announce],
+    cold sends [Refresh], and NACK reheats [Repair]. *)
 
 val hot_length : t -> int
 val cold_length : t -> int
 val sent_hot : t -> int
 val sent_cold : t -> int
 val sent : t -> int
-val link : t -> Base.announcement Softstate_net.Link.t
+val unicast : t -> Softstate_net.Transport.unicast
 
 (**/**)
 
@@ -47,14 +49,15 @@ val create_queues :
   sched_rng:Softstate_util.Rng.t ->
   unit ->
   t
-(** Queue machinery and base hooks only; the caller must build a link
-    around {!fetch_packet}/{!serve_completion} and {!attach_link} it. *)
+(** Queue machinery and base hooks only; the caller must build a
+    channel around {!fetch_packet}/{!serve_completion} and
+    {!attach_unicast} it. *)
 
-val attach_link : t -> Base.announcement Softstate_net.Link.t -> unit
+val attach_unicast : t -> Softstate_net.Transport.unicast -> unit
 
 val attach_kick : t -> (unit -> unit) -> unit
-(** For transports other than {!Softstate_net.Link} (e.g. a multicast
-    channel): register how to wake the transport when work arrives. *)
+(** For media other than a unicast handle (e.g. a multicast fanout):
+    register how to wake the medium when work arrives. *)
 
 val reheat : t -> now:float -> Record.key -> bool
 (** Move a cold record to the hot queue (NACK response); [false] if

@@ -7,7 +7,9 @@
     subscriber this is exactly a {!Link}. *)
 
 type 'a t
-type subscription
+
+type subscription = int
+(** Subscriber handle, unique per channel for its lifetime. *)
 
 val create :
   Softstate_sim.Engine.t ->
@@ -36,7 +38,15 @@ val subscribe :
     case. *)
 
 val unsubscribe : 'a t -> subscription -> unit
-(** Remove a receiver; models a member leaving the session. *)
+(** Remove a receiver; models a member leaving the session.
+
+    Fan-out uses snapshot semantics: the subscriber set for a served
+    packet is fixed when service completes. Unsubscribing from inside
+    a delivery callback affects only later packets — every receiver
+    subscribed at service completion still gets exactly one loss draw
+    and at most one delivery for the current packet (no skips, no
+    double delivery), and a subscriber added from inside a callback
+    first sees the next packet. *)
 
 val kick : 'a t -> unit
 val subscriber_count : 'a t -> int

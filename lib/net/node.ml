@@ -1,0 +1,37 @@
+type t = {
+  id : int;
+  label : string;
+  mutable up : bool;
+  mutable crashes : int;
+  mutable restarts : int;
+}
+
+let create ?label id =
+  if id < 0 then invalid_arg "Node.create: negative id";
+  let label =
+    match label with Some l -> l | None -> "n" ^ string_of_int id
+  in
+  { id; label; up = true; crashes = 0; restarts = 0 }
+
+let id t = t.id
+let label t = t.label
+let is_up t = t.up
+
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    t.crashes <- t.crashes + 1;
+    true
+  end
+  else false
+
+let restart t =
+  if not t.up then begin
+    t.up <- true;
+    t.restarts <- t.restarts + 1;
+    true
+  end
+  else false
+
+let crashes t = t.crashes
+let restarts t = t.restarts

@@ -1,0 +1,27 @@
+(** A topology vertex: an identity plus fault state.
+
+    Nodes start up. A crashed node neither forwards transit packets
+    nor delivers to local subscribers; its links keep draining into
+    the void (soft state is never repaired out-of-band — recovery
+    happens through the ordinary refresh machinery once the node is
+    back). Crash/restart transitions are idempotent: repeated crashes
+    of a down node are no-ops and not counted. *)
+
+type t
+
+val create : ?label:string -> int -> t
+(** [create id] makes an up node; [label] defaults to ["n<id>"]. *)
+
+val id : t -> int
+val label : t -> string
+val is_up : t -> bool
+
+val crash : t -> bool
+(** Take the node down; [false] if it was already down (no-op). *)
+
+val restart : t -> bool
+(** Bring it back; [false] if it was already up (no-op). *)
+
+val crashes : t -> int
+val restarts : t -> int
+(** Effective transitions so far (no-ops excluded). *)

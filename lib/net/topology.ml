@@ -1,0 +1,589 @@
+module Engine = Softstate_sim.Engine
+module Rng = Softstate_util.Rng
+module Obs = Softstate_obs.Obs
+module Metrics = Softstate_obs.Metrics
+module Trace = Softstate_obs.Trace
+
+type edge = {
+  eid : int;
+  cable : int;
+  src : int;
+  dst : int;
+  rate_bps : float;
+  delay : float;
+  loss_spec : unit -> Loss.t;
+  elabel : string;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  obs : Obs.t option;
+  trace : Trace.t;
+  traced : bool;
+  label : string;
+  kind : string;
+  nodes : Node.t array;
+  edges : edge array;
+  out : int list array; (* node -> outgoing edge ids, ascending *)
+  cables : (int * int) array;
+  cable_up : bool array;
+  bfs_cache : (int, int array * int array) Hashtbl.t;
+      (* src -> (parent edge per node or -1, hop distance) *)
+  mutable fault_transitions : int;
+  mutable fault_drops : int;
+}
+
+let engine t = t.engine
+let node_count t = Array.length t.nodes
+let cable_count t = Array.length t.cables
+let edge_count t = Array.length t.edges
+
+let check_node t id name =
+  if id < 0 || id >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Topology.%s: no node %d" name id)
+
+let check_cable t id name =
+  if id < 0 || id >= Array.length t.cables then
+    invalid_arg (Printf.sprintf "Topology.%s: no cable %d" name id)
+
+let node t id =
+  check_node t id "node";
+  t.nodes.(id)
+
+let cable_endpoints t id =
+  check_cable t id "cable_endpoints";
+  t.cables.(id)
+
+let leaves t =
+  let degree = Array.make (Array.length t.nodes) 0 in
+  Array.iter
+    (fun (a, b) ->
+      degree.(a) <- degree.(a) + 1;
+      degree.(b) <- degree.(b) + 1)
+    t.cables;
+  let acc = ref [] in
+  for id = Array.length t.nodes - 1 downto 0 do
+    if degree.(id) = 1 then acc := id :: !acc
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let build ~engine ~rng ?obs ?(label = "topo") ~kind ~nodes:n ~cables:cl
+    ~rate_bps ?(delay = 0.0) ?(loss = fun () -> Loss.never) () =
+  if n < 1 then invalid_arg "Topology: need at least one node";
+  if rate_bps <= 0.0 then invalid_arg "Topology: rate must be positive";
+  if delay < 0.0 then invalid_arg "Topology: negative delay";
+  let cables = Array.of_list cl in
+  Array.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n || a = b then
+        invalid_arg "Topology: bad cable endpoints")
+    cables;
+  let nodes = Array.init n (fun id -> Node.create id) in
+  let edges =
+    Array.init
+      (2 * Array.length cables)
+      (fun eid ->
+        let cable = eid / 2 in
+        let a, b = cables.(cable) in
+        let src, dst = if eid land 1 = 0 then (a, b) else (b, a) in
+        { eid; cable; src; dst; rate_bps; delay; loss_spec = loss;
+          elabel = Printf.sprintf "%s.e%d" label eid })
+  in
+  let out = Array.make n [] in
+  for eid = Array.length edges - 1 downto 0 do
+    let e = edges.(eid) in
+    out.(e.src) <- eid :: out.(e.src)
+  done;
+  let t =
+    { engine; rng; obs; trace = Obs.trace_of obs;
+      traced = Trace.enabled (Obs.trace_of obs); label; kind; nodes; edges;
+      out; cables; cable_up = Array.make (Array.length cables) true;
+      bfs_cache = Hashtbl.create 8; fault_transitions = 0; fault_drops = 0 }
+  in
+  (match obs with
+  | Some o ->
+      let m = Obs.metrics o in
+      Metrics.probe m (label ^ ".fault_transitions") (fun ~now:_ ->
+          float_of_int t.fault_transitions);
+      Metrics.probe m (label ^ ".fault_drops") (fun ~now:_ ->
+          float_of_int t.fault_drops);
+      Metrics.probe m (label ^ ".cables_down") (fun ~now:_ ->
+          float_of_int
+            (Array.fold_left
+               (fun acc up -> if up then acc else acc + 1)
+               0 t.cable_up));
+      Metrics.probe m (label ^ ".nodes_down") (fun ~now:_ ->
+          float_of_int
+            (Array.fold_left
+               (fun acc nd -> if Node.is_up nd then acc else acc + 1)
+               0 t.nodes))
+  | None -> ());
+  t
+
+let star ~engine ~rng ?obs ?label ?delay ?loss ~rate_bps ~leaves () =
+  if leaves < 1 then invalid_arg "Topology.star: leaves must be >= 1";
+  build ~engine ~rng ?obs ?label ~kind:"star" ~nodes:(leaves + 1)
+    ~cables:(List.init leaves (fun i -> (0, i + 1)))
+    ~rate_bps ?delay ?loss ()
+
+let chain ~engine ~rng ?obs ?label ?delay ?loss ~rate_bps ~hops () =
+  if hops < 1 then invalid_arg "Topology.chain: hops must be >= 1";
+  build ~engine ~rng ?obs ?label ~kind:"chain" ~nodes:(hops + 1)
+    ~cables:(List.init hops (fun i -> (i, i + 1)))
+    ~rate_bps ?delay ?loss ()
+
+let kary_tree ~engine ~rng ?obs ?label ?delay ?loss ~rate_bps ~arity ~depth ()
+    =
+  if arity < 1 then invalid_arg "Topology.kary_tree: arity must be >= 1";
+  if depth < 1 then invalid_arg "Topology.kary_tree: depth must be >= 1";
+  let n = ref 1 and level = ref 1 in
+  for _ = 1 to depth do
+    level := !level * arity;
+    n := !n + !level
+  done;
+  let n = !n in
+  let cables = ref [] in
+  for child = n - 1 downto 1 do
+    cables := ((child - 1) / arity, child) :: !cables
+  done;
+  build ~engine ~rng ?obs ?label ~kind:"tree" ~nodes:n ~cables:!cables
+    ~rate_bps ?delay ?loss ()
+
+let random_graph ~engine ~rng ?obs ?label ?delay ?loss ~rate_bps ~nodes
+    ~edge_prob () =
+  if nodes < 2 then invalid_arg "Topology.random_graph: nodes must be >= 2";
+  if edge_prob < 0.0 || edge_prob > 1.0 then
+    invalid_arg "Topology.random_graph: edge_prob out of [0,1]";
+  let cables = ref [] in
+  (* extra cables first, in deterministic pair order *)
+  for i = 0 to nodes - 1 do
+    for j = i + 2 to nodes - 1 do
+      if Rng.bernoulli rng edge_prob then cables := (i, j) :: !cables
+    done
+  done;
+  (* spanning chain guarantees connectivity *)
+  for i = nodes - 2 downto 0 do
+    cables := (i, i + 1) :: !cables
+  done;
+  build ~engine ~rng ?obs ?label ~kind:"random" ~nodes ~cables:!cables
+    ~rate_bps ?delay ?loss ()
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
+
+let bfs t src =
+  match Hashtbl.find_opt t.bfs_cache src with
+  | Some r -> r
+  | None ->
+      let n = Array.length t.nodes in
+      let parent = Array.make n (-1) in
+      let dist = Array.make n max_int in
+      dist.(src) <- 0;
+      let q = Queue.create () in
+      Queue.add src q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun eid ->
+            let e = t.edges.(eid) in
+            if dist.(e.dst) = max_int then begin
+              dist.(e.dst) <- dist.(u) + 1;
+              parent.(e.dst) <- eid;
+              Queue.add e.dst q
+            end)
+          t.out.(u)
+      done;
+      Hashtbl.replace t.bfs_cache src (parent, dist);
+      (parent, dist)
+
+let path t ~src ~dst =
+  check_node t src "path";
+  check_node t dst "path";
+  if src = dst then []
+  else begin
+    let parent, _ = bfs t src in
+    if parent.(dst) = -1 then
+      invalid_arg
+        (Printf.sprintf "Topology.path: %d unreachable from %d" dst src);
+    let rec walk acc v =
+      if v = src then acc
+      else
+        let e = t.edges.(parent.(v)) in
+        walk (e :: acc) e.src
+    in
+    walk [] dst
+  end
+
+let farthest t ~src =
+  check_node t src "farthest";
+  let _, dist = bfs t src in
+  let best = ref src and best_d = ref 0 in
+  Array.iteri
+    (fun v d -> if d <> max_int && d > !best_d then begin
+        best := v;
+        best_d := d
+      end)
+    dist;
+  !best
+
+let tree_children t ~root =
+  check_node t root "tree_children";
+  let parent, _ = bfs t root in
+  let children = Array.make (Array.length t.nodes) [] in
+  for v = Array.length t.nodes - 1 downto 0 do
+    if v <> root && parent.(v) <> -1 then begin
+      let e = t.edges.(parent.(v)) in
+      children.(e.src) <- parent.(v) :: children.(e.src)
+    end
+  done;
+  children
+
+(* ------------------------------------------------------------------ *)
+(* Fault state *)
+
+let emit_fault t kind ~detail ~value =
+  if t.traced then
+    Trace.emit t.trace
+      (Trace.event ~time:(Engine.now t.engine) ~src:t.label ~detail ~value
+         kind)
+
+let set_cable_quiet t cid ~up =
+  if t.cable_up.(cid) = up then false
+  else begin
+    t.cable_up.(cid) <- up;
+    t.fault_transitions <- t.fault_transitions + 1;
+    let a, b = t.cables.(cid) in
+    emit_fault t
+      (if up then Trace.Link_up else Trace.Link_down)
+      ~detail:(Printf.sprintf "%d-%d" a b)
+      ~value:(float_of_int cid);
+    true
+  end
+
+let set_cable t cid ~up =
+  check_cable t cid "set_cable";
+  set_cable_quiet t cid ~up
+
+let crash_node t nid =
+  check_node t nid "crash_node";
+  let changed = Node.crash t.nodes.(nid) in
+  if changed then begin
+    t.fault_transitions <- t.fault_transitions + 1;
+    emit_fault t Trace.Node_crash ~detail:(Node.label t.nodes.(nid))
+      ~value:(float_of_int nid)
+  end;
+  changed
+
+let restart_node t nid =
+  check_node t nid "restart_node";
+  let changed = Node.restart t.nodes.(nid) in
+  if changed then begin
+    t.fault_transitions <- t.fault_transitions + 1;
+    emit_fault t Trace.Node_restart ~detail:(Node.label t.nodes.(nid))
+      ~value:(float_of_int nid)
+  end;
+  changed
+
+let partition t ~group =
+  let in_group = Array.make (Array.length t.nodes) false in
+  List.iter
+    (fun id ->
+      check_node t id "partition";
+      in_group.(id) <- true)
+    group;
+  emit_fault t Trace.Partition ~detail:"cut"
+    ~value:(float_of_int (List.length group));
+  let cut = ref 0 in
+  Array.iteri
+    (fun cid (a, b) ->
+      if in_group.(a) <> in_group.(b) && set_cable_quiet t cid ~up:false then
+        incr cut)
+    t.cables;
+  !cut
+
+let heal t =
+  emit_fault t Trace.Heal ~detail:"" ~value:0.0;
+  let restored = ref 0 in
+  Array.iteri
+    (fun cid up -> if (not up) && set_cable_quiet t cid ~up:true then
+        incr restored)
+    t.cable_up;
+  !restored
+
+let is_cable_up t cid =
+  check_cable t cid "is_cable_up";
+  t.cable_up.(cid)
+
+let is_node_up t nid =
+  check_node t nid "is_node_up";
+  Node.is_up t.nodes.(nid)
+
+let fault_transitions t = t.fault_transitions
+let fault_drops t = t.fault_drops
+
+(* ------------------------------------------------------------------ *)
+(* Overlays *)
+
+let drop_faulted t ~src_label =
+  t.fault_drops <- t.fault_drops + 1;
+  if t.traced then
+    Trace.emit t.trace
+      (Trace.event ~time:(Engine.now t.engine) ~src:src_label ~detail:"fault"
+         Trace.Packet_dropped)
+
+(* Send-side gate: a packet enters edge [e] only while the cable and
+   the sending node are up; otherwise it is destroyed on the spot. *)
+let inject t e pipe (inner : 'a Packet.t) =
+  if t.cable_up.(e.cable) && Node.is_up t.nodes.(e.src) then
+    ignore
+      (Pipe.send pipe (Packet.make ~size_bits:inner.Packet.size_bits inner))
+  else drop_faulted t ~src_label:e.elabel
+
+(* One forwarding stage per edge: a Pipe of the edge's rate / delay /
+   loss whose delivery re-checks the fault state (packets in flight
+   when the cable or destination goes down are destroyed). Overlay
+   pipes carry no obs context of their own — per-edge probes would
+   collide across overlays; the topology's fault counters and trace
+   events cover the substrate. *)
+let edge_stage t ~qcap ~overlay_rng e next =
+  let pipe =
+    Pipe.create t.engine ~rate_bps:e.rate_bps ~delay:e.delay
+      ~loss:(e.loss_spec ()) ~queue_capacity:qcap ~label:e.elabel
+      ~rng:overlay_rng
+      ~deliver:(fun ~now inner ->
+        if t.cable_up.(e.cable) && Node.is_up t.nodes.(e.dst) then
+          next ~now inner
+        else drop_faulted t ~src_label:e.elabel)
+      ()
+  in
+  fun ~now:_ inner -> inject t e pipe inner
+
+let path_entry t ~qcap ~overlay_rng edges final =
+  List.fold_right (fun e next -> edge_stage t ~qcap ~overlay_rng e next)
+    edges final
+
+let unicast_over t ~path_edges ~qcap ~rate_bps ?delay ?loss ?on_served ~label
+    ~rng ~fetch ~deliver () =
+  let overlay_rng = Rng.split t.rng in
+  let final ~now (inner : 'a Packet.t) = deliver ~now inner.Packet.payload in
+  let entry = path_entry t ~qcap ~overlay_rng path_edges final in
+  let wrap_fetch () =
+    match fetch () with
+    | None -> None
+    | Some p -> Some (Packet.make ~size_bits:p.Packet.size_bits p)
+  in
+  let on_served =
+    match on_served with
+    | None -> None
+    | Some f ->
+        Some (fun ~now (outer : 'a Packet.t Packet.t) ->
+            f ~now outer.Packet.payload)
+  in
+  (* The access hop: the sender's own server at the protocol's rate,
+     carrying the protocol-level loss/delay, feeding the first edge. *)
+  let head =
+    Link.create t.engine ~rate_bps ?delay ?loss ?on_served ?obs:t.obs ~label
+      ~rng ~fetch:wrap_fetch
+      ~deliver:(fun ~now inner -> entry ~now inner)
+      ()
+  in
+  { Transport.u_label = label;
+    u_kick = (fun () -> Link.kick head);
+    u_set_rate = (fun rate -> Link.set_rate head rate);
+    u_stats = (fun () -> Link.stats head);
+    u_utilisation = (fun ~now -> Link.utilisation head ~now) }
+
+let outbox_over t ~path_edges ~qcap ~rate_bps ?delay ?loss
+    ?(queue_capacity = 1024) ~label ~rng ~deliver () =
+  let overlay_rng = Rng.split t.rng in
+  let final ~now (inner : 'a Packet.t) = deliver ~now inner.Packet.payload in
+  let entry = path_entry t ~qcap ~overlay_rng path_edges final in
+  let head =
+    Pipe.create t.engine ~rate_bps ?delay ?loss ~queue_capacity ?obs:t.obs
+      ~label ~rng
+      ~deliver:(fun ~now inner -> entry ~now inner)
+      ()
+  in
+  { Transport.o_label = label;
+    o_send =
+      (fun p -> Pipe.send head (Packet.make ~size_bits:p.Packet.size_bits p));
+    o_queue_length = (fun () -> Pipe.queue_length head);
+    o_overflows = (fun () -> Pipe.overflows head);
+    o_stats = (fun () -> Pipe.link_stats head);
+    o_set_rate = (fun rate -> Pipe.set_rate head rate) }
+
+type 'a subscriber = {
+  sid : int;
+  s_loss : Loss.t;
+  s_deliver : 'a Transport.deliver;
+  mutable s_lost : int;
+}
+
+let fanout_over t ~root ~attach ~qcap ~rate_bps ?(delay = 0.0) ?on_served
+    ~label ~rng ~fetch () =
+  if rate_bps <= 0.0 then
+    invalid_arg "Topology.fanout: rate must be positive";
+  if delay < 0.0 then invalid_arg "Topology.fanout: negative delay";
+  let overlay_rng = Rng.split t.rng in
+  let children = tree_children t ~root in
+  let subs :
+      (int, 'a subscriber) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let at_node = Array.make (Array.length t.nodes) [] in
+  let next_sid = ref 0 in
+  let pipes = Array.make (Array.length t.edges) None in
+  (* Hop delivery: local subscribers first (each through its own
+     last-hop loss process), then flood the child edges. Snapshot
+     semantics as in {!Channel}: the subscriber list for this packet
+     is read once, so callbacks may (un)subscribe freely. *)
+  let forward node ~now (inner : 'a Packet.t) =
+    let local = at_node.(node) in
+    List.iter
+      (fun sid ->
+        match Hashtbl.find_opt subs sid with
+        | None -> ()
+        | Some s ->
+            if Loss.drop s.s_loss overlay_rng then s.s_lost <- s.s_lost + 1
+            else s.s_deliver ~now inner.Packet.payload)
+      local;
+    List.iter
+      (fun eid ->
+        match pipes.(eid) with
+        | Some pipe -> inject t t.edges.(eid) pipe inner
+        | None -> assert false)
+      children.(node)
+  in
+  (* Instantiate the tree's edge stages (deterministic eid order). *)
+  Array.iteri
+    (fun node eids ->
+      ignore node;
+      List.iter
+        (fun eid ->
+          let e = t.edges.(eid) in
+          let pipe =
+            Pipe.create t.engine ~rate_bps:e.rate_bps ~delay:e.delay
+              ~loss:(e.loss_spec ()) ~queue_capacity:qcap ~label:e.elabel
+              ~rng:overlay_rng
+              ~deliver:(fun ~now inner ->
+                if t.cable_up.(e.cable) && Node.is_up t.nodes.(e.dst) then
+                  forward e.dst ~now inner
+                else drop_faulted t ~src_label:e.elabel)
+              ()
+          in
+          pipes.(eid) <- Some pipe)
+        eids)
+    children;
+  let st = ref (false, 0, 0.0) in
+  (* (busy, served, busy_time) *)
+  let created_at = Engine.now t.engine in
+  let rec serve_next () =
+    match fetch () with
+    | None ->
+        let _, served, busy = !st in
+        st := (false, served, busy)
+    | Some packet ->
+        let _, served, busy = !st in
+        st := (true, served, busy);
+        let service = float_of_int packet.Packet.size_bits /. rate_bps in
+        ignore
+          (Engine.schedule t.engine ~after:service (fun engine ->
+               let _, served, busy = !st in
+               st := (true, served + 1, busy +. service);
+               (match on_served with
+               | Some f -> f ~now:(Engine.now engine) packet
+               | None -> ());
+               let emitdone ~now =
+                 if Node.is_up t.nodes.(root) then forward root ~now packet
+                 else drop_faulted t ~src_label:label
+               in
+               if delay = 0.0 then emitdone ~now:(Engine.now engine)
+               else
+                 ignore
+                   (Engine.schedule engine ~after:delay (fun engine ->
+                        emitdone ~now:(Engine.now engine)));
+               serve_next ()))
+  in
+  ignore rng;
+  { Transport.f_label = label;
+    f_kick =
+      (fun () ->
+        let busy, _, _ = !st in
+        if not busy then serve_next ());
+    f_subscribe =
+      (fun ~loss deliver ->
+        let sid = !next_sid in
+        incr next_sid;
+        let node = attach sid in
+        check_node t node "transport.attach";
+        Hashtbl.replace subs sid
+          { sid; s_loss = loss; s_deliver = deliver; s_lost = 0 };
+        at_node.(node) <- at_node.(node) @ [ sid ];
+        sid);
+    f_unsubscribe =
+      (fun sid ->
+        match Hashtbl.find_opt subs sid with
+        | None -> ()
+        | Some _ ->
+            Hashtbl.remove subs sid;
+            Array.iteri
+              (fun i l ->
+                if List.mem sid l then
+                  at_node.(i) <- List.filter (fun s -> s <> sid) l)
+              at_node);
+    f_subscriber_count = (fun () -> Hashtbl.length subs);
+    f_served =
+      (fun () ->
+        let _, served, _ = !st in
+        served);
+    f_receiver_losses =
+      (fun sid ->
+        match Hashtbl.find_opt subs sid with
+        | Some s -> s.s_lost
+        | None -> raise Not_found);
+    f_utilisation =
+      (fun ~now ->
+        let _, _, busy = !st in
+        let span = now -. created_at in
+        if span <= 0.0 then 0.0 else busy /. span) }
+
+let transport ?(src = 0) ?dst ?attach ?(queue_capacity = 256) t =
+  check_node t src "transport";
+  let dst =
+    match dst with
+    | Some d ->
+        check_node t d "transport";
+        d
+    | None -> farthest t ~src
+  in
+  let attach =
+    match attach with
+    | Some f -> f
+    | None ->
+        let others =
+          Array.of_list
+            (List.filter (fun v -> v <> src)
+               (List.init (Array.length t.nodes) Fun.id))
+        in
+        if Array.length others = 0 then fun _ -> src
+        else fun i -> others.(i mod Array.length others)
+  in
+  let data_path = path t ~src ~dst in
+  let fb_path = path t ~src:dst ~dst:src in
+  { Transport.name = "topology:" ^ t.kind;
+    unicast =
+      (fun ~rate_bps ?delay ?loss ?on_served ~label ~rng ~fetch ~deliver () ->
+        unicast_over t ~path_edges:data_path ~qcap:queue_capacity ~rate_bps
+          ?delay ?loss ?on_served ~label ~rng ~fetch ~deliver ());
+    outbox =
+      (fun ~rate_bps ?delay ?loss ?queue_capacity:qc ~label ~rng ~deliver () ->
+        outbox_over t ~path_edges:fb_path ~qcap:queue_capacity ~rate_bps
+          ?delay ?loss ?queue_capacity:qc ~label ~rng ~deliver ());
+    fanout =
+      (fun ~rate_bps ?delay ?on_served ~label ~rng ~fetch () ->
+        fanout_over t ~root:src ~attach ~qcap:queue_capacity ~rate_bps ?delay
+          ?on_served ~label ~rng ~fetch ()) }

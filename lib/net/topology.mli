@@ -1,0 +1,197 @@
+(** A network graph: nodes joined by rate-limited, lossy, delayed
+    cables, with static shortest-path routing, a source-rooted
+    multicast tree, and injectable fault state — the multi-hop
+    substrate behind {!Transport}.
+
+    {2 Model}
+
+    Each cable is a bidirectional pair of directed edges with its own
+    service rate, propagation delay and loss-process spec. Traffic
+    crosses an edge through a bounded FIFO queue and a rate-limited
+    server ({!Pipe} underneath), so congestion, loss and delay
+    accumulate per hop instead of being a single flat draw.
+
+    Routing is computed once over the full graph (breadth-first,
+    deterministic lowest-edge-id tie-break) and is {e not}
+    fault-adaptive: a partitioned or crashed element blackholes the
+    packets routed through it. That is deliberate — soft-state
+    recovery must come from the protocol's own refresh machinery, not
+    from the substrate rerouting around trouble.
+
+    {2 Fault semantics}
+
+    A down cable or node destroys packets at the moment they would
+    enter or leave it: enqueued packets keep draining and are
+    destroyed at the faulted element (counted in {!fault_drops}, and
+    traced as [Packet_dropped] with detail ["fault"] when the
+    topology carries an observability context). All transitions are
+    explicit, idempotent, counted, and emit [Link_down] / [Link_up] /
+    [Node_crash] / [Node_restart] / [Partition] / [Heal] trace
+    events, so a seeded fault schedule produces an identical event
+    sequence on every run.
+
+    {2 Overlays}
+
+    {!transport} packages a topology as a {!Transport.t}: each
+    unicast / outbox / fanout created through it instantiates its own
+    per-edge queues and loss processes (loss processes are stateful,
+    so overlays never share them) bound to the shared fault state.
+    Overlay randomness derives from the topology's own generator at
+    creation time, keeping runs reproducible. *)
+
+type t
+
+type edge = private {
+  eid : int;
+  cable : int;
+  src : int;
+  dst : int;
+  rate_bps : float;
+  delay : float;
+  loss_spec : unit -> Loss.t;
+  elabel : string;
+}
+
+(** {1 Builders}
+
+    All builders share the same cable parameters: [rate_bps] per
+    directed edge, [delay] one-way propagation (default 0), and
+    [loss] a spec invoked once per overlay edge (default lossless).
+    [rng] seeds overlay plumbing and the random builder's structure;
+    node 0 is the conventional source. *)
+
+val star :
+  engine:Softstate_sim.Engine.t ->
+  rng:Softstate_util.Rng.t ->
+  ?obs:Softstate_obs.Obs.t ->
+  ?label:string ->
+  ?delay:float ->
+  ?loss:(unit -> Loss.t) ->
+  rate_bps:float ->
+  leaves:int ->
+  unit ->
+  t
+(** Hub node 0 cabled to [leaves] ≥ 1 leaf nodes. *)
+
+val chain :
+  engine:Softstate_sim.Engine.t ->
+  rng:Softstate_util.Rng.t ->
+  ?obs:Softstate_obs.Obs.t ->
+  ?label:string ->
+  ?delay:float ->
+  ?loss:(unit -> Loss.t) ->
+  rate_bps:float ->
+  hops:int ->
+  unit ->
+  t
+(** A line of [hops] ≥ 1 cables joining [hops + 1] nodes. *)
+
+val kary_tree :
+  engine:Softstate_sim.Engine.t ->
+  rng:Softstate_util.Rng.t ->
+  ?obs:Softstate_obs.Obs.t ->
+  ?label:string ->
+  ?delay:float ->
+  ?loss:(unit -> Loss.t) ->
+  rate_bps:float ->
+  arity:int ->
+  depth:int ->
+  unit ->
+  t
+(** Complete [arity]-ary tree of [depth] ≥ 1 cable levels, nodes
+    numbered level-order from root 0 (node [i]'s children are
+    [arity*i + 1 .. arity*i + arity]). *)
+
+val random_graph :
+  engine:Softstate_sim.Engine.t ->
+  rng:Softstate_util.Rng.t ->
+  ?obs:Softstate_obs.Obs.t ->
+  ?label:string ->
+  ?delay:float ->
+  ?loss:(unit -> Loss.t) ->
+  rate_bps:float ->
+  nodes:int ->
+  edge_prob:float ->
+  unit ->
+  t
+(** A connected G(n, p) variant: a spanning chain [0-1-...-n-1]
+    guarantees connectivity, then every remaining pair gains a cable
+    with probability [edge_prob], drawn from [rng] in deterministic
+    order. *)
+
+(** {1 Structure} *)
+
+val engine : t -> Softstate_sim.Engine.t
+val node_count : t -> int
+val cable_count : t -> int
+val edge_count : t -> int
+(** Directed edges: [2 * cable_count]. *)
+
+val node : t -> int -> Node.t
+val cable_endpoints : t -> int -> int * int
+val leaves : t -> int list
+(** Degree-1 nodes, ascending — churn targets. *)
+
+val path : t -> src:int -> dst:int -> edge list
+(** Shortest path by hop count, deterministic tie-break; [[]] when
+    [src = dst]. Raises [Invalid_argument] if unreachable. *)
+
+val farthest : t -> src:int -> int
+(** The node at maximum hop distance from [src] (lowest id among
+    ties) — the default receiver endpoint and worst-case path. *)
+
+val tree_children : t -> root:int -> int list array
+(** The source-rooted multicast (BFS) tree as edge ids leaving each
+    node toward its children. *)
+
+(** {1 Fault state}
+
+    These are the primitive transitions {!Fault} schedules drive; all
+    return whether the state actually changed. *)
+
+val set_cable : t -> int -> up:bool -> bool
+val crash_node : t -> int -> bool
+val restart_node : t -> int -> bool
+
+val partition : t -> group:int list -> int
+(** Cut every cable with exactly one endpoint in [group]; returns the
+    number cut. Emits one [Partition] event plus a [Link_down] per
+    cut cable. *)
+
+val heal : t -> int
+(** Restore every down cable; returns the number restored. Emits one
+    [Heal] event plus a [Link_up] per restored cable. *)
+
+val is_cable_up : t -> int -> bool
+val is_node_up : t -> int -> bool
+val fault_transitions : t -> int
+(** Effective transitions so far (idempotent repeats excluded). *)
+
+val fault_drops : t -> int
+(** Packets destroyed by down cables or nodes. *)
+
+(** {1 Transport} *)
+
+val transport :
+  ?src:int ->
+  ?dst:int ->
+  ?attach:(int -> int) ->
+  ?queue_capacity:int ->
+  t ->
+  Transport.t
+(** [transport t] views the topology as a {!Transport.t}:
+
+    - [unicast] serves at the protocol's rate on an access hop at
+      [src] (applying the protocol's own [loss]/[delay] there), then
+      forwards along [path t ~src ~dst] through per-edge queues;
+    - [outbox] is the reverse: a bounded access queue at [dst]
+      draining along [path t ~src:dst ~dst:src] — the feedback
+      direction;
+    - [fanout] serves at [src] and floods the source-rooted multicast
+      tree hop-by-hop; subscriber [i] listens at node [attach i] and
+      its [loss] argument becomes a last-hop process on top of the
+      per-link ones.
+
+    [src] defaults to node 0, [dst] to [farthest t ~src], [attach] to
+    round-robin over non-[src] nodes in ascending order, and
+    [queue_capacity] (per edge queue, packets) to 256. *)

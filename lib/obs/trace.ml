@@ -13,6 +13,12 @@ type kind =
   | Digest_mismatch
   | Timer_fired
   | Rate_change
+  | Link_down
+  | Link_up
+  | Node_crash
+  | Node_restart
+  | Partition
+  | Heal
   | Custom of string
 
 let kind_to_string = function
@@ -30,6 +36,12 @@ let kind_to_string = function
   | Digest_mismatch -> "digest_mismatch"
   | Timer_fired -> "timer_fired"
   | Rate_change -> "rate_change"
+  | Link_down -> "link_down"
+  | Link_up -> "link_up"
+  | Node_crash -> "node_crash"
+  | Node_restart -> "node_restart"
+  | Partition -> "partition"
+  | Heal -> "heal"
   | Custom s -> s
 
 let kind_of_string = function
@@ -47,6 +59,12 @@ let kind_of_string = function
   | "digest_mismatch" -> Digest_mismatch
   | "timer_fired" -> Timer_fired
   | "rate_change" -> Rate_change
+  | "link_down" -> Link_down
+  | "link_up" -> Link_up
+  | "node_crash" -> Node_crash
+  | "node_restart" -> Node_restart
+  | "partition" -> Partition
+  | "heal" -> Heal
   | s -> Custom s
 
 type event = {

@@ -23,6 +23,12 @@ type kind =
   | Digest_mismatch  (** receiver digest disagreed with a summary *)
   | Timer_fired      (** engine calendar event fired *)
   | Rate_change      (** a link's service rate was retuned *)
+  | Link_down        (** fault injection took a topology link down *)
+  | Link_up          (** fault injection restored a topology link *)
+  | Node_crash       (** fault injection crashed a topology node *)
+  | Node_restart     (** fault injection restarted a topology node *)
+  | Partition        (** a partition cut a set of links at once *)
+  | Heal             (** every link restored after a partition *)
   | Custom of string
 
 val kind_to_string : kind -> string

@@ -35,8 +35,8 @@ type t = {
   config : config;
   sender : Sender.t;
   members : Receiver.t array;
-  channel : Wire.envelope Net.Channel.t;
-  fb_pipe : Wire.msg Net.Pipe.t;
+  fanout : Wire.envelope Net.Transport.fanout;
+  fb_outbox : Wire.msg Net.Transport.outbox;
   slot_rng : Rng.t;
   (* repair-request tag -> time it was last heard on the (multicast)
      feedback channel; members use it for damping *)
@@ -78,7 +78,7 @@ let push_feedback t msg =
       prune_heard t now
   | Some _ | None -> ());
   ignore
-    (Net.Pipe.send t.fb_pipe
+    (t.fb_outbox.Net.Transport.o_send
        (Net.Packet.make
           ~size_bits:(Wire.size_bits { Wire.seq = 0; sent_at = 0.0; msg })
           msg))
@@ -105,10 +105,15 @@ let offer_feedback t msg =
                  else push_feedback t msg))
       end
 
-let create ~engine ~rng ~config ~members () =
+let create ?transport ~engine ~rng ~config ~members () =
   if members < 1 then invalid_arg "Group.create: members >= 1";
   if config.nack_slot <= 0.0 then
     invalid_arg "Group.create: nack slot must be positive";
+  let transport =
+    match transport with
+    | Some tr -> tr
+    | None -> Net.Transport.single_hop engine
+  in
   let sender_config =
     { Sender.summary_period = config.summary_period;
       mu_hot_bps = config.mu_hot_bps;
@@ -138,32 +143,32 @@ let create ~engine ~rng ~config ~members () =
     | Some env -> Some (Net.Packet.make ~size_bits:(Wire.size_bits env) env)
     | None -> None
   in
-  let channel =
-    Net.Channel.create engine
+  let fanout =
+    transport.Net.Transport.fanout
       ~rate_bps:(config.mu_hot_bps +. config.mu_cold_bps)
-      ~rng:link_rng ~fetch ()
+      ~label:"group.data" ~rng:link_rng ~fetch ()
   in
   Array.iteri
     (fun i receiver ->
       ignore
-        (Net.Channel.subscribe channel ~loss:(config.member_loss i)
+        (fanout.Net.Transport.f_subscribe ~loss:(config.member_loss i)
            (fun ~now env -> Receiver.handle receiver ~now env)))
     member_receivers;
-  let fb_pipe =
-    Net.Pipe.create engine ~rate_bps:config.mu_fb_bps ~loss:config.fb_loss
-      ~rng:fb_rng
+  let fb_outbox =
+    transport.Net.Transport.outbox ~rate_bps:config.mu_fb_bps
+      ~loss:config.fb_loss ~label:"group.fb" ~rng:fb_rng
       ~deliver:(fun ~now msg -> Sender.handle_feedback sender ~now msg)
       ()
   in
   let t =
-    { engine; config; sender; members = member_receivers; channel; fb_pipe;
+    { engine; config; sender; members = member_receivers; fanout; fb_outbox;
       slot_rng; heard = Hashtbl.create 256; feedback_offered = 0;
       feedback_sent = 0; feedback_suppressed = 0 }
   in
   t_cell := Some t;
   let (_ : unit -> bool) =
     Engine.every engine ~period:config.summary_period (fun _ ->
-        Net.Channel.kick channel)
+        fanout.Net.Transport.f_kick ())
   in
   t
 
@@ -175,7 +180,7 @@ let member t i =
   t.members.(i)
 
 let member_count t = Array.length t.members
-let kick t = Net.Channel.kick t.channel
+let kick t = t.fanout.Net.Transport.f_kick ()
 
 let publish t ~path ~payload =
   Sender.publish t.sender ~path:(Path.of_string path) ~payload ();
@@ -216,4 +221,4 @@ let converged t =
 let feedback_offered t = t.feedback_offered
 let feedback_sent t = t.feedback_sent
 let feedback_suppressed t = t.feedback_suppressed
-let data_packets_served t = Net.Channel.served t.channel
+let data_packets_served t = t.fanout.Net.Transport.f_served ()

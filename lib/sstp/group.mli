@@ -37,12 +37,17 @@ val default_config : mu_total_bps:float -> config
     suppression on. *)
 
 val create :
+  ?transport:Softstate_net.Transport.t ->
   engine:Softstate_sim.Engine.t ->
   rng:Softstate_util.Rng.t ->
   config:config ->
   members:int ->
   unit ->
   t
+(** [transport] (default single-hop) supplies the shared data fanout
+    and the feedback outbox; over a
+    {!Softstate_net.Topology} member [i] listens at the node the
+    topology's attach policy assigns it. *)
 
 val sender : t -> Sender.t
 val member : t -> int -> Receiver.t

@@ -41,8 +41,8 @@ type t = {
   engine : Engine.t;
   sender : Sender.t;
   receiver : Receiver.t;
-  link : Wire.envelope Net.Link.t;
-  fb_pipe : Wire.msg Net.Pipe.t option;
+  unicast : Net.Transport.unicast;
+  fb_outbox : Wire.msg Net.Transport.outbox option;
   tracker : Stats.Timeweighted.t;
   mutable tracking : bool;
 }
@@ -51,14 +51,15 @@ type t = {
    observability context is supplied, as [session.*] registry probes
    (the probes and the accessors share these, so they can never
    disagree). *)
-let data_packets t = (Net.Link.stats t.link).Net.Link.Stats.delivered
+let data_packets t =
+  (t.unicast.Net.Transport.u_stats ()).Net.Link.Stats.delivered
 
 let link_utilisation t =
-  Net.Link.utilisation t.link ~now:(Engine.now t.engine)
+  t.unicast.Net.Transport.u_utilisation ~now:(Engine.now t.engine)
 
 let feedback_packets t =
-  match t.fb_pipe with
-  | Some pipe -> (Net.Pipe.link_stats pipe).Net.Link.Stats.delivered
+  match t.fb_outbox with
+  | Some ob -> (ob.Net.Transport.o_stats ()).Net.Link.Stats.delivered
   | None -> 0
 
 let consistency t =
@@ -85,7 +86,7 @@ let register_session_probes t obs =
       Metrics.probe m "session.feedback_packets" (fun ~now:_ ->
           float_of_int (feedback_packets t));
       Metrics.probe m "session.link_utilisation" (fun ~now ->
-          Net.Link.utilisation t.link ~now);
+          t.unicast.Net.Transport.u_utilisation ~now);
       Metrics.probe m "session.consistency" (fun ~now:_ -> consistency t)
 
 let splits config =
@@ -116,9 +117,14 @@ let splits config =
         Float.max 1.0 d.Allocator.mu_fb_bps,
         Some allocator )
 
-let create ?obs ~engine ~rng ~config () =
+let create ?obs ?transport ~engine ~rng ~config () =
   if config.mu_total_bps <= 0.0 then
     invalid_arg "Session.create: bandwidth must be positive";
+  let transport =
+    match transport with
+    | Some tr -> tr
+    | None -> Net.Transport.single_hop ?obs engine
+  in
   let mu_hot, mu_cold, mu_fb, allocator = splits config in
   let sender_config =
     { Sender.summary_period = config.summary_period;
@@ -131,15 +137,15 @@ let create ?obs ~engine ~rng ~config () =
   let link_rng = Rng.split rng in
   let fb_rng = Rng.split rng in
   (* Forward references broken with a ref cell: the receiver's
-     feedback closure targets the pipe, the pipe's deliver targets the
-     sender, the link's fetch targets the sender and its deliver the
-     receiver. *)
-  let pipe_cell = ref None in
+     feedback closure targets the outbox, the outbox's deliver targets
+     the sender, the data channel's fetch targets the sender and its
+     deliver the receiver. *)
+  let outbox_cell = ref None in
   let send_feedback msg =
-    match !pipe_cell with
-    | Some pipe ->
+    match !outbox_cell with
+    | Some ob ->
         ignore
-          (Net.Pipe.send pipe
+          (ob.Net.Transport.o_send
              (Net.Packet.make
                 ~size_bits:
                   (Wire.size_bits { Wire.seq = 0; sent_at = 0.0; msg })
@@ -159,31 +165,31 @@ let create ?obs ~engine ~rng ~config () =
     | Some env -> Some (Net.Packet.make ~size_bits:(Wire.size_bits env) env)
     | None -> None
   in
-  let data_link =
-    Net.Link.create engine
+  let unicast =
+    transport.Net.Transport.unicast
       ~rate_bps:(mu_hot +. mu_cold)
-      ~delay:config.delay ~loss:config.loss ?obs ~label:"session.data"
+      ~delay:config.delay ~loss:config.loss ~label:"session.data"
       ~rng:link_rng ~fetch
       ~deliver:(fun ~now env -> Receiver.handle receiver ~now env)
       ()
   in
-  let fb_pipe =
+  let fb_outbox =
     if mu_fb > 0.0 then
       Some
-        (Net.Pipe.create engine ~rate_bps:mu_fb ~delay:config.delay
-           ~loss:config.fb_loss ?obs ~label:"session.fb" ~rng:fb_rng
+        (transport.Net.Transport.outbox ~rate_bps:mu_fb ~delay:config.delay
+           ~loss:config.fb_loss ~label:"session.fb" ~rng:fb_rng
            ~deliver:(fun ~now msg -> Sender.handle_feedback sender ~now msg)
            ())
     else None
   in
-  pipe_cell := fb_pipe;
-  (* The cold summary timer must re-kick the link when it idles. *)
+  outbox_cell := fb_outbox;
+  (* The cold summary timer must re-kick the channel when it idles. *)
   let (_ : unit -> bool) =
     Engine.every engine ~period:config.summary_period (fun _ ->
-        Net.Link.kick data_link)
+        unicast.Net.Transport.u_kick ())
   in
   let t =
-    { engine; sender; receiver; link = data_link; fb_pipe;
+    { engine; sender; receiver; unicast; fb_outbox;
       tracker = Stats.Timeweighted.create ~start:(Engine.now engine) ();
       tracking = false }
   in
@@ -193,7 +199,7 @@ let create ?obs ~engine ~rng ~config () =
 let sender t = t.sender
 let receiver t = t.receiver
 
-let kick t = Net.Link.kick t.link
+let kick t = t.unicast.Net.Transport.u_kick ()
 
 let publish t ~path ~payload =
   Sender.publish t.sender ~path:(Path.of_string path) ~payload ();

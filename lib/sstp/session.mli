@@ -1,11 +1,13 @@
 (** A complete SSTP session: sender and receiver wired over a lossy,
     rate-limited simulated network.
 
-    The data channel is a pull-based {!Softstate_net.Link} driven by
-    {!Sender.fetch}; the feedback channel is a push-based
-    {!Softstate_net.Pipe}. Reliability level is a continuum set by
-    the bandwidth split (§6.1): summaries-only behaves like pure
-    announce/listen, generous feedback approaches reliable
+    The data channel is pull-based, driven by {!Sender.fetch}; the
+    feedback channel is push-based. Both are created through a
+    pluggable {!Softstate_net.Transport} — by default a direct
+    single-hop link/pipe pair, or a multi-hop
+    {!Softstate_net.Topology} route. Reliability level is a continuum
+    set by the bandwidth split (§6.1): summaries-only behaves like
+    pure announce/listen, generous feedback approaches reliable
     transport. *)
 
 type reliability =
@@ -36,6 +38,7 @@ type t
 
 val create :
   ?obs:Softstate_obs.Obs.t ->
+  ?transport:Softstate_net.Transport.t ->
   engine:Softstate_sim.Engine.t ->
   rng:Softstate_util.Rng.t ->
   config:config ->

@@ -698,6 +698,147 @@ let test_run_many_single_replication_matches_run () =
         (compare r solo = 0))
     results
 
+(* ------------------------------------------------------------------ *)
+(* Golden single-hop results: the transport refactor must be invisible
+   to existing configurations. These hex literals were captured from
+   the direct Link/Pipe/Channel implementation; any drift in RNG split
+   order, event ordering or transport plumbing shows up as a bitwise
+   mismatch here. *)
+
+let render_golden (r : Experiment.result) =
+  Printf.sprintf
+    "avg=%h final=%h lat=%h deliv=%d trans=%d hot=%d cold=%d nw=%d ns=%d \
+     nsup=%d nd=%d ovf=%d reh=%d live=%d util=%h"
+    r.Experiment.avg_consistency r.Experiment.final_consistency
+    r.Experiment.latency_mean r.Experiment.deliveries
+    r.Experiment.transmissions r.Experiment.sent_hot r.Experiment.sent_cold
+    r.Experiment.nacks_wanted r.Experiment.nacks_sent
+    r.Experiment.nacks_suppressed r.Experiment.nacks_delivered
+    r.Experiment.nack_overflows r.Experiment.reheats r.Experiment.live_at_end
+    r.Experiment.utilisation
+
+let golden_base =
+  { Experiment.default with Experiment.duration = 600.0; seed = 7 }
+
+let test_golden_open_loop () =
+  Alcotest.(check string) "open loop bitwise stable"
+    "avg=0x1.585bc7945debp-1 final=0x1.657a3bf6c657ap-1 \
+     lat=0x1.367e6bb108caap+3 deliv=8842 trans=27000 hot=0 cold=0 nw=0 ns=0 \
+     nsup=0 nd=0 ovf=0 reh=0 live=444 util=0x1.fffb253e4711fp-1"
+    (render_golden
+       (Experiment.run
+          { golden_base with
+            Experiment.protocol = Experiment.Open_loop { mu_data_kbps = 45.0 }
+          }))
+
+let test_golden_two_queue () =
+  Alcotest.(check string) "two queue bitwise stable"
+    "avg=0x1.e78beb5e66991p-1 final=0x1.e6a171024e6a1p-1 \
+     lat=0x1.5d364763b5511p+0 deliv=8956 trans=27000 hot=8984 cold=18016 \
+     nw=0 ns=0 nsup=0 nd=0 ovf=0 reh=0 live=444 util=0x1.fffb253e4711fp-1"
+    (render_golden
+       (Experiment.run
+          { golden_base with
+            Experiment.protocol =
+              Experiment.Two_queue { mu_hot_kbps = 20.0; mu_cold_kbps = 25.0 }
+          }))
+
+let test_golden_feedback () =
+  Alcotest.(check string) "feedback bitwise stable"
+    "avg=0x1.43d4763c3d1f3p-1 final=0x1.2e2049cd42e2p-1 \
+     lat=0x1.563c9b4be1907p+3 deliv=8626 trans=22800 hot=11981 cold=10819 \
+     nw=5603 ns=5603 nsup=0 nd=4231 ovf=0 reh=4024 live=444 \
+     util=0x1.fffa40507b641p-1"
+    (render_golden
+       (Experiment.run
+          { golden_base with
+            Experiment.loss = Experiment.Bernoulli 0.25;
+            protocol =
+              Experiment.Feedback
+                { mu_hot_kbps = 20.0; mu_cold_kbps = 18.0; mu_fb_kbps = 7.0;
+                  nack_bits = 256; fb_lossy = true }
+          }))
+
+let test_golden_multicast () =
+  Alcotest.(check string) "multicast bitwise stable"
+    "avg=0x1.daab4d7cfa87dp-1 final=0x1.eb3e45306eb3ep-1 \
+     lat=0x1.1cf5ba558276p-1 deliv=8983 trans=27000 hot=9355 cold=17645 \
+     nw=21339 ns=15250 nsup=6082 nd=8395 ovf=2759 reh=494 live=444 \
+     util=0x1.fffb253e4711fp-1"
+    (render_golden
+       (Experiment.run
+          { golden_base with
+            Experiment.protocol =
+              Experiment.Multicast
+                { receivers = 8; mu_hot_kbps = 20.0; mu_cold_kbps = 25.0;
+                  mu_fb_kbps = 7.0; nack_bits = 500; suppression = true;
+                  nack_slot = 0.5 }
+          }))
+
+(* ------------------------------------------------------------------ *)
+(* Experiments over a topology *)
+
+let run_topo ?(seed = 7) ?(faults = []) topology =
+  Experiment.run
+    { Experiment.default with
+      Experiment.seed;
+      duration = 600.0;
+      loss = Experiment.Bernoulli 0.1;
+      protocol = Experiment.Two_queue { mu_hot_kbps = 20.0; mu_cold_kbps = 25.0 };
+      topology;
+      faults }
+
+let test_topology_experiment_runs () =
+  let r = run_topo (Experiment.Chain { hops = 3 }) in
+  Alcotest.(check bool) "delivers over multi-hop" true
+    (r.Experiment.deliveries > 0);
+  Alcotest.(check bool) "reaches useful consistency" true
+    (r.Experiment.avg_consistency > 0.5);
+  Alcotest.(check int) "no fault activity without faults" 0
+    (r.Experiment.fault_transitions + r.Experiment.fault_drops)
+
+let test_topology_experiment_deterministic () =
+  let faults =
+    match Softstate_net.Fault.specs_of_string "partition@100-200,flap:0.01:10"
+    with
+    | Ok specs -> specs
+    | Error e -> Alcotest.fail e
+  in
+  let run () = run_topo ~faults (Experiment.Kary_tree { arity = 2; depth = 2 }) in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "faults actually fired" true
+    (a.Experiment.fault_transitions > 0);
+  Alcotest.(check bool) "faults destroyed packets" true
+    (a.Experiment.fault_drops > 0);
+  check_close 0.0 "same consistency" a.Experiment.avg_consistency
+    b.Experiment.avg_consistency;
+  Alcotest.(check int) "same transitions" a.Experiment.fault_transitions
+    b.Experiment.fault_transitions;
+  Alcotest.(check int) "same drops" a.Experiment.fault_drops
+    b.Experiment.fault_drops
+
+let test_topology_faults_damage_consistency () =
+  let clean = run_topo (Experiment.Chain { hops = 2 }) in
+  let faults =
+    match Softstate_net.Fault.specs_of_string "cable:1@100-400" with
+    | Ok specs -> specs
+    | Error e -> Alcotest.fail e
+  in
+  let faulty = run_topo ~faults (Experiment.Chain { hops = 2 }) in
+  Alcotest.(check bool) "long outage dents consistency" true
+    (faulty.Experiment.avg_consistency
+    < clean.Experiment.avg_consistency -. 0.05)
+
+let test_faults_require_topology () =
+  let faults =
+    match Softstate_net.Fault.specs_of_string "flap:0.1:5" with
+    | Ok specs -> specs
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.check_raises "single-hop faults rejected"
+    (Invalid_argument "Experiment.run: faults need a topology") (fun () ->
+      ignore (run_topo ~faults Experiment.Single_hop))
+
 let () =
   Alcotest.run "softstate_core"
     [
@@ -800,5 +941,23 @@ let () =
             test_scheduler_choice_is_secondary;
           Alcotest.test_case "loss-pattern insensitivity" `Slow
             test_gilbert_elliott_same_mean_same_consistency;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "open loop" `Quick test_golden_open_loop;
+          Alcotest.test_case "two queue" `Quick test_golden_two_queue;
+          Alcotest.test_case "feedback" `Quick test_golden_feedback;
+          Alcotest.test_case "multicast" `Quick test_golden_multicast;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "experiment runs" `Quick
+            test_topology_experiment_runs;
+          Alcotest.test_case "faulty run deterministic" `Quick
+            test_topology_experiment_deterministic;
+          Alcotest.test_case "faults damage consistency" `Quick
+            test_topology_faults_damage_consistency;
+          Alcotest.test_case "faults require topology" `Quick
+            test_faults_require_topology;
         ] );
     ]

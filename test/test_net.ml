@@ -360,6 +360,429 @@ let test_channel_late_join () =
   Engine.run e;
   Alcotest.(check bool) "late joiner gets the tail" true (!got > 0 && !got < 20)
 
+(* ------------------------------------------------------------------ *)
+(* Channel snapshot semantics: unsubscribing from inside a delivery
+   callback must not skip or double-deliver the packet being fanned
+   out — the subscriber set for a packet is fixed when its service
+   completes. *)
+
+let test_channel_unsubscribe_in_callback () =
+  let e = Engine.create () in
+  let source = ref (List.init 5 (fun i -> Packet.make ~size_bits:10 i)) in
+  let chan =
+    Channel.create e ~rate_bps:10_000.0 ~rng:(Rng.create 41)
+      ~fetch:(fun () ->
+        match !source with
+        | [] -> None
+        | p :: rest ->
+            source := rest;
+            Some p)
+      ()
+  in
+  let got_a = ref [] and got_b = ref [] and got_c = ref [] in
+  let b_id = ref (-1) and c_id = ref (-1) in
+  let _a = Channel.subscribe chan (fun ~now:_ v -> got_a := v :: !got_a) in
+  b_id :=
+    Channel.subscribe chan (fun ~now:_ v ->
+        got_b := v :: !got_b;
+        if v = 0 then begin
+          (* drop ourselves AND the not-yet-served subscriber c *)
+          Channel.unsubscribe chan !b_id;
+          Channel.unsubscribe chan !c_id
+        end);
+  c_id := Channel.subscribe chan (fun ~now:_ v -> got_c := v :: !got_c);
+  Channel.kick chan;
+  Engine.run e;
+  Alcotest.(check (list int)) "survivor sees every packet" [ 0; 1; 2; 3; 4 ]
+    (List.rev !got_a);
+  Alcotest.(check (list int)) "self-unsubscriber got the full packet" [ 0 ]
+    (List.rev !got_b);
+  Alcotest.(check (list int))
+    "later subscriber not skipped on the in-flight packet" [ 0 ]
+    (List.rev !got_c);
+  Alcotest.(check int) "only the survivor remains" 1
+    (Channel.subscriber_count chan)
+
+(* Gilbert–Elliott long-run loss across parameter corners: empirical
+   rate must track the stationary-distribution mean, seeded and
+   deterministic. *)
+let test_gilbert_elliott_stationary_combos () =
+  let combos =
+    [ (0.05, 0.20, 0.00, 1.00);   (* bursty, clean good state *)
+      (0.02, 0.50, 0.005, 0.30);  (* short rare bursts *)
+      (0.30, 0.30, 0.10, 0.90);   (* fast mixing *)
+      (0.01, 0.05, 0.00, 0.50) ]  (* long dwell both states *)
+  in
+  List.iteri
+    (fun i (p_good_to_bad, p_bad_to_good, loss_good, loss_bad) ->
+      let g = Rng.create (400 + i) in
+      let l =
+        Loss.gilbert_elliott ~p_good_to_bad ~p_bad_to_good ~loss_good
+          ~loss_bad
+      in
+      let pi_bad = p_good_to_bad /. (p_good_to_bad +. p_bad_to_good) in
+      let analytic =
+        ((1.0 -. pi_bad) *. loss_good) +. (pi_bad *. loss_bad)
+      in
+      check_close 1e-9
+        (Printf.sprintf "combo %d analytic mean" i)
+        analytic (Loss.mean_rate l);
+      let n = 300_000 in
+      let drops = ref 0 in
+      for _ = 1 to n do
+        if Loss.drop l g then incr drops
+      done;
+      check_close 0.01
+        (Printf.sprintf "combo %d empirical vs stationary" i)
+        analytic
+        (float_of_int !drops /. float_of_int n))
+    combos
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+
+module Topology = Net.Topology
+module Transport = Net.Transport
+module Fault = Net.Fault
+module Node = Net.Node
+module Trace = Softstate_obs.Trace
+module Obs = Softstate_obs.Obs
+
+let test_topology_star_structure () =
+  let e = Engine.create () in
+  let t =
+    Topology.star ~engine:e ~rng:(Rng.create 60) ~rate_bps:10_000.0 ~leaves:4
+      ()
+  in
+  Alcotest.(check int) "nodes" 5 (Topology.node_count t);
+  Alcotest.(check int) "cables" 4 (Topology.cable_count t);
+  Alcotest.(check int) "edges" 8 (Topology.edge_count t);
+  Alcotest.(check (list int)) "leaves" [ 1; 2; 3; 4 ] (Topology.leaves t);
+  Alcotest.(check int) "one hop to each leaf" 1
+    (List.length (Topology.path t ~src:0 ~dst:3));
+  Alcotest.(check int) "farthest tie-break is lowest id" 1
+    (Topology.farthest t ~src:0)
+
+let test_topology_chain_routing () =
+  let e = Engine.create () in
+  let t =
+    Topology.chain ~engine:e ~rng:(Rng.create 61) ~rate_bps:10_000.0 ~hops:5
+      ()
+  in
+  Alcotest.(check int) "nodes" 6 (Topology.node_count t);
+  Alcotest.(check int) "farthest" 5 (Topology.farthest t ~src:0);
+  let path = Topology.path t ~src:0 ~dst:5 in
+  Alcotest.(check int) "hop count" 5 (List.length path);
+  Alcotest.(check (list int)) "hops in order" [ 0; 1; 2; 3; 4 ]
+    (List.map (fun edge -> edge.Topology.src) path);
+  Alcotest.(check int) "self path is empty" 0
+    (List.length (Topology.path t ~src:3 ~dst:3));
+  let children = Topology.tree_children t ~root:0 in
+  Alcotest.(check int) "line tree: one child" 1 (List.length children.(2));
+  Alcotest.(check int) "leaf has none" 0 (List.length children.(5))
+
+let test_topology_kary_tree_structure () =
+  let e = Engine.create () in
+  let t =
+    Topology.kary_tree ~engine:e ~rng:(Rng.create 62) ~rate_bps:10_000.0
+      ~arity:2 ~depth:2 ()
+  in
+  Alcotest.(check int) "nodes" 7 (Topology.node_count t);
+  Alcotest.(check int) "cables" 6 (Topology.cable_count t);
+  let children = Topology.tree_children t ~root:0 in
+  Alcotest.(check int) "root fans to arity" 2 (List.length children.(0));
+  Alcotest.(check int) "internal fans to arity" 2 (List.length children.(1));
+  Alcotest.(check int) "leaf fans to none" 0 (List.length children.(4));
+  Alcotest.(check int) "two hops to a deep leaf" 2
+    (List.length (Topology.path t ~src:0 ~dst:6))
+
+let test_topology_random_graph_connected () =
+  let e = Engine.create () in
+  let t =
+    Topology.random_graph ~engine:e ~rng:(Rng.create 63) ~rate_bps:10_000.0
+      ~nodes:12 ~edge_prob:0.2 ()
+  in
+  Alcotest.(check bool) "spanning chain guarantees >= n-1 cables" true
+    (Topology.cable_count t >= 11);
+  for dst = 1 to 11 do
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d reachable" dst)
+      true
+      (List.length (Topology.path t ~src:0 ~dst) >= 1)
+  done
+
+let drain_fetch source () =
+  match !source with
+  | [] -> None
+  | p :: rest ->
+      source := rest;
+      Some p
+
+let test_transport_unicast_over_chain () =
+  let e = Engine.create () in
+  let t =
+    Topology.chain ~engine:e ~rng:(Rng.create 64) ~rate_bps:10_000.0 ~hops:3
+      ()
+  in
+  let tr = Topology.transport t in
+  let source = ref (List.init 20 (fun i -> Packet.make ~size_bits:100 i)) in
+  let got = ref [] in
+  let arrival = ref 0.0 in
+  let u =
+    tr.Transport.unicast ~rate_bps:10_000.0 ~label:"u" ~rng:(Rng.create 65)
+      ~fetch:(drain_fetch source)
+      ~deliver:(fun ~now v ->
+        arrival := now;
+        got := v :: !got)
+      ()
+  in
+  u.Transport.u_kick ();
+  Engine.run e;
+  Alcotest.(check (list int)) "all packets, in order"
+    (List.init 20 (fun i -> i))
+    (List.rev !got);
+  (* access hop + 3 chain hops at 10 ms each: the pipeline tail must
+     arrive no earlier than 23 * 10 ms (last fetch) + 3 hops *)
+  Alcotest.(check bool) "multi-hop latency accumulated" true
+    (!arrival >= 0.23)
+
+let test_transport_outbox_reverse_path () =
+  let e = Engine.create () in
+  let t =
+    Topology.chain ~engine:e ~rng:(Rng.create 66) ~rate_bps:10_000.0 ~hops:2
+      ()
+  in
+  let tr = Topology.transport t in
+  let got = ref 0 in
+  let ob =
+    tr.Transport.outbox ~rate_bps:10_000.0 ~label:"fb" ~rng:(Rng.create 67)
+      ~deliver:(fun ~now:_ _ -> incr got)
+      ()
+  in
+  for i = 1 to 10 do
+    Alcotest.(check bool) "accepted" true
+      (ob.Transport.o_send (Packet.make ~size_bits:100 i))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "feedback crossed the reverse path" 10 !got
+
+let test_transport_fanout_over_tree () =
+  let e = Engine.create () in
+  let t =
+    Topology.kary_tree ~engine:e ~rng:(Rng.create 68) ~rate_bps:50_000.0
+      ~arity:2 ~depth:2 ()
+  in
+  let tr = Topology.transport t in
+  let source = ref (List.init 10 (fun i -> Packet.make ~size_bits:100 i)) in
+  let f =
+    tr.Transport.fanout ~rate_bps:50_000.0 ~label:"f" ~rng:(Rng.create 69)
+      ~fetch:(drain_fetch source) ()
+  in
+  let counts = Array.make 6 0 in
+  for i = 0 to 5 do
+    ignore
+      (f.Transport.f_subscribe ~loss:Loss.never (fun ~now:_ _ ->
+           counts.(i) <- counts.(i) + 1))
+  done;
+  f.Transport.f_kick ();
+  Engine.run e;
+  Alcotest.(check int) "root served each packet once" 10
+    (f.Transport.f_served ());
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Printf.sprintf "receiver %d heard every packet" i)
+        10 c)
+    counts
+
+let make_faulty_chain () =
+  let e = Engine.create () in
+  let trace = Trace.memory () in
+  let obs = Obs.create ~trace () in
+  let t =
+    Topology.chain ~engine:e ~rng:(Rng.create 70) ~obs ~rate_bps:10_000.0
+      ~hops:2 ()
+  in
+  let tr = Topology.transport t in
+  let source = ref [] in
+  let got = ref 0 in
+  let u =
+    tr.Transport.unicast ~rate_bps:10_000.0 ~label:"u" ~rng:(Rng.create 71)
+      ~fetch:(drain_fetch source)
+      ~deliver:(fun ~now:_ _ -> incr got)
+      ()
+  in
+  let send n =
+    source := List.init n (fun i -> Packet.make ~size_bits:100 i);
+    u.Transport.u_kick ()
+  in
+  (e, trace, t, send, got)
+
+let test_fault_link_down_up () =
+  let e, trace, t, send, got = make_faulty_chain () in
+  send 5;
+  Engine.run ~until:1.0 e;
+  Alcotest.(check int) "clean phase delivers" 5 !got;
+  Alcotest.(check bool) "cable went down" true
+    (Topology.set_cable t 1 ~up:false);
+  Alcotest.(check bool) "repeat is a no-op" false
+    (Topology.set_cable t 1 ~up:false);
+  send 5;
+  Engine.run ~until:2.0 e;
+  Alcotest.(check int) "blackholed while down" 5 !got;
+  Alcotest.(check int) "drops counted" 5 (Topology.fault_drops t);
+  Alcotest.(check bool) "cable back up" true (Topology.set_cable t 1 ~up:true);
+  send 5;
+  Engine.run ~until:3.0 e;
+  Alcotest.(check int) "resumed after repair" 10 !got;
+  Alcotest.(check int) "two effective transitions" 2
+    (Topology.fault_transitions t);
+  Alcotest.(check int) "link_down traced" 1 (Trace.count trace Trace.Link_down);
+  Alcotest.(check int) "link_up traced" 1 (Trace.count trace Trace.Link_up)
+
+let test_fault_node_crash_restart () =
+  let e, trace, t, send, got = make_faulty_chain () in
+  send 3;
+  Engine.run ~until:1.0 e;
+  Alcotest.(check int) "clean phase delivers" 3 !got;
+  Alcotest.(check bool) "crashed" true (Topology.crash_node t 1);
+  Alcotest.(check bool) "crash is idempotent" false (Topology.crash_node t 1);
+  Alcotest.(check bool) "node reads down" false (Topology.is_node_up t 1);
+  send 4;
+  Engine.run ~until:2.0 e;
+  Alcotest.(check int) "transit node down blackholes" 3 !got;
+  Alcotest.(check int) "drops counted" 4 (Topology.fault_drops t);
+  Alcotest.(check bool) "restarted" true (Topology.restart_node t 1);
+  send 2;
+  Engine.run ~until:3.0 e;
+  Alcotest.(check int) "resumed" 5 !got;
+  Alcotest.(check int) "crash counted once" 1
+    (Node.crashes (Topology.node t 1));
+  Alcotest.(check int) "restart counted once" 1
+    (Node.restarts (Topology.node t 1));
+  Alcotest.(check int) "node_crash traced" 1
+    (Trace.count trace Trace.Node_crash);
+  Alcotest.(check int) "node_restart traced" 1
+    (Trace.count trace Trace.Node_restart)
+
+let test_fault_partition_heal () =
+  let e = Engine.create () in
+  let trace = Trace.memory () in
+  let obs = Obs.create ~trace () in
+  let t =
+    Topology.kary_tree ~engine:e ~rng:(Rng.create 72) ~obs
+      ~rate_bps:10_000.0 ~arity:2 ~depth:2 ()
+  in
+  Alcotest.(check int) "crossing cables cut" 4
+    (Topology.partition t ~group:[ 3; 4; 5; 6 ]);
+  Alcotest.(check bool) "inside-group cable survives" true
+    (Topology.is_cable_up t 0);
+  Alcotest.(check int) "re-partition cuts nothing new" 0
+    (Topology.partition t ~group:[ 3; 4; 5; 6 ]);
+  Alcotest.(check int) "heal restores them all" 4 (Topology.heal t);
+  for c = 0 to Topology.cable_count t - 1 do
+    Alcotest.(check bool) "cable up after heal" true (Topology.is_cable_up t c)
+  done;
+  Alcotest.(check int) "partition traced" 2
+    (Trace.count trace Trace.Partition);
+  Alcotest.(check int) "heal traced" 1 (Trace.count trace Trace.Heal)
+
+(* Seeded fault schedules (flaps + churn) over a tree carrying real
+   traffic must reproduce the exact same trace event sequence run to
+   run — the determinism contract behind every fault experiment. *)
+let run_faulty_tree seed =
+  let e = Engine.create () in
+  let trace = Trace.memory () in
+  let obs = Obs.create ~trace () in
+  let rng = Rng.create seed in
+  let t =
+    Topology.kary_tree ~engine:e ~rng ~obs ~rate_bps:50_000.0
+      ~loss:(fun () -> Loss.bernoulli 0.05)
+      ~arity:2 ~depth:2 ()
+  in
+  let schedule =
+    Fault.flaps ~rng:(Rng.create (seed + 1)) ~rate_per_s:0.4
+      ~mean_downtime:2.0 ~until:30.0 t
+    @ Fault.churn ~rng:(Rng.create (seed + 2)) ~rate_per_s:0.4
+        ~mean_downtime:2.0 ~until:30.0 t
+  in
+  Fault.install t schedule;
+  let tr = Topology.transport t in
+  let sent = ref 0 in
+  let got = ref 0 in
+  let f =
+    tr.Transport.fanout ~rate_bps:50_000.0 ~label:"f" ~rng:(Rng.split rng)
+      ~fetch:(fun () ->
+        if !sent >= 300 then None
+        else begin
+          incr sent;
+          Some (Packet.make ~size_bits:100 !sent)
+        end)
+      ()
+  in
+  for _ = 1 to 4 do
+    ignore (f.Transport.f_subscribe ~loss:Loss.never (fun ~now:_ _ -> incr got))
+  done;
+  f.Transport.f_kick ();
+  Engine.run ~until:30.0 e;
+  let rendered =
+    List.map
+      (fun ev ->
+        Printf.sprintf "%h %s %s %s %h" ev.Trace.time ev.Trace.src
+          (Trace.kind_to_string ev.Trace.kind)
+          ev.Trace.detail ev.Trace.value)
+      (Trace.events trace)
+  in
+  (rendered, !got, Topology.fault_drops t)
+
+let test_fault_schedule_deterministic () =
+  let events_a, got_a, drops_a = run_faulty_tree 7 in
+  let events_b, got_b, drops_b = run_faulty_tree 7 in
+  Alcotest.(check bool) "schedule actually flipped something" true
+    (List.exists
+       (fun line ->
+         let has sub =
+           let rec find i =
+             i + String.length sub <= String.length line
+             && (String.sub line i (String.length sub) = sub || find (i + 1))
+           in
+           find 0
+         in
+         has " link_down " || has " node_crash ")
+       events_a);
+  Alcotest.(check bool) "faults destroyed traffic" true (drops_a > 0);
+  Alcotest.(check (list string)) "identical trace sequences" events_a events_b;
+  Alcotest.(check int) "identical deliveries" got_a got_b;
+  Alcotest.(check int) "identical fault drops" drops_a drops_b;
+  let events_c, _, _ = run_faulty_tree 8 in
+  Alcotest.(check bool) "different seed diverges" true (events_a <> events_c)
+
+let test_fault_spec_roundtrip () =
+  let specs =
+    [ "cable:3@10-20"; "node:2@5-7.5"; "partition@100-300"; "flap:0.1:5";
+      "churn:0.25:10" ]
+  in
+  List.iter
+    (fun s ->
+      match Fault.spec_of_string s with
+      | Error e -> Alcotest.fail e
+      | Ok spec ->
+          Alcotest.(check string)
+            (Printf.sprintf "roundtrip %s" s)
+            s
+            (Fault.spec_to_string spec))
+    specs;
+  (match Fault.specs_of_string "cable:0@1-2,churn:0.1:5" with
+  | Ok [ _; _ ] -> ()
+  | Ok _ -> Alcotest.fail "wrong arity"
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Fault.spec_of_string bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" bad)
+      | Error _ -> ())
+    [ "cable:x@1-2"; "node:1@5-2"; "partition@-1-2"; "flap:0:1"; "nonsense" ]
+
 let () =
   Alcotest.run "softstate_net"
     [
@@ -373,6 +796,8 @@ let () =
             test_gilbert_elliott_burstiness;
           Alcotest.test_case "controlled" `Quick test_loss_controlled;
           Alcotest.test_case "validation" `Quick test_loss_validation;
+          Alcotest.test_case "gilbert-elliott stationary combos" `Slow
+            test_gilbert_elliott_stationary_combos;
         ] );
       ("packet", [ Alcotest.test_case "make/map" `Quick test_packet_make ]);
       ( "link",
@@ -396,5 +821,32 @@ let () =
           Alcotest.test_case "fan out" `Quick test_channel_fan_out;
           Alcotest.test_case "unsubscribe" `Quick test_channel_unsubscribe;
           Alcotest.test_case "late join" `Quick test_channel_late_join;
+          Alcotest.test_case "unsubscribe in callback" `Quick
+            test_channel_unsubscribe_in_callback;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "star structure" `Quick test_topology_star_structure;
+          Alcotest.test_case "chain routing" `Quick test_topology_chain_routing;
+          Alcotest.test_case "kary tree structure" `Quick
+            test_topology_kary_tree_structure;
+          Alcotest.test_case "random graph connected" `Quick
+            test_topology_random_graph_connected;
+          Alcotest.test_case "unicast over chain" `Quick
+            test_transport_unicast_over_chain;
+          Alcotest.test_case "outbox reverse path" `Quick
+            test_transport_outbox_reverse_path;
+          Alcotest.test_case "fanout over tree" `Quick
+            test_transport_fanout_over_tree;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "link down/up" `Quick test_fault_link_down_up;
+          Alcotest.test_case "node crash/restart" `Quick
+            test_fault_node_crash_restart;
+          Alcotest.test_case "partition/heal" `Quick test_fault_partition_heal;
+          Alcotest.test_case "seeded schedule deterministic" `Quick
+            test_fault_schedule_deterministic;
+          Alcotest.test_case "spec roundtrip" `Quick test_fault_spec_roundtrip;
         ] );
     ]

@@ -994,6 +994,52 @@ let qcheck_namespace_model =
       ok_contents && Namespace.equal ns rebuilt)
 
 
+(* ------------------------------------------------------------------ *)
+(* SSTP over a multi-hop topology *)
+
+let test_session_over_chain_topology () =
+  let engine = Engine.create () in
+  let topo =
+    Net.Topology.chain ~engine ~rng:(Rng.create 31) ~rate_bps:64_000.0
+      ~loss:(fun () -> Net.Loss.bernoulli 0.1)
+      ~hops:3 ()
+  in
+  let s =
+    Session.create
+      ~transport:(Net.Topology.transport topo)
+      ~engine ~rng:(Rng.create 32)
+      ~config:(Session.default_config ~mu_total_bps:64_000.0)
+      ()
+  in
+  publish_tree s ~groups:4 ~items:5;
+  Engine.run ~until:120.0 engine;
+  Alcotest.(check bool) "converged across three lossy hops" true
+    (Session.converged s);
+  Alcotest.(check int) "receiver has all leaves" 20
+    (Namespace.leaf_count (Sstp.Receiver.namespace (Session.receiver s)))
+
+let test_group_over_tree_topology () =
+  let engine = Engine.create () in
+  let topo =
+    Net.Topology.kary_tree ~engine ~rng:(Rng.create 33) ~rate_bps:128_000.0
+      ~loss:(fun () -> Net.Loss.bernoulli 0.05)
+      ~arity:2 ~depth:2 ()
+  in
+  let config =
+    { (Sstp.Group.default_config ~mu_total_bps:128_000.0) with
+      Sstp.Group.summary_period = 0.5 }
+  in
+  let g =
+    Sstp.Group.create
+      ~transport:(Net.Topology.transport topo)
+      ~engine ~rng:(Rng.create 34) ~config ~members:6 ()
+  in
+  publish_group_store g 12;
+  Engine.run ~until:180.0 engine;
+  Alcotest.(check bool) "every member converged over the tree" true
+    (Sstp.Group.converged g);
+  check_close 0.0 "laggard too" 1.0 (Sstp.Group.min_consistency g)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -1103,6 +1149,13 @@ let () =
           Alcotest.test_case "heterogeneous losses" `Slow
             test_group_heterogeneous_losses;
           Alcotest.test_case "member bounds" `Quick test_group_member_bounds;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "session over chain" `Quick
+            test_session_over_chain_topology;
+          Alcotest.test_case "group over tree" `Quick
+            test_group_over_tree_topology;
         ] );
       ("properties", qsuite);
     ]
