@@ -1,0 +1,25 @@
+(* Fuzz smoke experiment: a bounded pass of the scenario fuzzer with a
+   date-pinned seed, timed, failing the harness on any oracle
+   violation. The CI fuzz-smoke job drives bin/fuzz_cli.exe directly
+   (for the JSONL failure artifact); this entry reproduces the same
+   pass from the bench harness and reports throughput. *)
+
+module Fuzz = Softstate_check.Fuzz
+module Scenario = Softstate_check.Scenario
+
+let seed = 20260807
+let count = 100
+
+let run () =
+  let t0 = Unix.gettimeofday () in
+  let stats = Fuzz.run ~seed ~count () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "fuzz-smoke: seed %d, %d scenarios, %d runs, %d failures in %.1f s\n"
+    seed stats.Fuzz.scenarios stats.Fuzz.runs
+    (List.length stats.Fuzz.failures) dt;
+  List.iter
+    (fun f ->
+      Printf.printf "  scenario %d failed, shrunk to: %s\n" f.Fuzz.index
+        (Scenario.to_string f.Fuzz.shrunk))
+    stats.Fuzz.failures;
+  if stats.Fuzz.failures <> [] then exit 1

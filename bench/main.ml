@@ -33,6 +33,7 @@ let experiments =
     ("sstp-continuum", "SSTP: the reliability continuum", Sstp_bench.continuum);
     ("sstp-group", "SSTP: multicast group scaling", Sstp_bench.group);
     ("obs-smoke", "Observability: traced-run throughput", Obs_smoke.run);
+    ("fuzz-smoke", "Scenario fuzzer: pinned-seed oracle pass", Fuzz_smoke.run);
     ("perf", "Performance suite: calendar + parallel sweep", Perf.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]

@@ -1,0 +1,158 @@
+(* Scenario fuzzer front end: generate seeded random end-to-end
+   simulations, check the invariant oracles, shrink any failure to a
+   minimal reproducer.
+
+     dune exec bin/fuzz_cli.exe -- --seed 1 --count 200
+     dune exec bin/fuzz_cli.exe -- --replay 'core seed=7 dur=50 ...'
+
+   Exits non-zero iff any oracle reported a violation. *)
+
+open Cmdliner
+
+module Check = Softstate_check
+module Scenario = Check.Scenario
+module Oracle = Check.Oracle
+module Fuzz = Check.Fuzz
+module Experiment = Softstate_core.Experiment
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~doc:"Fuzzer seed; fixes the whole scenario sequence.")
+
+let count_arg =
+  Arg.(
+    value & opt int 200 & info [ "count"; "n" ] ~doc:"Scenarios to generate.")
+
+let max_shrink_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "max-shrink" ]
+        ~doc:"Candidate executions the shrinker may spend per failure.")
+
+let oracle_arg =
+  let doc =
+    Printf.sprintf
+      "Comma-separated oracles to run (default: all). Available: %s."
+      (String.concat ", " Oracle.names)
+  in
+  Arg.(value & opt string "" & info [ "oracle" ] ~doc)
+
+let log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:"Append one JSON line per failure to $(docv).")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"SCENARIO"
+        ~doc:
+          "Run a single scenario given in Scenario.to_string form (as \
+           printed in reproducers) instead of fuzzing.")
+
+let inject_bug_arg =
+  Arg.(
+    value & flag
+    & info [ "inject-bug" ]
+        ~doc:
+          "Mutation smoke test: corrupt every outcome's delivered-packet \
+           counter before the oracles see it. The conservation oracle must \
+           catch and shrink it; the run still exits non-zero.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ] ~doc:"Print a dot per scenario to stderr.")
+
+(* The planted bug: claim a few more deliveries than were sent, the
+   exact class of accounting error the conservation oracle exists to
+   catch. *)
+let corrupt_delivered outcome =
+  match outcome.Scenario.payload with
+  | Scenario.Core_result r ->
+      { outcome with
+        Scenario.payload =
+          Scenario.Core_result
+            { r with
+              Experiment.packets_delivered =
+                r.Experiment.packets_delivered + 100 } }
+  | Scenario.Sstp_result _ -> outcome
+
+let parse_oracles s =
+  if s = "" then []
+  else List.filter (fun x -> x <> "") (String.split_on_char ',' s)
+
+let run seed count max_shrink oracle log replay inject_bug progress =
+  let oracles = parse_oracles oracle in
+  let corrupt = if inject_bug then Some corrupt_delivered else None in
+  match replay with
+  | Some spec -> (
+      match Scenario.of_string spec with
+      | Error e ->
+          Printf.eprintf "bad scenario: %s\n" e;
+          2
+      | Ok scenario -> (
+          match Fuzz.check_scenario ?corrupt ~oracles scenario with
+          | [] ->
+              print_endline "ok: all oracles passed";
+              0
+          | vs ->
+              List.iter
+                (fun v ->
+                  Printf.printf "%-12s %s\n" v.Oracle.oracle v.Oracle.message)
+                vs;
+              1))
+  | None ->
+      let log_chan = Option.map open_out log in
+      let log_fn =
+        Option.map
+          (fun oc line ->
+            output_string oc line;
+            flush oc)
+          log_chan
+      in
+      let on_progress =
+        if progress then
+          Some
+            (fun i ->
+              prerr_char '.';
+              if (i + 1) mod 50 = 0 then Printf.eprintf " %d\n" (i + 1);
+              flush stderr)
+        else None
+      in
+      let stats =
+        Fuzz.run ?corrupt ~oracles ~max_shrink ?log:log_fn ?on_progress ~seed
+          ~count ()
+      in
+      Option.iter close_out log_chan;
+      Printf.printf "%d scenarios, %d runs, %d failures\n"
+        stats.Fuzz.scenarios stats.Fuzz.runs
+        (List.length stats.Fuzz.failures);
+      List.iter
+        (fun f ->
+          Printf.printf "\nscenario %d failed:\n" f.Fuzz.index;
+          List.iter
+            (fun v ->
+              Printf.printf "  %-12s %s\n" v.Oracle.oracle v.Oracle.message)
+            f.Fuzz.violations;
+          Printf.printf "  shrunk (%d runs): %s\n" f.Fuzz.shrink_runs
+            (Scenario.to_string f.Fuzz.shrunk);
+          Printf.printf "  reproduce with:\n";
+          String.split_on_char '\n' (Fuzz.reproducer f)
+          |> List.iter (Printf.printf "    %s\n"))
+        stats.Fuzz.failures;
+      if stats.Fuzz.failures = [] then 0 else 1
+
+let cmd =
+  let doc = "fuzz the soft-state simulator with invariant oracles" in
+  let info = Cmd.info "softstate-fuzz" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ seed_arg $ count_arg $ max_shrink_arg $ oracle_arg
+      $ log_arg $ replay_arg $ inject_bug_arg $ progress_arg)
+
+let () = exit (Cmd.eval' cmd)

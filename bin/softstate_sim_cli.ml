@@ -33,7 +33,46 @@ let seed_arg = int_arg [ "seed" ] 1 "PRNG seed; equal seeds reproduce runs."
 let duration_arg = float_arg [ "duration"; "d" ] 5000.0 "Simulated seconds."
 let lambda_arg = float_arg [ "lambda" ] 15.0 "Table update rate, kb/s."
 let size_arg = int_arg [ "size-bits" ] 1000 "Announcement size, bits."
-let loss_arg = float_arg [ "loss"; "l" ] 0.1 "Channel loss probability."
+let loss_arg =
+  let doc =
+    "Channel loss process: a bare probability P (Bernoulli), or \
+     ge:PGB:PBG:LG:LB for a Gilbert-Elliott chain with good-to-bad / \
+     bad-to-good transition probabilities and per-state loss rates."
+  in
+  let parse s =
+    match float_of_string_opt s with
+    | Some p -> Ok (E.Bernoulli p)
+    | None -> (
+        match String.split_on_char ':' s with
+        | [ "ge"; a; b; c; d ] -> (
+            match
+              ( float_of_string_opt a, float_of_string_opt b,
+                float_of_string_opt c, float_of_string_opt d )
+            with
+            | Some p_good_to_bad, Some p_bad_to_good, Some loss_good,
+              Some loss_bad ->
+                Ok
+                  (E.Gilbert_elliott
+                     { p_good_to_bad; p_bad_to_good; loss_good; loss_bad })
+            | _ -> Error (`Msg ("bad gilbert-elliott numbers in " ^ s)))
+        | _ -> Error (`Msg "expected a probability or ge:PGB:PBG:LG:LB"))
+  in
+  let print fmt = function
+    | E.Bernoulli p -> Format.fprintf fmt "%g" p
+    | E.Gilbert_elliott { p_good_to_bad; p_bad_to_good; loss_good; loss_bad }
+      ->
+        Format.fprintf fmt "ge:%g:%g:%g:%g" p_good_to_bad p_bad_to_good
+          loss_good loss_bad
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (E.Bernoulli 0.1)
+    & info [ "loss"; "l" ] ~doc)
+
+let update_fraction_arg =
+  float_arg [ "update-fraction" ] 0.0
+    "Fraction of arrivals that update an existing record instead of \
+     creating a new one."
 let mu_data_arg = float_arg [ "mu-data" ] 45.0 "Open-loop data rate, kb/s."
 let mu_hot_arg = float_arg [ "mu-hot" ] 20.0 "Hot queue rate, kb/s."
 let mu_cold_arg = float_arg [ "mu-cold" ] 25.0 "Cold queue rate, kb/s."
@@ -163,9 +202,9 @@ let jobs_arg =
     "Domains to fan replications across (0 = all recommended). The \
      summary is identical for every job count."
 
-let run protocol seed duration lambda size_bits loss mu_data mu_hot mu_cold
-    mu_fb nack_bits receivers topology faults death sched replications jobs
-    trace_file metrics_file report =
+let run protocol seed duration lambda size_bits loss update_fraction mu_data
+    mu_hot mu_cold mu_fb nack_bits receivers topology faults death sched
+    replications jobs trace_file metrics_file report =
   let protocol =
     match protocol with
     | `Open_loop -> E.Open_loop { mu_data_kbps = mu_data }
@@ -184,7 +223,7 @@ let run protocol seed duration lambda size_bits loss mu_data mu_hot mu_cold
   let config =
     { E.seed; duration; lambda_kbps = lambda; size_bits; death;
       expiry = Base.No_expiry;
-      update_fraction = 0.0; loss = E.Bernoulli loss; protocol;
+      update_fraction; loss; protocol;
       topology; faults; sched;
       empty_policy = Consistency.Empty_is_consistent; record_series = false;
       obs = obs.Obs_cli.obs }
@@ -250,7 +289,8 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ protocol_arg $ seed_arg $ duration_arg $ lambda_arg
-      $ size_arg $ loss_arg $ mu_data_arg $ mu_hot_arg $ mu_cold_arg
+      $ size_arg $ loss_arg $ update_fraction_arg $ mu_data_arg $ mu_hot_arg
+      $ mu_cold_arg
       $ mu_fb_arg $ nack_arg $ receivers_arg $ topology_arg $ faults_arg
       $ death_arg $ sched_arg $ replications_arg
       $ jobs_arg $ Obs_cli.trace_arg $ Obs_cli.metrics_arg

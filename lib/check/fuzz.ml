@@ -1,0 +1,95 @@
+module Rng = Softstate_util.Rng
+module Json = Softstate_obs.Json
+
+type failure = {
+  index : int;
+  scenario : Scenario.t;
+  violations : Oracle.violation list;
+  shrunk : Scenario.t;
+  shrunk_violations : Oracle.violation list;
+  shrink_runs : int;
+}
+
+type stats = {
+  scenarios : int;
+  runs : int;
+  failures : failure list;
+}
+
+let scenario_seeds ~seed ~count =
+  let chain = Rng.create seed in
+  Array.init count (fun _ ->
+      Int64.to_int (Int64.shift_right_logical (Rng.bits64 chain) 1))
+
+let id x = x
+
+let oracle_battery ?(corrupt = id) names =
+  let rerun s = corrupt (Scenario.run s) in
+  match Oracle.select ~rerun names with
+  | Ok oracles -> (rerun, oracles)
+  | Error e -> invalid_arg ("Fuzz: " ^ e)
+
+let check_scenario ?corrupt ?(oracles = []) scenario =
+  let rerun, battery = oracle_battery ?corrupt oracles in
+  Oracle.check battery (rerun scenario)
+
+let reproducer f =
+  let replay =
+    Printf.sprintf "softstate_fuzz --replay '%s'"
+      (Scenario.to_string f.shrunk)
+  in
+  match Scenario.to_cli f.shrunk with
+  | Some cli -> replay ^ "\n" ^ cli
+  | None -> replay
+
+let violations_json vs =
+  Json.list
+    (List.map
+       (fun v ->
+         Json.obj
+           [ ("oracle", Json.string v.Oracle.oracle);
+             ("message", Json.string v.Oracle.message) ])
+       vs)
+
+let failure_to_json f =
+  Json.obj
+    [ ("index", Json.int f.index);
+      ("scenario", Json.string (Scenario.to_string f.scenario));
+      ("violations", violations_json f.violations);
+      ("shrunk", Json.string (Scenario.to_string f.shrunk));
+      ("shrunk_violations", violations_json f.shrunk_violations);
+      ("shrink_runs", Json.int f.shrink_runs);
+      ("reproducer", Json.string (reproducer f)) ]
+
+let run ?corrupt ?(oracles = []) ?(max_shrink = 200) ?log ?on_progress ~seed
+    ~count () =
+  let rerun, battery = oracle_battery ?corrupt oracles in
+  let seeds = scenario_seeds ~seed ~count in
+  let runs = ref 0 in
+  let failures = ref [] in
+  Array.iteri
+    (fun index scenario_seed ->
+      let scenario = Scenario.generate (Rng.create scenario_seed) in
+      incr runs;
+      let violations = Oracle.check battery (rerun scenario) in
+      (match violations with
+      | [] -> ()
+      | violations ->
+          let fails s =
+            incr runs;
+            Oracle.check battery (rerun s) <> []
+          in
+          let shrunk, shrink_runs =
+            Shrink.shrink ~fails ~max_runs:max_shrink scenario
+          in
+          incr runs;
+          let shrunk_violations = Oracle.check battery (rerun shrunk) in
+          let failure =
+            { index; scenario; violations; shrunk; shrunk_violations;
+              shrink_runs }
+          in
+          failures := failure :: !failures;
+          Option.iter (fun f -> f (failure_to_json failure ^ "\n")) log);
+      Option.iter (fun f -> f index) on_progress)
+    seeds;
+  { scenarios = count; runs = !runs; failures = List.rev !failures }

@@ -1,0 +1,62 @@
+(** The fuzzing loop: generate scenarios from a seed chain, run them,
+    check every oracle, and shrink failures to minimal reproducers.
+
+    Deterministic end to end: the [seed] fixes the scenario sequence,
+    each scenario fixes its own run, and shrinking is a pure function
+    of the failing scenario — so a failure report is reproducible from
+    the fuzzer command line alone. *)
+
+type failure = {
+  index : int;                       (** position in the seed chain *)
+  scenario : Scenario.t;
+  violations : Oracle.violation list;
+  shrunk : Scenario.t;               (** locally minimal failing form *)
+  shrunk_violations : Oracle.violation list;
+  shrink_runs : int;                 (** candidate executions spent *)
+}
+
+type stats = {
+  scenarios : int;  (** scenarios generated and checked *)
+  runs : int;       (** total executions, including shrinking *)
+  failures : failure list;  (** chronological *)
+}
+
+val scenario_seeds : seed:int -> count:int -> int array
+(** The per-scenario generator seeds derived from the fuzzer seed —
+    a pure function, so scenario [i] can be regenerated standalone. *)
+
+val run :
+  ?corrupt:(Scenario.outcome -> Scenario.outcome) ->
+  ?oracles:string list ->
+  ?max_shrink:int ->
+  ?log:(string -> unit) ->
+  ?on_progress:(int -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  stats
+(** [run ~seed ~count ()] fuzzes [count] scenarios.
+
+    [corrupt] post-processes every outcome before the oracles see it
+    (also during shrinking) — the mutation hook used to smoke-test
+    that the oracles actually catch planted bugs. [oracles] filters by
+    name ([[]] = all, including replay); raises [Invalid_argument] on
+    an unknown name. [max_shrink] bounds candidate executions per
+    failure (default 200). [log] receives one JSON line per failure.
+    [on_progress] is called with each completed scenario index. *)
+
+val check_scenario :
+  ?corrupt:(Scenario.outcome -> Scenario.outcome) ->
+  ?oracles:string list ->
+  Scenario.t ->
+  Oracle.violation list
+(** Run one scenario through the oracle battery ([--replay]). *)
+
+val reproducer : failure -> string
+(** Human-readable reproduction instructions: the shrunk scenario in
+    {!Scenario.to_string} form for [--replay], plus an equivalent
+    [softstate_sim_cli] invocation when one exists. *)
+
+val failure_to_json : failure -> string
+(** One-line JSON object (index, scenario, violations, shrunk form,
+    reproducer). *)

@@ -1,0 +1,394 @@
+module Experiment = Softstate_core.Experiment
+module Trace = Softstate_obs.Trace
+module Metrics = Softstate_obs.Metrics
+
+type violation = { oracle : string; message : string }
+
+type t = { name : string; check : Scenario.outcome -> violation list }
+
+let v oracle fmt = Printf.ksprintf (fun message -> { oracle; message }) fmt
+
+let eps = 1e-9
+
+let in_unit x = x >= -.eps && x <= 1.0 +. eps
+
+(* ------------------------------------------------------------------ *)
+(* conservation *)
+
+(* Upper bound on servers that can hold an in-flight packet at the
+   horizon: head data link + feedback channel, plus two directed edge
+   pipes per cable in topology mode (random graphs can reach the
+   complete graph). *)
+let server_bound = function
+  | Scenario.Sstp _ -> 2
+  | Scenario.Core c -> (
+      match c.Experiment.topology with
+      | Experiment.Single_hop -> 2
+      | Experiment.Star { leaves } -> 2 + (2 * leaves)
+      | Experiment.Chain { hops } -> 2 + (2 * hops)
+      | Experiment.Kary_tree { arity; depth } ->
+          let nodes = ref 1 and layer = ref 1 in
+          for _ = 1 to depth do
+            layer := !layer * arity;
+            nodes := !nodes + !layer
+          done;
+          2 + (2 * (!nodes - 1))
+      | Experiment.Random_graph { nodes; _ } -> 2 + (nodes * (nodes - 1)))
+
+let metric_num outcome name =
+  match List.assoc_opt name outcome.Scenario.metrics with
+  | Some (Metrics.Float x) -> Some x
+  | Some (Metrics.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let substrate_checks outcome =
+  (* the 8 substrate probes a topology registers under its label
+     (Experiment uses the default, "topo") *)
+  let get n = metric_num outcome ("topo." ^ n) in
+  match
+    ( get "injected", get "blackholed_inject", get "blackholed_deliver",
+      get "overflowed", get "queued", get "edge_sent", get "edge_delivered",
+      get "edge_dropped" )
+  with
+  | Some inj, Some bhi, Some bhd, Some ovf, Some que, Some snt, Some dlv,
+    Some drp ->
+      let bad = ref [] in
+      let slack = inj -. bhi -. ovf -. que -. snt in
+      if Float.abs slack > 0.5 then
+        bad :=
+          v "conservation"
+            "substrate identity broken: injected=%g but blackholed_inject=%g \
+             + overflowed=%g + queued=%g + edge_sent=%g (slack %g)"
+            inj bhi ovf que snt slack
+          :: !bad;
+      let serving = snt -. dlv -. drp in
+      if serving < -0.5 then
+        bad :=
+          v "conservation"
+            "edge pipes completed more packets than they fetched: \
+             edge_sent=%g edge_delivered=%g edge_dropped=%g"
+            snt dlv drp
+          :: !bad;
+      if bhd > dlv +. 0.5 then
+        bad :=
+          v "conservation"
+            "more packets blackholed on delivery (%g) than delivered by edge \
+             pipes (%g)" bhd dlv
+          :: !bad;
+      List.rev !bad
+  | _ -> []
+
+(* Per-source trace identity: a [Packet_sent] at a link is a service
+   completion, immediately followed by the loss decision, so sources
+   that emit sends must balance exactly. Blackhole drops are tagged
+   [detail = "fault"] and belong to [fault_drops], not the loss
+   processes, so they are excluded; the single-hop multicast channel
+   offers every send to each subscriber, hence the multiplier. *)
+let trace_checks outcome =
+  if outcome.Scenario.events_dropped > 0 then []
+  else begin
+    let mult_for src =
+      match outcome.Scenario.scenario with
+      | Scenario.Core
+          { Experiment.protocol = Experiment.Multicast { receivers; _ };
+            topology = Experiment.Single_hop;
+            _ }
+        when String.equal src "multicast.data" ->
+          receivers
+      | _ -> 1
+    in
+    let tbl : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+    let bump src i =
+      let c =
+        match Hashtbl.find_opt tbl src with
+        | Some c -> c
+        | None ->
+            let c = [| 0; 0; 0 |] in
+            Hashtbl.add tbl src c;
+            c
+      in
+      c.(i) <- c.(i) + 1
+    in
+    List.iter
+      (fun ev ->
+        match ev.Trace.kind with
+        | Trace.Packet_sent -> bump ev.Trace.src 0
+        | Trace.Packet_delivered -> bump ev.Trace.src 1
+        | Trace.Packet_dropped when not (String.equal ev.Trace.detail "fault")
+          ->
+            bump ev.Trace.src 2
+        | _ -> ())
+      outcome.Scenario.events;
+    Hashtbl.fold
+      (fun src c acc ->
+        if c.(0) = 0 then acc
+        else
+          let expect = c.(0) * mult_for src in
+          if expect <> c.(1) + c.(2) then
+            v "conservation"
+              "trace imbalance at %s: %d sent (x%d offers) but %d delivered \
+               + %d dropped"
+              src c.(0) (mult_for src) c.(1) c.(2)
+            :: acc
+          else acc)
+      tbl []
+  end
+
+let conservation outcome =
+  let triple =
+    match outcome.Scenario.payload with
+    | Scenario.Sstp_result _ -> []
+    | Scenario.Core_result r ->
+        let slack =
+          r.Experiment.packets_sent - r.Experiment.packets_delivered
+          - r.Experiment.packets_dropped
+        in
+        let bound = server_bound outcome.Scenario.scenario in
+        if
+          r.Experiment.packets_sent < 0 || r.Experiment.packets_delivered < 0
+          || r.Experiment.packets_dropped < 0
+        then
+          [ v "conservation" "negative packet counter: sent=%d delivered=%d \
+                              dropped=%d"
+              r.Experiment.packets_sent r.Experiment.packets_delivered
+              r.Experiment.packets_dropped ]
+        else if slack < 0 then
+          [ v "conservation"
+              "more packets completed than were sent: sent=%d delivered=%d \
+               dropped=%d (slack %d)"
+              r.Experiment.packets_sent r.Experiment.packets_delivered
+              r.Experiment.packets_dropped slack ]
+        else if slack > bound then
+          [ v "conservation"
+              "%d packets unaccounted for (max %d can be in service): \
+               sent=%d delivered=%d dropped=%d"
+              slack bound r.Experiment.packets_sent
+              r.Experiment.packets_delivered r.Experiment.packets_dropped ]
+        else []
+  in
+  triple @ substrate_checks outcome @ trace_checks outcome
+
+(* ------------------------------------------------------------------ *)
+(* clock *)
+
+let clock outcome =
+  let bad = ref [] in
+  let last = ref neg_infinity in
+  let horizon = outcome.Scenario.horizon in
+  List.iter
+    (fun ev ->
+      let t = ev.Trace.time in
+      if t < !last -. eps then
+        bad :=
+          v "clock" "time ran backwards at %s: %g after %g" ev.Trace.src t
+            !last
+          :: !bad;
+      if t < -.eps || t > horizon +. 1e-6 then
+        bad :=
+          v "clock" "event at %s outside [0, %g]: t=%g" ev.Trace.src horizon t
+          :: !bad;
+      last := Float.max !last t)
+    outcome.Scenario.events;
+  List.rev !bad
+
+(* ------------------------------------------------------------------ *)
+(* consistency *)
+
+let consistency outcome =
+  let bad = ref [] in
+  let unit_check what x =
+    (* nan is an instant violation too: none of these quantities is
+       allowed to be undefined at the end of a run *)
+    if not (in_unit x) then
+      bad := v "consistency" "%s = %g outside [0, 1]" what x :: !bad
+  in
+  (match outcome.Scenario.payload with
+  | Scenario.Core_result r ->
+      unit_check "avg_consistency" r.Experiment.avg_consistency;
+      unit_check "final_consistency" r.Experiment.final_consistency;
+      let last = ref neg_infinity in
+      List.iter
+        (fun (t, c) ->
+          if t < !last -. eps then
+            bad :=
+              v "consistency" "series time ran backwards: %g after %g" t !last
+              :: !bad;
+          last := Float.max !last t;
+          if t < -.eps || t > outcome.Scenario.horizon +. 1e-6 then
+            bad := v "consistency" "series sample at t=%g outside run" t :: !bad;
+          unit_check "series value" c)
+        r.Experiment.series
+  | Scenario.Sstp_result r ->
+      unit_check "consistency" r.Scenario.consistency;
+      unit_check "avg_consistency" r.Scenario.avg_consistency);
+  List.rev !bad
+
+(* ------------------------------------------------------------------ *)
+(* counters *)
+
+let counters outcome =
+  let bad = ref [] in
+  let nonneg what x =
+    if x < 0 then bad := v "counters" "%s = %d is negative" what x :: !bad
+  in
+  (match outcome.Scenario.payload with
+  | Scenario.Core_result r ->
+      List.iter
+        (fun (what, x) -> nonneg what x)
+        [ ("sent_hot", r.Experiment.sent_hot);
+          ("sent_cold", r.Experiment.sent_cold);
+          ("nacks_wanted", r.Experiment.nacks_wanted);
+          ("nacks_sent", r.Experiment.nacks_sent);
+          ("nacks_suppressed", r.Experiment.nacks_suppressed);
+          ("nacks_delivered", r.Experiment.nacks_delivered);
+          ("nack_overflows", r.Experiment.nack_overflows);
+          ("reheats", r.Experiment.reheats);
+          ("deliveries", r.Experiment.deliveries);
+          ("transmissions", r.Experiment.transmissions);
+          ("false_expiries", r.Experiment.false_expiries);
+          ("stale_purged", r.Experiment.stale_purged);
+          ("live_at_end", r.Experiment.live_at_end);
+          ("fault_transitions", r.Experiment.fault_transitions);
+          ("fault_drops", r.Experiment.fault_drops) ];
+      if r.Experiment.nacks_delivered > r.Experiment.nacks_sent then
+        bad :=
+          v "counters" "nacks_delivered %d > nacks_sent %d"
+            r.Experiment.nacks_delivered r.Experiment.nacks_sent
+          :: !bad;
+      if r.Experiment.nacks_sent > r.Experiment.nacks_wanted then
+        bad :=
+          v "counters" "nacks_sent %d > nacks_wanted %d"
+            r.Experiment.nacks_sent r.Experiment.nacks_wanted
+          :: !bad;
+      if r.Experiment.nacks_suppressed > r.Experiment.nacks_wanted then
+        bad :=
+          v "counters" "nacks_suppressed %d > nacks_wanted %d"
+            r.Experiment.nacks_suppressed r.Experiment.nacks_wanted
+          :: !bad;
+      if not (in_unit r.Experiment.utilisation) then
+        bad :=
+          v "counters" "utilisation %g outside [0, 1]"
+            r.Experiment.utilisation
+          :: !bad;
+      let receivers =
+        match outcome.Scenario.scenario with
+        | Scenario.Core
+            { Experiment.protocol = Experiment.Multicast { receivers; _ }; _ }
+          ->
+            receivers
+        | _ -> 1
+      in
+      if r.Experiment.deliveries > r.Experiment.transmissions * receivers then
+        bad :=
+          v "counters" "first deliveries %d > transmissions %d x %d receivers"
+            r.Experiment.deliveries r.Experiment.transmissions receivers
+          :: !bad;
+      (match outcome.Scenario.scenario with
+      | Scenario.Core { Experiment.topology = Experiment.Single_hop; _ } ->
+          if r.Experiment.fault_transitions <> 0 || r.Experiment.fault_drops <> 0
+          then
+            bad :=
+              v "counters"
+                "single-hop run reports fault activity: transitions=%d drops=%d"
+                r.Experiment.fault_transitions r.Experiment.fault_drops
+              :: !bad
+      | _ -> ())
+  | Scenario.Sstp_result r ->
+      nonneg "data_packets" r.Scenario.data_packets;
+      nonneg "feedback_packets" r.Scenario.feedback_packets;
+      if not (in_unit r.Scenario.link_utilisation) then
+        bad :=
+          v "counters" "link_utilisation %g outside [0, 1]"
+            r.Scenario.link_utilisation
+          :: !bad);
+  List.rev !bad
+
+(* ------------------------------------------------------------------ *)
+(* convergence *)
+
+let convergence outcome =
+  match outcome.Scenario.payload with
+  | Scenario.Core_result _ -> []
+  | Scenario.Sstp_result r -> (
+      match r.Scenario.converged_after with
+      | Some t when t <= outcome.Scenario.horizon +. eps -> []
+      | Some t ->
+          [ v "convergence" "claimed convergence at %g beyond horizon %g" t
+              outcome.Scenario.horizon ]
+      | None ->
+          [ v "convergence"
+              "session never converged (roots %s vs %s after %g s of grace)"
+              r.Scenario.sender_root r.Scenario.receiver_root
+              outcome.Scenario.horizon ])
+
+(* ------------------------------------------------------------------ *)
+(* replay / jobs (need a runner) *)
+
+let replay rerun outcome =
+  let again = rerun outcome.Scenario.scenario in
+  if Stdlib.compare outcome again = 0 then []
+  else
+    let part =
+      if Stdlib.compare outcome.Scenario.payload again.Scenario.payload <> 0
+      then "results differ"
+      else if
+        Stdlib.compare outcome.Scenario.events again.Scenario.events <> 0
+      then
+        Printf.sprintf "traces differ (%d vs %d events)"
+          (List.length outcome.Scenario.events)
+          (List.length again.Scenario.events)
+      else if
+        Stdlib.compare outcome.Scenario.metrics again.Scenario.metrics <> 0
+      then "metrics differ"
+      else "outcomes differ"
+    in
+    [ v "replay" "re-running the same scenario diverged: %s" part ]
+
+(* run_many must be jobs-invariant; keep it to short scenarios, it
+   costs four extra runs *)
+let jobs_horizon = 60.0
+
+let jobs outcome =
+  match outcome.Scenario.scenario with
+  | Scenario.Core c when c.Experiment.duration <= jobs_horizon ->
+      let c = { c with Experiment.obs = None; record_series = false } in
+      let s1, r1 = Experiment.run_many ~jobs:1 ~replications:2 c in
+      let s2, r2 = Experiment.run_many ~jobs:2 ~replications:2 c in
+      if Stdlib.compare (s1, r1) (s2, r2) = 0 then []
+      else [ v "jobs" "run_many differs between jobs:1 and jobs:2" ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+
+let names =
+  [ "conservation"; "clock"; "consistency"; "counters"; "convergence";
+    "replay"; "jobs" ]
+
+let all ?rerun () =
+  [ { name = "conservation"; check = conservation };
+    { name = "clock"; check = clock };
+    { name = "consistency"; check = consistency };
+    { name = "counters"; check = counters };
+    { name = "convergence"; check = convergence } ]
+  @ (match rerun with
+    | None -> []
+    | Some rerun -> [ { name = "replay"; check = replay rerun } ])
+  @ [ { name = "jobs"; check = jobs } ]
+
+let select ?rerun wanted =
+  match wanted with
+  | [] -> Ok (all ?rerun ())
+  | wanted -> (
+      match List.find_opt (fun w -> not (List.mem w names)) wanted with
+      | Some bad ->
+          Error
+            (Printf.sprintf "unknown oracle %S (have: %s)" bad
+               (String.concat ", " names))
+      | None ->
+          Ok
+            (List.filter
+               (fun o -> List.mem o.name wanted)
+               (all ?rerun ())))
+
+let check oracles outcome =
+  List.concat_map (fun o -> o.check outcome) oracles

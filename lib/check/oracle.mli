@@ -1,0 +1,52 @@
+(** Invariant oracles over fuzzer scenario outcomes.
+
+    Each oracle inspects one {!Scenario.outcome} and returns the
+    invariant violations it found (empty list = clean). The catalogue:
+
+    - [conservation] — packets are conserved everywhere we can count
+      them: the result triple satisfies
+      [0 <= sent - delivered - dropped <= #servers]; in topology mode
+      the substrate probes satisfy the exact queueing identity
+      [injected = blackholed + overflowed + queued + entered-service];
+      and per trace source, every [Packet_sent] is matched by exactly
+      one [Packet_dropped]/[Packet_delivered] (times the subscriber
+      count for the single-hop multicast channel, and excluding
+      blackhole drops tagged [detail="fault"]).
+    - [clock] — trace timestamps are non-decreasing (the engine never
+      runs backwards) and stay within [\[0, horizon\]].
+    - [consistency] — c(t) readings are probabilities: the average,
+      final and series values all lie in [\[0, 1\]], and the recorded
+      series is monotone in time.
+    - [counters] — cross-field sanity: NACK counters form a funnel
+      (delivered <= sent <= wanted, suppressed <= wanted), utilisation
+      is a fraction, single-hop runs report zero fault activity, and
+      first deliveries never exceed transmissions x receivers.
+    - [convergence] — an SSTP session over moderate loss reaches
+      digest agreement within the grace window {!Scenario.run} allows.
+    - [replay] — re-running the same scenario yields a structurally
+      identical outcome (bit-identical determinism).
+    - [jobs] — [Experiment.run_many] summaries are identical for
+      [jobs:1] and [jobs:2] (only checked for short scenarios).
+
+    [replay] and [jobs] re-execute scenarios, so they are only
+    included when {!all} / {!select} are given the [rerun] runner
+    (the fuzzer passes its own, which applies the same corruption
+    hook under mutation testing). *)
+
+type violation = { oracle : string; message : string }
+
+type t = { name : string; check : Scenario.outcome -> violation list }
+
+val names : string list
+(** Every oracle name, in catalogue order. *)
+
+val all : ?rerun:(Scenario.t -> Scenario.outcome) -> unit -> t list
+
+val select :
+  ?rerun:(Scenario.t -> Scenario.outcome) ->
+  string list ->
+  (t list, string) result
+(** Filter by name; [[]] selects everything. Unknown names error. *)
+
+val check : t list -> Scenario.outcome -> violation list
+(** Run every oracle, concatenating violations in catalogue order. *)

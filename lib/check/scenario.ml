@@ -1,0 +1,669 @@
+module Engine = Softstate_sim.Engine
+module Rng = Softstate_util.Rng
+module Net = Softstate_net
+module Sched = Softstate_sched.Scheduler
+module Experiment = Softstate_core.Experiment
+module Base = Softstate_core.Base
+module Consistency = Softstate_core.Consistency
+module Obs = Softstate_obs.Obs
+module Trace = Softstate_obs.Trace
+module Metrics = Softstate_obs.Metrics
+module Session = Sstp.Session
+
+type sstp = {
+  s_seed : int;
+  mu_total_kbps : float;
+  s_loss : Experiment.loss_spec;
+  publishes : int;
+  publish_window : float;
+  removes : int;
+  s_duration : float;
+  summary_period : float;
+}
+
+type t =
+  | Core of Experiment.config
+  | Sstp of sstp
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
+
+let choice rng arr = arr.(Rng.int rng (Array.length arr))
+let range rng lo hi = lo +. (Rng.float rng *. (hi -. lo))
+
+(* Fault windows print through Fault.spec_to_string's %g, so keep
+   their floats on a coarse grid that %g reproduces exactly. *)
+let q2 x = Float.of_int (int_of_float ((x *. 100.0) +. 0.5)) /. 100.0
+let q4 x = Float.of_int (int_of_float ((x *. 10000.0) +. 0.5)) /. 10000.0
+
+(* Conservative element counts per topology kind: [cables] is a lower
+   bound (random graphs may have more), [nodes] is exact. *)
+let topo_bounds = function
+  | Experiment.Single_hop -> (0, 2)
+  | Experiment.Star { leaves } -> (leaves, leaves + 1)
+  | Experiment.Chain { hops } -> (hops, hops + 1)
+  | Experiment.Kary_tree { arity; depth } ->
+      let nodes = ref 1 and layer = ref 1 in
+      for _ = 1 to depth do
+        layer := !layer * arity;
+        nodes := !nodes + !layer
+      done;
+      (!nodes - 1, !nodes)
+  | Experiment.Random_graph { nodes; _ } -> (nodes - 1, nodes)
+
+let gen_fault rng ~cables ~nodes ~duration =
+  let window () =
+    let from_ = q2 (range rng 0.0 (duration *. 0.5)) in
+    let till = q2 (from_ +. range rng 1.0 (duration *. 0.4)) in
+    (from_, till)
+  in
+  match Rng.int rng 5 with
+  | 0 ->
+      let from_, till = window () in
+      Net.Fault.Cable_window { cable = Rng.int rng cables; from_; till }
+  | 1 ->
+      (* spare node 0: crashing the source for a window is legal but
+         makes almost every oracle vacuous *)
+      let from_, till = window () in
+      Net.Fault.Node_window { node = 1 + Rng.int rng (nodes - 1); from_; till }
+  | 2 ->
+      let from_, till = window () in
+      Net.Fault.Partition_window { from_; till }
+  | 3 ->
+      Net.Fault.Flap_process
+        { rate_per_s = q4 (range rng 0.005 0.05);
+          mean_downtime = q2 (range rng 1.0 10.0) }
+  | _ ->
+      Net.Fault.Churn_process
+        { rate_per_s = q4 (range rng 0.005 0.05);
+          mean_downtime = q2 (range rng 1.0 10.0) }
+
+let gen_core rng =
+  let duration = choice rng [| 50.0; 100.0; 200.0; 400.0 |] in
+  let mu_hot = range rng 10.0 50.0 in
+  let mu_cold = range rng 5.0 25.0 in
+  let mu_fb = range rng 2.0 12.0 in
+  let nack_bits = choice rng [| 100; 500; 1000 |] in
+  let receivers = 2 + Rng.int rng 7 in
+  let protocol =
+    match Rng.int rng 4 with
+    | 0 -> Experiment.Open_loop { mu_data_kbps = mu_hot +. mu_cold }
+    | 1 -> Experiment.Two_queue { mu_hot_kbps = mu_hot; mu_cold_kbps = mu_cold }
+    | 2 ->
+        Experiment.Feedback
+          { mu_hot_kbps = mu_hot; mu_cold_kbps = mu_cold; mu_fb_kbps = mu_fb;
+            nack_bits; fb_lossy = Rng.bool rng }
+    | _ ->
+        Experiment.Multicast
+          { receivers; mu_hot_kbps = mu_hot; mu_cold_kbps = mu_cold;
+            mu_fb_kbps = mu_fb; nack_bits; suppression = Rng.bool rng;
+            nack_slot = range rng 0.01 0.5 }
+  in
+  let topology =
+    match Rng.int rng 5 with
+    | 0 -> Experiment.Single_hop
+    | 1 -> Experiment.Star { leaves = 2 + Rng.int rng 5 }
+    | 2 -> Experiment.Chain { hops = 2 + Rng.int rng 4 }
+    | 3 -> Experiment.Kary_tree { arity = 2 + Rng.int rng 2; depth = 2 }
+    | _ ->
+        Experiment.Random_graph
+          { nodes = 4 + Rng.int rng 5;
+            edge_prob = q2 (range rng 0.3 0.8) }
+  in
+  let faults =
+    match topology with
+    | Experiment.Single_hop -> []
+    | _ ->
+        let cables, nodes = topo_bounds topology in
+        let n =
+          match Rng.int rng 10 with 0 | 1 | 2 -> 0 | 3 | 4 | 5 | 6 | 7 -> 1 | _ -> 2
+        in
+        List.init n (fun _ -> gen_fault rng ~cables ~nodes ~duration)
+  in
+  let loss =
+    if Rng.bool rng then Experiment.Bernoulli (Rng.float rng *. 0.5)
+    else
+      Experiment.Gilbert_elliott
+        { p_good_to_bad = range rng 0.001 0.05;
+          p_bad_to_good = range rng 0.05 0.3;
+          loss_good = Rng.float rng *. 0.05;
+          loss_bad = range rng 0.3 0.9 }
+  in
+  let death =
+    match Rng.int rng 3 with
+    | 0 -> Base.Per_service (range rng 0.05 0.35)
+    | 1 -> Base.Lifetime_fixed (range rng 10.0 70.0)
+    | _ -> Base.Lifetime_exp (range rng 10.0 70.0)
+  in
+  let expiry =
+    if Rng.bool rng then Base.No_expiry
+    else
+      Base.Refresh_timeout
+        { multiple = range rng 2.0 6.0; sweep_period = range rng 0.5 2.5 }
+  in
+  Core
+    { Experiment.seed = 1 + Rng.int rng 1_000_000;
+      duration;
+      lambda_kbps = range rng 2.0 30.0;
+      size_bits = choice rng [| 200; 500; 1000; 2000 |];
+      death;
+      expiry;
+      update_fraction = (if Rng.bool rng then 0.0 else Rng.float rng);
+      loss;
+      protocol;
+      topology;
+      faults;
+      sched = choice rng [| Sched.Lottery; Sched.Stride; Sched.Wfq; Sched.Drr |];
+      empty_policy =
+        choice rng
+          [| Consistency.Empty_is_consistent; Consistency.Empty_is_zero;
+             Consistency.Empty_holds_last |];
+      record_series = true;
+      obs = None }
+
+let gen_sstp rng =
+  let s_duration = range rng 40.0 120.0 in
+  (* loss kept moderate so the convergence oracle's +300 s grace
+     window is honestly sufficient *)
+  let s_loss =
+    if Rng.bool rng then Experiment.Bernoulli (Rng.float rng *. 0.4)
+    else
+      Experiment.Gilbert_elliott
+        { p_good_to_bad = range rng 0.001 0.05;
+          p_bad_to_good = range rng 0.1 0.4;
+          loss_good = Rng.float rng *. 0.05;
+          loss_bad = range rng 0.3 0.7 }
+  in
+  let publishes = 5 + Rng.int rng 46 in
+  Sstp
+    { s_seed = 1 + Rng.int rng 1_000_000;
+      mu_total_kbps = range rng 20.0 200.0;
+      s_loss;
+      publishes;
+      publish_window = s_duration *. range rng 0.2 0.5;
+      removes = Rng.int rng (1 + (publishes / 3));
+      s_duration;
+      summary_period = range rng 0.5 2.0 }
+
+let generate rng = if Rng.int rng 4 = 0 then gen_sstp rng else gen_core rng
+
+(* ------------------------------------------------------------------ *)
+(* Textual form *)
+
+let f17 = Printf.sprintf "%.17g"
+
+let loss_to_string = function
+  | Experiment.Bernoulli p -> Printf.sprintf "b:%s" (f17 p)
+  | Experiment.Gilbert_elliott { p_good_to_bad; p_bad_to_good; loss_good;
+                                 loss_bad } ->
+      Printf.sprintf "ge:%s:%s:%s:%s" (f17 p_good_to_bad) (f17 p_bad_to_good)
+        (f17 loss_good) (f17 loss_bad)
+
+let loss_of_string s =
+  match String.split_on_char ':' s with
+  | [ "b"; p ] -> (
+      match float_of_string_opt p with
+      | Some p -> Ok (Experiment.Bernoulli p)
+      | None -> Error ("bad loss probability " ^ p))
+  | [ "ge"; a; b; c; d ] -> (
+      match
+        ( float_of_string_opt a, float_of_string_opt b, float_of_string_opt c,
+          float_of_string_opt d )
+      with
+      | Some p_good_to_bad, Some p_bad_to_good, Some loss_good, Some loss_bad
+        ->
+          Ok
+            (Experiment.Gilbert_elliott
+               { p_good_to_bad; p_bad_to_good; loss_good; loss_bad })
+      | _ -> Error ("bad gilbert-elliott spec " ^ s))
+  | _ -> Error ("bad loss spec " ^ s ^ " (want b:P or ge:PGB:PBG:LG:LB)")
+
+let protocol_to_string = function
+  | Experiment.Open_loop { mu_data_kbps } ->
+      Printf.sprintf "open:%s" (f17 mu_data_kbps)
+  | Experiment.Two_queue { mu_hot_kbps; mu_cold_kbps } ->
+      Printf.sprintf "twoq:%s:%s" (f17 mu_hot_kbps) (f17 mu_cold_kbps)
+  | Experiment.Feedback { mu_hot_kbps; mu_cold_kbps; mu_fb_kbps; nack_bits;
+                          fb_lossy } ->
+      Printf.sprintf "fb:%s:%s:%s:%d:%b" (f17 mu_hot_kbps) (f17 mu_cold_kbps)
+        (f17 mu_fb_kbps) nack_bits fb_lossy
+  | Experiment.Multicast { receivers; mu_hot_kbps; mu_cold_kbps; mu_fb_kbps;
+                           nack_bits; suppression; nack_slot } ->
+      Printf.sprintf "mc:%d:%s:%s:%s:%d:%b:%s" receivers (f17 mu_hot_kbps)
+        (f17 mu_cold_kbps) (f17 mu_fb_kbps) nack_bits suppression
+        (f17 nack_slot)
+
+let protocol_of_string s =
+  let fl x = float_of_string_opt x in
+  let it x = int_of_string_opt x in
+  let bo x = bool_of_string_opt x in
+  match String.split_on_char ':' s with
+  | [ "open"; mu ] -> (
+      match fl mu with
+      | Some mu_data_kbps -> Ok (Experiment.Open_loop { mu_data_kbps })
+      | None -> Error ("bad protocol " ^ s))
+  | [ "twoq"; h; c ] -> (
+      match (fl h, fl c) with
+      | Some mu_hot_kbps, Some mu_cold_kbps ->
+          Ok (Experiment.Two_queue { mu_hot_kbps; mu_cold_kbps })
+      | _ -> Error ("bad protocol " ^ s))
+  | [ "fb"; h; c; f; n; l ] -> (
+      match (fl h, fl c, fl f, it n, bo l) with
+      | Some mu_hot_kbps, Some mu_cold_kbps, Some mu_fb_kbps, Some nack_bits,
+        Some fb_lossy ->
+          Ok
+            (Experiment.Feedback
+               { mu_hot_kbps; mu_cold_kbps; mu_fb_kbps; nack_bits; fb_lossy })
+      | _ -> Error ("bad protocol " ^ s))
+  | [ "mc"; r; h; c; f; n; sup; slot ] -> (
+      match (it r, fl h, fl c, fl f, it n, bo sup, fl slot) with
+      | Some receivers, Some mu_hot_kbps, Some mu_cold_kbps, Some mu_fb_kbps,
+        Some nack_bits, Some suppression, Some nack_slot ->
+          Ok
+            (Experiment.Multicast
+               { receivers; mu_hot_kbps; mu_cold_kbps; mu_fb_kbps; nack_bits;
+                 suppression; nack_slot })
+      | _ -> Error ("bad protocol " ^ s))
+  | _ -> Error ("bad protocol " ^ s)
+
+let topology_to_string = function
+  | Experiment.Single_hop -> "single-hop"
+  | Experiment.Star { leaves } -> Printf.sprintf "star:%d" leaves
+  | Experiment.Chain { hops } -> Printf.sprintf "chain:%d" hops
+  | Experiment.Kary_tree { arity; depth } ->
+      Printf.sprintf "tree:%d:%d" arity depth
+  | Experiment.Random_graph { nodes; edge_prob } ->
+      (* %.17g, not %g: random edge probabilities must round-trip *)
+      Printf.sprintf "random:%d:%s" nodes (f17 edge_prob)
+
+let topology_of_string s =
+  let it x = int_of_string_opt x in
+  match String.split_on_char ':' s with
+  | [ "single-hop" ] -> Ok Experiment.Single_hop
+  | [ "star"; n ] -> (
+      match it n with
+      | Some leaves -> Ok (Experiment.Star { leaves })
+      | None -> Error ("bad topology " ^ s))
+  | [ "chain"; n ] -> (
+      match it n with
+      | Some hops -> Ok (Experiment.Chain { hops })
+      | None -> Error ("bad topology " ^ s))
+  | [ "tree"; a; d ] -> (
+      match (it a, it d) with
+      | Some arity, Some depth -> Ok (Experiment.Kary_tree { arity; depth })
+      | _ -> Error ("bad topology " ^ s))
+  | [ "random"; n; p ] -> (
+      match (it n, float_of_string_opt p) with
+      | Some nodes, Some edge_prob ->
+          Ok (Experiment.Random_graph { nodes; edge_prob })
+      | _ -> Error ("bad topology " ^ s))
+  | _ -> Error ("bad topology " ^ s)
+
+let death_to_string = function
+  | Base.Per_service p -> Printf.sprintf "service:%s" (f17 p)
+  | Base.Lifetime_fixed ttl -> Printf.sprintf "fixed:%s" (f17 ttl)
+  | Base.Lifetime_exp mean -> Printf.sprintf "exp:%s" (f17 mean)
+
+let death_of_string s =
+  match String.split_on_char ':' s with
+  | [ "service"; p ] -> (
+      match float_of_string_opt p with
+      | Some p -> Ok (Base.Per_service p)
+      | None -> Error ("bad death " ^ s))
+  | [ "fixed"; t ] -> (
+      match float_of_string_opt t with
+      | Some t -> Ok (Base.Lifetime_fixed t)
+      | None -> Error ("bad death " ^ s))
+  | [ "exp"; m ] -> (
+      match float_of_string_opt m with
+      | Some m -> Ok (Base.Lifetime_exp m)
+      | None -> Error ("bad death " ^ s))
+  | _ -> Error ("bad death " ^ s)
+
+let expiry_to_string = function
+  | Base.No_expiry -> "none"
+  | Base.Refresh_timeout { multiple; sweep_period } ->
+      Printf.sprintf "refresh:%s:%s" (f17 multiple) (f17 sweep_period)
+
+let expiry_of_string s =
+  match String.split_on_char ':' s with
+  | [ "none" ] -> Ok Base.No_expiry
+  | [ "refresh"; m; p ] -> (
+      match (float_of_string_opt m, float_of_string_opt p) with
+      | Some multiple, Some sweep_period ->
+          Ok (Base.Refresh_timeout { multiple; sweep_period })
+      | _ -> Error ("bad expiry " ^ s))
+  | _ -> Error ("bad expiry " ^ s)
+
+let empty_to_string = function
+  | Consistency.Empty_is_consistent -> "consistent"
+  | Consistency.Empty_is_zero -> "zero"
+  | Consistency.Empty_holds_last -> "last"
+
+let empty_of_string = function
+  | "consistent" -> Ok Consistency.Empty_is_consistent
+  | "zero" -> Ok Consistency.Empty_is_zero
+  | "last" -> Ok Consistency.Empty_holds_last
+  | s -> Error ("bad empty policy " ^ s)
+
+let faults_to_string = function
+  | [] -> "-"
+  | specs -> String.concat "," (List.map Net.Fault.spec_to_string specs)
+
+let faults_of_string = function
+  | "-" -> Ok []
+  | s -> Net.Fault.specs_of_string s
+
+let to_string = function
+  | Core c ->
+      String.concat " "
+        [ "core";
+          "seed=" ^ string_of_int c.Experiment.seed;
+          "dur=" ^ f17 c.duration;
+          "lambda=" ^ f17 c.lambda_kbps;
+          "size=" ^ string_of_int c.size_bits;
+          "death=" ^ death_to_string c.death;
+          "expiry=" ^ expiry_to_string c.expiry;
+          "uf=" ^ f17 c.update_fraction;
+          "loss=" ^ loss_to_string c.loss;
+          "proto=" ^ protocol_to_string c.protocol;
+          "topo=" ^ topology_to_string c.topology;
+          "faults=" ^ faults_to_string c.faults;
+          "sched=" ^ Sched.algorithm_name c.sched;
+          "empty=" ^ empty_to_string c.empty_policy ]
+  | Sstp s ->
+      String.concat " "
+        [ "sstp";
+          "seed=" ^ string_of_int s.s_seed;
+          "mu=" ^ f17 s.mu_total_kbps;
+          "loss=" ^ loss_to_string s.s_loss;
+          "pubs=" ^ string_of_int s.publishes;
+          "pubwin=" ^ f17 s.publish_window;
+          "removes=" ^ string_of_int s.removes;
+          "dur=" ^ f17 s.s_duration;
+          "sumper=" ^ f17 s.summary_period ]
+
+let ( let* ) = Result.bind
+
+let field fields key parse =
+  match List.assoc_opt key fields with
+  | None -> Error (Printf.sprintf "missing field %s" key)
+  | Some v -> parse v
+
+let int_field fields key =
+  field fields key (fun v ->
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "bad integer %s=%s" key v))
+
+let float_field fields key =
+  field fields key (fun v ->
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "bad number %s=%s" key v))
+
+let sched_of_string s =
+  match
+    List.find_opt
+      (fun a -> String.equal (Sched.algorithm_name a) s)
+      [ Sched.Lottery; Sched.Stride; Sched.Wfq; Sched.Drr ]
+  with
+  | Some a -> Ok a
+  | None -> Error ("bad scheduler " ^ s)
+
+let of_string line =
+  let toks =
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+  in
+  match toks with
+  | [] -> Error "empty scenario"
+  | tag :: rest -> (
+      let fields =
+        List.filter_map
+          (fun tok ->
+            match String.index_opt tok '=' with
+            | None -> None
+            | Some i ->
+                Some
+                  ( String.sub tok 0 i,
+                    String.sub tok (i + 1) (String.length tok - i - 1) ))
+          rest
+      in
+      if List.length fields <> List.length rest then
+        Error "malformed token (want key=value)"
+      else
+        match tag with
+        | "core" ->
+            let* seed = int_field fields "seed" in
+            let* duration = float_field fields "dur" in
+            let* lambda_kbps = float_field fields "lambda" in
+            let* size_bits = int_field fields "size" in
+            let* death = field fields "death" death_of_string in
+            let* expiry = field fields "expiry" expiry_of_string in
+            let* update_fraction = float_field fields "uf" in
+            let* loss = field fields "loss" loss_of_string in
+            let* protocol = field fields "proto" protocol_of_string in
+            let* topology = field fields "topo" topology_of_string in
+            let* faults = field fields "faults" faults_of_string in
+            let* sched = field fields "sched" sched_of_string in
+            let* empty_policy = field fields "empty" empty_of_string in
+            Ok
+              (Core
+                 { Experiment.seed; duration; lambda_kbps; size_bits; death;
+                   expiry; update_fraction; loss; protocol; topology; faults;
+                   sched; empty_policy; record_series = true; obs = None })
+        | "sstp" ->
+            let* s_seed = int_field fields "seed" in
+            let* mu_total_kbps = float_field fields "mu" in
+            let* s_loss = field fields "loss" loss_of_string in
+            let* publishes = int_field fields "pubs" in
+            let* publish_window = float_field fields "pubwin" in
+            let* removes = int_field fields "removes" in
+            let* s_duration = float_field fields "dur" in
+            let* summary_period = float_field fields "sumper" in
+            Ok
+              (Sstp
+                 { s_seed; mu_total_kbps; s_loss; publishes; publish_window;
+                   removes; s_duration; summary_period })
+        | tag -> Error ("unknown scenario kind " ^ tag))
+
+let to_cli = function
+  | Sstp _ -> None
+  | Core c ->
+      (* Only claim a CLI reproducer when every knob is expressible as
+         a softstate_sim_cli flag. *)
+      let ok_expiry = c.Experiment.expiry = Base.No_expiry in
+      let ok_empty = c.empty_policy = Consistency.Empty_is_consistent in
+      let proto_flags =
+        match c.protocol with
+        | Experiment.Open_loop { mu_data_kbps } ->
+            Some (Printf.sprintf "--protocol open-loop --mu-data %g" mu_data_kbps)
+        | Experiment.Two_queue { mu_hot_kbps; mu_cold_kbps } ->
+            Some
+              (Printf.sprintf "--protocol two-queue --mu-hot %g --mu-cold %g"
+                 mu_hot_kbps mu_cold_kbps)
+        | Experiment.Feedback
+            { mu_hot_kbps; mu_cold_kbps; mu_fb_kbps; nack_bits;
+              fb_lossy = false } ->
+            Some
+              (Printf.sprintf
+                 "--protocol feedback --mu-hot %g --mu-cold %g --mu-fb %g \
+                  --nack-bits %d"
+                 mu_hot_kbps mu_cold_kbps mu_fb_kbps nack_bits)
+        | Experiment.Feedback _ -> None (* fb_lossy not a CLI flag *)
+        | Experiment.Multicast
+            { receivers; mu_hot_kbps; mu_cold_kbps; mu_fb_kbps; nack_bits;
+              suppression = true; nack_slot = _ } ->
+            (* nack_slot is fixed at 0.5 in the CLI; only claim a
+               reproducer when the scenario matches *)
+            Some
+              (Printf.sprintf
+                 "--protocol multicast --receivers %d --mu-hot %g --mu-cold \
+                  %g --mu-fb %g --nack-bits %d"
+                 receivers mu_hot_kbps mu_cold_kbps mu_fb_kbps nack_bits)
+        | Experiment.Multicast _ -> None
+      in
+      let ok_slot =
+        match c.protocol with
+        | Experiment.Multicast { nack_slot; _ } -> nack_slot = 0.5
+        | _ -> true
+      in
+      let loss_flag =
+        match c.loss with
+        | Experiment.Bernoulli p -> Printf.sprintf "--loss %g" p
+        | Experiment.Gilbert_elliott { p_good_to_bad; p_bad_to_good;
+                                       loss_good; loss_bad } ->
+            Printf.sprintf "--loss ge:%g:%g:%g:%g" p_good_to_bad p_bad_to_good
+              loss_good loss_bad
+      in
+      if not (ok_expiry && ok_empty && ok_slot) then None
+      else
+        Option.map
+          (fun proto ->
+            let topo =
+              match c.topology with
+              | Experiment.Single_hop -> ""
+              | t -> Printf.sprintf " --topology %s" (topology_to_string t)
+            in
+            let faults =
+              match c.faults with
+              | [] -> ""
+              | fs -> Printf.sprintf " --faults '%s'" (faults_to_string fs)
+            in
+            let uf =
+              if c.update_fraction = 0.0 then ""
+              else Printf.sprintf " --update-fraction %g" c.update_fraction
+            in
+            Printf.sprintf
+              "softstate_sim_cli %s --seed %d --duration %g --lambda %g \
+               --size-bits %d --death %s --sched %s %s%s%s%s"
+              proto c.seed c.duration c.lambda_kbps c.size_bits
+              (death_to_string c.death)
+              (Sched.algorithm_name c.sched)
+              loss_flag topo faults uf)
+          proto_flags
+
+(* ------------------------------------------------------------------ *)
+(* Running *)
+
+type sstp_result = {
+  consistency : float;
+  avg_consistency : float;
+  data_packets : int;
+  feedback_packets : int;
+  link_utilisation : float;
+  sender_root : string;
+  receiver_root : string;
+  converged_after : float option;
+}
+
+type payload =
+  | Core_result of Experiment.result
+  | Sstp_result of sstp_result
+
+type outcome = {
+  scenario : t;
+  payload : payload;
+  horizon : float;
+  events : Trace.event list;
+  events_dropped : int;
+  metrics : (string * Metrics.value) list;
+}
+
+let trace_capacity = 1 lsl 19
+
+(* Engine_probe exports wall-clock performance ratios; everything
+   else in a snapshot is a pure function of the simulation, which is
+   what makes outcomes comparable across replays. *)
+let sim_metrics metrics ~now =
+  List.filter
+    (fun (name, _) ->
+      not
+        (String.ends_with ~suffix:"wall_s_per_sim_s" name
+        || String.ends_with ~suffix:"events_per_wall_s" name))
+    (Metrics.snapshot metrics ~now)
+
+let run_core scenario config =
+  let sink = Trace.memory ~capacity:trace_capacity () in
+  let obs = Obs.create ~trace:sink () in
+  let config = { config with Experiment.obs = Some obs; record_series = true } in
+  let result = Experiment.run config in
+  { scenario;
+    payload = Core_result result;
+    horizon = config.Experiment.duration;
+    events = Trace.events sink;
+    events_dropped = Trace.overwritten sink;
+    metrics = sim_metrics (Obs.metrics obs) ~now:config.Experiment.duration }
+
+let sstp_path i = Printf.sprintf "grp%d/item%d" (i mod 4) i
+
+let grace_step = 30.0
+let grace_max = 300.0
+
+let run_sstp scenario s =
+  let sink = Trace.memory ~capacity:trace_capacity () in
+  let obs = Obs.create ~trace:sink () in
+  let engine = Engine.create () in
+  let rng = Rng.create s.s_seed in
+  let config =
+    { (Session.default_config ~mu_total_bps:(s.mu_total_kbps *. 1000.0)) with
+      Session.loss = Experiment.make_loss s.s_loss;
+      summary_period = s.summary_period }
+  in
+  let session = Session.create ~obs ~engine ~rng ~config () in
+  Session.track_consistency session ~period:1.0;
+  let publishes = max 1 s.publishes in
+  for i = 0 to s.publishes - 1 do
+    let time = s.publish_window *. float_of_int i /. float_of_int publishes in
+    ignore
+      (Engine.schedule_at engine ~time (fun _ ->
+           Session.publish session ~path:(sstp_path i)
+             ~payload:(Printf.sprintf "v%d" i)))
+  done;
+  (* withdrawals of already-published paths, spread over the tail of
+     the run, strictly after the publish window *)
+  let removes = min s.removes s.publishes in
+  for j = 0 to removes - 1 do
+    let time =
+      s.publish_window
+      +. (s.s_duration -. s.publish_window)
+         *. float_of_int (j + 1)
+         /. float_of_int (removes + 1)
+    in
+    ignore
+      (Engine.schedule_at engine ~time (fun _ ->
+           Session.remove session ~path:(sstp_path j)))
+  done;
+  Engine.run ~until:s.s_duration engine;
+  let measured =
+    { consistency = Session.consistency session;
+      avg_consistency = Session.average_consistency session;
+      data_packets = Session.data_packets session;
+      feedback_packets = Session.feedback_packets session;
+      link_utilisation = Session.link_utilisation session;
+      sender_root = fst (Session.root_digests session);
+      receiver_root = snd (Session.root_digests session);
+      converged_after = None }
+  in
+  (* grace run for the convergence oracle: same loss process, just
+     more time for summaries and repairs to drain *)
+  let rec grace () =
+    if Session.converged session then Some (Engine.now engine)
+    else if Engine.now engine >= s.s_duration +. grace_max then None
+    else begin
+      Engine.run ~until:(Engine.now engine +. grace_step) engine;
+      grace ()
+    end
+  in
+  let converged_after = grace () in
+  let horizon = Engine.now engine in
+  { scenario;
+    payload = Sstp_result { measured with converged_after };
+    horizon;
+    events = Trace.events sink;
+    events_dropped = Trace.overwritten sink;
+    metrics = sim_metrics (Obs.metrics obs) ~now:horizon }
+
+let run = function
+  | Core config as scenario -> run_core scenario config
+  | Sstp s as scenario -> run_sstp scenario s

@@ -1,0 +1,87 @@
+(** Random end-to-end simulation scenarios for the fuzzer.
+
+    A scenario is plain data: either a full {!Softstate_core.Experiment}
+    configuration (any protocol, topology and fault schedule the
+    harness accepts) or an SSTP session workload (publish/remove
+    script over a lossy link). Scenarios are generated from a seeded
+    {!Softstate_util.Rng}, have an exact textual form for reproducer
+    command lines, and run with observability attached so the
+    invariant oracles in {!Oracle} can inspect the trace and metrics
+    alongside the results. *)
+
+module Experiment = Softstate_core.Experiment
+
+type sstp = {
+  s_seed : int;
+  mu_total_kbps : float;
+  s_loss : Experiment.loss_spec;
+  publishes : int;          (** leaves published, evenly spread *)
+  publish_window : float;   (** over [\[0, publish_window)] seconds *)
+  removes : int;            (** withdrawals of already-published paths *)
+  s_duration : float;
+  summary_period : float;
+}
+
+type t =
+  | Core of Experiment.config
+      (** [config.obs] is [None] in a scenario; {!run} installs its
+          own context. *)
+  | Sstp of sstp
+
+val generate : Softstate_util.Rng.t -> t
+(** Draw a scenario. Roughly one in four is an {!Sstp} session; the
+    rest sweep the experiment space (all four protocols, all five
+    topology kinds, Bernoulli and Gilbert–Elliott loss, fault
+    schedules on multi-hop topologies). Bounds are chosen so every
+    scenario terminates quickly and, for SSTP, can converge within
+    the grace window {!run} allows. *)
+
+val to_string : t -> string
+(** One-line textual form, [of_string]-exact (floats are printed with
+    full precision; fault windows are generated on a centisecond grid
+    so the {!Softstate_net.Fault} [%g] syntax round-trips too). *)
+
+val of_string : string -> (t, string) result
+
+val to_cli : t -> string option
+(** A [softstate_sim_cli] invocation reproducing a [Core] scenario,
+    when every field is expressible as a CLI flag ([None] for [Sstp]
+    scenarios and for configs using knobs the CLI does not surface,
+    e.g. receiver-side expiry). *)
+
+(** {1 Running} *)
+
+type sstp_result = {
+  consistency : float;
+  avg_consistency : float;
+  data_packets : int;
+  feedback_packets : int;
+  link_utilisation : float;
+  sender_root : string;        (** namespace root digests, hex *)
+  receiver_root : string;
+  converged_after : float option;
+      (** simulation time at which the root digests were first seen to
+          match — checked at the horizon, then after every extra 30 s
+          of grace run (same loss process), up to +300 s. [None] if
+          the session never converged. *)
+}
+
+type payload =
+  | Core_result of Experiment.result
+  | Sstp_result of sstp_result
+
+type outcome = {
+  scenario : t;
+  payload : payload;
+  horizon : float;   (** engine clock when measurement stopped *)
+  events : Softstate_obs.Trace.event list;
+      (** memory-trace contents, oldest first *)
+  events_dropped : int;
+      (** ring overwrites; trace-based oracles skip when non-zero *)
+  metrics : (string * Softstate_obs.Metrics.value) list;
+}
+
+val run : t -> outcome
+(** Deterministic: equal scenarios yield structurally equal outcomes
+    ([Stdlib.compare] = 0), which is exactly what the replay oracle
+    checks. *)

@@ -1,0 +1,141 @@
+module Experiment = Softstate_core.Experiment
+
+(* Drop the i-th element. *)
+let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
+
+let core_candidates c =
+  let dur =
+    if c.Experiment.duration > 20.0 then
+      [ { c with Experiment.duration = c.Experiment.duration /. 2.0 } ]
+    else []
+  in
+  let faults =
+    match c.Experiment.faults with
+    | [] -> []
+    | fs ->
+        { c with Experiment.faults = [] }
+        :: List.init (List.length fs) (fun i ->
+               { c with Experiment.faults = drop_nth fs i })
+  in
+  let topology =
+    match c.Experiment.topology with
+    | Experiment.Single_hop -> []
+    | t ->
+        (* dropping the topology also drops the faults: a fault
+           schedule needs something to break *)
+        { c with Experiment.topology = Experiment.Single_hop; faults = [] }
+        ::
+        (match t with
+        | Experiment.Single_hop -> []
+        | Experiment.Star { leaves } when leaves > 1 ->
+            [ { c with
+                Experiment.topology = Experiment.Star { leaves = leaves / 2 } } ]
+        | Experiment.Star _ -> []
+        | Experiment.Chain { hops } when hops > 1 ->
+            [ { c with Experiment.topology = Experiment.Chain { hops = hops / 2 } } ]
+        | Experiment.Chain _ -> [ { c with Experiment.topology = Experiment.Star { leaves = 1 } } ]
+        | Experiment.Kary_tree _ ->
+            [ { c with Experiment.topology = Experiment.Star { leaves = 2 } } ]
+        | Experiment.Random_graph _ ->
+            [ { c with Experiment.topology = Experiment.Star { leaves = 2 } } ])
+  in
+  let protocol =
+    match c.Experiment.protocol with
+    | Experiment.Multicast { receivers; mu_hot_kbps; mu_cold_kbps; mu_fb_kbps;
+                             nack_bits; suppression; nack_slot }
+      ->
+        (if receivers > 2 then
+           [ { c with
+               Experiment.protocol =
+                 Experiment.Multicast
+                   { receivers = max 2 (receivers / 2); mu_hot_kbps;
+                     mu_cold_kbps; mu_fb_kbps; nack_bits; suppression;
+                     nack_slot } } ]
+         else [])
+        @ [ { c with
+              Experiment.protocol =
+                Experiment.Feedback
+                  { mu_hot_kbps; mu_cold_kbps; mu_fb_kbps; nack_bits;
+                    fb_lossy = false } } ]
+    | Experiment.Feedback { mu_hot_kbps; mu_cold_kbps; _ } ->
+        [ { c with
+            Experiment.protocol =
+              Experiment.Two_queue { mu_hot_kbps; mu_cold_kbps } } ]
+    | Experiment.Two_queue { mu_hot_kbps; mu_cold_kbps } ->
+        [ { c with
+            Experiment.protocol =
+              Experiment.Open_loop
+                { mu_data_kbps = mu_hot_kbps +. mu_cold_kbps } } ]
+    | Experiment.Open_loop _ -> []
+  in
+  let loss =
+    match c.Experiment.loss with
+    | Experiment.Gilbert_elliott _ as ge ->
+        [ { c with Experiment.loss = Experiment.Bernoulli (Experiment.loss_mean ge) } ]
+    | Experiment.Bernoulli p when p > 0.0 ->
+        [ { c with Experiment.loss = Experiment.Bernoulli 0.0 } ]
+    | Experiment.Bernoulli _ -> []
+  in
+  let knobs =
+    (if c.Experiment.expiry <> Softstate_core.Base.No_expiry then
+       [ { c with Experiment.expiry = Softstate_core.Base.No_expiry } ]
+     else [])
+    @
+    if c.Experiment.update_fraction <> 0.0 then
+      [ { c with Experiment.update_fraction = 0.0 } ]
+    else []
+  in
+  List.map (fun c -> Scenario.Core c)
+    (dur @ faults @ topology @ protocol @ loss @ knobs)
+
+let sstp_candidates (s : Scenario.sstp) =
+  let dur =
+    if s.Scenario.s_duration > 20.0 then
+      [ { s with
+          Scenario.s_duration = s.Scenario.s_duration /. 2.0;
+          publish_window =
+            Float.min s.Scenario.publish_window (s.Scenario.s_duration /. 4.0)
+        } ]
+    else []
+  in
+  let pubs =
+    if s.Scenario.publishes > 1 then
+      [ { s with
+          Scenario.publishes = s.Scenario.publishes / 2;
+          removes = min s.Scenario.removes (s.Scenario.publishes / 2) } ]
+    else []
+  in
+  let removes =
+    if s.Scenario.removes > 0 then [ { s with Scenario.removes = 0 } ] else []
+  in
+  let loss =
+    match s.Scenario.s_loss with
+    | Experiment.Gilbert_elliott _ as ge ->
+        [ { s with
+            Scenario.s_loss = Experiment.Bernoulli (Experiment.loss_mean ge) } ]
+    | Experiment.Bernoulli p when p > 0.0 ->
+        [ { s with Scenario.s_loss = Experiment.Bernoulli 0.0 } ]
+    | Experiment.Bernoulli _ -> []
+  in
+  List.map (fun s -> Scenario.Sstp s) (dur @ pubs @ removes @ loss)
+
+let candidates = function
+  | Scenario.Core c -> core_candidates c
+  | Scenario.Sstp s -> sstp_candidates s
+
+let shrink ~fails ~max_runs scenario =
+  let runs = ref 0 in
+  let rec go current =
+    let rec try_candidates = function
+      | [] -> current
+      | cand :: rest ->
+          if !runs >= max_runs then current
+          else begin
+            incr runs;
+            if fails cand then go cand else try_candidates rest
+          end
+    in
+    try_candidates (candidates current)
+  in
+  let shrunk = go scenario in
+  (shrunk, !runs)

@@ -99,6 +99,9 @@ type result = {
   utilisation : float;
   fault_transitions : int;
   fault_drops : int;
+  packets_sent : int;
+  packets_delivered : int;
+  packets_dropped : int;
   series : (float * float) list;
 }
 
@@ -178,10 +181,15 @@ let run config =
   let loss =
     match topo with None -> make_loss config.loss | Some _ -> Net.Loss.never
   in
-  (* per-variant plumbing: how to read utilisation and the feedback
-     counters at the end of the run *)
+  (* per-variant plumbing: how to read utilisation, the feedback
+     counters and the network packet triple at the end of the run *)
   let no_counters () = (0, 0, 0, 0, 0, 0, 0, 0) in
-  let utilisation, counters =
+  let add_stats (s, d, dr) st =
+    ( s + st.Net.Link.Stats.fetched,
+      d + st.Net.Link.Stats.delivered,
+      dr + st.Net.Link.Stats.dropped )
+  in
+  let utilisation, counters, net =
     match config.protocol with
     | Open_loop { mu_data_kbps } ->
         let p =
@@ -189,7 +197,10 @@ let run config =
             ?transport ~loss ~link_rng ()
         in
         ( (fun ~now -> (Open_loop.unicast p).Net.Transport.u_utilisation ~now),
-          no_counters )
+          no_counters,
+          fun () ->
+            add_stats (0, 0, 0) ((Open_loop.unicast p).Net.Transport.u_stats ())
+        )
     | Two_queue { mu_hot_kbps; mu_cold_kbps } ->
         let p =
           Two_queue.create ~base ~mu_hot_bps:(kbps mu_hot_kbps)
@@ -197,8 +208,11 @@ let run config =
             ?transport ~loss ~link_rng ()
         in
         ( (fun ~now -> (Two_queue.unicast p).Net.Transport.u_utilisation ~now),
+          (fun () ->
+            (Two_queue.sent_hot p, Two_queue.sent_cold p, 0, 0, 0, 0, 0, 0)),
           fun () ->
-            (Two_queue.sent_hot p, Two_queue.sent_cold p, 0, 0, 0, 0, 0, 0) )
+            add_stats (0, 0, 0) ((Two_queue.unicast p).Net.Transport.u_stats ())
+        )
     | Feedback { mu_hot_kbps; mu_cold_kbps; mu_fb_kbps; nack_bits; fb_lossy }
       ->
         let fb_loss =
@@ -214,7 +228,7 @@ let run config =
         ( (fun ~now ->
             (Two_queue.unicast (Feedback.sender p)).Net.Transport.u_utilisation
               ~now),
-          fun () ->
+          (fun () ->
             ( Two_queue.sent_hot (Feedback.sender p),
               Two_queue.sent_cold (Feedback.sender p),
               Feedback.nacks_sent p,
@@ -222,7 +236,14 @@ let run config =
               0,
               Feedback.nacks_delivered p,
               Feedback.nacks_dropped_overflow p,
-              Feedback.reheats p ) )
+              Feedback.reheats p )),
+          fun () ->
+            let acc =
+              add_stats (0, 0, 0)
+                ((Two_queue.unicast (Feedback.sender p)).Net.Transport.u_stats
+                   ())
+            in
+            add_stats acc (Feedback.fb_stats p) )
     | Multicast
         { receivers = _; mu_hot_kbps; mu_cold_kbps; mu_fb_kbps; nack_bits;
           suppression; nack_slot } ->
@@ -241,7 +262,7 @@ let run config =
             ~nack_slot ~receiver_loss ~link_rng ()
         in
         ( (fun ~now -> (Multicast.fanout p).Net.Transport.f_utilisation ~now),
-          fun () ->
+          (fun () ->
             ( Two_queue.sent_hot (Multicast.sender p),
               Two_queue.sent_cold (Multicast.sender p),
               Multicast.nacks_wanted p,
@@ -249,7 +270,30 @@ let run config =
               Multicast.nacks_suppressed p,
               Multicast.nacks_delivered p,
               Multicast.nack_overflows p,
-              Multicast.reheats p ) )
+              Multicast.reheats p )),
+          fun () ->
+            let f = Multicast.fanout p in
+            let served = f.Net.Transport.f_served () in
+            let s, d, dr =
+              match topo with
+              | None ->
+                  (* single-hop channel: each served packet is offered
+                     to every subscriber through that subscriber's own
+                     loss process, so one service completion stands
+                     for [receivers] send-side events *)
+                  let losses = ref 0 in
+                  for sid = 0 to receivers - 1 do
+                    losses := !losses + f.Net.Transport.f_receiver_losses sid
+                  done;
+                  let offers = served * receivers in
+                  (offers, offers - !losses, !losses)
+              | Some _ ->
+                  (* the root server is lossless; per-edge processes
+                     downstream do the losing (counted in the
+                     substrate triple) *)
+                  (served, served, 0)
+            in
+            add_stats (s, d, dr) (Multicast.fb_stats p) )
   in
   Base.start base;
   Engine.run ~until:config.duration engine;
@@ -258,6 +302,21 @@ let run config =
   let ( sent_hot, sent_cold, nacks_wanted, nacks_sent, nacks_suppressed,
         nacks_delivered, nack_overflows, reheats ) =
     counters ()
+  in
+  (* Unified packet triple: head link(s) plus, in topology mode, every
+     overlay edge stage. sent >= delivered + dropped; the slack is
+     packets still in service at the horizon, and blackholed packets
+     are counted separately in [fault_drops]. *)
+  let packets_sent, packets_delivered, packets_dropped =
+    let head = net () in
+    match topo with
+    | None -> head
+    | Some t ->
+        let s = Net.Topology.substrate t in
+        let hs, hd, hdr = head in
+        ( hs + s.Net.Topology.s_sent,
+          hd + s.Net.Topology.s_delivered,
+          hdr + s.Net.Topology.s_dropped )
   in
   { avg_consistency = Consistency.average tracker ~now;
     final_consistency = Consistency.instantaneous tracker;
@@ -276,6 +335,9 @@ let run config =
       (match topo with Some t -> Net.Topology.fault_transitions t | None -> 0);
     fault_drops =
       (match topo with Some t -> Net.Topology.fault_drops t | None -> 0);
+    packets_sent;
+    packets_delivered;
+    packets_dropped;
     series = Consistency.series tracker }
 
 (* ------------------------------------------------------------------ *)
@@ -523,6 +585,9 @@ let report ?obs ~config r =
   in
   let run_rows =
     [ ("protocol", R.string (protocol_name config.protocol));
+      ("packets_sent", R.int r.packets_sent);
+      ("packets_delivered", R.int r.packets_delivered);
+      ("packets_dropped", R.int r.packets_dropped);
       ("seed", R.int config.seed);
       ("duration_s", R.float config.duration);
       ("lambda_kbps", R.float config.lambda_kbps);

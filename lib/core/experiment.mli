@@ -102,6 +102,21 @@ type result = {
   utilisation : float;         (** data link busy fraction *)
   fault_transitions : int;     (** effective topology fault flips *)
   fault_drops : int;           (** packets destroyed by down elements *)
+  packets_sent : int;
+      (** packets entering service on any simulated server: the head
+          data link(s), the feedback channel when present, and — in
+          topology mode — every overlay edge stage. Single-hop
+          multicast counts each service completion once per receiver,
+          since the channel offers the packet to every subscriber. *)
+  packets_delivered : int;     (** of those, survived their loss draw *)
+  packets_dropped : int;
+      (** of those, destroyed by a loss draw. Conservation:
+          [packets_sent - packets_delivered - packets_dropped] is the
+          number of packets still in service at the horizon (>= 0,
+          bounded by the number of servers). Blackholes at faulted
+          elements are separate, in [fault_drops]. The triple is
+          reported identically for single-hop and topology runs,
+          which is what the fuzzer's conservation oracle checks. *)
   series : (float * float) list; (** (t, c(t)) if requested *)
 }
 

@@ -129,4 +129,11 @@ let nacks_dropped_overflow t =
   | Some ob -> ob.Net.Transport.o_overflows ()
   | None -> 0
 
+let fb_stats t =
+  match t.fb_outbox with
+  | Some ob -> ob.Net.Transport.o_stats ()
+  | None ->
+      { Net.Link.Stats.fetched = 0; delivered = 0; dropped = 0;
+        bits_served = 0.0; busy_time = 0.0 }
+
 let reheats t = t.reheats

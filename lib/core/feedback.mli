@@ -45,5 +45,9 @@ val nacks_delivered : t -> int
 val nacks_dropped_overflow : t -> int
 (** NACKs lost to feedback-queue overflow (bandwidth starvation). *)
 
+val fb_stats : t -> Softstate_net.Link.Stats.t
+(** First-hop counters of the feedback channel (sent / delivered /
+    dropped) — the conservation-oracle reading. *)
+
 val reheats : t -> int
 (** NACKs that actually moved a record back to the hot queue. *)

@@ -52,4 +52,9 @@ val nacks_suppressed : t -> int
 
 val nacks_delivered : t -> int
 val nack_overflows : t -> int
+
+val fb_stats : t -> Softstate_net.Link.Stats.t
+(** First-hop counters of the feedback channel (sent / delivered /
+    dropped) — the conservation-oracle reading. *)
+
 val reheats : t -> int

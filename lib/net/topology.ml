@@ -31,7 +31,23 @@ type t = {
   bfs_cache : (int, int array * int array) Hashtbl.t;
       (* src -> (parent edge per node or -1, hop distance) *)
   mutable fault_transitions : int;
-  mutable fault_drops : int;
+  mutable bh_inject : int;   (* packets destroyed entering a down element *)
+  mutable bh_deliver : int;  (* packets destroyed leaving a down element *)
+  mutable injected : int;    (* packets offered to an edge stage *)
+  mutable pipe_readers : (unit -> Link.Stats.t * int * int) list;
+      (* per overlay edge pipe: (link stats, overflows, queue length) *)
+}
+
+type substrate = {
+  s_injected : int;
+  s_blackholed_inject : int;
+  s_blackholed_deliver : int;
+  s_overflowed : int;
+  s_queued : int;
+  s_sent : int;
+  s_delivered : int;
+  s_dropped : int;
+  s_serving : int;
 }
 
 let engine t = t.engine
@@ -68,6 +84,41 @@ let leaves t =
   done;
   !acc
 
+(* Aggregate the substrate accounting: every packet offered to an edge
+   stage is, at any instant, in exactly one of the [substrate] buckets
+   (blackholed at the gate, rejected by the bounded queue, waiting in
+   the queue, on the edge server, destroyed by the edge loss process,
+   or past its loss draw), so
+   [s_injected = s_blackholed_inject + s_overflowed + s_queued + s_sent]
+   holds exactly — the per-edge packet-conservation invariant the
+   checker's oracles verify. *)
+let substrate t =
+  let overflowed = ref 0 and queued = ref 0 in
+  let sent = ref 0 and delivered = ref 0 and dropped = ref 0 in
+  List.iter
+    (fun read ->
+      let stats, ov, ql = read () in
+      overflowed := !overflowed + ov;
+      queued := !queued + ql;
+      sent := !sent + stats.Link.Stats.fetched;
+      delivered := !delivered + stats.Link.Stats.delivered;
+      dropped := !dropped + stats.Link.Stats.dropped)
+    t.pipe_readers;
+  { s_injected = t.injected;
+    s_blackholed_inject = t.bh_inject;
+    s_blackholed_deliver = t.bh_deliver;
+    s_overflowed = !overflowed;
+    s_queued = !queued;
+    s_sent = !sent;
+    s_delivered = !delivered;
+    s_dropped = !dropped;
+    s_serving = !sent - !delivered - !dropped }
+
+let note_pipe t pipe =
+  t.pipe_readers <-
+    (fun () -> (Pipe.link_stats pipe, Pipe.overflows pipe, Pipe.queue_length pipe))
+    :: t.pipe_readers
+
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
@@ -102,7 +153,8 @@ let build ~engine ~rng ?obs ?(label = "topo") ~kind ~nodes:n ~cables:cl
     { engine; rng; obs; trace = Obs.trace_of obs;
       traced = Trace.enabled (Obs.trace_of obs); label; kind; nodes; edges;
       out; cables; cable_up = Array.make (Array.length cables) true;
-      bfs_cache = Hashtbl.create 8; fault_transitions = 0; fault_drops = 0 }
+      bfs_cache = Hashtbl.create 8; fault_transitions = 0;
+      bh_inject = 0; bh_deliver = 0; injected = 0; pipe_readers = [] }
   in
   (match obs with
   | Some o ->
@@ -110,7 +162,7 @@ let build ~engine ~rng ?obs ?(label = "topo") ~kind ~nodes:n ~cables:cl
       Metrics.probe m (label ^ ".fault_transitions") (fun ~now:_ ->
           float_of_int t.fault_transitions);
       Metrics.probe m (label ^ ".fault_drops") (fun ~now:_ ->
-          float_of_int t.fault_drops);
+          float_of_int (t.bh_inject + t.bh_deliver));
       Metrics.probe m (label ^ ".cables_down") (fun ~now:_ ->
           float_of_int
             (Array.fold_left
@@ -120,7 +172,20 @@ let build ~engine ~rng ?obs ?(label = "topo") ~kind ~nodes:n ~cables:cl
           float_of_int
             (Array.fold_left
                (fun acc nd -> if Node.is_up nd then acc else acc + 1)
-               0 t.nodes))
+               0 t.nodes));
+      (* substrate accounting, for the conservation oracles *)
+      let sub name field =
+        Metrics.probe m (label ^ "." ^ name) (fun ~now:_ ->
+            float_of_int (field (substrate t)))
+      in
+      sub "injected" (fun s -> s.s_injected);
+      sub "blackholed_inject" (fun s -> s.s_blackholed_inject);
+      sub "blackholed_deliver" (fun s -> s.s_blackholed_deliver);
+      sub "overflowed" (fun s -> s.s_overflowed);
+      sub "queued" (fun s -> s.s_queued);
+      sub "edge_sent" (fun s -> s.s_sent);
+      sub "edge_delivered" (fun s -> s.s_delivered);
+      sub "edge_dropped" (fun s -> s.s_dropped)
   | None -> ());
   t
 
@@ -323,13 +388,15 @@ let is_node_up t nid =
   Node.is_up t.nodes.(nid)
 
 let fault_transitions t = t.fault_transitions
-let fault_drops t = t.fault_drops
+let fault_drops t = t.bh_inject + t.bh_deliver
 
 (* ------------------------------------------------------------------ *)
 (* Overlays *)
 
-let drop_faulted t ~src_label =
-  t.fault_drops <- t.fault_drops + 1;
+let drop_faulted t ~phase ~src_label =
+  (match phase with
+  | `Inject -> t.bh_inject <- t.bh_inject + 1
+  | `Deliver -> t.bh_deliver <- t.bh_deliver + 1);
   if t.traced then
     Trace.emit t.trace
       (Trace.event ~time:(Engine.now t.engine) ~src:src_label ~detail:"fault"
@@ -338,10 +405,11 @@ let drop_faulted t ~src_label =
 (* Send-side gate: a packet enters edge [e] only while the cable and
    the sending node are up; otherwise it is destroyed on the spot. *)
 let inject t e pipe (inner : 'a Packet.t) =
+  t.injected <- t.injected + 1;
   if t.cable_up.(e.cable) && Node.is_up t.nodes.(e.src) then
     ignore
       (Pipe.send pipe (Packet.make ~size_bits:inner.Packet.size_bits inner))
-  else drop_faulted t ~src_label:e.elabel
+  else drop_faulted t ~phase:`Inject ~src_label:e.elabel
 
 (* One forwarding stage per edge: a Pipe of the edge's rate / delay /
    loss whose delivery re-checks the fault state (packets in flight
@@ -357,9 +425,10 @@ let edge_stage t ~qcap ~overlay_rng e next =
       ~deliver:(fun ~now inner ->
         if t.cable_up.(e.cable) && Node.is_up t.nodes.(e.dst) then
           next ~now inner
-        else drop_faulted t ~src_label:e.elabel)
+        else drop_faulted t ~phase:`Deliver ~src_label:e.elabel)
       ()
   in
+  note_pipe t pipe;
   fun ~now:_ inner -> inject t e pipe inner
 
 let path_entry t ~qcap ~overlay_rng edges final =
@@ -472,9 +541,10 @@ let fanout_over t ~root ~attach ~qcap ~rate_bps ?(delay = 0.0) ?on_served
               ~deliver:(fun ~now inner ->
                 if t.cable_up.(e.cable) && Node.is_up t.nodes.(e.dst) then
                   forward e.dst ~now inner
-                else drop_faulted t ~src_label:e.elabel)
+                else drop_faulted t ~phase:`Deliver ~src_label:e.elabel)
               ()
           in
+          note_pipe t pipe;
           pipes.(eid) <- Some pipe)
         eids)
     children;
@@ -499,7 +569,7 @@ let fanout_over t ~root ~attach ~qcap ~rate_bps ?(delay = 0.0) ?on_served
                | None -> ());
                let emitdone ~now =
                  if Node.is_up t.nodes.(root) then forward root ~now packet
-                 else drop_faulted t ~src_label:label
+                 else drop_faulted t ~phase:`Deliver ~src_label:label
                in
                if delay = 0.0 then emitdone ~now:(Engine.now engine)
                else

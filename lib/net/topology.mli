@@ -170,6 +170,38 @@ val fault_transitions : t -> int
 val fault_drops : t -> int
 (** Packets destroyed by down cables or nodes. *)
 
+(** {1 Substrate accounting}
+
+    Aggregate packet accounting over every overlay edge stage, for
+    invariant checking ({!Softstate_check} oracles). Every packet
+    offered to an edge is, at any instant, in exactly one bucket, so
+
+    {[ s_injected = s_blackholed_inject + s_overflowed + s_queued
+                    + s_sent ]}
+
+    and [s_sent = s_serving + s_delivered + s_dropped] hold exactly —
+    during a run and at the horizon. With an observability context the
+    same readings are registered as [<label>.injected],
+    [.blackholed_inject], [.blackholed_deliver], [.overflowed],
+    [.queued], [.edge_sent], [.edge_delivered] and [.edge_dropped]
+    probes. *)
+
+type substrate = {
+  s_injected : int;     (** packets offered to an edge stage *)
+  s_blackholed_inject : int;
+      (** destroyed at the send-side fault gate *)
+  s_blackholed_deliver : int;
+      (** destroyed at the receive-side fault gate, after service *)
+  s_overflowed : int;   (** rejected by a bounded edge queue *)
+  s_queued : int;       (** waiting in edge queues now *)
+  s_sent : int;         (** entered service on an edge server *)
+  s_delivered : int;    (** survived the edge loss draw *)
+  s_dropped : int;      (** destroyed by an edge loss process *)
+  s_serving : int;      (** on an edge server now *)
+}
+
+val substrate : t -> substrate
+
 (** {1 Transport} *)
 
 val transport :

@@ -67,6 +67,11 @@ val events : t -> event list
 (** Contents of a {!memory} sink, oldest first. Raises
     [Invalid_argument] on other sinks. *)
 
+val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Fold over a {!memory} sink's events, oldest first, without
+    materialising the list — invariant oracles scan long traces this
+    way. Raises [Invalid_argument] on other sinks. *)
+
 val overwritten : t -> int
 (** Events lost to the {!memory} ring's capacity. *)
 

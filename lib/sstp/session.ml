@@ -214,6 +214,10 @@ let converged t =
     (Namespace.root_digest (Sender.namespace t.sender))
     (Namespace.root_digest (Receiver.namespace t.receiver))
 
+let root_digests t =
+  ( Md5.to_hex (Namespace.root_digest (Sender.namespace t.sender)),
+    Md5.to_hex (Namespace.root_digest (Receiver.namespace t.receiver)) )
+
 let track_consistency t ~period =
   if not t.tracking then begin
     t.tracking <- true;

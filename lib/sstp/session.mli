@@ -68,6 +68,11 @@ val consistency : t -> float
 val converged : t -> bool
 (** Root digests equal. *)
 
+val root_digests : t -> string * string
+(** (sender, receiver) namespace root digests in hex — a compact
+    fingerprint of the whole session state, used by the scenario
+    fuzzer's replay oracle to compare runs bit-for-bit. *)
+
 val track_consistency : t -> period:float -> unit
 (** Sample {!consistency} every [period] seconds into a time-weighted
     average readable with {!average_consistency}. *)

@@ -1,0 +1,127 @@
+(* Fuzzer self-tests: the bounded fuzz pass that must stay clean, the
+   mutation smoke test proving the oracles catch (and shrink) planted
+   bugs, and properties of the scenario codec and seed chain. *)
+
+module Check = Softstate_check
+module Scenario = Check.Scenario
+module Oracle = Check.Oracle
+module Shrink = Check.Shrink
+module Fuzz = Check.Fuzz
+module Rng = Softstate_util.Rng
+module Experiment = Softstate_core.Experiment
+
+(* ------------------------------------------------------------------ *)
+(* The CI-facing property: a bounded fuzz pass over the whole scenario
+   space (every protocol, topology, loss process and fault schedule,
+   plus SSTP sessions) with every oracle armed and zero violations. *)
+
+let test_fuzz_pass_clean () =
+  let stats = Fuzz.run ~seed:1 ~count:200 () in
+  Alcotest.(check int) "scenarios" 200 stats.Fuzz.scenarios;
+  (match stats.Fuzz.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "scenario %d violated %s: %s" f.Fuzz.index
+        (match f.Fuzz.violations with
+        | v :: _ -> v.Oracle.oracle
+        | [] -> "?")
+        (Scenario.to_string f.Fuzz.scenario));
+  Alcotest.(check bool) "ran at least one execution" true (stats.Fuzz.runs >= 200)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation smoke test: plant the exact accounting bug the
+   conservation oracle exists for and demand that the fuzzer both
+   catches it and shrinks it to a minimal single-hop reproducer. *)
+
+let corrupt_delivered outcome =
+  match outcome.Scenario.payload with
+  | Scenario.Core_result r ->
+      { outcome with
+        Scenario.payload =
+          Scenario.Core_result
+            { r with
+              Experiment.packets_delivered =
+                r.Experiment.packets_delivered + 100 } }
+  | Scenario.Sstp_result _ -> outcome
+
+let test_mutation_smoke () =
+  let stats =
+    Fuzz.run ~corrupt:corrupt_delivered ~oracles:[ "conservation" ]
+      ~max_shrink:100 ~seed:1 ~count:5 ()
+  in
+  Alcotest.(check bool) "planted bug caught" true (stats.Fuzz.failures <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "shrunk form still fails" true
+        (f.Fuzz.shrunk_violations <> []);
+      match f.Fuzz.shrunk with
+      | Scenario.Core c ->
+          Alcotest.(check bool) "shrunk to single hop" true
+            (c.Experiment.topology = Experiment.Single_hop);
+          Alcotest.(check bool) "faults shrunk away" true
+            (c.Experiment.faults = []);
+          Alcotest.(check bool) "reproducer mentions replay" true
+            (String.length (Fuzz.reproducer f) > 0)
+      | Scenario.Sstp _ ->
+          Alcotest.fail "sstp scenario failed a core-only corruption")
+    stats.Fuzz.failures
+
+(* ------------------------------------------------------------------ *)
+
+let test_seed_chain_prefix () =
+  (* scenario i is reproducible standalone: the seed chain is a pure
+     function of (seed, i), independent of count *)
+  let a = Fuzz.scenario_seeds ~seed:42 ~count:10 in
+  let b = Fuzz.scenario_seeds ~seed:42 ~count:20 in
+  Alcotest.(check (array int)) "prefix stable" a (Array.sub b 0 10);
+  let c = Fuzz.scenario_seeds ~seed:43 ~count:10 in
+  Alcotest.(check bool) "seed matters" true (a <> c)
+
+let test_oracle_select () =
+  (match Oracle.select [ "conservation"; "clock" ] with
+  | Ok os ->
+      Alcotest.(check (list string))
+        "selected in order" [ "conservation"; "clock" ]
+        (List.map (fun o -> o.Oracle.name) os)
+  | Error e -> Alcotest.fail e);
+  match Oracle.select [ "no-such-oracle" ] with
+  | Ok _ -> Alcotest.fail "unknown oracle accepted"
+  | Error e ->
+      Alcotest.(check bool) "error names the oracle" true
+        (String.length e > 0)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties over the generator *)
+
+let qcheck_scenario_roundtrip =
+  QCheck.Test.make ~name:"scenario to_string/of_string roundtrip" ~count:300
+    QCheck.(int_bound 0x3FFFFFFF)
+    (fun seed ->
+      let s = Scenario.generate (Rng.create seed) in
+      match Scenario.of_string (Scenario.to_string s) with
+      | Ok s' -> Stdlib.compare s s' = 0
+      | Error _ -> false)
+
+let qcheck_shrink_candidates_differ =
+  QCheck.Test.make ~name:"shrink candidates differ from parent" ~count:300
+    QCheck.(int_bound 0x3FFFFFFF)
+    (fun seed ->
+      let s = Scenario.generate (Rng.create seed) in
+      List.for_all (fun c -> Stdlib.compare c s <> 0) (Shrink.candidates s))
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ qcheck_scenario_roundtrip; qcheck_shrink_candidates_differ ]
+  in
+  Alcotest.run "softstate_check"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "200 scenarios clean" `Slow test_fuzz_pass_clean;
+          Alcotest.test_case "mutation smoke" `Slow test_mutation_smoke;
+          Alcotest.test_case "seed chain prefix" `Quick test_seed_chain_prefix;
+          Alcotest.test_case "oracle select" `Quick test_oracle_select;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -204,6 +204,97 @@ let test_core_and_sstp_agree_on_openloop_trend () =
     (Printf.sprintf "sstp: %.3f (5%% loss) > %.3f (60%% loss)" c1 c2)
     true (c1 > c2)
 
+(* ------------------------------------------------------------------ *)
+(* Fuzzer regression pins: one fixed-seed scenario per protocol (plus
+   one SSTP session), each run through the full invariant-oracle
+   battery — conservation, clock, consistency, counters, convergence,
+   replay, jobs. These are the shapes the fuzzer exercises, frozen so
+   a regression in any layer shows up as a named oracle violation. *)
+
+module Check = Softstate_check
+module Experiment = Softstate_core.Experiment
+
+let check_oracles name scenario =
+  match Check.Fuzz.check_scenario scenario with
+  | [] -> ()
+  | vs ->
+      Alcotest.fail
+        (Printf.sprintf "%s: %s" name
+           (String.concat "; "
+              (List.map
+                 (fun v ->
+                   v.Check.Oracle.oracle ^ ": " ^ v.Check.Oracle.message)
+                 vs)))
+
+let faults_of_string s =
+  match Net.Fault.specs_of_string s with
+  | Ok fs -> fs
+  | Error e -> Alcotest.fail ("bad fault spec: " ^ e)
+
+let regression_base =
+  { Experiment.default with
+    Experiment.duration = 60.0;
+    record_series = true;
+    obs = None }
+
+let test_fuzz_regression_open_loop () =
+  check_oracles "open loop"
+    (Check.Scenario.Core
+       { regression_base with
+         Experiment.seed = 101;
+         protocol = Experiment.Open_loop { mu_data_kbps = 30.0 };
+         loss = Experiment.Bernoulli 0.2 })
+
+let test_fuzz_regression_two_queue () =
+  check_oracles "two queue"
+    (Check.Scenario.Core
+       { regression_base with
+         Experiment.seed = 102;
+         protocol =
+           Experiment.Two_queue { mu_hot_kbps = 24.0; mu_cold_kbps = 12.0 };
+         loss =
+           Experiment.Gilbert_elliott
+             { p_good_to_bad = 0.02; p_bad_to_good = 0.3; loss_good = 0.01;
+               loss_bad = 0.6 } })
+
+let test_fuzz_regression_feedback () =
+  check_oracles "feedback over faulted chain"
+    (Check.Scenario.Core
+       { regression_base with
+         Experiment.seed = 103;
+         protocol =
+           Experiment.Feedback
+             { mu_hot_kbps = 24.0; mu_cold_kbps = 12.0; mu_fb_kbps = 8.0;
+               nack_bits = 200; fb_lossy = true };
+         loss = Experiment.Bernoulli 0.1;
+         topology = Experiment.Chain { hops = 3 };
+         faults = faults_of_string "cable:1@20-35" })
+
+let test_fuzz_regression_multicast () =
+  check_oracles "multicast over tree"
+    (Check.Scenario.Core
+       { regression_base with
+         Experiment.seed = 104;
+         protocol =
+           Experiment.Multicast
+             { receivers = 4; mu_hot_kbps = 24.0; mu_cold_kbps = 12.0;
+               mu_fb_kbps = 8.0; nack_bits = 200; suppression = true;
+               nack_slot = 0.5 };
+         loss = Experiment.Bernoulli 0.1;
+         topology = Experiment.Kary_tree { arity = 2; depth = 2 } })
+
+let test_fuzz_regression_sstp () =
+  check_oracles "sstp session"
+    (Check.Scenario.Sstp
+       { Check.Scenario.s_seed = 105;
+         mu_total_kbps = 128.0;
+         s_loss = Experiment.Bernoulli 0.1;
+         publishes = 12;
+         publish_window = 20.0;
+         removes = 3;
+         s_duration = 60.0;
+         summary_period = 0.5 })
+
 let () =
   Alcotest.run "integration"
     [
@@ -227,5 +318,15 @@ let () =
             test_two_sessions_independent_rngs;
           Alcotest.test_case "loss trend agreement" `Slow
             test_core_and_sstp_agree_on_openloop_trend;
+        ] );
+      ( "fuzz regressions",
+        [
+          Alcotest.test_case "open loop" `Quick test_fuzz_regression_open_loop;
+          Alcotest.test_case "two queue" `Quick test_fuzz_regression_two_queue;
+          Alcotest.test_case "feedback over faulted chain" `Quick
+            test_fuzz_regression_feedback;
+          Alcotest.test_case "multicast over tree" `Quick
+            test_fuzz_regression_multicast;
+          Alcotest.test_case "sstp session" `Quick test_fuzz_regression_sstp;
         ] );
     ]

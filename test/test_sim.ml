@@ -255,6 +255,50 @@ let test_pending_counts_both_calendars () =
   ignore (Engine.cancel_periodic e p);
   Alcotest.(check int) "periodic cancelled" 1 (Engine.pending e)
 
+let test_wheel_heap_equivalence () =
+  (* Equivalence of the two periodic paths: with a degenerate wheel
+     (one nanosecond of span) every periodic timer rides the overflow
+     heap, yet an identical seeded workload of one-shots, periodics,
+     [every] loops and cancellations must fire in exactly the same
+     (time, label) order as on the default wheel. Timestamps are
+     random floats, so cross-calendar ties cannot blur the order. *)
+  let workload e =
+    let fired = ref [] in
+    let g = Softstate_util.Rng.create 99 in
+    for i = 0 to 39 do
+      let after = 0.01 +. (Softstate_util.Rng.float g *. 40.0) in
+      let ev =
+        Engine.schedule e ~after (fun e ->
+            fired := (Engine.now e, Printf.sprintf "one%d" i) :: !fired)
+      in
+      if Softstate_util.Rng.bool g && i mod 4 = 0 then
+        ignore (Engine.cancel e ev)
+    done;
+    for i = 0 to 9 do
+      let period = 0.7 +. (Softstate_util.Rng.float g *. 9.0) in
+      let p =
+        Engine.schedule_periodic e ~period (fun e ->
+            fired := (Engine.now e, Printf.sprintf "per%d" i) :: !fired)
+      in
+      if i mod 3 = 0 then
+        ignore
+          (Engine.schedule e ~after:(period *. 2.5) (fun e ->
+               ignore (Engine.cancel_periodic e p)))
+    done;
+    let stop =
+      Engine.every e ~period:1.3 (fun e ->
+          fired := (Engine.now e, "every") :: !fired)
+    in
+    ignore (Engine.schedule e ~after:6.0 (fun _ -> ignore (stop ())));
+    Engine.run ~until:45.0 e;
+    List.rev !fired
+  in
+  let on_wheel = workload (Engine.create ()) in
+  let on_heap = workload (Engine.create ~wheel_slots:1 ~wheel_granularity:1e-9 ()) in
+  Alcotest.(check bool) "workload non-trivial" true (List.length on_wheel > 100);
+  Alcotest.(check (list (pair (float 1e-9) string)))
+    "same firing order" on_wheel on_heap
+
 let test_many_events_throughput () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -301,5 +345,7 @@ let () =
             test_heap_event_precedes_wheel_tie;
           Alcotest.test_case "pending counts both calendars" `Quick
             test_pending_counts_both_calendars;
+          Alcotest.test_case "wheel/heap firing-order equivalence" `Quick
+            test_wheel_heap_equivalence;
         ] );
     ]

@@ -711,11 +711,92 @@ let qcheck_ring_fifo =
       List.iter (fun x -> ignore (Ring.push r x)) xs;
       Ring.to_list r = xs)
 
+(* Variate tails: sample means must match the analytic first moment
+   within a CLT band. Tolerances are 6–8 standard errors of the mean,
+   so a false alarm needs a many-sigma fluke even across repeated
+   randomized qcheck runs. *)
+
+let sample_mean n draw =
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. draw ()
+  done;
+  !sum /. float_of_int n
+
+let harmonic n s =
+  let h = ref 0.0 in
+  for k = 1 to n do
+    h := !h +. (1.0 /. (float_of_int k ** s))
+  done;
+  !h
+
+let qcheck_geometric_mean =
+  QCheck.Test.make ~name:"geometric sample mean is 1/p" ~count:20
+    QCheck.(pair (int_bound 0xFFFFF) (float_range 0.05 0.8))
+    (fun (seed, p) ->
+      let g = Rng.create (succ seed) in
+      let n = 30_000 in
+      let mean = sample_mean n (fun () -> float_of_int (Dist.geometric g ~p)) in
+      let se = sqrt (1.0 -. p) /. p /. sqrt (float_of_int n) in
+      abs_float (mean -. (1.0 /. p)) < (6.0 *. se) +. 1e-9)
+
+let qcheck_pareto_mean =
+  QCheck.Test.make ~name:"pareto sample mean is shape*scale/(shape-1)"
+    ~count:20
+    QCheck.(
+      triple (int_bound 0xFFFFF) (float_range 3.0 6.0) (float_range 0.5 4.0))
+    (fun (seed, shape, scale) ->
+      let g = Rng.create (succ seed) in
+      let n = 30_000 in
+      let mean = sample_mean n (fun () -> Dist.pareto g ~shape ~scale) in
+      let analytic = shape *. scale /. (shape -. 1.0) in
+      let var =
+        shape *. scale *. scale
+        /. (((shape -. 1.0) ** 2.0) *. (shape -. 2.0))
+      in
+      let se = sqrt (var /. float_of_int n) in
+      abs_float (mean -. analytic) < (8.0 *. se) +. 1e-9)
+
+let qcheck_zipf_mean =
+  QCheck.Test.make ~name:"zipf sample mean is H(n,s-1)/H(n,s)" ~count:20
+    QCheck.(triple (int_bound 0xFFFFF) (int_range 5 50) (float_range 1.1 2.5))
+    (fun (seed, n, s) ->
+      let g = Rng.create (succ seed) in
+      let tbl = Dist.Zipf_table.create ~n ~s in
+      let draws = 30_000 in
+      let mean =
+        sample_mean draws (fun () -> float_of_int (Dist.Zipf_table.draw tbl g))
+      in
+      let hs = harmonic n s in
+      let analytic = harmonic n (s -. 1.0) /. hs in
+      let var = (harmonic n (s -. 2.0) /. hs) -. (analytic *. analytic) in
+      let se = sqrt (var /. float_of_int draws) in
+      abs_float (mean -. analytic) < (8.0 *. se) +. 1e-9)
+
+let qcheck_split_stream_independent =
+  (* a split child's stream is fixed at split time: however many draws
+     the parent makes afterwards, the child replays identically *)
+  QCheck.Test.make ~name:"split child unaffected by parent draws" ~count:200
+    QCheck.(pair (int_bound 0xFFFFF) (int_bound 20))
+    (fun (seed, k) ->
+      let draws g = List.init 10 (fun _ -> Rng.bits64 g) in
+      let p1 = Rng.create seed in
+      let c1 = Rng.split p1 in
+      let reference = draws c1 in
+      let p2 = Rng.create seed in
+      let c2 = Rng.split p2 in
+      for _ = 1 to k do
+        ignore (Rng.bits64 p2)
+      done;
+      draws c2 = reference)
+
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest
       [ qcheck_codec_u32_roundtrip; qcheck_codec_string_roundtrip;
         qcheck_codec_f64_roundtrip; qcheck_heap_sorts;
-        qcheck_welford_mean_matches; qcheck_ring_fifo ]
+        qcheck_welford_mean_matches; qcheck_ring_fifo;
+        qcheck_geometric_mean; qcheck_pareto_mean; qcheck_zipf_mean;
+        qcheck_split_stream_independent ]
   in
   Alcotest.run "softstate_util"
     [
