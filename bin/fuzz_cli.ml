@@ -60,8 +60,11 @@ let inject_bug_arg =
     & info [ "inject-bug" ]
         ~doc:
           "Mutation smoke test: corrupt every outcome's delivered-packet \
-           counter before the oracles see it. The conservation oracle must \
-           catch and shrink it; the run still exits non-zero.")
+           counter before the oracles see it (the conservation oracle must \
+           catch and shrink it), and plant a Random.self_init call in a \
+           scratch copy of a source file (the determinism lint must catch \
+           it). The run still exits non-zero; exit 3 means a smoke check \
+           itself failed.")
 
 let progress_arg =
   Arg.(
@@ -86,9 +89,90 @@ let parse_oracles s =
   if s = "" then []
   else List.filter (fun x -> x <> "") (String.split_on_char ',' s)
 
+(* ------------------------------------------------------------------ *)
+(* Lint mutation smoke: the same guard for the static pass that the
+   corrupted counters are for the oracles. Plant an unseeded-RNG call
+   in a scratch copy of a real source file; if the determinism lint
+   does not report D001 at the planted line, the pass has rotted. *)
+
+module Lint = Softstate_lint
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_smoke () =
+  let base =
+    let candidate = Filename.concat "lib" (Filename.concat "util" "ewma.ml") in
+    if Sys.file_exists candidate then read_file candidate
+    else "let tick x = x + 1\n"
+  in
+  let base = if String.length base > 0 && base.[String.length base - 1] = '\n'
+    then base else base ^ "\n" in
+  let planted_line =
+    1 + String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 base
+  in
+  let planted = base ^ "let () = Random.self_init ()\n" in
+  let scratch = Filename.temp_file "lint_smoke" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove scratch with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin scratch in
+      output_string oc planted;
+      close_out oc;
+      let clean = Lint.Driver.scan_source ~file:"lib/scratch/smoke.ml" base in
+      let findings = Lint.Driver.scan_paths [ scratch ] in
+      let caught =
+        List.exists
+          (fun f ->
+            f.Lint.Finding.rule = "D001"
+            && f.Lint.Finding.line = planted_line)
+          findings
+      in
+      let cli_caught =
+        (* The built lint_cli.exe sits next to this executable; assert
+           the user-facing entry point also exits non-zero on it. *)
+        let exe =
+          Filename.concat (Filename.dirname Sys.executable_name)
+            "lint_cli.exe"
+        in
+        if Sys.file_exists exe then
+          Sys.command
+            (Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote exe)
+               (Filename.quote scratch))
+          <> 0
+        else true
+      in
+      if clean <> [] then begin
+        Printf.eprintf
+          "lint-smoke: FAILED — unplanted copy already has findings\n";
+        false
+      end
+      else if not caught then begin
+        Printf.eprintf
+          "lint-smoke: FAILED — planted Random.self_init at line %d not \
+           reported\n"
+          planted_line;
+        false
+      end
+      else if not cli_caught then begin
+        Printf.eprintf "lint-smoke: FAILED — lint_cli.exe exited 0\n";
+        false
+      end
+      else begin
+        Printf.printf
+          "lint-smoke: planted Random.self_init caught at line %d\n"
+          planted_line;
+        true
+      end)
+
 let run seed count max_shrink oracle log replay inject_bug progress =
   let oracles = parse_oracles oracle in
   let corrupt = if inject_bug then Some corrupt_delivered else None in
+  if inject_bug && not (lint_smoke ()) then 3
+  else
   match replay with
   | Some spec -> (
       match Scenario.of_string spec with

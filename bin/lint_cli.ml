@@ -1,0 +1,75 @@
+(* Determinism lint front end.
+
+     dune exec bin/lint_cli.exe -- lib bin bench test
+     dune exec bin/lint_cli.exe -- --format json lib
+     dune exec bin/lint_cli.exe -- --explain D003
+
+   Exits 0 when clean, 1 on findings, 2 on usage errors. *)
+
+open Cmdliner
+module Lint = Softstate_lint
+
+let paths_arg =
+  Arg.(
+    value
+    & pos_all string [ "lib"; "bin"; "bench"; "test" ]
+    & info [] ~docv:"PATH"
+        ~doc:
+          "Files or directories to lint (default: lib bin bench test, \
+           relative to the repository root).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", Lint.Driver.Text); ("json", Lint.Driver.Json) ])
+        Lint.Driver.Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Report format: $(b,text) or $(b,json) (one object per line).")
+
+let explain_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain" ] ~docv:"RULE"
+        ~doc:"Print the documentation for $(docv) and exit.")
+
+let explain rule =
+  match Lint.Rules.find rule with
+  | Some r ->
+      Printf.printf "%s — %s\n\n%s\n\nfix: %s\n" r.Lint.Rules.id
+        r.Lint.Rules.title r.Lint.Rules.explain r.Lint.Rules.hint;
+      0
+  | None ->
+      Printf.eprintf "unknown rule %s; known: %s\n" rule
+        (String.concat ", "
+           (List.map (fun r -> r.Lint.Rules.id) Lint.Rules.all));
+      2
+
+let run paths format = function
+  | Some rule -> explain rule
+  | None -> (
+      match List.filter (fun p -> not (Sys.file_exists p)) paths with
+      | _ :: _ as missing ->
+          Printf.eprintf "no such path: %s\n" (String.concat ", " missing);
+          2
+      | [] ->
+          let findings = Lint.Driver.scan_paths paths in
+          List.iter print_endline (Lint.Driver.render format findings);
+          let n = List.length findings in
+          if n = 0 then begin
+            Printf.eprintf "lint: clean (%d files)\n"
+              (List.length (Lint.Driver.collect paths));
+            0
+          end
+          else begin
+            Printf.eprintf "lint: %d finding%s\n" n
+              (if n = 1 then "" else "s");
+            1
+          end)
+
+let cmd =
+  let doc = "statically enforce the repository's determinism invariants" in
+  let info = Cmd.info "softstate-lint" ~doc in
+  Cmd.v info Term.(const run $ paths_arg $ format_arg $ explain_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -505,7 +505,7 @@ let to_cli = function
       in
       let ok_slot =
         match c.protocol with
-        | Experiment.Multicast { nack_slot; _ } -> nack_slot = 0.5
+        | Experiment.Multicast { nack_slot; _ } -> Float.equal nack_slot 0.5
         | _ -> true
       in
       let loss_flag =
@@ -531,7 +531,7 @@ let to_cli = function
               | fs -> Printf.sprintf " --faults '%s'" (faults_to_string fs)
             in
             let uf =
-              if c.update_fraction = 0.0 then ""
+              if Float.equal c.update_fraction 0.0 then ""
               else Printf.sprintf " --update-fraction %g" c.update_fraction
             in
             Printf.sprintf

@@ -81,7 +81,7 @@ let core_candidates c =
        [ { c with Experiment.expiry = Softstate_core.Base.No_expiry } ]
      else [])
     @
-    if c.Experiment.update_fraction <> 0.0 then
+    if not (Float.equal c.Experiment.update_fraction 0.0) then
       [ { c with Experiment.update_fraction = 0.0 } ]
     else []
   in

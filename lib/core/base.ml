@@ -177,6 +177,7 @@ let arrival t =
 let sweep_receiver t ~now ~multiple receiver =
   let map = t.receivers.(receiver) in
   let doomed =
+    (* lint: allow D003 commutative: builds an unordered removal set; per-key expiry effects are independent *)
     Hashtbl.fold
       (fun key e acc ->
         if

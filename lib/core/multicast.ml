@@ -36,6 +36,7 @@ let prune_seq_map t current_seq =
   if Hashtbl.length t.seq_to_key > 2 * seq_window then begin
     let cutoff = current_seq - seq_window in
     let stale =
+      (* lint: allow D003 commutative: collects a stale set for removal; order never escapes *)
       Hashtbl.fold
         (fun seq _ acc -> if seq < cutoff then seq :: acc else acc)
         t.seq_to_key []
@@ -47,6 +48,7 @@ let prune_heard t now =
   if Hashtbl.length t.heard > 8192 then begin
     let cutoff = now -. (4.0 *. t.nack_slot) in
     let stale =
+      (* lint: allow D003 commutative: collects a stale set for removal; order never escapes *)
       Hashtbl.fold
         (fun seq time acc -> if time < cutoff then seq :: acc else acc)
         t.heard []

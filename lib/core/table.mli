@@ -19,7 +19,14 @@ val remove : t -> Record.key -> Record.t option
 (** Kill a record; [None] if it was not live. *)
 
 val iter : t -> (Record.t -> unit) -> unit
+(** Visit live records in ascending key order (O(live log live)); the
+    order is part of the contract so results never depend on
+    hash-bucket layout. *)
+
 val fold : t -> init:'a -> f:('a -> Record.t -> 'a) -> 'a
+(** Like {!iter}, in ascending key order. *)
+
 val random_key : t -> Softstate_util.Rng.t -> Record.key option
-(** A uniformly random live key, or [None] when empty; O(live) — used
-    only by workload generators picking an update target. *)
+(** A uniformly random live key, or [None] when empty; O(1). The
+    draw depends only on the seeded generator and the insert/remove
+    history, never on hash order. *)

@@ -1,0 +1,43 @@
+let normalize path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  if String.length path >= 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let within path dir =
+  let p = normalize path and d = normalize dir in
+  starts_with ~prefix:(d ^ "/") p || contains p ("/" ^ d ^ "/")
+
+let is_file path file =
+  let p = normalize path in
+  p = file
+  || String.length p > String.length file
+     && String.sub p
+          (String.length p - String.length file - 1)
+          (String.length file + 1)
+        = "/" ^ file
+
+let enabled ~path ~rule =
+  match rule with
+  | "D001" ->
+      not (is_file path "lib/util/rng.ml" || is_file path "lib/util/rng.mli")
+  | "D002" -> not (within path "bench")
+  | "D003" ->
+      within path "lib/net" || within path "lib/core"
+      || within path "lib/sstp"
+  | "D004" -> within path "lib" || within path "bin"
+  | "D005" -> within path "lib"
+  | "M001" -> within path "lib"
+  | _ -> true
+
+let mli_required path =
+  Filename.check_suffix path ".ml" && enabled ~path ~rule:"M001"

@@ -1,0 +1,33 @@
+(** Per-directory rule scoping.
+
+    Which rules apply where is a property of the repository layout,
+    not of individual call sites, so it lives in one table here rather
+    than in scattered suppressions:
+
+    - D001 applies everywhere except [lib/util/rng.ml]/[.mli], the one
+      blessed randomness sink.
+    - D002 applies everywhere except [bench/]: benchmarks measure wall
+      time by definition.
+    - D003 applies only under [lib/net], [lib/core], [lib/sstp] — the
+      layers whose iteration order could reach packets, traces or
+      results.
+    - D004 applies under [lib/] and [bin/].
+    - D005 and M001 apply under [lib/] only.
+    - S001 and E001 apply everywhere.
+
+    Paths are matched on [/]-separated segments, so both repo-relative
+    ([lib/net/topology.ml]) and absolute invocations scope
+    correctly. *)
+
+val normalize : string -> string
+(** Map [\\] to [/] and strip a leading [./]. *)
+
+val within : string -> string -> bool
+(** [within path dir] holds when the (normalized) [path] lies under
+    directory [dir], given either as a leading prefix or as an
+    interior segment sequence ([/dir/]). *)
+
+val enabled : path:string -> rule:string -> bool
+
+val mli_required : string -> bool
+(** Whether M001 demands a matching [.mli] for this [.ml] path. *)

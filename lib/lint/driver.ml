@@ -1,0 +1,108 @@
+type format = Text | Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
+        else walk acc (Filename.concat path entry))
+      acc entries
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let collect paths =
+  List.fold_left walk [] paths |> List.sort_uniq String.compare
+
+let error_loc exn =
+  match exn with
+  | Syntaxerr.Error e -> Some (Syntaxerr.location_of_error e)
+  | Lexer.Error (_, loc) -> Some loc
+  | _ -> None
+
+let parse ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  Lexer.init ();
+  Lexer.print_warnings := false;
+  try
+    if Filename.check_suffix file ".mli" then
+      Ok (Scan.signature ~file (Parse.interface lexbuf))
+    else Ok (Scan.structure ~file (Parse.implementation lexbuf))
+  with exn ->
+    let line, col =
+      match error_loc exn with
+      | Some loc ->
+          let p = loc.Location.loc_start in
+          (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+      | None -> (1, 0)
+    in
+    Error (Finding.v ~file ~line ~col ~rule:"E001" "source does not parse")
+
+let scan_source_full ~file source =
+  let supp, supp_findings = Suppress.scan ~file source in
+  let ast = match parse ~file source with Ok fs -> fs | Error f -> [ f ] in
+  let kept =
+    List.filter
+      (fun f ->
+        Config.enabled ~path:file ~rule:f.Finding.rule
+        && not (Suppress.allows supp ~line:f.Finding.line ~rule:f.Finding.rule))
+      ast
+  in
+  (supp_findings @ kept, supp)
+
+let scan_source ~file source = fst (scan_source_full ~file source)
+
+let missing_mli files =
+  List.filter_map
+    (fun f ->
+      if Config.mli_required f && not (List.mem (f ^ "i") files) then
+        Some
+          (Finding.v ~file:f ~line:1 ~col:0 ~rule:"M001"
+             "no matching .mli interface")
+      else None)
+    files
+
+let scan_paths paths =
+  let files = collect paths in
+  let per_file =
+    List.map
+      (fun f ->
+        match read_file f with
+        | exception Sys_error e ->
+            ( f,
+              [ Finding.v ~file:f ~line:1 ~col:0 ~rule:"E001"
+                  ("cannot read: " ^ e) ],
+              Suppress.empty )
+        | src ->
+            let findings, supp = scan_source_full ~file:f src in
+            (f, findings, supp))
+      files
+  in
+  let supp_of file =
+    match List.find_opt (fun (f, _, _) -> f = file) per_file with
+    | Some (_, _, supp) -> supp
+    | None -> Suppress.empty
+  in
+  let m001 =
+    missing_mli files
+    |> List.filter (fun fd ->
+           not
+             (Suppress.allows (supp_of fd.Finding.file) ~line:1 ~rule:"M001"))
+  in
+  List.concat_map (fun (_, fs, _) -> fs) per_file @ m001
+  |> List.sort_uniq Finding.compare
+
+let render fmt findings =
+  match fmt with
+  | Text -> List.map Finding.to_text findings
+  | Json -> List.map Finding.to_json findings

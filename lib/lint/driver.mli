@@ -1,0 +1,26 @@
+(** Orchestration: walk sources, parse, apply rules, filter by
+    {!Config} scope and {!Suppress} directives, render reports. *)
+
+type format = Text | Json
+
+val collect : string list -> string list
+(** [collect paths] lists every [.ml]/[.mli] under the given files or
+    directories, sorted; hidden entries and [_build] are skipped. *)
+
+val scan_source : file:string -> string -> Finding.t list
+(** Lint one source text presented as living at path [file] (the path
+    drives {!Config} scoping). Reports E001 if the text does not
+    parse. Does not include M001, which needs the sibling file
+    listing. *)
+
+val missing_mli : string list -> Finding.t list
+(** M001 over a file listing: every path for which
+    {!Config.mli_required} holds must have its [.mli] in the list. *)
+
+val scan_paths : string list -> Finding.t list
+(** [collect], lint every file, add M001 — the full battery, sorted
+    and deduplicated. *)
+
+val render : format -> Finding.t list -> string list
+(** One line per finding: [Finding.to_text] or [Finding.to_json]
+    (JSONL). *)

@@ -1,0 +1,41 @@
+module Json = Softstate_obs.Json
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let v ~file ~line ~col ~rule message = { file; line; col; rule; message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let hint t =
+  match Rules.find t.rule with Some r -> r.Rules.hint | None -> ""
+
+let to_text t =
+  let h = hint t in
+  Printf.sprintf "%s:%d:%d: [%s] %s%s" t.file t.line t.col t.rule t.message
+    (if h = "" then "" else " (fix: " ^ h ^ ")")
+
+let to_json t =
+  Json.obj
+    [ ("file", Json.string t.file);
+      ("line", Json.int t.line);
+      ("col", Json.int t.col);
+      ("rule", Json.string t.rule);
+      ("message", Json.string t.message);
+      ("hint", Json.string (hint t)) ]

@@ -1,0 +1,22 @@
+(** A single rule violation at a source location. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as compilers print *)
+  rule : string;  (** a {!Rules.t} id *)
+  message : string;
+}
+
+val v : file:string -> line:int -> col:int -> rule:string -> string -> t
+
+val compare : t -> t -> int
+(** Orders by (file, line, col, rule, message), so reports are stable. *)
+
+val to_text : t -> string
+(** [file:line:col: \[RULE\] message (fix: hint)]. *)
+
+val to_json : t -> string
+(** One flat JSON object per finding (fields [file], [line], [col],
+    [rule], [message], [hint]); parseable by
+    {!Softstate_obs.Json.parse_flat}. *)

@@ -1,0 +1,83 @@
+type t = { id : string; title : string; hint : string; explain : string }
+
+let all =
+  [ { id = "D001";
+      title = "no ambient randomness";
+      hint = "draw from a seeded Softstate_util.Rng stream";
+      explain =
+        "Every stochastic draw must flow through the seeded, splittable \
+         Softstate_util.Rng generators so a single integer seed reproduces a \
+         whole run. Stdlib.Random is ambient state: Random.self_init seeds \
+         from the environment, and even explicitly-seeded Stdlib.Random is a \
+         process-global stream that cross-contaminates components. Any \
+         mention of the Random module outside lib/util/rng.ml is a finding." };
+    { id = "D002";
+      title = "no wall-clock in simulation code";
+      hint =
+        "use Engine.now for simulated time; suppress with a reason for \
+         CPU-time probes";
+      explain =
+        "Sys.time, Unix.gettimeofday and Unix.time read host clocks. If a \
+         host clock reaches simulation state, packets, or trace output, \
+         replays and --jobs merges stop being bit-identical. Observability \
+         probes that deliberately measure wall-clock coupling must carry an \
+         inline suppression naming the reason. The bench/ tree is exempt by \
+         per-directory config: benchmarks measure wall time by definition." };
+    { id = "D003";
+      title = "no order-sensitive Hashtbl iteration";
+      hint =
+        "iterate sorted keys or an ordered structure (Map); suppress with a \
+         reason when the fold is commutative";
+      explain =
+        "Hashtbl.iter and Hashtbl.fold visit bindings in hash-bucket order, \
+         which depends on the hash function and resize history and is not a \
+         stable contract across compiler versions. In lib/net, lib/core and \
+         lib/sstp that order must never reach packets, traces, or results: \
+         iterate keys sorted explicitly, use a Map, or — for genuinely \
+         commutative aggregations (sums, building an unordered removal set) \
+         — keep the fold and suppress with a reason stating why order \
+         cannot leak." };
+    { id = "D004";
+      title = "no polymorphic comparison on floats";
+      hint = "use Float.equal / Float.compare or an explicit tolerance";
+      explain =
+        "Polymorphic = / <> / compare on float-typed expressions is a \
+         determinism and correctness trap: NaN compares unequal to itself \
+         under =, yet equal under compare, and exact equality silently \
+         encodes a zero tolerance. The check is syntactic: a comparison is \
+         flagged when either operand is a float literal or an application \
+         of a float operator (+. -. *. /. ~-. **)." };
+    { id = "D005";
+      title = "no Obj.magic or partial accessors in lib/";
+      hint = "match explicitly; List.hd/Option.get raise on the empty case";
+      explain =
+        "Obj.magic defeats the type system, and List.hd / Option.get turn a \
+         represented empty case into a runtime exception. Library code must \
+         pattern-match the empty case explicitly so the checker's oracles \
+         see invariant violations as findings, not crashes." };
+    { id = "M001";
+      title = "every lib module declares an interface";
+      hint = "add a matching .mli next to the .ml";
+      explain =
+        "Each lib/**/*.ml must have a matching .mli. An explicit signature \
+         is what keeps internal mutable state (tables, caches, counters) \
+         out of reach of callers that could break replay determinism." };
+    { id = "S001";
+      title = "malformed suppression";
+      hint = "write (* lint: allow RULE reason... *) with a non-empty reason";
+      explain =
+        "Inline suppressions are audit records, not escape hatches: the \
+         grammar is (* lint: allow RULE reason... *) where RULE is a known \
+         rule id and the reason is mandatory. A suppression without a \
+         reason, naming an unknown rule, or otherwise unparseable is itself \
+         a finding — and it suppresses nothing." };
+    { id = "E001";
+      title = "unparseable source";
+      hint = "fix the syntax error; the pass only analyses valid OCaml";
+      explain =
+        "The file failed to lex or parse, so no rule was checked. The pass \
+         reports the error location and treats the file as a finding: \
+         unanalysable source is unverified source." } ]
+
+let find id = List.find_opt (fun r -> r.id = id) all
+let is_known id = find id <> None

@@ -1,0 +1,19 @@
+(** The determinism rule catalogue.
+
+    Every rule the static pass can report, with the one-line fix hint
+    attached to findings and the longer [--explain] text. Adding a
+    rule means adding it here, implementing its check in {!Scan} (or
+    the driver, for file-level rules), and scoping it in {!Config}. *)
+
+type t = {
+  id : string;  (** e.g. ["D003"]; uppercase letter + three digits *)
+  title : string;  (** one line, used in listings *)
+  hint : string;  (** the fix, appended to findings *)
+  explain : string;  (** paragraph shown by [--explain] *)
+}
+
+val all : t list
+(** The catalogue, in id order. *)
+
+val find : string -> t option
+val is_known : string -> bool

@@ -1,0 +1,81 @@
+open Parsetree
+
+let flatten lid = try Longident.flatten lid with _ -> []
+let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l
+let float_ops = [ "+."; "-."; "*."; "/."; "~-."; "**" ]
+
+let is_floaty e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }, _) ->
+      List.mem op float_ops
+  | _ -> false
+
+let poly_cmp lid =
+  match strip_stdlib (flatten lid) with
+  | [ (("=" | "<>" | "compare") as op) ] -> Some op
+  | _ -> None
+
+let dotted path = String.concat "." path
+
+let run ~file iterate =
+  let acc = ref [] in
+  let add (loc : Location.t) rule message =
+    let p = loc.loc_start in
+    acc :=
+      Finding.v ~file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol) ~rule
+        message
+      :: !acc
+  in
+  let check_path loc path =
+    match strip_stdlib path with
+    | "Random" :: _ ->
+        add loc "D001"
+          (Printf.sprintf "ambient randomness: %s" (dotted path))
+    | [ "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] ->
+        add loc "D002" (Printf.sprintf "wall-clock read: %s" (dotted path))
+    | [ "Hashtbl"; (("iter" | "fold") as f) ] ->
+        add loc "D003"
+          (Printf.sprintf "Hashtbl.%s visits bindings in hash order" f)
+    | [ "Obj"; "magic" ] -> add loc "D005" "Obj.magic defeats the type system"
+    | [ "List"; "hd" ] | [ "Option"; "get" ] ->
+        add loc "D005"
+          (Printf.sprintf "partial accessor %s raises on the empty case"
+             (dotted path))
+    | _ -> ()
+  in
+  let default = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_path loc (flatten txt)
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt; _ }; _ },
+          [ (_, lhs); (_, rhs) ] ) -> (
+        match poly_cmp txt with
+        | Some op when is_floaty lhs || is_floaty rhs ->
+            add e.pexp_loc "D004"
+              (Printf.sprintf
+                 "polymorphic %s on a float-typed expression" op)
+        | _ -> ())
+    | _ -> ());
+    default.expr it e
+  in
+  let module_expr it me =
+    (match me.pmod_desc with
+    | Pmod_ident { txt; loc } -> (
+        match strip_stdlib (flatten txt) with
+        | "Random" :: _ ->
+            add loc "D001"
+              (Printf.sprintf "ambient randomness: module %s"
+                 (dotted (flatten txt)))
+        | _ -> ())
+    | _ -> ());
+    default.module_expr it me
+  in
+  let it = { default with Ast_iterator.expr; module_expr } in
+  iterate it;
+  List.rev !acc
+
+let structure ~file str = run ~file (fun it -> it.Ast_iterator.structure it str)
+let signature ~file sg = run ~file (fun it -> it.Ast_iterator.signature it sg)

@@ -1,0 +1,19 @@
+(** The [Ast_iterator] pass implementing the expression-level rules
+    D001–D005 over a parsed compilation unit.
+
+    The checks are purely syntactic — no typing pass — so they match
+    literal module paths ([Random.int], [Hashtbl.fold], [Sys.time]),
+    optionally [Stdlib]-qualified. Aliasing a flagged module
+    ([module H = Hashtbl]) hides its uses from D002/D003/D005;
+    aliasing [Random] itself is caught by D001, which flags any
+    mention of the module. D004 flags polymorphic [=]/[<>]/[compare]
+    whose operand is syntactically float-shaped: a float literal or an
+    application of [+.], [-.], [*.], [/.], [~-.] or [**].
+
+    Results are unfiltered: {!Config} scoping and {!Suppress}
+    directives are applied by the driver. *)
+
+val structure : file:string -> Parsetree.structure -> Finding.t list
+(** Findings in source order. *)
+
+val signature : file:string -> Parsetree.signature -> Finding.t list

@@ -1,0 +1,83 @@
+type directive = { d_line : int; d_rule : string }
+type t = directive list
+
+let empty = []
+
+let allows t ~line ~rule =
+  List.exists
+    (fun d -> d.d_rule = rule && (d.d_line = line || d.d_line + 1 = line))
+    t
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun w -> w <> "")
+
+(* The comment text after the "lint:" marker. *)
+let parse_directive ~file ~line ~col body =
+  let bad msg = Error (Finding.v ~file ~line ~col ~rule:"S001" msg) in
+  match words body with
+  | "allow" :: rule :: _ :: _ when Rules.is_known rule ->
+      Ok { d_line = line; d_rule = rule }
+  | "allow" :: rule :: _ :: _ ->
+      bad (Printf.sprintf "suppression names unknown rule %s" rule)
+  | [ "allow"; rule ] ->
+      bad
+        (Printf.sprintf
+           "suppression of %s gives no reason; write (* lint: allow %s \
+            <why> *)"
+           rule rule)
+  | [ "allow" ] -> bad "suppression names no rule"
+  | _ ->
+      bad "unrecognised lint directive; expected 'lint: allow RULE reason'"
+
+let strip_prefix ~prefix s =
+  let n = String.length prefix in
+  if String.length s >= n && String.sub s 0 n = prefix then
+    Some (String.sub s n (String.length s - n))
+  else None
+
+(* The lexer's COMMENT payload keeps the delimiters on some compiler
+   versions; tolerate both. *)
+let comment_body text =
+  let text = String.trim text in
+  let text =
+    match strip_prefix ~prefix:"(*" text with Some t -> t | None -> text
+  in
+  let text =
+    if
+      String.length text >= 2
+      && String.sub text (String.length text - 2) 2 = "*)"
+    then String.sub text 0 (String.length text - 2)
+    else text
+  in
+  String.trim text
+
+let scan ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  Lexer.init ();
+  Lexer.handle_docstrings := false;
+  Lexer.print_warnings := false;
+  let dirs = ref [] and finds = ref [] in
+  (try
+     let rec loop () =
+       match Lexer.token_with_comments lexbuf with
+       | Parser.EOF -> ()
+       | Parser.COMMENT (text, loc) ->
+           (match strip_prefix ~prefix:"lint:" (comment_body text) with
+           | None -> ()
+           | Some rest ->
+               let p = loc.Location.loc_start in
+               let line = p.Lexing.pos_lnum
+               and col = p.Lexing.pos_cnum - p.Lexing.pos_bol in
+               (match parse_directive ~file ~line ~col (String.trim rest) with
+               | Ok d -> dirs := d :: !dirs
+               | Error f -> finds := f :: !finds));
+           loop ()
+       | _ -> loop ()
+     in
+     loop ()
+   with _ -> ());
+  (!dirs, List.rev !finds)

@@ -1,0 +1,29 @@
+(** Inline suppression directives.
+
+    Grammar, inside an ordinary comment:
+
+    {v (* lint: allow RULE reason... *) v}
+
+    The rule id must be known and the reason is mandatory — a
+    suppression is an audit record. A valid directive silences
+    findings for that rule on the directive's own line and on the line
+    immediately after it (so it can sit at the end of the offending
+    line or on its own line just above). A malformed directive (no
+    reason, unknown rule, wrong verb) is itself an S001 finding and
+    suppresses nothing.
+
+    Directives are recognised by lexing the source with the compiler's
+    lexer, so directive-shaped text inside string literals is
+    ignored. *)
+
+type t
+
+val empty : t
+
+val scan : file:string -> string -> t * Finding.t list
+(** Extract directives from a source text, returning the suppression
+    table plus S001 findings for malformed directives. Never raises:
+    unlexable source yields whatever was recognised before the
+    error (the parse pass reports the error itself). *)
+
+val allows : t -> line:int -> rule:string -> bool

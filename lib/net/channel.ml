@@ -81,7 +81,7 @@ let fan_out t payload =
           Trace.emit t.trace
             (Trace.event ~time:now ~src:t.src
                ~detail:(string_of_int r.id) Trace.Packet_delivered);
-        if t.delay = 0.0 then r.callback ~now payload
+        if Float.equal t.delay 0.0 then r.callback ~now payload
         else
           ignore
             (Engine.schedule t.engine ~after:t.delay (fun engine ->

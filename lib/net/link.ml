@@ -100,7 +100,7 @@ let rec serve_next t =
                    (Trace.event ~time:now ~src:t.src ~value:size
                       Trace.Packet_delivered);
                let payload = packet.Packet.payload in
-               if t.delay = 0.0 then
+               if Float.equal t.delay 0.0 then
                  t.deliver ~now:(Engine.now engine) payload
                else
                  ignore

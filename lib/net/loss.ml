@@ -68,7 +68,7 @@ let mean_rate = function
   | Gilbert g ->
       (* stationary distribution of the two-state chain *)
       let denom = g.p_gb +. g.p_bg in
-      if denom = 0.0 then g.loss_good (* absorbing Good start *)
+      if Float.equal denom 0.0 then g.loss_good (* absorbing Good start *)
       else
         let pi_bad = g.p_gb /. denom in
         ((1.0 -. pi_bad) *. g.loss_good) +. (pi_bad *. g.loss_bad)

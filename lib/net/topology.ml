@@ -492,6 +492,17 @@ type 'a subscriber = {
   mutable s_lost : int;
 }
 
+module Sub_map = Map.Make (Int)
+
+(* Keep a sid list sorted ascending under insertion. Sids are handed
+   out monotonically so this is an append in practice, but the sort
+   invariant — not the allocation sequence — is what delivery order
+   is allowed to depend on. *)
+let rec insert_sid sid = function
+  | [] -> [ sid ]
+  | x :: _ as l when sid < x -> sid :: l
+  | x :: rest -> x :: insert_sid sid rest
+
 let fanout_over t ~root ~attach ~qcap ~rate_bps ?(delay = 0.0) ?on_served
     ~label ~rng ~fetch () =
   if rate_bps <= 0.0 then
@@ -499,22 +510,22 @@ let fanout_over t ~root ~attach ~qcap ~rate_bps ?(delay = 0.0) ?on_served
   if delay < 0.0 then invalid_arg "Topology.fanout: negative delay";
   let overlay_rng = Rng.split t.rng in
   let children = tree_children t ~root in
-  let subs :
-      (int, 'a subscriber) Hashtbl.t =
-    Hashtbl.create 64
-  in
+  let subs : 'a subscriber Sub_map.t ref = ref Sub_map.empty in
   let at_node = Array.make (Array.length t.nodes) [] in
   let next_sid = ref 0 in
   let pipes = Array.make (Array.length t.edges) None in
-  (* Hop delivery: local subscribers first (each through its own
-     last-hop loss process), then flood the child edges. Snapshot
-     semantics as in {!Channel}: the subscriber list for this packet
-     is read once, so callbacks may (un)subscribe freely. *)
+  (* Hop delivery: local subscribers first, in ascending sid order
+     (each through its own last-hop loss process), then flood the
+     child edges. The explicit sid order keeps the per-subscriber
+     loss draws — and hence every golden pin — a function of the
+     subscription history alone. Snapshot semantics as in {!Channel}:
+     the subscriber list for this packet is read once, so callbacks
+     may (un)subscribe freely. *)
   let forward node ~now (inner : 'a Packet.t) =
     let local = at_node.(node) in
     List.iter
       (fun sid ->
-        match Hashtbl.find_opt subs sid with
+        match Sub_map.find_opt sid !subs with
         | None -> ()
         | Some s ->
             if Loss.drop s.s_loss overlay_rng then s.s_lost <- s.s_lost + 1
@@ -571,7 +582,7 @@ let fanout_over t ~root ~attach ~qcap ~rate_bps ?(delay = 0.0) ?on_served
                  if Node.is_up t.nodes.(root) then forward root ~now packet
                  else drop_faulted t ~phase:`Deliver ~src_label:label
                in
-               if delay = 0.0 then emitdone ~now:(Engine.now engine)
+               if Float.equal delay 0.0 then emitdone ~now:(Engine.now engine)
                else
                  ignore
                    (Engine.schedule engine ~after:delay (fun engine ->
@@ -590,29 +601,30 @@ let fanout_over t ~root ~attach ~qcap ~rate_bps ?(delay = 0.0) ?on_served
         incr next_sid;
         let node = attach sid in
         check_node t node "transport.attach";
-        Hashtbl.replace subs sid
-          { sid; s_loss = loss; s_deliver = deliver; s_lost = 0 };
-        at_node.(node) <- at_node.(node) @ [ sid ];
+        subs :=
+          Sub_map.add sid
+            { sid; s_loss = loss; s_deliver = deliver; s_lost = 0 }
+            !subs;
+        at_node.(node) <- insert_sid sid at_node.(node);
         sid);
     f_unsubscribe =
       (fun sid ->
-        match Hashtbl.find_opt subs sid with
-        | None -> ()
-        | Some _ ->
-            Hashtbl.remove subs sid;
-            Array.iteri
-              (fun i l ->
-                if List.mem sid l then
-                  at_node.(i) <- List.filter (fun s -> s <> sid) l)
-              at_node);
-    f_subscriber_count = (fun () -> Hashtbl.length subs);
+        if Sub_map.mem sid !subs then begin
+          subs := Sub_map.remove sid !subs;
+          Array.iteri
+            (fun i l ->
+              if List.mem sid l then
+                at_node.(i) <- List.filter (fun s -> s <> sid) l)
+            at_node
+        end);
+    f_subscriber_count = (fun () -> Sub_map.cardinal !subs);
     f_served =
       (fun () ->
         let _, served, _ = !st in
         served);
     f_receiver_losses =
       (fun sid ->
-        match Hashtbl.find_opt subs sid with
+        match Sub_map.find_opt sid !subs with
         | Some s -> s.s_lost
         | None -> raise Not_found);
     f_utilisation =

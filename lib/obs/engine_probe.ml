@@ -10,13 +10,16 @@ let attach ~obs ?(src = "engine") ?(trace_steps = false) engine =
       float_of_int (Engine.high_water engine));
   (* Wall-clock coupling is measured from the moment of attachment so
      setup cost outside the event loop is excluded. *)
+  (* lint: allow D002 CPU-time anchor for the coupling probes below; read once, never feeds simulation state *)
   let cpu0 = Sys.time () in
   let sim0 = Engine.now engine in
   let fired0 = Engine.events_fired engine in
   Metrics.probe m (src ^ ".wall_s_per_sim_s") (fun ~now ->
       let sim = now -. sim0 in
+      (* lint: allow D002 CPU seconds per simulated second is the quantity this probe reports *)
       if sim <= 0.0 then nan else (Sys.time () -. cpu0) /. sim);
   Metrics.probe m (src ^ ".events_per_wall_s") (fun ~now:_ ->
+      (* lint: allow D002 event throughput against CPU time is the quantity this probe reports *)
       let wall = Sys.time () -. cpu0 in
       if wall <= 0.0 then nan
       else float_of_int (Engine.events_fired engine - fired0) /. wall);

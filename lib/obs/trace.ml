@@ -137,7 +137,8 @@ let to_json ev =
     else base @ [ ("detail", Json.string ev.detail) ]
   in
   let base =
-    if ev.value = 0.0 then base else base @ [ ("v", Json.float ev.value) ]
+    if Float.equal ev.value 0.0 then base
+    else base @ [ ("v", Json.float ev.value) ]
   in
   Json.obj base
 

@@ -32,7 +32,7 @@ let solve a b =
     end;
     for row = col + 1 to n - 1 do
       let factor = a.(row).(col) /. a.(col).(col) in
-      if factor <> 0.0 then begin
+      if not (Float.equal factor 0.0) then begin
         for k = col to n - 1 do
           a.(row).(k) <- a.(row).(k) -. (factor *. a.(col).(k))
         done;

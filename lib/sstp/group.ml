@@ -62,6 +62,7 @@ let prune_heard t now =
   if Hashtbl.length t.heard > 8192 then begin
     let cutoff = now -. (4.0 *. t.config.nack_slot) in
     let stale =
+      (* lint: allow D003 commutative: collects a stale set for removal; order never escapes *)
       Hashtbl.fold
         (fun tag time acc -> if time < cutoff then tag :: acc else acc)
         t.heard []

@@ -123,6 +123,7 @@ let purge_outstanding_under t path =
   let prefix_q = "q:" ^ Path.to_string path in
   let prefix_n = "n:" ^ Path.to_string path in
   let doomed =
+    (* lint: allow D003 commutative: collects an unordered purge set; order never escapes *)
     Hashtbl.fold
       (fun tag _ acc ->
         let covers prefix =

@@ -10,7 +10,7 @@ let exponential g ~rate =
 
 let geometric g ~p =
   if p <= 0.0 || p > 1.0 then invalid_arg "Dist.geometric: p must be in (0,1]";
-  if p = 1.0 then 1
+  if Float.equal p 1.0 then 1
   else
     let u = Rng.float g in
     1 + int_of_float (floor (log (1.0 -. u) /. log (1.0 -. p)))
@@ -18,7 +18,7 @@ let geometric g ~p =
 let normal g ~mean ~std =
   let rec draw () =
     let u1 = Rng.float g in
-    if u1 = 0.0 then draw ()
+    if Float.equal u1 0.0 then draw ()
     else
       let u2 = Rng.float g in
       sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
@@ -27,7 +27,7 @@ let normal g ~mean ~std =
 
 let poisson g ~mean =
   if mean < 0.0 then invalid_arg "Dist.poisson: mean must be non-negative";
-  if mean = 0.0 then 0
+  if Float.equal mean 0.0 then 0
   else if mean > 60.0 then
     (* normal approximation with continuity correction *)
     let x = normal g ~mean ~std:(sqrt mean) in

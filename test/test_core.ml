@@ -703,7 +703,17 @@ let test_run_many_single_replication_matches_run () =
    to existing configurations. These hex literals were captured from
    the direct Link/Pipe/Channel implementation; any drift in RNG split
    order, event ordering or transport plumbing shows up as a bitwise
-   mismatch here. *)
+   mismatch here.
+
+   Pin provenance note (determinism-lint PR): Topology fanout now
+   delivers to subscribers in explicit ascending-sid order (Sub_map +
+   sorted at_node lists) instead of relying on registration-order
+   lists over a Hashtbl registry, and Table.random_key samples a
+   swap-remove key array instead of walking Hashtbl.iter to the
+   target index. Both changes were verified byte-identical against
+   these pins (sids were already handed out ascending, and the pinned
+   configurations draw no update targets), so the hex literals below
+   did not need regeneration. *)
 
 let render_golden (r : Experiment.result) =
   Printf.sprintf

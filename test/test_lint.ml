@@ -1,0 +1,220 @@
+(* Tests for the determinism lint: one inline fixture per rule
+   asserting the finding's rule id and file:line:col, per-directory
+   scoping, the suppression grammar (a reason is mandatory), and the
+   JSON report format round-tripping through Softstate_obs.Json.
+
+   Fixtures live in string literals, so linting this test file itself
+   sees only constants — the directives inside them are real comments
+   only when the fixture text is scanned. *)
+
+module Lint = Softstate_lint
+module Driver = Lint.Driver
+module Finding = Lint.Finding
+module Rules = Lint.Rules
+module Json = Softstate_obs.Json
+
+let scan ?(file = "lib/core/fixture.ml") src = Driver.scan_source ~file src
+let rule_ids fs = List.map (fun f -> f.Finding.rule) fs
+
+let at rule fs =
+  List.filter_map
+    (fun f ->
+      if f.Finding.rule = rule then Some (f.Finding.line, f.Finding.col)
+      else None)
+    fs
+
+let loc = Alcotest.(list (pair int int))
+
+(* ---- the rule battery ---- *)
+
+let test_d001 () =
+  let fs = scan "let seed () =\n  Random.self_init ()\n" in
+  Alcotest.check loc "fires at the call site" [ (2, 2) ] (at "D001" fs);
+  let fs = scan "module R = Random\n" in
+  Alcotest.(check bool) "module alias flagged" true
+    (List.mem "D001" (rule_ids fs));
+  let fs = scan "let b = Stdlib.Random.bool ()\n" in
+  Alcotest.(check bool) "Stdlib-qualified flagged" true
+    (List.mem "D001" (rule_ids fs));
+  let fs =
+    Driver.scan_source ~file:"lib/util/rng.ml" "let x = Random.bits ()\n"
+  in
+  Alcotest.check loc "rng.ml is the blessed sink" [] (at "D001" fs)
+
+let test_d002 () =
+  let src = "let now () = Unix.gettimeofday ()\n" in
+  let fs = Driver.scan_source ~file:"lib/obs/probe.ml" src in
+  Alcotest.check loc "fires in lib" [ (1, 13) ] (at "D002" fs);
+  let fs = Driver.scan_source ~file:"bench/wall.ml" src in
+  Alcotest.check loc "bench is exempt by directory config" []
+    (at "D002" fs);
+  let fs = scan "let cpu = Sys.time ()\n" in
+  Alcotest.check loc "Sys.time too" [ (1, 10) ] (at "D002" fs)
+
+let test_d003 () =
+  let src = "let count h = Hashtbl.fold (fun _ _ n -> n + 1) h 0\n" in
+  let fs = Driver.scan_source ~file:"lib/net/x.ml" src in
+  Alcotest.check loc "fires in lib/net" [ (1, 14) ] (at "D003" fs);
+  let fs = Driver.scan_source ~file:"lib/sched/x.ml" src in
+  Alcotest.check loc "lib/sched is out of D003 scope" [] (at "D003" fs);
+  let fs =
+    Driver.scan_source ~file:"lib/sstp/x.ml"
+      "let visit h f = Hashtbl.iter f h\n"
+  in
+  Alcotest.check loc "iter in lib/sstp" [ (1, 16) ] (at "D003" fs)
+
+let test_d004 () =
+  let fs = scan "let z x = x = 1.0\n" in
+  Alcotest.check loc "float literal operand" [ (1, 10) ] (at "D004" fs);
+  let fs = scan "let z x y = x <> y *. 2.0\n" in
+  Alcotest.check loc "float-operator operand" [ (1, 12) ] (at "D004" fs);
+  let fs = scan "let z x y = compare (x +. y) 0.5\n" in
+  Alcotest.check loc "polymorphic compare" [ (1, 12) ] (at "D004" fs);
+  let fs = scan "let z x = Float.equal x 1.0\nlet c = Float.compare 1.0\n" in
+  Alcotest.check loc "Float.equal/compare are the fix" [] (at "D004" fs);
+  let fs = scan "let z x = x = 1\n" in
+  Alcotest.check loc "integer comparison untouched" [] (at "D004" fs)
+
+let test_d005 () =
+  let fs = scan "let f l = List.hd l\n" in
+  Alcotest.check loc "List.hd" [ (1, 10) ] (at "D005" fs);
+  let fs = scan "let g o = Option.get o\nlet h x = Obj.magic x\n" in
+  Alcotest.check loc "Option.get and Obj.magic" [ (1, 10); (2, 10) ]
+    (at "D005" fs);
+  let fs = Driver.scan_source ~file:"bench/x.ml" "let f l = List.hd l\n" in
+  Alcotest.check loc "lib-only rule" [] (at "D005" fs)
+
+let test_m001 () =
+  let fs =
+    Driver.missing_mli
+      [ "lib/core/foo.ml"; "lib/core/foo.mli"; "lib/core/bar.ml";
+        "bin/main.ml"; "test/test_x.ml" ]
+  in
+  Alcotest.(check (list string))
+    "only the uncovered lib module" [ "lib/core/bar.ml" ]
+    (List.map (fun f -> f.Finding.file) fs);
+  Alcotest.(check (list string)) "as M001" [ "M001" ] (rule_ids fs)
+
+let test_e001 () =
+  let fs = scan "let = = =\n" in
+  Alcotest.(check (list string)) "unparseable is a finding" [ "E001" ]
+    (rule_ids fs)
+
+(* ---- suppressions ---- *)
+
+let test_suppression_silences () =
+  let src =
+    "let now () =\n\
+    \  (* lint: allow D002 probe measures CPU coupling on purpose *)\n\
+    \  Unix.gettimeofday ()\n"
+  in
+  Alcotest.(check (list string))
+    "preceding-line directive silences" []
+    (rule_ids (Driver.scan_source ~file:"lib/obs/p.ml" src));
+  let src =
+    "let now () = Sys.time () (* lint: allow D002 cpu probe by design *)\n"
+  in
+  Alcotest.(check (list string))
+    "same-line directive silences" []
+    (rule_ids (Driver.scan_source ~file:"lib/obs/p.ml" src));
+  let src =
+    "let a () = Sys.time ()\n\
+     (* lint: allow D002 only covers its own and the next line *)\n\
+     let b () = Sys.time ()\n\
+     let c () = Sys.time ()\n"
+  in
+  Alcotest.check loc "scope is directive line + 1"
+    [ (1, 11); (4, 11) ]
+    (at "D002" (Driver.scan_source ~file:"lib/obs/p.ml" src))
+
+let test_suppression_needs_reason () =
+  let src = "let now () =\n  (* lint: allow D002 *)\n  Sys.time ()\n" in
+  let fs = Driver.scan_source ~file:"lib/obs/p.ml" src in
+  Alcotest.check loc "reasonless directive is an S001 finding" [ (2, 2) ]
+    (at "S001" fs);
+  Alcotest.check loc "and it suppresses nothing" [ (3, 2) ] (at "D002" fs)
+
+let test_suppression_unknown_rule () =
+  let src = "(* lint: allow D999 sounds legit *)\nlet x = 1\n" in
+  let fs = scan src in
+  Alcotest.check loc "unknown rule id is an S001 finding" [ (1, 0) ]
+    (at "S001" fs)
+
+let test_directive_in_string_ignored () =
+  let src = "let s = \"(* lint: allow D002 *)\"\n" in
+  Alcotest.(check (list string))
+    "directive text inside a string literal is not a directive" []
+    (rule_ids (scan src))
+
+(* ---- report formats ---- *)
+
+let test_json_roundtrip () =
+  let fs = scan "let z x = x = 1.0\nlet f l = List.hd l\n" in
+  Alcotest.(check int) "two findings" 2 (List.length fs);
+  List.iter2
+    (fun line f ->
+      match Json.parse_flat line with
+      | Error e -> Alcotest.failf "unparseable JSON line %s: %s" line e
+      | Ok kvs ->
+          let str k =
+            match Json.member k kvs with
+            | Some (Json.String s) -> s
+            | _ -> Alcotest.failf "missing string field %s in %s" k line
+          in
+          let num k =
+            match Json.member k kvs with
+            | Some (Json.Number n) -> int_of_float n
+            | _ -> Alcotest.failf "missing number field %s in %s" k line
+          in
+          Alcotest.(check string) "file" f.Finding.file (str "file");
+          Alcotest.(check int) "line" f.Finding.line (num "line");
+          Alcotest.(check int) "col" f.Finding.col (num "col");
+          Alcotest.(check string) "rule" f.Finding.rule (str "rule");
+          Alcotest.(check string) "message" f.Finding.message (str "message"))
+    (Driver.render Driver.Json fs)
+    fs
+
+let test_text_format () =
+  let fs = scan "let z x = x = 1.0\n" in
+  match Driver.render Driver.Text fs with
+  | [ line ] ->
+      Alcotest.(check bool) "file:line:col prefix" true
+        (String.length line > 24
+        && String.sub line 0 24 = "lib/core/fixture.ml:1:10")
+  | other ->
+      Alcotest.failf "expected one text line, got %d" (List.length other)
+
+let test_catalogue () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Rules.id ^ " has hint and explain")
+        true
+        (r.Rules.hint <> "" && r.Rules.explain <> ""))
+    Rules.all;
+  Alcotest.(check bool) "find knows D003" true (Rules.is_known "D003");
+  Alcotest.(check bool) "find rejects D999" false (Rules.is_known "D999")
+
+let () =
+  Alcotest.run "softstate_lint"
+    [ ( "rules",
+        [ Alcotest.test_case "D001 ambient randomness" `Quick test_d001;
+          Alcotest.test_case "D002 wall clock" `Quick test_d002;
+          Alcotest.test_case "D003 hashtbl order" `Quick test_d003;
+          Alcotest.test_case "D004 float compare" `Quick test_d004;
+          Alcotest.test_case "D005 partial/magic" `Quick test_d005;
+          Alcotest.test_case "M001 missing mli" `Quick test_m001;
+          Alcotest.test_case "E001 parse error" `Quick test_e001 ] );
+      ( "suppressions",
+        [ Alcotest.test_case "valid directive silences" `Quick
+            test_suppression_silences;
+          Alcotest.test_case "reason is mandatory" `Quick
+            test_suppression_needs_reason;
+          Alcotest.test_case "unknown rule rejected" `Quick
+            test_suppression_unknown_rule;
+          Alcotest.test_case "strings are not directives" `Quick
+            test_directive_in_string_ignored ] );
+      ( "reports",
+        [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "text format" `Quick test_text_format;
+          Alcotest.test_case "rule catalogue" `Quick test_catalogue ] ) ]
