@@ -94,4 +94,15 @@ let run () =
          ("tracing_overhead", Json.float traced_overhead) ]);
   output_char oc '\n';
   close_out oc;
-  print_endline "wrote BENCH_obs.json"
+  print_endline "wrote BENCH_obs.json";
+  (* CI gate (OBS_GATE=1): an attached-but-untraced obs context must
+     stay within +3% of the bare run — the contract every new emit
+     site is written against (hoist the [traced] check, build no
+     event). Local runs are not gated: a busy laptop produces noise
+     this threshold would misread. *)
+  if Sys.getenv_opt "OBS_GATE" <> None && null_overhead > 0.03 then begin
+    Printf.eprintf
+      "FAIL: attached-but-untraced overhead %+.1f%% exceeds the +3%% gate\n"
+      (100.0 *. null_overhead);
+    exit 1
+  end

@@ -343,12 +343,32 @@ let run () =
   let s1, wall1 =
     timed (fun () -> fst (E.run_many ~jobs:1 ~replications:reps sweep_cfg))
   in
+  let domain_stats = ref None in
   let sn, walln =
-    timed (fun () -> fst (E.run_many ~jobs:!jobs ~replications:reps sweep_cfg))
+    timed (fun () ->
+        fst
+          (E.run_many ~jobs:!jobs ~replications:reps
+             ~domain_report:(fun s -> domain_stats := Some s)
+             sweep_cfg))
   in
   let par_speedup = wall1 /. walln in
   Printf.printf "sweep        jobs 1: %.3f s   jobs %d: %.3f s   speedup %.2fx\n"
     wall1 !jobs walln par_speedup;
+  (* per-domain attribution: a disappointing speedup is either skew
+     (one domain's wall dwarfs the rest, balance -> 1) or a shared
+     bottleneck (balanced domains that are all slow) *)
+  let module PS = Softstate_sim.Parallel.Stats in
+  (match !domain_stats with
+  | None -> ()
+  | Some st ->
+      Array.iter
+        (fun (d : PS.domain) ->
+          Printf.printf "sweep        domain %d: %2d tasks  %.3f s\n"
+            d.PS.index d.PS.tasks d.PS.wall_s)
+        st.PS.domains;
+      Printf.printf
+        "sweep        balance %.2f of %d (busy-sum / slowest; %d = even)\n"
+        (PS.balance st) st.PS.jobs st.PS.jobs);
   (* polymorphic [compare] treats nan as equal to itself *)
   if compare s1 sn <> 0 then begin
     prerr_endline "FAIL: summaries differ between jobs 1 and jobs N";
@@ -400,7 +420,28 @@ let run () =
          ("sweep_jobs", Json.int !jobs);
          ("sweep_wall_jobs1_s", Json.float wall1);
          ("sweep_wall_jobsN_s", Json.float walln);
-         ("sweep_speedup", Json.float par_speedup) ]);
+         ("sweep_speedup", Json.float par_speedup);
+         ("sweep_domain_tasks",
+          Json.list
+            (match !domain_stats with
+            | None -> []
+            | Some st ->
+                Array.to_list
+                  (Array.map (fun (d : PS.domain) -> Json.int d.PS.tasks)
+                     st.PS.domains)));
+         ("sweep_domain_wall_s",
+          Json.list
+            (match !domain_stats with
+            | None -> []
+            | Some st ->
+                Array.to_list
+                  (Array.map (fun (d : PS.domain) -> Json.float d.PS.wall_s)
+                     st.PS.domains)));
+         ("sweep_balance",
+          Json.float
+            (match !domain_stats with
+            | None -> nan
+            | Some st -> PS.balance st)) ]);
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" out

@@ -1,0 +1,230 @@
+(* Offline trace analyzer: lifecycle tables, staleness/latency
+   percentiles, NACK-backlog series and fault attribution from a JSONL
+   trace (as written by --trace FILE on the simulation front ends).
+
+     dune exec bin/obs_analyze_cli.exe -- run.jsonl
+     dune exec bin/obs_analyze_cli.exe -- run.jsonl --keys --bucket 5
+     dune exec bin/obs_analyze_cli.exe -- a.jsonl b.jsonl   # A/B diff
+
+   With two traces the report becomes a side-by-side diff of the
+   headline quantities — the tool for "did this change make repair
+   faster?". *)
+
+open Cmdliner
+module Trace = Softstate_obs.Trace
+module Lifecycle = Softstate_obs.Lifecycle
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let load path =
+  match Lifecycle.of_jsonl path with
+  | Ok t -> t
+  | Error e -> fail "%s: %s" path e
+
+let fs v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.3f" v
+
+let fopt = function None -> "-" | Some v -> Printf.sprintf "%.3f" v
+
+let percentile_row name values =
+  let p q = Lifecycle.percentile values q in
+  Printf.printf "  %-18s %8s %8s %8s %8s  (n=%d)\n" name
+    (fs (p 0.5)) (fs (p 0.9)) (fs (p 0.99)) (fs (p 1.0))
+    (List.length values)
+
+let print_percentiles t =
+  Printf.printf "latency percentiles (s)  %8s %8s %8s %8s\n" "p50" "p90"
+    "p99" "max";
+  percentile_row "time-to-consistency" (Lifecycle.ttc_values t);
+  percentile_row "repair" (Lifecycle.repair_latency_values t)
+
+let print_overview path t =
+  let keys = Lifecycle.keys t in
+  let stalled = List.length (Lifecycle.stalest t) in
+  Printf.printf "%s: %d events, %d keys, horizon %.3f s, %d stalled key%s\n"
+    path
+    (Array.length (Lifecycle.events t))
+    (List.length keys) (Lifecycle.horizon t) stalled
+    (if stalled = 1 then "" else "s")
+
+let print_keys t =
+  Printf.printf "\n%-24s %5s %5s %5s %5s %5s %5s %9s %9s\n" "key" "ann"
+    "ref" "rep" "nack" "qry" "rm" "first_del" "ttc_s";
+  List.iter
+    (fun (k : Lifecycle.key_stats) ->
+      Printf.printf "%-24s %5d %5d %5d %5d %5d %5d %9s %9s\n" k.Lifecycle.key
+        k.Lifecycle.announces k.Lifecycle.refreshes k.Lifecycle.repairs
+        k.Lifecycle.nacks k.Lifecycle.queries k.Lifecycle.removes
+        (fopt k.Lifecycle.first_delivery)
+        (fopt k.Lifecycle.time_to_consistency))
+    (Lifecycle.keys t)
+
+let print_stalls t ~top =
+  match Lifecycle.stalest t with
+  | [] -> ()
+  | stalled ->
+      Printf.printf "\ncritical path of stale keys (worst %d):\n"
+        (min top (List.length stalled));
+      List.iteri
+        (fun i (k : Lifecycle.key_stats) ->
+          if i < top then
+            List.iter
+              (fun (s : Lifecycle.stall) ->
+                let dur = Lifecycle.stall_duration t s in
+                let culprits =
+                  match s.Lifecycle.culprits with
+                  | [] -> "no link recorded down"
+                  | cs ->
+                      String.concat ", "
+                        (List.map
+                           (fun (c : Lifecycle.culprit) ->
+                             Printf.sprintf "link %s down [%.1f s..%s]"
+                               c.Lifecycle.link c.Lifecycle.down_at
+                               (match c.Lifecycle.up_at with
+                               | Some u -> Printf.sprintf "%.1f s" u
+                               | None -> "end"))
+                           cs)
+                in
+                Printf.printf
+                  "  key %s stale %.3f s: packet %d dropped at %.3f s on %s \
+                   (hop %d); %s; %s\n"
+                  k.Lifecycle.key dur s.Lifecycle.packet s.Lifecycle.dropped_at
+                  s.Lifecycle.drop_src s.Lifecycle.drop_hop culprits
+                  (match s.Lifecycle.recovered_at with
+                  | Some r -> Printf.sprintf "recovered at %.3f s" r
+                  | None -> "never recovered"))
+              k.Lifecycle.stalls)
+        stalled
+
+let print_series t ~bucket =
+  Printf.printf "\nNACK backlog over time (bucket %.1f s):\n" bucket;
+  Printf.printf "  %10s %7s %7s %11s\n" "t_start" "nacks" "repairs"
+    "outstanding";
+  List.iter
+    (fun (p : Lifecycle.depth_point) ->
+      Printf.printf "  %10.1f %7d %7d %11d\n" p.Lifecycle.bucket_start
+        p.Lifecycle.nacks p.Lifecycle.repairs p.Lifecycle.outstanding)
+    (Lifecycle.nack_depth_series t ~bucket)
+
+let print_chain t pkt =
+  match Lifecycle.chain t pkt with
+  | [] -> Printf.printf "\npacket %d: no events\n" pkt
+  | evs ->
+      Printf.printf "\ncausal chain of packet %d:\n" pkt;
+      List.iter
+        (fun (ev : Trace.event) ->
+          let tag name v =
+            if v = Trace.no_id then "" else Printf.sprintf " %s=%d" name v
+          in
+          Printf.printf "  %10.3f %-16s %-16s %s%s%s%s\n" ev.Trace.time
+            ev.Trace.src
+            (Trace.kind_to_string ev.Trace.kind)
+            ev.Trace.detail (tag "key" ev.Trace.key) (tag "hop" ev.Trace.hop)
+            (tag "parent" ev.Trace.parent))
+        evs
+
+(* -------------------------------------------------------------- *)
+(* A/B diff *)
+
+let diff_line name va vb =
+  let delta =
+    if Float.is_nan va || Float.is_nan vb then "-"
+    else Printf.sprintf "%+.3f" (vb -. va)
+  in
+  Printf.printf "  %-26s %10s %10s %10s\n" name (fs va) (fs vb) delta
+
+let print_diff (path_a, a) (path_b, b) =
+  Printf.printf "\nA/B diff: A=%s B=%s\n" path_a path_b;
+  Printf.printf "  %-26s %10s %10s %10s\n" "quantity" "A" "B" "B-A";
+  let count f t = float_of_int (f t) in
+  let total get t =
+    float_of_int
+      (List.fold_left (fun acc k -> acc + get k) 0 (Lifecycle.keys t))
+  in
+  diff_line "events"
+    (count (fun t -> Array.length (Lifecycle.events t)) a)
+    (count (fun t -> Array.length (Lifecycle.events t)) b);
+  diff_line "keys"
+    (count (fun t -> List.length (Lifecycle.keys t)) a)
+    (count (fun t -> List.length (Lifecycle.keys t)) b);
+  diff_line "stalled keys"
+    (count (fun t -> List.length (Lifecycle.stalest t)) a)
+    (count (fun t -> List.length (Lifecycle.stalest t)) b);
+  diff_line "nacks"
+    (total (fun k -> k.Lifecycle.nacks) a)
+    (total (fun k -> k.Lifecycle.nacks) b);
+  diff_line "repairs"
+    (total (fun k -> k.Lifecycle.repairs) a)
+    (total (fun k -> k.Lifecycle.repairs) b);
+  List.iter
+    (fun q ->
+      diff_line
+        (Printf.sprintf "ttc p%g (s)" (q *. 100.0))
+        (Lifecycle.percentile (Lifecycle.ttc_values a) q)
+        (Lifecycle.percentile (Lifecycle.ttc_values b) q);
+      diff_line
+        (Printf.sprintf "repair p%g (s)" (q *. 100.0))
+        (Lifecycle.percentile (Lifecycle.repair_latency_values a) q)
+        (Lifecycle.percentile (Lifecycle.repair_latency_values b) q))
+    [ 0.5; 0.9; 0.99 ]
+
+(* -------------------------------------------------------------- *)
+
+let run traces keys bucket top chain =
+  match traces with
+  | [] -> fail "expected a JSONL trace file (see --help)"
+  | [ path ] ->
+      let t = load path in
+      print_overview path t;
+      print_percentiles t;
+      if keys then print_keys t;
+      print_stalls t ~top;
+      (match bucket with Some b -> print_series t ~bucket:b | None -> ());
+      (match chain with Some p -> print_chain t p | None -> ())
+  | [ path_a; path_b ] ->
+      let a = load path_a and b = load path_b in
+      print_overview path_a a;
+      print_overview path_b b;
+      print_diff (path_a, a) (path_b, b)
+  | _ -> fail "expected one trace (report) or two traces (A/B diff)"
+
+let traces_arg =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"TRACE"
+        ~doc:
+          "JSONL trace file(s). One: lifecycle report. Two: A/B diff of \
+           the headline quantities.")
+
+let keys_arg =
+  Arg.(
+    value & flag
+    & info [ "keys" ] ~doc:"Print the full per-key lifecycle table.")
+
+let bucket_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "bucket" ] ~docv:"SECONDS"
+        ~doc:"Print the NACK-backlog-over-time series with this bucket width.")
+
+let top_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "top" ] ~docv:"N"
+        ~doc:"How many stale keys to show in the critical-path section.")
+
+let chain_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chain" ] ~docv:"PACKET"
+        ~doc:"Print the causal chain of one packet id.")
+
+let cmd =
+  let doc = "analyse a softstate simulation trace" in
+  Cmd.v
+    (Cmd.info "obs_analyze_cli" ~doc)
+    Term.(const run $ traces_arg $ keys_arg $ bucket_arg $ top_arg $ chain_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -11,11 +11,15 @@
    and recovery are the whole point: hard state would have needed
    explicit resynchronisation.
 
-   Run with:  dune exec examples/partition_recovery.exe *)
+   Run with:  dune exec examples/partition_recovery.exe
+   Pass a file name to also write the causal JSONL trace for
+   obs_analyze_cli:  dune exec examples/partition_recovery.exe -- run.jsonl *)
 
 module Engine = Softstate_sim.Engine
 module Net = Softstate_net
 module Rng = Softstate_util.Rng
+module Obs = Softstate_obs.Obs
+module Trace = Softstate_obs.Trace
 module Group = Sstp.Group
 
 let bar width v =
@@ -23,9 +27,18 @@ let bar width v =
   String.make n '#' ^ String.make (width - n) '.'
 
 let () =
+  let trace_out =
+    if Array.length Sys.argv > 1 then Some (open_out Sys.argv.(1)) else None
+  in
+  let obs =
+    match trace_out with
+    | Some oc -> Obs.create ~trace:(Trace.jsonl_writer (output_string oc)) ()
+    | None -> Obs.create ()
+  in
   let engine = Engine.create () in
   let topo =
-    Net.Topology.kary_tree ~engine ~rng:(Rng.create 21) ~rate_bps:128_000.0
+    Net.Topology.kary_tree ~obs ~engine ~rng:(Rng.create 21)
+      ~rate_bps:128_000.0
       ~loss:(fun () -> Net.Loss.bernoulli 0.05)
       ~arity:2 ~depth:2 ()
   in
@@ -42,7 +55,7 @@ let () =
       Group.summary_period = 0.5 }
   in
   let group =
-    Group.create
+    Group.create ~obs
       ~transport:(Net.Topology.transport topo)
       ~engine ~rng:(Rng.create 22) ~config ~members:6 ()
   in
@@ -86,4 +99,10 @@ let () =
     (Group.min_consistency group)
     (Group.converged group)
     (Net.Topology.fault_transitions topo)
-    (Net.Topology.fault_drops topo)
+    (Net.Topology.fault_drops topo);
+  match trace_out with
+  | Some oc ->
+      close_out oc;
+      Printf.printf "trace written to %s (analyse with obs_analyze_cli)\n"
+        Sys.argv.(1)
+  | None -> ()

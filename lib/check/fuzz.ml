@@ -1,5 +1,6 @@
 module Rng = Softstate_util.Rng
 module Json = Softstate_obs.Json
+module Trace = Softstate_obs.Trace
 
 type failure = {
   index : int;
@@ -8,6 +9,7 @@ type failure = {
   shrunk : Scenario.t;
   shrunk_violations : Oracle.violation list;
   shrink_runs : int;
+  flight : Trace.event list;
 }
 
 type stats = {
@@ -59,7 +61,10 @@ let failure_to_json f =
       ("shrunk", Json.string (Scenario.to_string f.shrunk));
       ("shrunk_violations", violations_json f.shrunk_violations);
       ("shrink_runs", Json.int f.shrink_runs);
-      ("reproducer", Json.string (reproducer f)) ]
+      ("reproducer", Json.string (reproducer f));
+      (* the shrunk rerun's flight recorder: the last events before
+         measurement stopped, each already a JSON object line *)
+      ("flight", Json.list (List.map Trace.to_json f.flight)) ]
 
 let run ?corrupt ?(oracles = []) ?(max_shrink = 200) ?log ?on_progress ~seed
     ~count () =
@@ -83,10 +88,11 @@ let run ?corrupt ?(oracles = []) ?(max_shrink = 200) ?log ?on_progress ~seed
             Shrink.shrink ~fails ~max_runs:max_shrink scenario
           in
           incr runs;
-          let shrunk_violations = Oracle.check battery (rerun shrunk) in
+          let shrunk_outcome = rerun shrunk in
+          let shrunk_violations = Oracle.check battery shrunk_outcome in
           let failure =
             { index; scenario; violations; shrunk; shrunk_violations;
-              shrink_runs }
+              shrink_runs; flight = shrunk_outcome.Scenario.flight }
           in
           failures := failure :: !failures;
           Option.iter (fun f -> f (failure_to_json failure ^ "\n")) log);

@@ -13,6 +13,9 @@ type failure = {
   shrunk : Scenario.t;               (** locally minimal failing form *)
   shrunk_violations : Oracle.violation list;
   shrink_runs : int;                 (** candidate executions spent *)
+  flight : Softstate_obs.Trace.event list;
+      (** flight-recorder dump from the shrunk scenario's rerun: the
+          last few hundred trace events before measurement stopped *)
 }
 
 type stats = {
@@ -59,4 +62,4 @@ val reproducer : failure -> string
 
 val failure_to_json : failure -> string
 (** One-line JSON object (index, scenario, violations, shrunk form,
-    reproducer). *)
+    reproducer, flight-recorder event dump). *)

@@ -567,25 +567,29 @@ type outcome = {
   horizon : float;
   events : Trace.event list;
   events_dropped : int;
+  flight : Trace.event list;
   metrics : (string * Metrics.value) list;
 }
 
 let trace_capacity = 1 lsl 19
 
-(* Engine_probe exports wall-clock performance ratios; everything
-   else in a snapshot is a pure function of the simulation, which is
-   what makes outcomes comparable across replays. *)
+(* Engine_probe exports wall-clock performance ratios and the
+   profiler wall-clock counters; everything else in a snapshot is a
+   pure function of the simulation, which is what makes outcomes
+   comparable across replays. *)
 let sim_metrics metrics ~now =
   List.filter
     (fun (name, _) ->
       not
         (String.ends_with ~suffix:"wall_s_per_sim_s" name
-        || String.ends_with ~suffix:"events_per_wall_s" name))
+        || String.ends_with ~suffix:"events_per_wall_s" name
+        || String.starts_with ~prefix:"profile." name))
     (Metrics.snapshot metrics ~now)
 
 let run_core scenario config =
   let sink = Trace.memory ~capacity:trace_capacity () in
-  let obs = Obs.create ~trace:sink () in
+  let recorder = Trace.recorder () in
+  let obs = Obs.create ~trace:(Trace.tee [ sink; recorder ]) () in
   let config = { config with Experiment.obs = Some obs; record_series = true } in
   let result = Experiment.run config in
   { scenario;
@@ -593,6 +597,7 @@ let run_core scenario config =
     horizon = config.Experiment.duration;
     events = Trace.events sink;
     events_dropped = Trace.overwritten sink;
+    flight = Trace.recent recorder;
     metrics = sim_metrics (Obs.metrics obs) ~now:config.Experiment.duration }
 
 let sstp_path i = Printf.sprintf "grp%d/item%d" (i mod 4) i
@@ -602,7 +607,8 @@ let grace_max = 300.0
 
 let run_sstp scenario s =
   let sink = Trace.memory ~capacity:trace_capacity () in
-  let obs = Obs.create ~trace:sink () in
+  let recorder = Trace.recorder () in
+  let obs = Obs.create ~trace:(Trace.tee [ sink; recorder ]) () in
   let engine = Engine.create () in
   let rng = Rng.create s.s_seed in
   let config =
@@ -662,6 +668,7 @@ let run_sstp scenario s =
     horizon;
     events = Trace.events sink;
     events_dropped = Trace.overwritten sink;
+    flight = Trace.recent recorder;
     metrics = sim_metrics (Obs.metrics obs) ~now:horizon }
 
 let run = function

@@ -78,6 +78,10 @@ type outcome = {
       (** memory-trace contents, oldest first *)
   events_dropped : int;
       (** ring overwrites; trace-based oracles skip when non-zero *)
+  flight : Softstate_obs.Trace.event list;
+      (** flight-recorder contents: the last few hundred events before
+          measurement stopped, oldest first — the black box the fuzzer
+          dumps into its failure log when an oracle fires *)
   metrics : (string * Softstate_obs.Metrics.value) list;
 }
 

@@ -398,28 +398,36 @@ let combine_metric n vs =
         List.map
           (fun v ->
             match v with
-            | Metrics.Dist { count; mean; p50; p90; p99 } ->
-                (count, mean, p50, p90, p99)
+            | Metrics.Dist { count; mean; p50; p90; p99; underflow; overflow }
+              ->
+                (count, mean, p50, p90, p99, underflow, overflow)
             | _ -> fail ())
           vs
       in
-      let total = List.fold_left (fun acc (c, _, _, _, _) -> acc + c) 0 dists in
+      let total =
+        List.fold_left (fun acc (c, _, _, _, _, _, _) -> acc + c) 0 dists
+      in
       let wmean field =
         if total = 0 then 0.0
         else
           List.fold_left
             (fun acc d ->
-              let (c, _, _, _, _) = d in
+              let (c, _, _, _, _, _, _) = d in
               acc +. (float_of_int c *. field d))
             0.0 dists
           /. float_of_int total
       in
+      let isum field =
+        List.fold_left (fun acc d -> acc + field d) 0 dists
+      in
       Metrics.Dist
         { count = total;
-          mean = wmean (fun (_, m, _, _, _) -> m);
-          p50 = wmean (fun (_, _, p, _, _) -> p);
-          p90 = wmean (fun (_, _, _, p, _) -> p);
-          p99 = wmean (fun (_, _, _, _, p) -> p) }
+          mean = wmean (fun (_, m, _, _, _, _, _) -> m);
+          p50 = wmean (fun (_, _, p, _, _, _, _) -> p);
+          p90 = wmean (fun (_, _, _, p, _, _, _) -> p);
+          p99 = wmean (fun (_, _, _, _, p, _, _) -> p);
+          underflow = isum (fun (_, _, _, _, _, u, _) -> u);
+          overflow = isum (fun (_, _, _, _, _, _, o) -> o) }
 
 let merge_snapshots snaps =
   match snaps with
@@ -489,12 +497,13 @@ let summarise ~metrics results =
     stale_purged = !stale_purged;
     metrics }
 
-let run_many ?(jobs = 1) ?(with_metrics = false) ~replications config =
+let run_many ?(jobs = 1) ?(with_metrics = false) ?domain_report ~replications
+    config =
   if replications < 1 then
     invalid_arg "Experiment.run_many: replications must be positive";
   let seeds = replication_seeds config replications in
   let outcomes =
-    Parallel.map ~jobs replications (fun i ->
+    Parallel.map ~jobs ?report:domain_report replications (fun i ->
         (* each replication is self-contained: own seed, own obs
            context, no shared series buffers *)
         let obs = if with_metrics then Some (Softstate_obs.Obs.create ()) else None in
@@ -520,7 +529,7 @@ let run_many ?(jobs = 1) ?(with_metrics = false) ~replications config =
   in
   (summarise ~metrics results, results)
 
-let run_grid ?(jobs = 1) configs =
+let run_grid ?(jobs = 1) ?domain_report configs =
   let effective =
     if jobs <= 0 then Parallel.recommended_jobs () else jobs
   in
@@ -529,7 +538,8 @@ let run_grid ?(jobs = 1) configs =
        configs that will run on helper domains *)
     if effective > 1 then { c with obs = None } else c
   in
-  Parallel.map_list ~jobs configs (fun c -> run (prepare c))
+  Parallel.map_list ~jobs ?report:domain_report configs (fun c ->
+      run (prepare c))
 
 let summary_report ~config s =
   let module R = Softstate_obs.Report in

@@ -155,7 +155,11 @@ type summary = {
 }
 
 val run_many :
-  ?jobs:int -> ?with_metrics:bool -> replications:int -> config ->
+  ?jobs:int ->
+  ?with_metrics:bool ->
+  ?domain_report:(Softstate_sim.Parallel.Stats.t -> unit) ->
+  replications:int ->
+  config ->
   summary * result array
 (** [run_many ~jobs ~replications config] runs [replications]
     independent copies of [config] (per-replication seeds derived from
@@ -163,13 +167,20 @@ val run_many :
     each replication gets its own fresh obs context when
     [with_metrics] is set). [jobs <= 0] uses all recommended domains.
     Returns the deterministic merged summary plus the per-replication
-    results in index order. *)
+    results in index order. [domain_report] receives the fan-out's
+    per-domain wall-time/task-count stats (out-of-band wall-clock
+    observations; the summary itself stays deterministic). *)
 
-val run_grid : ?jobs:int -> config list -> result list
+val run_grid :
+  ?jobs:int ->
+  ?domain_report:(Softstate_sim.Parallel.Stats.t -> unit) ->
+  config list ->
+  result list
 (** Run a list of distinct configurations (a parameter sweep),
     optionally across domains, preserving order. Each config's [obs]
     context is detached when running with more than one job (an obs
-    context is single-domain mutable state). *)
+    context is single-domain mutable state). [domain_report] is as in
+    {!run_many}. *)
 
 val replication_seeds : config -> int -> int array
 (** The per-replication seeds [run_many] derives from [config.seed] —

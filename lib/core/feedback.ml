@@ -43,7 +43,7 @@ let on_nack t ~now nack =
   match Hashtbl.find_opt t.seq_to_key nack.missing_seq with
   | None -> ()
   | Some key ->
-      if Two_queue.reheat t.sender ~now key then
+      if Two_queue.reheat t.sender ~now ~cause:nack.missing_seq key then
         t.reheats <- t.reheats + 1
 
 let receiver_deliver t ~now (ann : Base.announcement) =
@@ -52,10 +52,17 @@ let receiver_deliver t ~now (ann : Base.announcement) =
   if ann.Base.seq > t.expected_seq then begin
     for missing = t.expected_seq to ann.Base.seq - 1 do
       t.nacks_sent <- t.nacks_sent + 1;
-      if t.traced then
+      if t.traced then begin
+        let key =
+          match Hashtbl.find_opt t.seq_to_key missing with
+          | Some k -> k
+          | None -> Trace.no_id
+        in
         Trace.emit t.trace
           (Trace.event ~time:now ~src:"feedback"
-             ~detail:(string_of_int missing) Trace.Nack);
+             ~detail:(string_of_int missing) ~key ~packet:missing
+             ~parent:ann.Base.seq Trace.Nack)
+      end;
       match t.fb_outbox with
       | Some ob ->
           ignore

@@ -2,6 +2,8 @@ module Engine = Softstate_sim.Engine
 module Net = Softstate_net
 module Rng = Softstate_util.Rng
 module Dist = Softstate_util.Dist
+module Obs = Softstate_obs.Obs
+module Trace = Softstate_obs.Trace
 
 type nack = { missing_seq : int; origin : int }
 
@@ -21,6 +23,8 @@ type t = {
   (* seq -> time a NACK for it was last heard on the feedback channel;
      receivers use it for damping, and it doubles as the prune clock *)
   heard : (int, float) Hashtbl.t;
+  trace : Trace.t;
+  traced : bool; (* Trace.enabled, hoisted to creation time *)
   mutable fb_outbox : nack Net.Transport.outbox option;
   mutable fanout : Base.announcement Net.Transport.fanout option;
   mutable nacks_wanted : int;
@@ -61,11 +65,22 @@ let heard_recently t ~now seq =
   | Some time -> now -. time <= 2.0 *. t.nack_slot
   | None -> false
 
-let send_nack t ~now receiver seq =
+let send_nack t ~now ?(parent = Trace.no_id) receiver seq =
   match t.fb_outbox with
   | None -> ()
   | Some ob ->
       t.nacks_sent <- t.nacks_sent + 1;
+      if t.traced then begin
+        let key =
+          match Hashtbl.find_opt t.seq_to_key seq with
+          | Some k -> k
+          | None -> Trace.no_id
+        in
+        Trace.emit t.trace
+          (Trace.event ~time:now ~src:"multicast"
+             ~detail:(string_of_int receiver) ~key ~packet:seq ~parent
+             Trace.Nack)
+      end;
       (* the NACK is multicast: all members (and the sender) hear it
          as soon as it clears the feedback channel; for damping we
          mark it heard at send time, which models receivers on a
@@ -79,10 +94,10 @@ let send_nack t ~now receiver seq =
            (Net.Packet.make ~size_bits:t.nack_bits
               { missing_seq = seq; origin = receiver }))
 
-let want_repair t receiver seq =
+let want_repair t receiver ~parent seq =
   t.nacks_wanted <- t.nacks_wanted + 1;
   let now = Engine.now (Base.engine t.base) in
-  if not t.suppression then send_nack t ~now receiver.index seq
+  if not t.suppression then send_nack t ~now ~parent receiver.index seq
   else if heard_recently t ~now seq then
     t.nacks_suppressed <- t.nacks_suppressed + 1
   else begin
@@ -93,13 +108,13 @@ let want_repair t receiver seq =
            let now = Engine.now engine in
            if heard_recently t ~now seq then
              t.nacks_suppressed <- t.nacks_suppressed + 1
-           else send_nack t ~now receiver.index seq))
+           else send_nack t ~now ~parent receiver.index seq))
   end
 
 let receiver_deliver t state ~now (ann : Base.announcement) =
   if ann.Base.seq > state.expected_seq then
     for missing = state.expected_seq to ann.Base.seq - 1 do
-      want_repair t state missing
+      want_repair t state ~parent:ann.Base.seq missing
     done;
   if ann.Base.seq >= state.expected_seq then
     state.expected_seq <- ann.Base.seq + 1;
@@ -110,7 +125,7 @@ let on_nack t ~now nack =
   match Hashtbl.find_opt t.seq_to_key nack.missing_seq with
   | None -> ()
   | Some key ->
-      if Two_queue.reheat t.sender ~now key then
+      if Two_queue.reheat t.sender ~now ~cause:nack.missing_seq key then
         t.reheats <- t.reheats + 1
 
 let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs ?transport
@@ -134,7 +149,9 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs ?transport
   in
   let t =
     { base; sender; seq_to_key = Hashtbl.create 1024; nack_bits; suppression;
-      nack_slot; slot_rng; heard = Hashtbl.create 1024; fb_outbox = None;
+      nack_slot; slot_rng; heard = Hashtbl.create 1024;
+      trace = Obs.trace_of obs; traced = Trace.enabled (Obs.trace_of obs);
+      fb_outbox = None;
       fanout = None; nacks_wanted = 0; nacks_sent = 0; nacks_suppressed = 0;
       nacks_delivered = 0; reheats = 0 }
   in

@@ -36,9 +36,9 @@ let rec fetch t () =
               (Trace.event
                  ~time:(Engine.now (Base.engine t.base))
                  ~src:"open_loop" ~detail:(string_of_int key)
-                 Trace.Announce);
+                 ~key ~packet:seq Trace.Announce);
           let ann = Base.announce_of t.base ~seq r in
-          Some (Net.Packet.make ~size_bits:r.Record.size_bits ann))
+          Some (Net.Packet.make ~id:seq ~size_bits:r.Record.size_bits ann))
 
 let on_served t ~now (packet : Base.announcement Net.Packet.t) =
   let key = packet.Net.Packet.payload.Base.key in

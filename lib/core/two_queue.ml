@@ -98,16 +98,17 @@ let fetch_packet t =
       let hot = flow = t.hot_flow in
       if hot then t.sent_hot <- t.sent_hot + 1
       else t.sent_cold <- t.sent_cold + 1;
+      let seq = t.seq in
+      t.seq <- seq + 1;
       if t.traced then
         Trace.emit t.trace
           (Trace.event
              ~time:(Engine.now (Base.engine t.base))
              ~src:"two_queue" ~detail:(string_of_int key)
+             ~key ~packet:seq
              (if hot then Trace.Announce else Trace.Refresh));
-      let seq = t.seq in
-      t.seq <- seq + 1;
       let ann = Base.announce_of t.base ~seq r in
-      Some (Net.Packet.make ~size_bits:r.Record.size_bits ann)
+      Some (Net.Packet.make ~id:seq ~size_bits:r.Record.size_bits ann)
 
 let wake t = t.kick_fn ()
 
@@ -127,14 +128,14 @@ let serve_completion t ~now key =
         wake t
       end
 
-let reheat t ~now key =
+let reheat t ~now ?(cause = Trace.no_id) key =
   match Table.find (Base.table t.base) key, Hashtbl.find_opt t.info key with
   | Some r, Some info when info.temp = Cold ->
       enqueue t r Hot;
       if t.traced then
         Trace.emit t.trace
           (Trace.event ~time:now ~src:"two_queue"
-             ~detail:(string_of_int key) Trace.Repair);
+             ~detail:(string_of_int key) ~key ~parent:cause Trace.Repair);
       wake t;
       true
   | _ -> false

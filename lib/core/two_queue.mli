@@ -27,7 +27,10 @@ val create :
     data channel is created through [transport] (default
     {!Softstate_net.Transport.single_hop}). With [obs] the link is
     instrumented as ["two_queue.data"], hot sends emit [Announce],
-    cold sends [Refresh], and NACK reheats [Repair]. *)
+    cold sends [Refresh], and NACK reheats [Repair]. Announce/Refresh
+    events carry the record key and the announcement sequence number
+    (which doubles as the packet correlation id); [Repair] events link
+    back to the lost sequence via their causal parent. *)
 
 val hot_length : t -> int
 val cold_length : t -> int
@@ -59,9 +62,13 @@ val attach_kick : t -> (unit -> unit) -> unit
 (** For media other than a unicast handle (e.g. a multicast fanout):
     register how to wake the medium when work arrives. *)
 
-val reheat : t -> now:float -> Record.key -> bool
+val reheat :
+  t -> now:float -> ?cause:int -> Record.key -> bool
 (** Move a cold record to the hot queue (NACK response); [false] if
-    the key is dead or already hot. *)
+    the key is dead or already hot. [cause] is the sequence number of
+    the lost announcement that triggered the repair; it is recorded as
+    the causal parent of the [Repair] trace event (default
+    {!Softstate_obs.Trace.no_id}). *)
 
 val serve_completion : t -> now:float -> Record.key -> unit
 val fetch_packet : t -> Base.announcement Softstate_net.Packet.t option

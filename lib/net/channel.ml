@@ -62,7 +62,7 @@ let subscribe t ?(loss = Loss.never) callback =
 let unsubscribe t sub =
   t.receivers <- List.filter (fun r -> r.id <> sub) t.receivers
 
-let fan_out t payload =
+let fan_out t ~pkt payload =
   (* Draw each receiver's loss independently at service completion;
      delivery is delayed by propagation. *)
   let traced = t.traced in
@@ -74,13 +74,14 @@ let fan_out t payload =
         if traced then
           Trace.emit t.trace
             (Trace.event ~time:now ~src:t.src
-               ~detail:(string_of_int r.id) Trace.Packet_dropped)
+               ~detail:(string_of_int r.id) ~packet:pkt Trace.Packet_dropped)
       end
       else begin
         if traced then
           Trace.emit t.trace
             (Trace.event ~time:now ~src:t.src
-               ~detail:(string_of_int r.id) Trace.Packet_delivered);
+               ~detail:(string_of_int r.id) ~packet:pkt
+               Trace.Packet_delivered);
         if Float.equal t.delay 0.0 then r.callback ~now payload
         else
           ignore
@@ -106,8 +107,8 @@ let rec serve_next t =
                Trace.emit t.trace
                  (Trace.event ~time:(Engine.now engine) ~src:t.src
                     ~value:(float_of_int packet.Packet.size_bits)
-                    Trace.Packet_sent);
-             fan_out t packet.Packet.payload;
+                    ~packet:packet.Packet.id Trace.Packet_sent);
+             fan_out t ~pkt:packet.Packet.id packet.Packet.payload;
              serve_next t))
 
 let kick t = if not t.busy then serve_next t

@@ -3,6 +3,7 @@ module Rng = Softstate_util.Rng
 module Obs = Softstate_obs.Obs
 module Metrics = Softstate_obs.Metrics
 module Trace = Softstate_obs.Trace
+module Profiler = Softstate_obs.Profiler
 
 module Stats = struct
   type t = {
@@ -28,6 +29,7 @@ type 'a t = {
   traced : bool; (* Trace.enabled, hoisted to creation time: untraced
                     runs pay one immutable-field load per guard *)
   src : string;
+  hop : int; (* position along a topology path, Trace.no_id standalone *)
   mutable busy : bool;
   mutable fetched : int;
   mutable delivered : int;
@@ -48,14 +50,28 @@ let register_probes t obs =
       if span <= 0.0 then 0.0 else t.busy_time /. span)
 
 let create engine ~rate_bps ?(delay = 0.0) ?(loss = Loss.never) ?on_served
-    ?obs ?(label = "link") ~rng ~fetch ~deliver () =
+    ?obs ?(label = "link") ?(hop = Trace.no_id) ~rng ~fetch ~deliver () =
   if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
   if delay < 0.0 then invalid_arg "Link.create: negative delay";
   let trace = Obs.trace_of obs in
+  (* With an enabled profiler, the sender's fetch and the receiver's
+     deliver callback are each timed under this link's label; the
+     wrapping happens once here so disabled profilers cost nothing on
+     the per-packet path. *)
+  let profiler = Obs.profiler_of obs in
+  let fetch, deliver =
+    if Profiler.enabled profiler then
+      ( (let scope = label ^ ".fetch" in
+         fun () -> Profiler.time profiler scope fetch),
+        let scope = label ^ ".deliver" in
+        fun ~now payload ->
+          Profiler.time profiler scope (fun () -> deliver ~now payload) )
+    else (fetch, deliver)
+  in
   let t =
     { engine; rate_bps; delay; loss; rng; fetch; deliver; on_served;
       created_at = Engine.now engine; trace;
-      traced = Trace.enabled trace; src = label;
+      traced = Trace.enabled trace; src = label; hop;
       busy = false; fetched = 0; delivered = 0;
       dropped = 0; bits_served = 0.0; busy_time = 0.0 }
   in
@@ -81,24 +97,25 @@ let rec serve_next t =
                 streams satisfy sent = dropped + delivered. *)
              let traced = t.traced in
              let size = float_of_int packet.Packet.size_bits in
+             let pkt = packet.Packet.id in
              let now = Engine.now engine in
              if traced then
                Trace.emit t.trace
-                 (Trace.event ~time:now ~src:t.src ~value:size
-                    Trace.Packet_sent);
+                 (Trace.event ~time:now ~src:t.src ~value:size ~packet:pkt
+                    ~hop:t.hop Trace.Packet_sent);
              if Loss.drop t.loss t.rng then begin
                t.dropped <- t.dropped + 1;
                if traced then
                  Trace.emit t.trace
-                   (Trace.event ~time:now ~src:t.src ~value:size
-                      Trace.Packet_dropped)
+                   (Trace.event ~time:now ~src:t.src ~value:size ~packet:pkt
+                      ~hop:t.hop Trace.Packet_dropped)
              end
              else begin
                t.delivered <- t.delivered + 1;
                if traced then
                  Trace.emit t.trace
-                   (Trace.event ~time:now ~src:t.src ~value:size
-                      Trace.Packet_delivered);
+                   (Trace.event ~time:now ~src:t.src ~value:size ~packet:pkt
+                      ~hop:t.hop Trace.Packet_delivered);
                let payload = packet.Packet.payload in
                if Float.equal t.delay 0.0 then
                  t.deliver ~now:(Engine.now engine) payload

@@ -22,6 +22,7 @@ val create :
   ?on_served:(now:float -> 'a Packet.t -> unit) ->
   ?obs:Softstate_obs.Obs.t ->
   ?label:string ->
+  ?hop:int ->
   rng:Softstate_util.Rng.t ->
   fetch:(unit -> 'a Packet.t option) ->
   deliver:(now:float -> 'a -> unit) ->
@@ -42,7 +43,10 @@ val create :
     registry and emits [Packet_sent] / [Packet_dropped] /
     [Packet_delivered] trace events (source [label], default
     ["link"]) at the loss-decision point, so per-source streams
-    satisfy sent = dropped + delivered exactly. *)
+    satisfy sent = dropped + delivered exactly. Trace events carry the
+    packet's correlation id and this link's [hop] index (position
+    along a topology path; defaults to [Trace.no_id] for standalone
+    links). *)
 
 val kick : 'a t -> unit
 (** Wake the link if idle; no-op while busy. Call whenever [fetch]

@@ -1,7 +1,9 @@
-type 'a t = { size_bits : int; payload : 'a }
+type 'a t = { id : int; size_bits : int; payload : 'a }
 
-let make ~size_bits payload =
+let no_id = -1
+
+let make ?(id = no_id) ~size_bits payload =
   if size_bits <= 0 then invalid_arg "Packet.make: size must be positive";
-  { size_bits; payload }
+  { id; size_bits; payload }
 
 let map f p = { p with payload = f p.payload }

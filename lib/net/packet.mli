@@ -5,13 +5,22 @@
     determines transmission time on rate-limited links. *)
 
 type 'a t = {
+  id : int;         (** correlation identity (protocol sequence number),
+                        or {!no_id}; carried into trace events so a
+                        packet's hop-by-hop fate can be reconstructed *)
   size_bits : int;  (** wire size, bits; determines service time *)
   payload : 'a;
 }
 
-val make : size_bits:int -> 'a -> 'a t
+val no_id : int
+(** [-1]: the id of packets with no correlation identity. *)
+
+val make : ?id:int -> size_bits:int -> 'a -> 'a t
 (** [make ~size_bits payload] wraps a payload; [size_bits] must be
     positive (zero-size packets would make service instantaneous and
-    break FIFO accounting). *)
+    break FIFO accounting). [id] defaults to {!no_id}; senders stamp
+    their own deterministic sequence number (never a global counter,
+    which would break cross-domain reproducibility). *)
 
 val map : ('a -> 'b) -> 'a t -> 'b t
+(** Rewraps the payload, preserving [id] and [size_bits]. *)

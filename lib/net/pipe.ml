@@ -15,12 +15,12 @@ type 'a t = {
 }
 
 let create engine ~rate_bps ?delay ?loss ?(queue_capacity = 1024) ?obs
-    ?(label = "pipe") ~rng ~deliver () =
+    ?(label = "pipe") ?hop ~rng ~deliver () =
   let queue = Ring.create ~capacity:queue_capacity in
   let fetch () = Ring.pop queue in
   let link =
-    Link.create engine ~rate_bps ?delay ?loss ?obs ~label ~rng ~fetch ~deliver
-      ()
+    Link.create engine ~rate_bps ?delay ?loss ?obs ~label ?hop ~rng ~fetch
+      ~deliver ()
   in
   let trace = Obs.trace_of obs in
   let t =
@@ -48,7 +48,7 @@ let send t packet =
       Trace.emit t.trace
         (Trace.event ~time:(Engine.now t.engine) ~src:t.src
            ~value:(float_of_int packet.Packet.size_bits)
-           Trace.Queue_overflow);
+           ~packet:packet.Packet.id Trace.Queue_overflow);
     false
   end
 

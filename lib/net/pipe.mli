@@ -17,6 +17,7 @@ val create :
   ?queue_capacity:int ->
   ?obs:Softstate_obs.Obs.t ->
   ?label:string ->
+  ?hop:int ->
   rng:Softstate_util.Rng.t ->
   deliver:(now:float -> 'a -> unit) ->
   unit ->

@@ -393,57 +393,90 @@ let fault_drops t = t.bh_inject + t.bh_deliver
 (* ------------------------------------------------------------------ *)
 (* Overlays *)
 
-let drop_faulted t ~phase ~src_label =
+let drop_faulted t ~phase ~src_label ?(packet = Packet.no_id)
+    ?(hop = Trace.no_id) () =
   (match phase with
   | `Inject -> t.bh_inject <- t.bh_inject + 1
   | `Deliver -> t.bh_deliver <- t.bh_deliver + 1);
   if t.traced then
     Trace.emit t.trace
       (Trace.event ~time:(Engine.now t.engine) ~src:src_label ~detail:"fault"
-         Trace.Packet_dropped)
+         ~packet ~hop Trace.Packet_dropped)
+
+(* End-of-overlay delivery: the substrate edges carry no obs context
+   of their own, so the topology records the moment a packet reaches
+   an endpoint — the event that closes a packet's causal chain and
+   lets the lifecycle analyzer date time-to-consistency and repair.
+   The src is [label ^ ".end"], distinct from the head server's label:
+   endpoints emit no [Packet_sent], so the per-source conservation
+   identity over the head link is left untouched. *)
+let endpoint_delivered t ~now ~label ~detail ~hop id =
+  if t.traced && id <> Packet.no_id then
+    Trace.emit t.trace
+      (Trace.event ~time:now ~src:(label ^ ".end") ~detail ~packet:id ~hop
+         Trace.Packet_delivered)
 
 (* Send-side gate: a packet enters edge [e] only while the cable and
    the sending node are up; otherwise it is destroyed on the spot. *)
-let inject t e pipe (inner : 'a Packet.t) =
+let inject t e pipe ~hop (inner : 'a Packet.t) =
   t.injected <- t.injected + 1;
   if t.cable_up.(e.cable) && Node.is_up t.nodes.(e.src) then
     ignore
-      (Pipe.send pipe (Packet.make ~size_bits:inner.Packet.size_bits inner))
-  else drop_faulted t ~phase:`Inject ~src_label:e.elabel
+      (Pipe.send pipe
+         (Packet.make ~id:inner.Packet.id ~size_bits:inner.Packet.size_bits
+            inner))
+  else
+    drop_faulted t ~phase:`Inject ~src_label:e.elabel
+      ~packet:inner.Packet.id ~hop ()
 
 (* One forwarding stage per edge: a Pipe of the edge's rate / delay /
    loss whose delivery re-checks the fault state (packets in flight
    when the cable or destination goes down are destroyed). Overlay
    pipes carry no obs context of their own — per-edge probes would
    collide across overlays; the topology's fault counters and trace
-   events cover the substrate. *)
-let edge_stage t ~qcap ~overlay_rng e next =
+   events cover the substrate. [hop] is the stage's position along the
+   overlay path (the head server is hop 0), stamped on every edge
+   trace event so a packet's causal chain reads in path order. *)
+let edge_stage t ~qcap ~overlay_rng ~hop e next =
   let pipe =
     Pipe.create t.engine ~rate_bps:e.rate_bps ~delay:e.delay
-      ~loss:(e.loss_spec ()) ~queue_capacity:qcap ~label:e.elabel
+      ~loss:(e.loss_spec ()) ~queue_capacity:qcap ~label:e.elabel ~hop
       ~rng:overlay_rng
       ~deliver:(fun ~now inner ->
         if t.cable_up.(e.cable) && Node.is_up t.nodes.(e.dst) then
           next ~now inner
-        else drop_faulted t ~phase:`Deliver ~src_label:e.elabel)
+        else
+          drop_faulted t ~phase:`Deliver ~src_label:e.elabel
+            ~packet:inner.Packet.id ~hop ())
       ()
   in
   note_pipe t pipe;
-  fun ~now:_ inner -> inject t e pipe inner
+  fun ~now:_ inner -> inject t e pipe ~hop inner
 
 let path_entry t ~qcap ~overlay_rng edges final =
-  List.fold_right (fun e next -> edge_stage t ~qcap ~overlay_rng e next)
-    edges final
+  let n = List.length edges in
+  let _, entry =
+    List.fold_right
+      (fun e (hop, next) ->
+        (hop - 1, edge_stage t ~qcap ~overlay_rng ~hop e next))
+      edges (n, final)
+  in
+  entry
 
 let unicast_over t ~path_edges ~qcap ~rate_bps ?delay ?loss ?on_served ~label
     ~rng ~fetch ~deliver () =
   let overlay_rng = Rng.split t.rng in
-  let final ~now (inner : 'a Packet.t) = deliver ~now inner.Packet.payload in
+  let last_hop = List.length path_edges in
+  let final ~now (inner : 'a Packet.t) =
+    endpoint_delivered t ~now ~label ~detail:"endpoint" ~hop:last_hop
+      inner.Packet.id;
+    deliver ~now inner.Packet.payload
+  in
   let entry = path_entry t ~qcap ~overlay_rng path_edges final in
   let wrap_fetch () =
     match fetch () with
     | None -> None
-    | Some p -> Some (Packet.make ~size_bits:p.Packet.size_bits p)
+    | Some p -> Some (Packet.make ~id:p.Packet.id ~size_bits:p.Packet.size_bits p)
   in
   let on_served =
     match on_served with
@@ -456,7 +489,7 @@ let unicast_over t ~path_edges ~qcap ~rate_bps ?delay ?loss ?on_served ~label
      carrying the protocol-level loss/delay, feeding the first edge. *)
   let head =
     Link.create t.engine ~rate_bps ?delay ?loss ?on_served ?obs:t.obs ~label
-      ~rng ~fetch:wrap_fetch
+      ~hop:0 ~rng ~fetch:wrap_fetch
       ~deliver:(fun ~now inner -> entry ~now inner)
       ()
   in
@@ -469,17 +502,24 @@ let unicast_over t ~path_edges ~qcap ~rate_bps ?delay ?loss ?on_served ~label
 let outbox_over t ~path_edges ~qcap ~rate_bps ?delay ?loss
     ?(queue_capacity = 1024) ~label ~rng ~deliver () =
   let overlay_rng = Rng.split t.rng in
-  let final ~now (inner : 'a Packet.t) = deliver ~now inner.Packet.payload in
+  let last_hop = List.length path_edges in
+  let final ~now (inner : 'a Packet.t) =
+    endpoint_delivered t ~now ~label ~detail:"endpoint" ~hop:last_hop
+      inner.Packet.id;
+    deliver ~now inner.Packet.payload
+  in
   let entry = path_entry t ~qcap ~overlay_rng path_edges final in
   let head =
     Pipe.create t.engine ~rate_bps ?delay ?loss ~queue_capacity ?obs:t.obs
-      ~label ~rng
+      ~label ~hop:0 ~rng
       ~deliver:(fun ~now inner -> entry ~now inner)
       ()
   in
   { Transport.o_label = label;
     o_send =
-      (fun p -> Pipe.send head (Packet.make ~size_bits:p.Packet.size_bits p));
+      (fun p ->
+        Pipe.send head
+          (Packet.make ~id:p.Packet.id ~size_bits:p.Packet.size_bits p));
     o_queue_length = (fun () -> Pipe.queue_length head);
     o_overflows = (fun () -> Pipe.overflows head);
     o_stats = (fun () -> Pipe.link_stats head);
@@ -510,6 +550,9 @@ let fanout_over t ~root ~attach ~qcap ~rate_bps ?(delay = 0.0) ?on_served
   if delay < 0.0 then invalid_arg "Topology.fanout: negative delay";
   let overlay_rng = Rng.split t.rng in
   let children = tree_children t ~root in
+  (* BFS depth doubles as the hop index on edge trace events: the
+     shared root server is hop 0, an edge into a depth-d node is hop d. *)
+  let _, depth = bfs t root in
   let subs : 'a subscriber Sub_map.t ref = ref Sub_map.empty in
   let at_node = Array.make (Array.length t.nodes) [] in
   let next_sid = ref 0 in
@@ -529,12 +572,19 @@ let fanout_over t ~root ~attach ~qcap ~rate_bps ?(delay = 0.0) ?on_served
         | None -> ()
         | Some s ->
             if Loss.drop s.s_loss overlay_rng then s.s_lost <- s.s_lost + 1
-            else s.s_deliver ~now inner.Packet.payload)
+            else begin
+              endpoint_delivered t ~now ~label
+                ~detail:(string_of_int s.sid) ~hop:depth.(node)
+                inner.Packet.id;
+              s.s_deliver ~now inner.Packet.payload
+            end)
       local;
     List.iter
       (fun eid ->
         match pipes.(eid) with
-        | Some pipe -> inject t t.edges.(eid) pipe inner
+        | Some pipe ->
+            let e = t.edges.(eid) in
+            inject t e pipe ~hop:depth.(e.dst) inner
         | None -> assert false)
       children.(node)
   in
@@ -545,14 +595,17 @@ let fanout_over t ~root ~attach ~qcap ~rate_bps ?(delay = 0.0) ?on_served
       List.iter
         (fun eid ->
           let e = t.edges.(eid) in
+          let hop = depth.(e.dst) in
           let pipe =
             Pipe.create t.engine ~rate_bps:e.rate_bps ~delay:e.delay
               ~loss:(e.loss_spec ()) ~queue_capacity:qcap ~label:e.elabel
-              ~rng:overlay_rng
+              ~hop ~rng:overlay_rng
               ~deliver:(fun ~now inner ->
                 if t.cable_up.(e.cable) && Node.is_up t.nodes.(e.dst) then
                   forward e.dst ~now inner
-                else drop_faulted t ~phase:`Deliver ~src_label:e.elabel)
+                else
+                  drop_faulted t ~phase:`Deliver ~src_label:e.elabel
+                    ~packet:inner.Packet.id ~hop ())
               ()
           in
           note_pipe t pipe;
@@ -580,7 +633,9 @@ let fanout_over t ~root ~attach ~qcap ~rate_bps ?(delay = 0.0) ?on_served
                | None -> ());
                let emitdone ~now =
                  if Node.is_up t.nodes.(root) then forward root ~now packet
-                 else drop_faulted t ~phase:`Deliver ~src_label:label
+                 else
+                   drop_faulted t ~phase:`Deliver ~src_label:label
+                     ~packet:packet.Packet.id ~hop:0 ()
                in
                if Float.equal delay 0.0 then emitdone ~now:(Engine.now engine)
                else

@@ -23,6 +23,19 @@ let attach ~obs ?(src = "engine") ?(trace_steps = false) engine =
       let wall = Sys.time () -. cpu0 in
       if wall <= 0.0 then nan
       else float_of_int (Engine.events_fired engine - fired0) /. wall);
+  let profiler = Obs.profiler obs in
+  if Profiler.enabled profiler then begin
+    (* Per-event loop accounting: the interval between consecutive
+       post-event hooks covers the pop, the handler, and the hooks
+       themselves — the whole cost of turning the loop once. *)
+    (* lint: allow D002 wall-clock profiling interval; reported out-of-band, never feeds simulation state *)
+    let last = ref (Unix.gettimeofday ()) in
+    Engine.on_step engine (fun _ ->
+        (* lint: allow D002 wall-clock profiling interval; reported out-of-band, never feeds simulation state *)
+        let t1 = Unix.gettimeofday () in
+        Profiler.add profiler (src ^ ".step") (t1 -. !last);
+        last := t1)
+  end;
   let trace = Obs.trace obs in
   if trace_steps && Trace.enabled trace then
     Engine.on_step engine (fun e ->

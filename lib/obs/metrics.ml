@@ -51,6 +51,8 @@ module Hist = struct
   let quantile t q =
     if in_range t <= 0 then nan else Stats.Histogram.quantile t.h q
 
+  let underflow t = Stats.Histogram.underflow t.h
+  let overflow t = Stats.Histogram.overflow t.h
   let name t = t.name
 end
 
@@ -135,7 +137,15 @@ let probe t name read =
 type value =
   | Int of int
   | Float of float
-  | Dist of { count : int; mean : float; p50 : float; p90 : float; p99 : float }
+  | Dist of {
+      count : int;
+      mean : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+      underflow : int;
+      overflow : int;
+    }
 
 let read_entry entry ~now =
   match entry with
@@ -148,7 +158,9 @@ let read_entry entry ~now =
           mean = Hist.mean h;
           p50 = Hist.quantile h 0.5;
           p90 = Hist.quantile h 0.9;
-          p99 = Hist.quantile h 0.99 }
+          p99 = Hist.quantile h 0.99;
+          underflow = Hist.underflow h;
+          overflow = Hist.overflow h }
   | Probe_e p -> Float (p.read ~now)
 
 let snapshot t ~now =
@@ -162,11 +174,12 @@ let names t = List.rev_map entry_name t.order
 let value_to_json = function
   | Int n -> Json.int n
   | Float x -> Json.float x
-  | Dist { count; mean; p50; p90; p99 } ->
+  | Dist { count; mean; p50; p90; p99; underflow; overflow } ->
       Json.obj
         [ ("count", Json.int count); ("mean", Json.float mean);
           ("p50", Json.float p50); ("p90", Json.float p90);
-          ("p99", Json.float p99) ]
+          ("p99", Json.float p99); ("underflow", Json.int underflow);
+          ("overflow", Json.int overflow) ]
 
 let to_json t ~now =
   Json.obj (List.map (fun (k, v) -> (k, value_to_json v)) (snapshot t ~now))

@@ -55,6 +55,13 @@ module Hist : sig
   (** Linear interpolation within the bucket; [nan] when no in-range
       sample has been recorded. *)
 
+  val underflow : t -> int
+  (** Samples below [lo]: counted, never silently dropped. They
+      contribute to {!count} and {!mean} but not to {!quantile}. *)
+
+  val overflow : t -> int
+  (** Samples at or above [hi], symmetrically. *)
+
   val name : t -> string
 end
 
@@ -80,7 +87,15 @@ val probe : t -> string -> (now:float -> float) -> unit
 type value =
   | Int of int
   | Float of float
-  | Dist of { count : int; mean : float; p50 : float; p90 : float; p99 : float }
+  | Dist of {
+      count : int;  (** every sample offered, in range or not *)
+      mean : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+      underflow : int;  (** samples below the histogram's [lo] *)
+      overflow : int;   (** samples at or above [hi] *)
+    }
 
 val snapshot : t -> now:float -> (string * value) list
 (** All instruments, in registration order. [now] closes out

@@ -1,0 +1,132 @@
+(* Wall-clock self/cumulative profiling.
+
+   A profiler is a stack of open frames plus a per-name accumulator
+   table. [time t name f] pushes a frame, runs [f], and on exit
+   attributes the elapsed wall time: the full interval goes to the
+   name's *cumulative* counter, the interval minus time spent in
+   nested frames goes to its *self* counter. The numbers are
+   out-of-band observations — they never feed back into simulation
+   state, so a profiled run is event-for-event identical to an
+   unprofiled one.
+
+   Disabled profilers (the default in an {!Obs} context) reduce every
+   call to a single branch, keeping the instrumented hot paths within
+   the observability overhead budget. *)
+
+type entry = {
+  mutable calls : int;
+  mutable self_s : float;
+  mutable cum_s : float;
+}
+
+type frame = {
+  name : string;
+  start : float;
+  mutable child_s : float; (* wall time spent in nested frames *)
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable stack : frame list;
+  mutable enabled : bool;
+  mutable metrics : Metrics.t option;
+}
+
+(* lint: allow D002 wall-clock profiling is this module's purpose; readings never feed simulation state *)
+let clock () = Unix.gettimeofday ()
+
+let create ?(enabled = true) () =
+  { entries = Hashtbl.create 32; stack = []; enabled; metrics = None }
+
+let disabled = create ~enabled:false ()
+
+let enabled t = t.enabled
+let set_enabled t flag = if t != disabled then t.enabled <- flag
+
+let prefix = "profile."
+
+let register_probes t name e =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      Metrics.probe m (prefix ^ name ^ ".self_s") (fun ~now:_ -> e.self_s);
+      Metrics.probe m (prefix ^ name ^ ".cum_s") (fun ~now:_ -> e.cum_s);
+      Metrics.probe m (prefix ^ name ^ ".calls") (fun ~now:_ ->
+          float_of_int e.calls)
+
+let entry t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some e -> e
+  | None ->
+      let e = { calls = 0; self_s = 0.0; cum_s = 0.0 } in
+      Hashtbl.replace t.entries name e;
+      register_probes t name e;
+      e
+
+let enter t name =
+  if t.enabled then
+    t.stack <- { name; start = clock (); child_s = 0.0 } :: t.stack
+
+let leave t =
+  if t.enabled then
+    match t.stack with
+    | [] -> invalid_arg "Profiler.leave: no open frame"
+    | frame :: rest ->
+        t.stack <- rest;
+        let dt = clock () -. frame.start in
+        let e = entry t frame.name in
+        e.calls <- e.calls + 1;
+        e.cum_s <- e.cum_s +. dt;
+        e.self_s <- e.self_s +. (dt -. frame.child_s);
+        (match rest with
+        | parent :: _ -> parent.child_s <- parent.child_s +. dt
+        | [] -> ())
+
+let add t name dt =
+  if t.enabled then begin
+    let e = entry t name in
+    e.calls <- e.calls + 1;
+    e.cum_s <- e.cum_s +. dt;
+    e.self_s <- e.self_s +. dt
+  end
+
+let time t name f =
+  if not t.enabled then f ()
+  else begin
+    enter t name;
+    match f () with
+    | v -> leave t; v
+    | exception exn -> leave t; raise exn
+  end
+
+let attach_metrics t m =
+  t.metrics <- Some m;
+  (* names already seen get their probes retroactively *)
+  let names =
+    List.sort compare
+      (* lint: allow D003 commutative: collects keys, then sorts *)
+      (Hashtbl.fold (fun name _ acc -> name :: acc) t.entries [])
+  in
+  List.iter (fun name -> register_probes t name (Hashtbl.find t.entries name))
+    names
+
+type report_entry = {
+  name : string;
+  calls : int;
+  self_s : float;
+  cum_s : float;
+}
+
+let snapshot t =
+  let rows =
+    (* lint: allow D003 commutative: collects rows, then sorts by name *)
+    Hashtbl.fold
+      (fun name (e : entry) acc ->
+        { name; calls = e.calls; self_s = e.self_s; cum_s = e.cum_s } :: acc)
+      t.entries []
+  in
+  List.sort (fun a b -> compare a.name b.name) rows
+
+let reset t =
+  Hashtbl.reset t.entries;
+  t.stack <- []

@@ -1,0 +1,58 @@
+(** Wall-clock self/cumulative profiling counters.
+
+    Answers "where did the wall time go" for a run: each named scope
+    accumulates call count, cumulative seconds (whole interval) and
+    self seconds (interval minus nested scopes), like a flat gprof
+    profile. Readings are out-of-band — they never influence
+    simulation state, so profiled and unprofiled runs are
+    event-for-event identical. All metric names exported through
+    {!attach_metrics} carry the ["profile."] prefix, which the
+    determinism harness filters out of replay comparisons alongside
+    the other wall-clock probes. *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** Fresh profiler; [enabled] defaults to [true]. *)
+
+val disabled : t
+(** Shared always-off instance ({!set_enabled} on it is a no-op);
+    what components store when no profiler was supplied, so every
+    call site is a single branch. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t name f] runs [f ()] inside a frame named [name]. On a
+    disabled profiler this is just [f ()]. Frames nest: a frame's
+    self time excludes the time of frames opened inside it. *)
+
+val add : t -> string -> float -> unit
+(** [add t name dt] records one call of [dt] wall seconds against
+    [name], counted as both self and cumulative time — for callers
+    that measure intervals themselves (e.g. the per-event loop hook)
+    rather than bracketing a closure. *)
+
+val enter : t -> string -> unit
+val leave : t -> unit
+(** Open/close a frame by hand when the scope does not fit a closure
+    (e.g. spanning engine callbacks). [leave] closes the innermost
+    open frame; raises [Invalid_argument] if none is open. *)
+
+val attach_metrics : t -> Metrics.t -> unit
+(** Export every scope as registry probes
+    [profile.<name>.self_s] / [.cum_s] / [.calls]; scopes first seen
+    after attachment are registered on first use. *)
+
+type report_entry = {
+  name : string;
+  calls : int;
+  self_s : float;
+  cum_s : float;
+}
+
+val snapshot : t -> report_entry list
+(** Accumulated totals, sorted by name. *)
+
+val reset : t -> unit

@@ -73,14 +73,31 @@ type event = {
   kind : kind;
   detail : string;
   value : float;
+  key : int;
+  packet : int;
+  hop : int;
+  parent : int;
 }
 
-let event ~time ~src ?(detail = "") ?(value = 0.0) kind =
-  { time; src; kind; detail; value }
+let no_id = -1
+
+let event ~time ~src ?(detail = "") ?(value = 0.0) ?(key = no_id)
+    ?(packet = no_id) ?(hop = no_id) ?(parent = no_id) kind =
+  { time; src; kind; detail; value; key; packet; hop; parent }
+
+let dummy_event =
+  { time = 0.0; src = ""; kind = Custom ""; detail = ""; value = 0.0;
+    key = no_id; packet = no_id; hop = no_id; parent = no_id }
 
 type t =
   | Null
   | Memory of { capacity : int; q : event Queue.t; mutable overwritten : int }
+  | Ring of {
+      buf : event array;
+      mutable len : int;
+      mutable head : int; (* next write position *)
+      mutable seen : int;
+    }
   | Writer of { write : event -> unit }
   | Filter of { keep : event -> bool; next : t }
   | Tee of t list
@@ -92,6 +109,10 @@ let memory ?(capacity = 65536) () =
   if capacity < 1 then invalid_arg "Trace.memory: capacity must be positive";
   Memory { capacity; q = Queue.create (); overwritten = 0 }
 
+let recorder ?(capacity = 512) () =
+  if capacity < 1 then invalid_arg "Trace.recorder: capacity must be positive";
+  Ring { buf = Array.make capacity dummy_event; len = 0; head = 0; seen = 0 }
+
 let rec emit t ev =
   match t with
   | Null -> ()
@@ -101,9 +122,27 @@ let rec emit t ev =
         ignore (Queue.pop m.q);
         m.overwritten <- m.overwritten + 1
       end
+  | Ring r ->
+      let cap = Array.length r.buf in
+      r.buf.(r.head) <- ev;
+      r.head <- (if r.head + 1 = cap then 0 else r.head + 1);
+      if r.len < cap then r.len <- r.len + 1;
+      r.seen <- r.seen + 1
   | Writer w -> w.write ev
   | Filter f -> if f.keep ev then emit f.next ev
   | Tee sinks -> List.iter (fun s -> emit s ev) sinks
+
+let recent = function
+  | Ring r ->
+      let cap = Array.length r.buf in
+      let start = (r.head - r.len + cap) mod cap in
+      List.init r.len (fun i -> r.buf.((start + i) mod cap))
+  | Memory m -> List.of_seq (Queue.to_seq m.q)
+  | _ -> invalid_arg "Trace.recent: not a recorder or memory sink"
+
+let seen = function
+  | Ring r -> r.seen
+  | _ -> invalid_arg "Trace.seen: not a recorder sink"
 
 let events = function
   | Memory m -> List.of_seq (Queue.to_seq m.q)
@@ -140,6 +179,15 @@ let to_json ev =
     if Float.equal ev.value 0.0 then base
     else base @ [ ("v", Json.float ev.value) ]
   in
+  (* Correlation fields carry identity, not measurement: omitted at
+     the no-id default so uncorrelated events keep their PR-1 shape. *)
+  let opt_id name v base =
+    if v = no_id then base else base @ [ (name, Json.int v) ]
+  in
+  let base =
+    base |> opt_id "key" ev.key |> opt_id "pkt" ev.packet
+    |> opt_id "hop" ev.hop |> opt_id "par" ev.parent
+  in
   Json.obj base
 
 let of_json line =
@@ -158,15 +206,26 @@ let of_json line =
         | None -> Ok default
         | Some _ -> Error (Printf.sprintf "field %S is not a string" name)
       in
+      let id name =
+        Result.map int_of_float (num name (float_of_int no_id))
+      in
       match
         (num "t" nan, str "src" "", str "kind" "", str "detail" "",
          num "v" 0.0)
       with
-      | Ok t, Ok src, Ok kind, Ok detail, Ok v ->
+      | Ok t, Ok src, Ok kind, Ok detail, Ok v -> (
           if Float.is_nan t then Error "missing field \"t\""
           else if kind = "" then Error "missing field \"kind\""
           else
-            Ok { time = t; src; kind = kind_of_string kind; detail; value = v }
+            match (id "key", id "pkt", id "hop", id "par") with
+            | Ok key, Ok packet, Ok hop, Ok parent ->
+                Ok
+                  { time = t; src; kind = kind_of_string kind; detail;
+                    value = v; key; packet; hop; parent }
+            | Error e, _, _, _
+            | _, Error e, _, _
+            | _, _, Error e, _
+            | _, _, _, Error e -> Error e)
       | Error e, _, _, _, _
       | _, Error e, _, _, _
       | _, _, Error e, _, _

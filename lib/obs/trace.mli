@@ -42,10 +42,18 @@ type event = {
   kind : kind;
   detail : string;(** kind-dependent: path, reason, ... *)
   value : float;  (** kind-dependent: size in bits, depth, ... *)
+  key : int;      (** record key the event concerns, or {!no_id} *)
+  packet : int;   (** packet / envelope sequence number, or {!no_id} *)
+  hop : int;      (** hop index along a topology path, or {!no_id} *)
+  parent : int;   (** causal parent packet (e.g. the NACKed seq), or {!no_id} *)
 }
 
+val no_id : int
+(** [-1]: the absent value for every correlation field. *)
+
 val event :
-  time:float -> src:string -> ?detail:string -> ?value:float -> kind -> event
+  time:float -> src:string -> ?detail:string -> ?value:float -> ?key:int ->
+  ?packet:int -> ?hop:int -> ?parent:int -> kind -> event
 
 type t
 (** A sink. *)
@@ -62,6 +70,20 @@ val emit : t -> event -> unit
 val memory : ?capacity:int -> unit -> t
 (** In-memory ring keeping the last [capacity] (default 65536)
     events; older events are overwritten. *)
+
+val recorder : ?capacity:int -> unit -> t
+(** Flight recorder: a fixed-size ring of the last [capacity] (default
+    512) events, O(1) per emit with no allocation beyond the event
+    itself. Cheap enough to leave attached for a whole run; when an
+    oracle fires, {!recent} is the black box. *)
+
+val recent : t -> event list
+(** Contents of a {!recorder} (or {!memory}) sink, oldest first.
+    Raises [Invalid_argument] on other sinks. *)
+
+val seen : t -> int
+(** Total events ever offered to a {!recorder}, including those the
+    ring has since overwritten. *)
 
 val events : t -> event list
 (** Contents of a {!memory} sink, oldest first. Raises
@@ -96,7 +118,8 @@ val csv_writer : (string -> unit) -> t
 
 val to_json : event -> string
 (** One-line JSON encoding ([detail] and [value] omitted when empty /
-    zero). *)
+    zero; correlation fields ["key"]/["pkt"]/["hop"]/["par"] omitted
+    at {!no_id}). *)
 
 val of_json : string -> (event, string) result
 (** Inverse of {!to_json}. *)
@@ -104,3 +127,5 @@ val of_json : string -> (event, string) result
 val csv_header : string
 
 val to_csv : event -> string
+(** Fixed five-column summary row; correlation fields are JSONL-only
+    (the CSV shape is pinned by downstream spreadsheets). *)

@@ -9,24 +9,64 @@
 
    Determinism: results are keyed by replication index, never by
    completion order, so merging them in index order yields the same
-   answer for any job count — including 1. *)
+   answer for any job count — including 1. The per-domain stats handed
+   to [report] are wall-clock observations and vary run to run; they
+   are strictly out-of-band (nothing derived from them flows into the
+   results), so the determinism contract is untouched. *)
+
+module Stats = struct
+  type domain = { index : int; tasks : int; wall_s : float }
+  type t = { jobs : int; domains : domain array }
+
+  let total_tasks t =
+    Array.fold_left (fun acc d -> acc + d.tasks) 0 t.domains
+
+  let max_wall_s t =
+    Array.fold_left (fun acc d -> Float.max acc d.wall_s) 0.0 t.domains
+
+  (* Ratio of summed per-domain work to the slowest domain: [jobs]
+     when perfectly balanced, tending to 1.0 when one domain carries
+     the fan-out (the signature of a skewed or serialised sweep). *)
+  let balance t =
+    let slowest = max_wall_s t in
+    if slowest <= 0.0 then 1.0
+    else
+      Array.fold_left (fun acc d -> acc +. d.wall_s) 0.0 t.domains /. slowest
+end
 
 let recommended_jobs () = Domain.recommended_domain_count ()
 
 let resolve_jobs jobs = if jobs <= 0 then recommended_jobs () else jobs
 
-let map ?(jobs = 1) n f =
+(* lint: allow D002 per-domain wall-clock accounting; reported out-of-band, never feeds simulation state *)
+let wall () = Unix.gettimeofday ()
+
+let map ?(jobs = 1) ?report n f =
   if n < 0 then invalid_arg "Parallel.map: negative count";
   let jobs = min (resolve_jobs jobs) (max 1 n) in
-  if jobs = 1 || n <= 1 then Array.init n f
+  if jobs = 1 || n <= 1 then begin
+    let t0 = wall () in
+    let results = Array.init n f in
+    (match report with
+    | Some k ->
+        k { Stats.jobs = 1;
+            domains = [| { Stats.index = 0; tasks = n; wall_s = wall () -. t0 } |] }
+    | None -> ());
+    results
+  end
   else begin
     let results = Array.make n None in
+    let stats = Array.make jobs { Stats.index = 0; tasks = 0; wall_s = 0.0 } in
     let worker j () =
+      let t0 = wall () in
+      let count = ref 0 in
       let i = ref j in
       while !i < n do
         results.(!i) <- Some (f !i);
+        incr count;
         i := !i + jobs
-      done
+      done;
+      stats.(j) <- { Stats.index = j; tasks = !count; wall_s = wall () -. t0 }
     in
     let helpers =
       Array.init (jobs - 1) (fun j -> Domain.spawn (worker (j + 1)))
@@ -36,11 +76,14 @@ let map ?(jobs = 1) n f =
     let here = (try worker 0 (); None with e -> Some e) in
     Array.iter Domain.join helpers;
     (match here with Some e -> raise e | None -> ());
+    (match report with
+    | Some k -> k { Stats.jobs; domains = stats }
+    | None -> ());
     Array.map
       (function Some x -> x | None -> assert false (* every slot filled *))
       results
   end
 
-let map_list ?jobs items f =
+let map_list ?jobs ?report items f =
   let arr = Array.of_list items in
-  Array.to_list (map ?jobs (Array.length arr) (fun i -> f arr.(i)))
+  Array.to_list (map ?jobs ?report (Array.length arr) (fun i -> f arr.(i)))

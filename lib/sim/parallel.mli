@@ -9,16 +9,44 @@
     (in particular, not a shared observability context): each index
     must be self-contained. *)
 
+(** Per-domain wall-clock accounting for one fan-out. These numbers
+    are out-of-band observations (they vary run to run and nothing
+    derived from them may feed back into simulation state); they make
+    a disappointing parallel speedup attributable — skew shows up as
+    one domain's [wall_s] dwarfing the others'. *)
+module Stats : sig
+  type domain = {
+    index : int;   (** worker index, [0 .. jobs-1]; 0 ran on the caller *)
+    tasks : int;   (** replications this domain executed *)
+    wall_s : float; (** wall seconds from the domain's first task to its last *)
+  }
+
+  type t = { jobs : int; domains : domain array (** in index order *) }
+
+  val total_tasks : t -> int
+
+  val max_wall_s : t -> float
+  (** The slowest domain — the fan-out's critical path. *)
+
+  val balance : t -> float
+  (** Sum of per-domain wall over the slowest domain: [jobs] when
+      perfectly balanced, approaching 1.0 when one domain serialises
+      the sweep. *)
+end
+
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [jobs <= 0] resolves
     to. *)
 
-val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+val map : ?jobs:int -> ?report:(Stats.t -> unit) -> int -> (int -> 'a) -> 'a array
 (** [map ~jobs n f] computes [| f 0; ...; f (n-1) |] across
     [min jobs n] domains. [jobs <= 0] means use all recommended
     domains; the default [jobs:1] runs sequentially on the calling
     domain. If any [f i] raises, all domains are joined first and one
-    of the exceptions is re-raised. *)
+    of the exceptions is re-raised (in which case [report] is not
+    called). [report] receives the per-domain wall-time/task-count
+    stats after every domain has been joined. *)
 
-val map_list : ?jobs:int -> 'a list -> ('a -> 'b) -> 'b list
+val map_list :
+  ?jobs:int -> ?report:(Stats.t -> unit) -> 'a list -> ('a -> 'b) -> 'b list
 (** [map] over a list, preserving order. *)

@@ -106,14 +106,14 @@ let offer_feedback t msg =
                  else push_feedback t msg))
       end
 
-let create ?transport ~engine ~rng ~config ~members () =
+let create ?obs ?transport ~engine ~rng ~config ~members () =
   if members < 1 then invalid_arg "Group.create: members >= 1";
   if config.nack_slot <= 0.0 then
     invalid_arg "Group.create: nack slot must be positive";
   let transport =
     match transport with
     | Some tr -> tr
-    | None -> Net.Transport.single_hop engine
+    | None -> Net.Transport.single_hop ?obs engine
   in
   let sender_config =
     { Sender.summary_period = config.summary_period;
@@ -122,7 +122,7 @@ let create ?transport ~engine ~rng ~config ~members () =
       allocator = None;
       mu_total_bps = config.mu_total_bps }
   in
-  let sender = Sender.create ~engine ~config:sender_config () in
+  let sender = Sender.create ?obs ~engine ~config:sender_config () in
   let link_rng = Rng.split rng in
   let fb_rng = Rng.split rng in
   let slot_rng = Rng.split rng in
@@ -137,11 +137,14 @@ let create ?transport ~engine ~rng ~config ~members () =
   in
   let member_receivers =
     Array.init members (fun _ ->
-        Receiver.create ~engine ~config:receiver_config ~send_feedback ())
+        Receiver.create ?obs ~engine ~config:receiver_config ~send_feedback ())
   in
   let fetch () =
     match Sender.fetch sender ~now:(Engine.now engine) with
-    | Some env -> Some (Net.Packet.make ~size_bits:(Wire.size_bits env) env)
+    | Some env ->
+        Some
+          (Net.Packet.make ~id:env.Wire.seq ~size_bits:(Wire.size_bits env)
+             env)
     | None -> None
   in
   let fanout =

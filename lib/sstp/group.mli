@@ -37,6 +37,7 @@ val default_config : mu_total_bps:float -> config
     suppression on. *)
 
 val create :
+  ?obs:Softstate_obs.Obs.t ->
   ?transport:Softstate_net.Transport.t ->
   engine:Softstate_sim.Engine.t ->
   rng:Softstate_util.Rng.t ->
@@ -47,7 +48,10 @@ val create :
 (** [transport] (default single-hop) supplies the shared data fanout
     and the feedback outbox; over a
     {!Softstate_net.Topology} member [i] listens at the node the
-    topology's attach policy assigns it. *)
+    topology's attach policy assigns it. [obs] is threaded into the
+    sender, every member receiver, and (when no [transport] is given)
+    the default single-hop transport, so group runs emit the same
+    Announce/Query/Nack/Remove trace stream a {!Session} does. *)
 
 val sender : t -> Sender.t
 val member : t -> int -> Receiver.t

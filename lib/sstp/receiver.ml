@@ -99,22 +99,22 @@ let request_once t ~now:_ tag send =
     arm_retry t tag send
   end
 
-let send_query t ~now path =
+let send_query t ~now ?(parent = Trace.no_id) path =
   request_once t ~now ("q:" ^ Path.to_string path) (fun () ->
       t.queries_sent <- t.queries_sent + 1;
       if t.traced then
         Trace.emit t.trace
           (Trace.event ~time:(Engine.now t.engine) ~src:"receiver"
-             ~detail:(Path.to_string path) Trace.Query);
+             ~detail:(Path.to_string path) ~parent Trace.Query);
       t.send_feedback (Wire.Sig_request { path = Path.to_string path }))
 
-let send_nack t ~now path =
+let send_nack t ~now ?(parent = Trace.no_id) path =
   request_once t ~now ("n:" ^ Path.to_string path) (fun () ->
       t.nacks_sent <- t.nacks_sent + 1;
       if t.traced then
         Trace.emit t.trace
           (Trace.event ~time:(Engine.now t.engine) ~src:"receiver"
-             ~detail:(Path.to_string path) Trace.Nack);
+             ~detail:(Path.to_string path) ~parent Trace.Nack);
       t.send_feedback (Wire.Nack { path = Path.to_string path }))
 
 (* Stop repairing below a withdrawn subtree, or retries would fight
@@ -154,7 +154,7 @@ let store_data t ~now path payload meta =
   let after = Namespace.digest t.namespace path in
   if before <> after then notify_update t path payload
 
-let on_signatures t ~now path (children : Wire.child list) =
+let on_signatures t ~now ~parent path (children : Wire.child list) =
   let acted = ref false in
   let local = Namespace.children t.namespace path in
   let local_by_name =
@@ -177,8 +177,8 @@ let on_signatures t ~now path (children : Wire.child list) =
       if (not matches) && t.interest child_path ~meta then begin
         acted := true;
         match kind with
-        | Wire.Leaf -> send_nack t ~now child_path
-        | Wire.Interior -> send_query t ~now child_path
+        | Wire.Leaf -> send_nack t ~now ~parent child_path
+        | Wire.Interior -> send_query t ~now ~parent child_path
       end)
     children;
   (* Anything we hold that the sender no longer lists is withdrawn. *)
@@ -211,13 +211,14 @@ let handle t ~now (env : Wire.envelope) =
       then begin
         if t.traced then
           Trace.emit t.trace
-            (Trace.event ~time:now ~src:"receiver" Trace.Digest_mismatch);
-        send_query t ~now Path.root
+            (Trace.event ~time:now ~src:"receiver" ~packet:env.Wire.seq
+               Trace.Digest_mismatch);
+        send_query t ~now ~parent:env.Wire.seq Path.root
       end
   | Wire.Signatures { path; children } ->
       let path = Path.of_string path in
       Hashtbl.remove t.outstanding ("q:" ^ Path.to_string path);
-      on_signatures t ~now path children
+      on_signatures t ~now ~parent:env.Wire.seq path children
   | Wire.Remove { path } ->
       let path = Path.of_string path in
       purge_outstanding_under t path;
@@ -225,7 +226,8 @@ let handle t ~now (env : Wire.envelope) =
         if t.traced then
           Trace.emit t.trace
             (Trace.event ~time:now ~src:"receiver"
-               ~detail:(Path.to_string path) Trace.Remove);
+               ~detail:(Path.to_string path) ~packet:env.Wire.seq
+               Trace.Remove);
         notify_remove t path
       end
   | Wire.Sig_request _ | Wire.Nack _ | Wire.Receiver_report _ ->

@@ -201,7 +201,7 @@ let next_envelope t ~now msg =
      in
      Trace.emit t.trace
        (Trace.event ~time:now ~src:"sender" ~detail
-          ~value:(float_of_int seq) kind));
+          ~value:(float_of_int seq) ~packet:seq kind));
   { Wire.seq; sent_at = now; msg }
 
 (* Materialise a queued work item against the *current* namespace:

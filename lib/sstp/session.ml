@@ -162,7 +162,10 @@ let create ?obs ?transport ~engine ~rng ~config () =
   in
   let fetch () =
     match Sender.fetch sender ~now:(Engine.now engine) with
-    | Some env -> Some (Net.Packet.make ~size_bits:(Wire.size_bits env) env)
+    | Some env ->
+        Some
+          (Net.Packet.make ~id:env.Wire.seq ~size_bits:(Wire.size_bits env)
+             env)
     | None -> None
   in
   let unicast =

@@ -681,6 +681,42 @@ let test_run_many_reports_spread () =
   Alcotest.(check (float 1e-9)) "summary mean matches results" mean
     s.Experiment.consistency_mean
 
+let test_run_many_domain_stats () =
+  (* the ?domain_report hook: stats partition the work exactly, for
+     both the parallel and the sequential paths *)
+  let module PS = Softstate_sim.Parallel.Stats in
+  let grab jobs =
+    let stats = ref None in
+    let _ =
+      Experiment.run_many ~jobs ~replications:6
+        ~domain_report:(fun s -> stats := Some s)
+        run_many_config
+    in
+    match !stats with
+    | Some s -> s
+    | None -> Alcotest.fail "domain_report not called"
+  in
+  let s2 = grab 2 in
+  Alcotest.(check int) "two domains" 2 (Array.length s2.PS.domains);
+  Alcotest.(check int) "tasks partition the work" 6 (PS.total_tasks s2);
+  Array.iteri
+    (fun i (d : PS.domain) ->
+      Alcotest.(check int) (Printf.sprintf "index %d in order" i) i d.PS.index;
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d wall non-negative" i)
+        true (d.PS.wall_s >= 0.0))
+    s2.PS.domains;
+  Alcotest.(check bool) "balance within [1, jobs]" true
+    (let b = PS.balance s2 in
+     b >= 1.0 && b <= float_of_int s2.PS.jobs +. 1e-9);
+  Alcotest.(check bool) "max_wall is the slowest domain" true
+    (Array.for_all
+       (fun (d : PS.domain) -> d.PS.wall_s <= PS.max_wall_s s2)
+       s2.PS.domains);
+  let s1 = grab 1 in
+  Alcotest.(check int) "sequential path reports one domain" 1 s1.PS.jobs;
+  Alcotest.(check int) "sequential tasks" 6 (PS.total_tasks s1)
+
 let test_run_many_single_replication_matches_run () =
   let config = { run_many_config with Experiment.seed = 77 } in
   let _, results = Experiment.run_many ~jobs:2 ~replications:3 config in
@@ -942,6 +978,7 @@ let () =
           Alcotest.test_case "deterministic across jobs" `Quick
             test_run_many_deterministic_across_jobs;
           Alcotest.test_case "summary spread" `Quick test_run_many_reports_spread;
+          Alcotest.test_case "domain stats" `Quick test_run_many_domain_stats;
           Alcotest.test_case "replications reproducible standalone" `Quick
             test_run_many_single_replication_matches_run;
         ] );

@@ -200,6 +200,201 @@ let test_csv_writer () =
     {|1,"a,b",nack,"he said ""hi""",0|}
     (List.nth lines 1)
 
+(* ---- kind serialisation: exhaustive round-trip ---- *)
+
+let all_builtin_kinds =
+  [ Trace.Packet_sent; Trace.Packet_dropped; Trace.Packet_delivered;
+    Trace.Queue_overflow; Trace.Announce; Trace.Refresh; Trace.Summary;
+    Trace.Nack; Trace.Query; Trace.Repair; Trace.Remove;
+    Trace.Digest_mismatch; Trace.Timer_fired; Trace.Rate_change;
+    Trace.Link_down; Trace.Link_up; Trace.Node_crash; Trace.Node_restart;
+    Trace.Partition; Trace.Heal ]
+
+let test_kind_roundtrip_exhaustive () =
+  List.iter
+    (fun k ->
+      let s = Trace.kind_to_string k in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s round-trips" s)
+        true
+        (Trace.kind_of_string s = k))
+    all_builtin_kinds;
+  (* the string forms are pairwise distinct *)
+  let strings = List.map Trace.kind_to_string all_builtin_kinds in
+  Alcotest.(check int) "no two kinds share a string"
+    (List.length strings)
+    (List.length (List.sort_uniq compare strings));
+  (* unknown strings become Custom and round-trip from there *)
+  Alcotest.(check bool) "custom round-trips" true
+    (Trace.kind_of_string "totally_custom" = Trace.Custom "totally_custom");
+  (* a Custom carrying a reserved string is deliberately lossy: its
+     serial form is indistinguishable from the builtin, so parsing
+     normalises to the builtin constructor *)
+  List.iter
+    (fun k ->
+      let s = Trace.kind_to_string k in
+      Alcotest.(check bool)
+        (Printf.sprintf "Custom %S normalises to the builtin" s)
+        true
+        (Trace.kind_of_string (Trace.kind_to_string (Trace.Custom s)) = k))
+    all_builtin_kinds
+
+(* ---- serialisation properties (escaping, correlation fields) ---- *)
+
+(* exact-in-float times/values so equality survives printing *)
+let gen_exact_float = QCheck.Gen.map (fun n -> float_of_int n /. 8.0)
+    (QCheck.Gen.int_range (-8_000) 8_000)
+
+let gen_id =
+  QCheck.Gen.oneof
+    [ QCheck.Gen.return Trace.no_id; QCheck.Gen.int_range 0 10_000 ]
+
+let gen_event =
+  QCheck.Gen.(
+    gen_exact_float >>= fun time ->
+    string_size ~gen:char (int_range 0 12) >>= fun src ->
+    string_size ~gen:char (int_range 0 20) >>= fun detail ->
+    gen_exact_float >>= fun value ->
+    gen_id >>= fun key ->
+    gen_id >>= fun packet ->
+    gen_id >>= fun hop ->
+    gen_id >>= fun parent ->
+    oneof
+      [ oneofl all_builtin_kinds;
+        map (fun s -> Trace.kind_of_string s)
+          (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)) ]
+    >>= fun kind ->
+    return
+      (Trace.event ~time ~src ~detail ~value ~key ~packet ~hop ~parent kind))
+
+let arb_event =
+  QCheck.make ~print:(fun e -> Trace.to_json e) gen_event
+
+let event_equal (a : Trace.event) (b : Trace.event) =
+  a.Trace.time = b.Trace.time
+  && a.Trace.src = b.Trace.src
+  && a.Trace.kind = b.Trace.kind
+  && a.Trace.detail = b.Trace.detail
+  && a.Trace.value = b.Trace.value
+  && a.Trace.key = b.Trace.key
+  && a.Trace.packet = b.Trace.packet
+  && a.Trace.hop = b.Trace.hop
+  && a.Trace.parent = b.Trace.parent
+
+let prop_jsonl_roundtrip =
+  QCheck.Test.make ~name:"jsonl writer/of_json round-trip" ~count:500
+    arb_event (fun e ->
+      (* through the streaming writer, exactly as a CLI would write it *)
+      let buf = Buffer.create 128 in
+      let sink = Trace.jsonl_writer (Buffer.add_string buf) in
+      Trace.emit sink e;
+      let line = String.trim (Buffer.contents buf) in
+      (* one line per event, whatever the detail contained *)
+      if String.contains line '\n' then false
+      else
+        match Trace.of_json line with
+        | Error _ -> false
+        | Ok e' -> event_equal e e')
+
+(* minimal CSV reader for the pinned 5-column shape: double-quote
+   quoting, doubled quotes inside quoted fields *)
+let parse_csv_row line =
+  let n = String.length line in
+  let fields = ref [] and buf = Buffer.create 16 in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | ',' -> flush (); plain (i + 1)
+      | '"' -> quoted (i + 1)
+      | c -> Buffer.add_char buf c; plain (i + 1)
+  and quoted i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c -> Buffer.add_char buf c; quoted (i + 1)
+  in
+  plain 0;
+  List.rev !fields
+
+let prop_csv_roundtrip =
+  (* no newlines: the CSV stream is line-oriented *)
+  let gen_line_event =
+    QCheck.Gen.(
+      gen_event >>= fun e ->
+      let clean s =
+        String.map (fun c -> if c = '\n' || c = '\r' then '_' else c) s
+      in
+      return
+        { e with Trace.src = clean e.Trace.src;
+          detail = clean e.Trace.detail })
+  in
+  QCheck.Test.make ~name:"csv writer escapes and parses back" ~count:500
+    (QCheck.make ~print:Trace.to_csv gen_line_event)
+    (fun e ->
+      let buf = Buffer.create 128 in
+      let sink = Trace.csv_writer (Buffer.add_string buf) in
+      Trace.emit sink e;
+      match
+        String.split_on_char '\n' (Buffer.contents buf)
+        |> List.filter (fun l -> l <> "")
+      with
+      | [ header; row ] -> (
+          header = Trace.csv_header
+          &&
+          match parse_csv_row row with
+          | [ time; src; kind; detail; value ] ->
+              float_of_string time = e.Trace.time
+              && src = e.Trace.src
+              && kind = Trace.kind_to_string e.Trace.kind
+              && detail = e.Trace.detail
+              && float_of_string value = e.Trace.value
+          | _ -> false)
+      | _ -> false)
+
+let test_correlation_fields_json () =
+  let e =
+    Trace.event ~time:1.0 ~src:"link" ~detail:"d" ~key:7 ~packet:42 ~hop:3
+      ~parent:41 Trace.Packet_delivered
+  in
+  Alcotest.(check string) "correlated encoding"
+    {|{"t": 1, "src": "link", "kind": "packet_delivered", "detail": "d", "key": 7, "pkt": 42, "hop": 3, "par": 41}|}
+    (Trace.to_json e);
+  (match Trace.of_json (Trace.to_json e) with
+  | Error m -> Alcotest.fail m
+  | Ok e' ->
+      Alcotest.(check int) "key" 7 e'.Trace.key;
+      Alcotest.(check int) "pkt" 42 e'.Trace.packet;
+      Alcotest.(check int) "hop" 3 e'.Trace.hop;
+      Alcotest.(check int) "parent" 41 e'.Trace.parent);
+  (* defaults are omitted, keeping uncorrelated JSON byte-identical
+     with the pre-correlation format *)
+  Alcotest.(check string) "defaults omitted"
+    {|{"t": 2, "src": "x", "kind": "summary"}|}
+    (Trace.to_json (ev ~time:2.0 ~src:"x" Trace.Summary));
+  (* the CSV shape stays pinned at five columns *)
+  Alcotest.(check int) "csv stays 5-column" 5
+    (List.length (parse_csv_row (Trace.to_csv e)))
+
+let test_recorder_ring () =
+  let r = Trace.recorder ~capacity:4 () in
+  Alcotest.(check bool) "recorder is enabled" true (Trace.enabled r);
+  for i = 1 to 10 do
+    Trace.emit r (ev ~time:(float_of_int i) ~src:"x" Trace.Announce)
+  done;
+  let times = List.map (fun e -> e.Trace.time) (Trace.recent r) in
+  Alcotest.(check (list (float 0.0))) "last capacity events, oldest first"
+    [ 7.0; 8.0; 9.0; 10.0 ] times;
+  Alcotest.(check int) "seen counts everything" 10 (Trace.seen r)
+
 (* ---- flat JSON parser ---- *)
 
 let test_json_parse_flat () =
@@ -218,6 +413,214 @@ let test_json_parse_flat () =
       match Json.member "d" fields with
       | Some Json.Null -> ()
       | _ -> Alcotest.fail "d")
+
+(* ---- histogram out-of-range accounting ---- *)
+
+let test_hist_out_of_range () =
+  let m = Metrics.create () in
+  let h = Metrics.hist m "lat" ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Metrics.Hist.add h (-5.0);
+  Metrics.Hist.add h 15.0;
+  Metrics.Hist.add h 5.0;
+  Alcotest.(check int) "count includes out-of-range" 3 (Metrics.Hist.count h);
+  Alcotest.(check int) "underflow" 1 (Metrics.Hist.underflow h);
+  Alcotest.(check int) "overflow" 1 (Metrics.Hist.overflow h);
+  Alcotest.(check (float 1e-9)) "mean includes out-of-range" 5.0
+    (Metrics.Hist.mean h);
+  (* quantiles stay in-range-only *)
+  Alcotest.(check (float 0.6)) "p50 over in-range samples" 5.5
+    (Metrics.Hist.quantile h 0.5);
+  (* snapshot and report expose the out-of-range tallies *)
+  (match Metrics.get m "lat" ~now:0.0 with
+  | Some (Metrics.Dist { underflow; overflow; _ }) ->
+      Alcotest.(check int) "snapshot underflow" 1 underflow;
+      Alcotest.(check int) "snapshot overflow" 1 overflow
+  | _ -> Alcotest.fail "hist snapshot missing");
+  let s = Report.of_metrics m ~now:0.0 in
+  let row_names = List.map fst s.Report.rows in
+  Alcotest.(check bool) "report has underflow/overflow rows" true
+    (List.mem "lat.underflow" row_names && List.mem "lat.overflow" row_names)
+
+(* ---- lifecycle analyzer ---- *)
+
+module Lifecycle = Softstate_obs.Lifecycle
+
+let lev ?(detail = "") ?key ?packet ?hop ?parent ~time ~src kind =
+  Trace.event ~time ~src ~detail ?key ?packet ?hop ?parent kind
+
+(* a key announced and delivered over two hops, then a refresh packet
+   destroyed by a fault while a link is down, NACKed, and repaired
+   after the link returns *)
+let lifecycle_fixture =
+  [ lev ~time:0.0 ~src:"two_queue" ~detail:"7" ~key:7 ~packet:1 Trace.Announce;
+    lev ~time:0.5 ~src:"topo.end" ~key:7 ~packet:1 ~hop:1
+      Trace.Packet_delivered;
+    lev ~time:1.0 ~src:"topo.end" ~packet:1 ~hop:2 Trace.Packet_delivered;
+    lev ~time:1.5 ~src:"two_queue" ~detail:"7" ~key:7 ~packet:2 Trace.Refresh;
+    lev ~time:2.0 ~src:"topology" ~detail:"1-2" Trace.Link_down;
+    lev ~time:3.0 ~src:"topo.e1" ~detail:"fault" ~packet:2 ~hop:2
+      Trace.Packet_dropped;
+    lev ~time:4.0 ~src:"feedback" ~detail:"2" ~key:7 ~packet:2 ~parent:1
+      Trace.Nack;
+    lev ~time:5.0 ~src:"topology" ~detail:"1-2" Trace.Link_up;
+    lev ~time:6.0 ~src:"two_queue" ~detail:"7" ~key:7 ~packet:3 ~parent:2
+      Trace.Repair;
+    lev ~time:6.5 ~src:"topo.end" ~packet:3 ~hop:2 Trace.Packet_delivered ]
+
+let test_lifecycle_reconstruction () =
+  let t = Lifecycle.of_event_list lifecycle_fixture in
+  Alcotest.(check (float 0.0)) "horizon" 6.5 (Lifecycle.horizon t);
+  let k =
+    match Lifecycle.find t "7" with
+    | Some k -> k
+    | None -> Alcotest.fail "key 7 missing"
+  in
+  Alcotest.(check int) "announces" 1 k.Lifecycle.announces;
+  Alcotest.(check int) "refreshes" 1 k.Lifecycle.refreshes;
+  Alcotest.(check int) "repairs" 1 k.Lifecycle.repairs;
+  Alcotest.(check int) "nacks" 1 k.Lifecycle.nacks;
+  (* ttc: announce at 0, completed (deepest hop) delivery at 1.0 *)
+  (match k.Lifecycle.time_to_consistency with
+  | Some ttc -> Alcotest.(check (float 1e-9)) "ttc" 1.0 ttc
+  | None -> Alcotest.fail "no ttc");
+  (* the NACK at 4.0 is answered by the completed delivery at 6.5 *)
+  Alcotest.(check (array (float 1e-9))) "repair latency" [| 2.5 |]
+    k.Lifecycle.repair_latencies;
+  (* the faulted drop is one stall, attributed to the down link *)
+  (match k.Lifecycle.stalls with
+  | [ s ] ->
+      Alcotest.(check int) "stalled packet" 2 s.Lifecycle.packet;
+      Alcotest.(check string) "drop src" "topo.e1" s.Lifecycle.drop_src;
+      (match s.Lifecycle.recovered_at with
+      | Some r -> Alcotest.(check (float 1e-9)) "recovered" 6.5 r
+      | None -> Alcotest.fail "no recovery");
+      (match s.Lifecycle.culprits with
+      | [ c ] ->
+          Alcotest.(check string) "culprit link" "1-2" c.Lifecycle.link;
+          Alcotest.(check (float 0.0)) "down at" 2.0 c.Lifecycle.down_at;
+          (match c.Lifecycle.up_at with
+          | Some u -> Alcotest.(check (float 0.0)) "up at" 5.0 u
+          | None -> Alcotest.fail "culprit never up")
+      | cs ->
+          Alcotest.fail
+            (Printf.sprintf "expected one culprit, got %d" (List.length cs)))
+  | ss ->
+      Alcotest.fail
+        (Printf.sprintf "expected one stall, got %d" (List.length ss)));
+  (* the causal chain of the dropped refresh: its drop, its NACK, and
+     the repair it triggered *)
+  let chain_kinds =
+    List.map (fun e -> e.Trace.kind) (Lifecycle.chain t 2)
+  in
+  Alcotest.(check bool) "chain has drop, nack and repair" true
+    (List.mem Trace.Packet_dropped chain_kinds
+    && List.mem Trace.Nack chain_kinds
+    && List.mem Trace.Repair chain_kinds);
+  (* stalest ranks the key *)
+  (match Lifecycle.stalest t with
+  | [ worst ] -> Alcotest.(check string) "stalest key" "7" worst.Lifecycle.key
+  | _ -> Alcotest.fail "stalest should list exactly key 7");
+  (* nack-depth series: one nack issued at 4.0, resolved at 6.5 *)
+  (match Lifecycle.nack_depth_series t ~bucket:5.0 with
+  | [ p0; p1 ] ->
+      Alcotest.(check int) "bucket 0 nacks" 1 p0.Lifecycle.nacks;
+      Alcotest.(check int) "open at 5.0" 1 p0.Lifecycle.outstanding;
+      Alcotest.(check int) "resolved by 10.0" 0 p1.Lifecycle.outstanding
+  | ps ->
+      Alcotest.fail
+        (Printf.sprintf "expected 2 buckets, got %d" (List.length ps)))
+
+let test_lifecycle_jsonl_roundtrip () =
+  (* through the writer and back: same reconstruction from a file *)
+  let buf = Buffer.create 1024 in
+  let sink = Trace.jsonl_writer (Buffer.add_string buf) in
+  List.iter (Trace.emit sink) lifecycle_fixture;
+  let path = Filename.temp_file "lifecycle" ".jsonl" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  let t =
+    match Lifecycle.of_jsonl path with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  Sys.remove path;
+  match Lifecycle.find t "7" with
+  | Some k ->
+      Alcotest.(check int) "stalls survive the file round-trip" 1
+        (List.length k.Lifecycle.stalls)
+  | None -> Alcotest.fail "key 7 missing after round-trip"
+
+let test_percentile () =
+  let vs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "p0 is min" 1.0 (Lifecycle.percentile vs 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is max" 4.0 (Lifecycle.percentile vs 1.0);
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 2.5
+    (Lifecycle.percentile vs 0.5);
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Lifecycle.percentile [] 0.5))
+
+(* ---- wall-clock profiler ---- *)
+
+module Profiler = Softstate_obs.Profiler
+
+let test_profiler_accounting () =
+  let p = Profiler.create () in
+  Alcotest.(check bool) "enabled" true (Profiler.enabled p);
+  (* interval accounting *)
+  Profiler.add p "step" 1.0;
+  Profiler.add p "step" 0.5;
+  (* frame accounting with nesting *)
+  let r =
+    Profiler.time p "outer" (fun () -> Profiler.time p "inner" (fun () -> 42))
+  in
+  Alcotest.(check int) "time returns the result" 42 r;
+  let entries = Profiler.snapshot p in
+  let get name =
+    match
+      List.find_opt (fun e -> e.Profiler.name = name) entries
+    with
+    | Some e -> e
+    | None -> Alcotest.fail (name ^ " missing from snapshot")
+  in
+  let step = get "step" in
+  Alcotest.(check int) "step calls" 2 step.Profiler.calls;
+  Alcotest.(check (float 1e-9)) "step self" 1.5 step.Profiler.self_s;
+  Alcotest.(check (float 1e-9)) "step cum" 1.5 step.Profiler.cum_s;
+  let outer = get "outer" and inner = get "inner" in
+  Alcotest.(check int) "outer calls" 1 outer.Profiler.calls;
+  Alcotest.(check int) "inner calls" 1 inner.Profiler.calls;
+  (* self excludes the child's time; the identity self + child = cum
+     holds up to rounding *)
+  Alcotest.(check bool) "outer cum covers inner" true
+    (outer.Profiler.cum_s >= inner.Profiler.cum_s);
+  Alcotest.(check (float 1e-6)) "self + child = cum" outer.Profiler.cum_s
+    (outer.Profiler.self_s +. inner.Profiler.cum_s);
+  Profiler.reset p;
+  Alcotest.(check int) "reset clears" 0 (List.length (Profiler.snapshot p))
+
+let test_profiler_disabled_is_free () =
+  let ran = ref false in
+  let r = Profiler.time Profiler.disabled "x" (fun () -> ran := true; 7) in
+  Alcotest.(check int) "disabled still runs f" 7 r;
+  Alcotest.(check bool) "side effect happened" true !ran;
+  Alcotest.(check int) "nothing recorded" 0
+    (List.length (Profiler.snapshot Profiler.disabled));
+  Alcotest.(check bool) "stays disabled" false
+    (Profiler.enabled Profiler.disabled)
+
+let test_profiler_exception_safe () =
+  let p = Profiler.create () in
+  (try
+     Profiler.time p "boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  match Profiler.snapshot p with
+  | [ e ] ->
+      Alcotest.(check string) "frame closed on raise" "boom" e.Profiler.name;
+      Alcotest.(check int) "call recorded" 1 e.Profiler.calls
+  | es ->
+      Alcotest.fail
+        (Printf.sprintf "expected one entry, got %d" (List.length es))
 
 (* ---- reports ---- *)
 
@@ -373,6 +776,7 @@ let () =
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "tw gauge" `Quick test_tw_gauge;
           Alcotest.test_case "hist quantiles" `Quick test_hist_quantiles;
+          Alcotest.test_case "hist out-of-range" `Quick test_hist_out_of_range;
           Alcotest.test_case "kind clash" `Quick test_registry_kind_clash;
           Alcotest.test_case "snapshot order" `Quick
             test_snapshot_order_and_probe;
@@ -390,6 +794,29 @@ let () =
           Alcotest.test_case "jsonl writer" `Quick test_jsonl_writer_streams;
           Alcotest.test_case "csv writer" `Quick test_csv_writer;
           Alcotest.test_case "flat parser" `Quick test_json_parse_flat;
+          Alcotest.test_case "kind round-trip exhaustive" `Quick
+            test_kind_roundtrip_exhaustive;
+          Alcotest.test_case "correlation fields" `Quick
+            test_correlation_fields_json;
+          Alcotest.test_case "recorder ring" `Quick test_recorder_ring;
+          QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
+          QCheck_alcotest.to_alcotest prop_csv_roundtrip;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "reconstruction" `Quick
+            test_lifecycle_reconstruction;
+          Alcotest.test_case "jsonl round-trip" `Quick
+            test_lifecycle_jsonl_roundtrip;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "accounting" `Quick test_profiler_accounting;
+          Alcotest.test_case "disabled is free" `Quick
+            test_profiler_disabled_is_free;
+          Alcotest.test_case "exception safe" `Quick
+            test_profiler_exception_safe;
         ] );
       ( "report",
         [
