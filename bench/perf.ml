@@ -254,7 +254,7 @@ let jobs = ref 4
 (* The committed (full-mode) BENCH_perf.json also records the storm
    speedup at quick scale, so CI's quick run gates against a baseline
    of the same workload size. *)
-let regression_check ~speedup =
+let regression_check ~speedup ~words_per_node =
   match open_in "BENCH_perf.json" with
   | exception Sys_error _ ->
       print_endline "no committed BENCH_perf.json baseline; skipping gate"
@@ -264,7 +264,7 @@ let regression_check ~speedup =
       (match Json.parse_flat line with
       | Error _ -> print_endline "unparseable BENCH_perf.json; skipping gate"
       | Ok fields -> (
-          match Json.member "storm_speedup_quick" fields with
+          (match Json.member "storm_speedup_quick" fields with
           | Some (Json.Number baseline) when baseline > 0.0 ->
               let floor = 0.7 *. baseline in
               Printf.printf
@@ -276,7 +276,24 @@ let regression_check ~speedup =
                 exit 1
               end
           | _ ->
-              print_endline "no storm_speedup_quick in baseline; skipping gate"))
+              print_endline "no storm_speedup_quick in baseline; skipping gate");
+          (* memory gate: live words per node of the flat substrate at
+             the quick workload. The build is seed-deterministic, so
+             any growth is a real footprint regression, not noise. *)
+          match Json.member "large_topo_words_per_node_quick" fields with
+          | Some (Json.Number baseline) when baseline > 0.0 ->
+              let ceiling = 1.3 *. baseline in
+              Printf.printf
+                "memory gate: %.1f words/node vs baseline %.1f (ceiling %.1f)\n"
+                words_per_node baseline ceiling;
+              if words_per_node > ceiling then begin
+                prerr_endline
+                  "FAIL: flat-topology words/node regressed >30% vs baseline";
+                exit 1
+              end
+          | _ ->
+              print_endline
+                "no large_topo_words_per_node_quick in baseline; skipping gate"))
 
 let run () =
   Tables.header "Performance suite (BENCH_perf.json)";
@@ -389,7 +406,71 @@ let run () =
     "tree fan-out %10.0f deliveries/s  (%d-ary depth %d, %d receivers, %d pkts, %.3f s)\n"
     fan_rate fan_arity fan_depth fan_receivers fan_packets fan_s;
 
-  if q then regression_check ~speedup;
+  (* 6. large-topo: the flat struct-of-arrays substrate at 10^5 nodes —
+     build time, live heap (Gc-measured) and gossip contact throughput
+     on a sparse random graph and a deep binary tree. Edge probability
+     keeps the mean degree at 4 across scales. *)
+  let module Flat = Net.Flat_topology in
+  let module G = Softstate_core.Gossip in
+  let live_words () =
+    Gc.compact ();
+    (Gc.stat ()).Gc.live_words
+  in
+  let lt_measure build =
+    let before = live_words () in
+    let (flat : Flat.t), build_s = timed build in
+    let delta = live_words () - before in
+    let r, run_s =
+      timed (fun () ->
+          G.run
+            { G.default with G.seed = 9; fanout = 2; max_rounds = 200 }
+            (G.Mesh flat))
+    in
+    (flat, build_s, delta, r, run_s)
+  in
+  let lt_nodes = if q then 20_000 else 100_000 in
+  let lt_prob = 4.0 /. float_of_int lt_nodes in
+  let lt_random () =
+    Flat.random ~rng:(Rng.create 5) ~nodes:lt_nodes ~edge_prob:lt_prob ()
+  in
+  let lt, lt_build_s, lt_live, lt_r, lt_run_s = lt_measure lt_random in
+  let lt_wpn = float_of_int lt_live /. float_of_int lt_nodes in
+  let lt_rate = float_of_int lt_r.G.transmissions /. lt_run_s in
+  Printf.printf
+    "large-topo   random:%d:%g  %d cables  build %.3f s  %.1f words/node\n"
+    lt_nodes lt_prob (Flat.cable_count lt) lt_build_s lt_wpn;
+  Printf.printf
+    "large-topo   gossip %10.0f contacts/s  (%d rounds, %d infected, %.3f s)\n"
+    lt_rate lt_r.G.rounds lt_r.G.infected lt_run_s;
+  let tree_depth = if q then 13 else 16 in
+  let tree, tree_build_s, tree_live, tree_r, tree_run_s =
+    lt_measure (fun () -> Flat.kary_tree ~arity:2 ~depth:tree_depth ())
+  in
+  let tree_nodes = Flat.node_count tree in
+  let tree_rate = float_of_int tree_r.G.transmissions /. tree_run_s in
+  Printf.printf
+    "large-topo   tree:2:%d  %d nodes  build %.3f s  %.1f words/node\n"
+    tree_depth tree_nodes tree_build_s
+    (float_of_int tree_live /. float_of_int tree_nodes);
+  Printf.printf
+    "large-topo   gossip %10.0f contacts/s  (%d rounds, %d infected, %.3f s)\n"
+    tree_rate tree_r.G.rounds tree_r.G.infected tree_run_s;
+  (* quick-scale words/node: measured in full mode too, so the
+     committed baseline carries the number CI's quick run gates
+     against (the build is seed-deterministic, so the full-mode and
+     quick-mode measurements of this workload agree) *)
+  let lt_wpn_quick =
+    if q then lt_wpn
+    else begin
+      let before = live_words () in
+      let flat = Flat.random ~rng:(Rng.create 5) ~nodes:20_000 ~edge_prob:(4.0 /. 20_000.0) () in
+      let delta = live_words () - before in
+      ignore (Flat.node_count flat);
+      float_of_int delta /. 20_000.0
+    end
+  in
+
+  if q then regression_check ~speedup ~words_per_node:lt_wpn_quick;
 
   let out = if q then "BENCH_perf_quick.json" else "BENCH_perf.json" in
   let oc = open_out out in
@@ -441,7 +522,27 @@ let run () =
           Json.float
             (match !domain_stats with
             | None -> nan
-            | Some st -> PS.balance st)) ]);
+            | Some st -> PS.balance st));
+         ("sweep_mode",
+          Json.string
+            (match !domain_stats with
+            | None -> "unknown"
+            | Some st -> PS.mode_name st.PS.mode));
+         ("large_topo_nodes", Json.int lt_nodes);
+         ("large_topo_edge_prob", Json.float lt_prob);
+         ("large_topo_cables", Json.int (Flat.cable_count lt));
+         ("large_topo_build_s", Json.float lt_build_s);
+         ("large_topo_live_words", Json.int lt_live);
+         ("large_topo_words_per_node", Json.float lt_wpn);
+         ("large_topo_words_per_node_quick", Json.float lt_wpn_quick);
+         ("large_topo_gossip_rounds", Json.int lt_r.G.rounds);
+         ("large_topo_gossip_contacts", Json.int lt_r.G.transmissions);
+         ("large_topo_contacts_per_s", Json.float lt_rate);
+         ("tree_topo_depth", Json.int tree_depth);
+         ("tree_topo_nodes", Json.int tree_nodes);
+         ("tree_topo_build_s", Json.float tree_build_s);
+         ("tree_topo_live_words", Json.int tree_live);
+         ("tree_topo_contacts_per_s", Json.float tree_rate) ]);
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" out

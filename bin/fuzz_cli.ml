@@ -83,6 +83,13 @@ let corrupt_delivered outcome =
             { r with
               Experiment.packets_delivered =
                 r.Experiment.packets_delivered + 100 } }
+  | Scenario.Gossip_result r ->
+      { outcome with
+        Scenario.payload =
+          Scenario.Gossip_result
+            { r with
+              Softstate_core.Gossip.deliveries =
+                r.Softstate_core.Gossip.deliveries + 100 } }
   | Scenario.Sstp_result _ -> outcome
 
 let parse_oracles s =

@@ -14,12 +14,15 @@ module Sched = Softstate_sched.Scheduler
 
 let protocol_arg =
   let doc =
-    "Protocol variant: open-loop, two-queue, feedback, or multicast."
+    "Protocol variant: open-loop, two-queue, feedback, multicast, or \
+     gossip (epidemic dissemination over the flat substrate; see the \
+     --gossip-* options and --fluid)."
   in
   Arg.(
     value
     & opt (enum [ ("open-loop", `Open_loop); ("two-queue", `Two_queue);
-                  ("feedback", `Feedback); ("multicast", `Multicast) ])
+                  ("feedback", `Feedback); ("multicast", `Multicast);
+                  ("gossip", `Gossip) ])
         `Open_loop
     & info [ "protocol"; "p" ] ~doc)
 
@@ -189,6 +192,47 @@ let sched_arg =
         Sched.Stride
     & info [ "sched" ] ~doc)
 
+(* gossip-only knobs *)
+
+let gossip_mode_arg =
+  let doc = "Gossip round discipline: push or push-pull." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("push", Softstate_core.Gossip.Push);
+             ("push-pull", Softstate_core.Gossip.Push_pull) ])
+        Softstate_core.Gossip.Push
+    & info [ "gossip-mode" ] ~doc)
+
+let fanout_arg =
+  int_arg [ "fanout" ] 1 "Contacts per infected node per gossip round."
+
+let rounds_arg = int_arg [ "rounds" ] 64 "Gossip round budget."
+
+let round_period_arg =
+  float_arg [ "round-period" ] 1.0 "Simulated seconds per gossip round."
+
+let initial_arg =
+  int_arg [ "initial" ] 1 "Initially infected nodes (gossip only)."
+
+let target_arg =
+  float_arg [ "target" ] 1.0
+    "Stop gossip once this infected fraction is reached."
+
+let nodes_arg =
+  int_arg [ "nodes"; "n" ] 1000
+    "Gossip population under uniform mixing (ignored when --topology \
+     selects a mesh, whose node count then governs)."
+
+let fluid_arg =
+  let doc =
+    "Also integrate the mean-field fluid model and print the per-round \
+     sim-vs-fluid infected fractions with the maximum gap (gossip only; \
+     exact for uniform mixing, an approximation over meshes)."
+  in
+  Arg.(value & flag & info [ "fluid" ] ~doc)
+
 let replications_arg =
   int_arg [ "replications"; "r" ]
     1
@@ -202,9 +246,69 @@ let jobs_arg =
     "Domains to fan replications across (0 = all recommended). The \
      summary is identical for every job count."
 
+(* The gossip protocol has its own result shape (infection counts and a
+   round series rather than a consistency profile), so it branches off
+   before any announce/listen configuration is assembled. *)
+let run_gossip seed topology loss gossip_mode fanout rounds round_period
+    initial target nodes fluid trace_file metrics_file report =
+  let module G = Softstate_core.Gossip in
+  let config =
+    { E.g_seed = seed; g_topology = topology; g_nodes = nodes;
+      g_mode = gossip_mode; g_fanout = fanout; g_loss = E.loss_mean loss;
+      g_round_period = round_period; g_max_rounds = rounds;
+      g_initial = initial; g_target = target }
+  in
+  let obs = Obs_cli.setup ~trace_file ~metrics_file ~report in
+  let r = E.run_gossip ?obs:obs.Obs_cli.obs config in
+  let horizon = match r.G.series with [||] -> 0.0 | s -> fst s.(Array.length s - 1) in
+  obs.Obs_cli.finish ~now:horizon;
+  (match obs.Obs_cli.report with
+  | Some format ->
+      print_string
+        (Softstate_obs.Report.render format
+           (E.gossip_report ?obs:obs.Obs_cli.obs ~config r));
+      print_newline ()
+  | None ->
+      let n = float_of_int r.G.nodes in
+      Printf.printf "gossip                %s fanout %d over %s\n"
+        (G.mode_name config.E.g_mode) fanout
+        (E.gossip_topology_name config);
+      Printf.printf "rounds                %d\n" r.G.rounds;
+      Printf.printf "infected              %d / %d (%.4f)\n" r.G.infected
+        r.G.nodes
+        (float_of_int r.G.infected /. n);
+      Printf.printf
+        "transmissions         %d (%d delivered, %d redundant, %d lost)\n"
+        r.G.transmissions r.G.deliveries r.G.redundant r.G.lost;
+      if r.G.misses > 0 || r.G.blackholed > 0 then
+        Printf.printf "dead contacts         %d missed, %d blackholed\n"
+          r.G.misses r.G.blackholed;
+      let half = E.gossip_time_to r 0.5 in
+      if Float.is_finite half then
+        Printf.printf "time to half          %.3f s\n" half;
+      Printf.printf "digest                %s\n" r.G.digest);
+  if fluid then begin
+    let fl = E.fluid_gossip ~rounds:r.G.rounds config in
+    let gap = ref 0.0 in
+    Printf.printf "\n%-6s %10s %10s\n" "round" "sim" "fluid";
+    Array.iteri
+      (fun i (_, c) ->
+        let f = snd fl.(i) in
+        gap := Float.max !gap (Float.abs (c -. f));
+        Printf.printf "%-6d %10.4f %10.4f\n" i c f)
+      r.G.series;
+    Printf.printf "max |sim - fluid|     %.4f\n" !gap
+  end
+
 let run protocol seed duration lambda size_bits loss update_fraction mu_data
     mu_hot mu_cold mu_fb nack_bits receivers topology faults death sched
+    gossip_mode fanout rounds round_period initial target nodes fluid
     replications jobs trace_file metrics_file report =
+  match protocol with
+  | `Gossip ->
+      run_gossip seed topology loss gossip_mode fanout rounds round_period
+        initial target nodes fluid trace_file metrics_file report
+  | (`Open_loop | `Two_queue | `Feedback | `Multicast) as protocol ->
   let protocol =
     match protocol with
     | `Open_loop -> E.Open_loop { mu_data_kbps = mu_data }
@@ -292,7 +396,9 @@ let cmd =
       $ size_arg $ loss_arg $ update_fraction_arg $ mu_data_arg $ mu_hot_arg
       $ mu_cold_arg
       $ mu_fb_arg $ nack_arg $ receivers_arg $ topology_arg $ faults_arg
-      $ death_arg $ sched_arg $ replications_arg
+      $ death_arg $ sched_arg $ gossip_mode_arg $ fanout_arg $ rounds_arg
+      $ round_period_arg $ initial_arg $ target_arg $ nodes_arg $ fluid_arg
+      $ replications_arg
       $ jobs_arg $ Obs_cli.trace_arg $ Obs_cli.metrics_arg
       $ Obs_cli.report_arg)
 

@@ -24,6 +24,7 @@ type sstp = {
 type t =
   | Core of Experiment.config
   | Sstp of sstp
+  | Gossip of Experiment.gossip_config
 
 (* ------------------------------------------------------------------ *)
 (* Generation *)
@@ -185,7 +186,38 @@ let gen_sstp rng =
       s_duration;
       summary_period = range rng 0.5 2.0 }
 
-let generate rng = if Rng.int rng 4 = 0 then gen_sstp rng else gen_core rng
+let gen_gossip rng =
+  (* kept small: the fuzzer wants many scenarios per second, and every
+     oracle below is size-independent *)
+  let g_topology =
+    match Rng.int rng 5 with
+    | 0 -> Experiment.Single_hop (* uniform mixing over g_nodes *)
+    | 1 -> Experiment.Star { leaves = 3 + Rng.int rng 38 }
+    | 2 -> Experiment.Chain { hops = 3 + Rng.int rng 38 }
+    | 3 ->
+        Experiment.Kary_tree { arity = 2 + Rng.int rng 2; depth = 2 + Rng.int rng 3 }
+    | _ ->
+        Experiment.Random_graph
+          { nodes = 10 + Rng.int rng 190; edge_prob = q2 (range rng 0.05 0.5) }
+  in
+  Gossip
+    { Experiment.g_seed = 1 + Rng.int rng 1_000_000;
+      g_topology;
+      g_nodes = 20 + Rng.int rng 1980;
+      g_mode = (if Rng.bool rng then Softstate_core.Gossip.Push
+                else Softstate_core.Gossip.Push_pull);
+      g_fanout = 1 + Rng.int rng 3;
+      g_loss = Rng.float rng *. 0.5;
+      g_round_period = range rng 0.25 2.0;
+      g_max_rounds = 8 + Rng.int rng 41;
+      g_initial = 1 + Rng.int rng 3;
+      g_target = choice rng [| 0.5; 0.9; 1.0 |] }
+
+let generate rng =
+  match Rng.int rng 8 with
+  | 0 | 1 -> gen_sstp rng (* sstp stays 1-in-4 *)
+  | 2 | 3 -> gen_gossip rng
+  | _ -> gen_core rng
 
 (* ------------------------------------------------------------------ *)
 (* Textual form *)
@@ -382,6 +414,19 @@ let to_string = function
           "removes=" ^ string_of_int s.removes;
           "dur=" ^ f17 s.s_duration;
           "sumper=" ^ f17 s.summary_period ]
+  | Gossip g ->
+      String.concat " "
+        [ "gossip";
+          "seed=" ^ string_of_int g.Experiment.g_seed;
+          "topo=" ^ topology_to_string g.g_topology;
+          "nodes=" ^ string_of_int g.g_nodes;
+          "mode=" ^ Softstate_core.Gossip.mode_name g.g_mode;
+          "fanout=" ^ string_of_int g.g_fanout;
+          "loss=" ^ f17 g.g_loss;
+          "period=" ^ f17 g.g_round_period;
+          "rounds=" ^ string_of_int g.g_max_rounds;
+          "init=" ^ string_of_int g.g_initial;
+          "target=" ^ f17 g.g_target ]
 
 let ( let* ) = Result.bind
 
@@ -452,6 +497,26 @@ let of_string line =
                  { Experiment.seed; duration; lambda_kbps; size_bits; death;
                    expiry; update_fraction; loss; protocol; topology; faults;
                    sched; empty_policy; record_series = true; obs = None })
+        | "gossip" ->
+            let* g_seed = int_field fields "seed" in
+            let* g_topology = field fields "topo" topology_of_string in
+            let* g_nodes = int_field fields "nodes" in
+            let* g_mode =
+              field fields "mode" (function
+                | "push" -> Ok Softstate_core.Gossip.Push
+                | "push-pull" -> Ok Softstate_core.Gossip.Push_pull
+                | m -> Error ("bad gossip mode " ^ m))
+            in
+            let* g_fanout = int_field fields "fanout" in
+            let* g_loss = float_field fields "loss" in
+            let* g_round_period = float_field fields "period" in
+            let* g_max_rounds = int_field fields "rounds" in
+            let* g_initial = int_field fields "init" in
+            let* g_target = float_field fields "target" in
+            Ok
+              (Gossip
+                 { Experiment.g_seed; g_topology; g_nodes; g_mode; g_fanout;
+                   g_loss; g_round_period; g_max_rounds; g_initial; g_target })
         | "sstp" ->
             let* s_seed = int_field fields "seed" in
             let* mu_total_kbps = float_field fields "mu" in
@@ -469,6 +534,23 @@ let of_string line =
 
 let to_cli = function
   | Sstp _ -> None
+  | Gossip g ->
+      (* Every gossip knob is a CLI flag; --loss %g is a reproducer
+         hint, not the canonical %.17g codec. *)
+      let topo =
+        match g.Experiment.g_topology with
+        | Experiment.Single_hop -> Printf.sprintf " --nodes %d" g.g_nodes
+        | t -> Printf.sprintf " --topology %s" (topology_to_string t)
+      in
+      Some
+        (Printf.sprintf
+           "softstate_sim_cli --protocol gossip --seed %d --gossip-mode %s \
+            --fanout %d --loss %g --round-period %g --rounds %d --initial %d \
+            --target %g%s"
+           g.Experiment.g_seed
+           (Softstate_core.Gossip.mode_name g.g_mode)
+           g.g_fanout g.g_loss g.g_round_period g.g_max_rounds g.g_initial
+           g.g_target topo)
   | Core c ->
       (* Only claim a CLI reproducer when every knob is expressible as
          a softstate_sim_cli flag. *)
@@ -560,6 +642,7 @@ type sstp_result = {
 type payload =
   | Core_result of Experiment.result
   | Sstp_result of sstp_result
+  | Gossip_result of Softstate_core.Gossip.result
 
 type outcome = {
   scenario : t;
@@ -671,6 +754,25 @@ let run_sstp scenario s =
     flight = Trace.recent recorder;
     metrics = sim_metrics (Obs.metrics obs) ~now:horizon }
 
+let run_gossip scenario g =
+  let sink = Trace.memory ~capacity:trace_capacity () in
+  let recorder = Trace.recorder () in
+  let obs = Obs.create ~trace:(Trace.tee [ sink; recorder ]) () in
+  let result = Experiment.run_gossip ~obs g in
+  let horizon =
+    match result.Softstate_core.Gossip.series with
+    | [||] -> 0.0
+    | s -> fst s.(Array.length s - 1)
+  in
+  { scenario;
+    payload = Gossip_result result;
+    horizon;
+    events = Trace.events sink;
+    events_dropped = Trace.overwritten sink;
+    flight = Trace.recent recorder;
+    metrics = sim_metrics (Obs.metrics obs) ~now:horizon }
+
 let run = function
   | Core config as scenario -> run_core scenario config
   | Sstp s as scenario -> run_sstp scenario s
+  | Gossip g as scenario -> run_gossip scenario g

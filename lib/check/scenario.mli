@@ -27,14 +27,16 @@ type t =
       (** [config.obs] is [None] in a scenario; {!run} installs its
           own context. *)
   | Sstp of sstp
+  | Gossip of Experiment.gossip_config
+      (** epidemic dissemination over uniform mixing or a flat mesh *)
 
 val generate : Softstate_util.Rng.t -> t
-(** Draw a scenario. Roughly one in four is an {!Sstp} session; the
-    rest sweep the experiment space (all four protocols, all five
-    topology kinds, Bernoulli and Gilbert–Elliott loss, fault
-    schedules on multi-hop topologies). Bounds are chosen so every
-    scenario terminates quickly and, for SSTP, can converge within
-    the grace window {!run} allows. *)
+(** Draw a scenario. Roughly one in four is an {!Sstp} session and one
+    in four a {!Gossip} run; the rest sweep the experiment space (all
+    four protocols, all five topology kinds, Bernoulli and
+    Gilbert–Elliott loss, fault schedules on multi-hop topologies).
+    Bounds are chosen so every scenario terminates quickly and, for
+    SSTP, can converge within the grace window {!run} allows. *)
 
 val to_string : t -> string
 (** One-line textual form, [of_string]-exact (floats are printed with
@@ -44,10 +46,10 @@ val to_string : t -> string
 val of_string : string -> (t, string) result
 
 val to_cli : t -> string option
-(** A [softstate_sim_cli] invocation reproducing a [Core] scenario,
-    when every field is expressible as a CLI flag ([None] for [Sstp]
-    scenarios and for configs using knobs the CLI does not surface,
-    e.g. receiver-side expiry). *)
+(** A [softstate_sim_cli] invocation reproducing a [Core] or [Gossip]
+    scenario, when every field is expressible as a CLI flag ([None]
+    for [Sstp] scenarios and for configs using knobs the CLI does not
+    surface, e.g. receiver-side expiry). *)
 
 (** {1 Running} *)
 
@@ -69,6 +71,7 @@ type sstp_result = {
 type payload =
   | Core_result of Experiment.result
   | Sstp_result of sstp_result
+  | Gossip_result of Softstate_core.Gossip.result
 
 type outcome = {
   scenario : t;

@@ -119,9 +119,55 @@ let sstp_candidates (s : Scenario.sstp) =
   in
   List.map (fun s -> Scenario.Sstp s) (dur @ pubs @ removes @ loss)
 
+let gossip_candidates (g : Experiment.gossip_config) =
+  let smaller_topo =
+    match g.Experiment.g_topology with
+    | Experiment.Single_hop when g.Experiment.g_nodes > 20 ->
+        [ { g with Experiment.g_nodes = max 20 (g.Experiment.g_nodes / 2) } ]
+    | Experiment.Single_hop -> []
+    | Experiment.Star { leaves } when leaves > 3 ->
+        [ { g with Experiment.g_topology = Experiment.Star { leaves = leaves / 2 } } ]
+    | Experiment.Chain { hops } when hops > 3 ->
+        [ { g with Experiment.g_topology = Experiment.Chain { hops = hops / 2 } } ]
+    | Experiment.Kary_tree { arity; depth } when depth > 2 ->
+        [ { g with
+            Experiment.g_topology = Experiment.Kary_tree { arity; depth = depth - 1 } } ]
+    | Experiment.Random_graph { nodes; edge_prob } when nodes > 10 ->
+        [ { g with
+            Experiment.g_topology =
+              Experiment.Random_graph { nodes = max 10 (nodes / 2); edge_prob } } ]
+    | _ ->
+        (* any mesh collapses to uniform mixing over a small population *)
+        [ { g with Experiment.g_topology = Experiment.Single_hop; g_nodes = 20 } ]
+  in
+  let rounds =
+    if g.Experiment.g_max_rounds > 8 then
+      [ { g with Experiment.g_max_rounds = g.Experiment.g_max_rounds / 2 } ]
+    else []
+  in
+  let lossless =
+    if g.Experiment.g_loss > 0.0 then [ { g with Experiment.g_loss = 0.0 } ]
+    else []
+  in
+  let simpler =
+    (if g.Experiment.g_mode = Softstate_core.Gossip.Push_pull then
+       [ { g with Experiment.g_mode = Softstate_core.Gossip.Push } ]
+     else [])
+    @ (if g.Experiment.g_fanout > 1 then
+         [ { g with Experiment.g_fanout = g.Experiment.g_fanout - 1 } ]
+       else [])
+    @
+    if g.Experiment.g_initial > 1 then [ { g with Experiment.g_initial = 1 } ]
+    else []
+  in
+  List.map
+    (fun g -> Scenario.Gossip g)
+    (smaller_topo @ rounds @ lossless @ simpler)
+
 let candidates = function
   | Scenario.Core c -> core_candidates c
   | Scenario.Sstp s -> sstp_candidates s
+  | Scenario.Gossip g -> gossip_candidates g
 
 let shrink ~fails ~max_runs scenario =
   let runs = ref 0 in

@@ -636,3 +636,147 @@ let report ?obs ~config r =
         @ [ R.of_metrics (Softstate_obs.Obs.metrics o) ~now:config.duration ]
   in
   R.make ~name:"softstate-sim" sections
+
+(* ------------------------------------------------------------------ *)
+(* Gossip dissemination over the flat substrate.
+
+   Reuses [topology_spec] vocabulary: [Single_hop] means uniform
+   (complete-graph) mixing over [g_nodes] peers — the configuration
+   the mean-field fluid limit describes exactly — while the graph
+   kinds run over {!Softstate_net.Flat_topology} meshes, which is
+   what makes [random:1000000:p] populations feasible. *)
+
+type gossip_config = {
+  g_seed : int;
+  g_topology : topology_spec;
+  g_nodes : int;            (** population for [Single_hop] mixing *)
+  g_mode : Gossip.mode;
+  g_fanout : int;
+  g_loss : float;           (** per-transmission Bernoulli loss *)
+  g_round_period : float;
+  g_max_rounds : int;
+  g_initial : int;
+  g_target : float;
+}
+
+let gossip_default =
+  { g_seed = 1;
+    g_topology = Single_hop;
+    g_nodes = 1000;
+    g_mode = Gossip.Push;
+    g_fanout = 1;
+    g_loss = 0.0;
+    g_round_period = 1.0;
+    g_max_rounds = 64;
+    g_initial = 1;
+    g_target = 1.0 }
+
+let gossip_population cfg =
+  match cfg.g_topology with
+  | Single_hop -> cfg.g_nodes
+  | Star { leaves } -> leaves + 1
+  | Chain { hops } -> hops + 1
+  | Kary_tree { arity; depth } ->
+      let nodes = ref 1 and layer = ref 1 in
+      for _ = 1 to depth do
+        layer := !layer * arity;
+        nodes := !nodes + !layer
+      done;
+      !nodes
+  | Random_graph { nodes; _ } -> nodes
+
+let gossip_protocol_config cfg =
+  { Gossip.seed = cfg.g_seed;
+    mode = cfg.g_mode;
+    fanout = cfg.g_fanout;
+    loss = cfg.g_loss;
+    round_period = cfg.g_round_period;
+    max_rounds = cfg.g_max_rounds;
+    initial = cfg.g_initial;
+    target_fraction = cfg.g_target }
+
+let gossip_peers cfg =
+  match cfg.g_topology with
+  | Single_hop -> Gossip.Uniform cfg.g_nodes
+  | Star { leaves } -> Gossip.Mesh (Net.Flat_topology.star ~leaves ())
+  | Chain { hops } -> Gossip.Mesh (Net.Flat_topology.chain ~hops ())
+  | Kary_tree { arity; depth } ->
+      Gossip.Mesh (Net.Flat_topology.kary_tree ~arity ~depth ())
+  | Random_graph { nodes; edge_prob } ->
+      (* structure stream split off the seed's root, so the builder's
+         draws stay clear of the protocol stream *)
+      Gossip.Mesh
+        (Net.Flat_topology.random
+           ~rng:(Rng.split (Rng.create cfg.g_seed))
+           ~nodes ~edge_prob ())
+
+let run_gossip ?obs cfg =
+  let engine = Engine.create () in
+  (match obs with
+  | None -> ()
+  | Some obs -> Softstate_obs.Engine_probe.attach ~obs engine);
+  Gossip.run ?obs ~engine (gossip_protocol_config cfg) (gossip_peers cfg)
+
+let fluid_gossip ?rounds cfg =
+  Gossip.fluid ?rounds (gossip_protocol_config cfg)
+    ~nodes:(gossip_population cfg)
+
+let gossip_topology_name cfg =
+  match cfg.g_topology with
+  | Single_hop -> Printf.sprintf "uniform:%d" cfg.g_nodes
+  | spec -> topology_name spec
+
+(* First series time at which the infected fraction reaches [frac];
+   nan if never. *)
+let gossip_time_to (r : Gossip.result) frac =
+  let t = ref nan in
+  Array.iter
+    (fun (time, c) -> if Float.is_nan !t && c >= frac then t := time)
+    r.Gossip.series;
+  !t
+
+let gossip_report ?obs ~config (r : Gossip.result) =
+  let module R = Softstate_obs.Report in
+  let n = float_of_int r.Gossip.nodes in
+  let run_rows =
+    [ ("protocol", R.string ("gossip/" ^ Gossip.mode_name config.g_mode));
+      ("peers", R.string (gossip_topology_name config));
+      ("seed", R.int config.g_seed);
+      ("nodes", R.int r.Gossip.nodes);
+      ("fanout", R.int config.g_fanout);
+      ("loss", R.float config.g_loss);
+      ("round_period_s", R.float config.g_round_period) ]
+  in
+  let dissemination_rows =
+    [ ("rounds", R.int r.Gossip.rounds);
+      ("infected", R.int r.Gossip.infected);
+      ("infected_fraction", R.float (float_of_int r.Gossip.infected /. n));
+      ("time_to_half_s", R.float (gossip_time_to r 0.5));
+      ("time_to_99pc_s", R.float (gossip_time_to r 0.99));
+      ("digest", R.string r.Gossip.digest) ]
+  in
+  let traffic_rows =
+    [ ("transmissions", R.int r.Gossip.transmissions);
+      ("deliveries", R.int r.Gossip.deliveries);
+      ("redundant", R.int r.Gossip.redundant);
+      ("misses", R.int r.Gossip.misses);
+      ("lost", R.int r.Gossip.lost);
+      ("blackholed", R.int r.Gossip.blackholed) ]
+  in
+  let sections =
+    [ R.section "run" run_rows;
+      R.section "dissemination" dissemination_rows;
+      R.section "traffic" traffic_rows ]
+  in
+  let sections =
+    match obs with
+    | None -> sections
+    | Some o ->
+        let now =
+          match r.Gossip.series with
+          | [||] -> 0.0
+          | s -> fst s.(Array.length s - 1)
+        in
+        sections @ [ R.of_metrics (Softstate_obs.Obs.metrics o) ~now ]
+  in
+  R.make ~name:"softstate-gossip" sections

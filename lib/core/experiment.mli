@@ -199,3 +199,65 @@ val report :
 (** Render a run as a structured report (run / consistency / traffic
     sections, plus a metrics section when [obs] is given — normally
     the same context stored in [config.obs]). *)
+
+(** {1 Gossip dissemination}
+
+    The epidemic protocol ({!Gossip}) over the flat substrate,
+    described in the harness's own vocabulary. [Single_hop] as the
+    topology means uniform (complete-graph) mixing over [g_nodes]
+    peers — the configuration the mean-field fluid mode describes
+    exactly; the graph kinds build a
+    {!Softstate_net.Flat_topology} mesh, making [random:1000000:p]
+    populations feasible. *)
+
+type gossip_config = {
+  g_seed : int;
+  g_topology : topology_spec;
+  g_nodes : int;            (** population for [Single_hop] mixing *)
+  g_mode : Gossip.mode;
+  g_fanout : int;
+  g_loss : float;           (** per-transmission Bernoulli loss *)
+  g_round_period : float;
+  g_max_rounds : int;
+  g_initial : int;
+  g_target : float;         (** stop at this infected fraction *)
+}
+
+val gossip_default : gossip_config
+(** Push, fanout 1, lossless, 1 s rounds, 64 rounds max, one initial
+    infective, uniform mixing over 1000 nodes, seed 1. *)
+
+val gossip_population : gossip_config -> int
+(** The population size the config describes (node count of the mesh,
+    or [g_nodes] under uniform mixing) — without building anything. *)
+
+val gossip_protocol_config : gossip_config -> Gossip.config
+(** The protocol-level view of this config (what {!run_gossip} hands
+    to {!Gossip.run}). *)
+
+val gossip_peers : gossip_config -> Gossip.peers
+(** Build the peer structure (the flat mesh for graph topologies; its
+    random builder draws from a stream split off [g_seed]'s root). *)
+
+val run_gossip : ?obs:Softstate_obs.Obs.t -> gossip_config -> Gossip.result
+(** Deterministic in the config. With [?obs], engine probes (plus
+    profiler allocation counters when enabled) and per-round gossip
+    metrics/trace events are attached. *)
+
+val fluid_gossip : ?rounds:int -> gossip_config -> (float * float) array
+(** The mean-field trajectory for this config's population on [run]'s
+    series grid (see {!Gossip.fluid}); exact for uniform mixing, an
+    approximation over meshes. *)
+
+val gossip_topology_name : gossip_config -> string
+(** ["uniform:N"] or the mesh's [topology_name]. *)
+
+val gossip_time_to : Gossip.result -> float -> float
+(** First series time at which the infected fraction reaches the given
+    threshold; [nan] if it never does within the run. *)
+
+val gossip_report :
+  ?obs:Softstate_obs.Obs.t ->
+  config:gossip_config ->
+  Gossip.result ->
+  Softstate_obs.Report.t

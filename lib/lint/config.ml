@@ -33,7 +33,7 @@ let enabled ~path ~rule =
   | "D002" -> not (within path "bench")
   | "D003" ->
       within path "lib/net" || within path "lib/core"
-      || within path "lib/sstp"
+      || within path "lib/sstp" || within path "lib/check"
   | "D004" -> within path "lib" || within path "bin"
   | "D005" -> within path "lib"
   | "M001" -> within path "lib"

@@ -24,6 +24,9 @@ let attach ~obs ?(src = "engine") ?(trace_steps = false) engine =
       if wall <= 0.0 then nan
       else float_of_int (Engine.events_fired engine - fired0) /. wall);
   let profiler = Obs.profiler obs in
+  (* allocation rate over the event loop: minor/major words per
+     simulated second, anchored like the wall-clock coupling above *)
+  Profiler.attach_alloc_probes profiler m ~label:src ~sim0;
   if Profiler.enabled profiler then begin
     (* Per-event loop accounting: the interval between consecutive
        post-event hooks covers the pop, the handler, and the hooks

@@ -37,10 +37,16 @@ let list items = "[" ^ String.concat ", " items ^ "]"
 
 (* ------------------------------------------------------------------ *)
 (* Flat-object parser: accepts one object whose values are strings,
-   numbers, booleans or null — exactly the shape the encoders above
-   produce for trace events and metric snapshots. *)
+   numbers, booleans, null, or one-level lists of those scalars —
+   exactly the shape the encoders above produce for trace events,
+   metric snapshots and bench summaries. *)
 
-type value = String of string | Number of float | Bool of bool | Null
+type value =
+  | String of string
+  | Number of float
+  | Bool of bool
+  | Null
+  | List of value list
 
 exception Parse_error of string
 
@@ -142,8 +148,31 @@ let parse_scalar c =
       (match float_of_string_opt text with
       | Some x -> Number x
       | None -> fail c "bad number")
-  | Some ('{' | '[') -> fail c "nested values not supported"
+  | Some '{' -> fail c "nested objects not supported"
+  | Some '[' -> fail c "nested lists not supported"
   | _ -> fail c "expected a value"
+
+let parse_value c =
+  skip_ws c;
+  match peek c with
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      let items = ref [] in
+      (match peek c with
+      | Some ']' -> advance c
+      | _ ->
+          let rec elements () =
+            items := parse_scalar c :: !items;
+            skip_ws c;
+            match peek c with
+            | Some ',' -> advance c; elements ()
+            | Some ']' -> advance c
+            | _ -> fail c "expected ',' or ']'"
+          in
+          elements ());
+      List (List.rev !items)
+  | _ -> parse_scalar c
 
 let parse_flat line =
   let c = { src = line; pos = 0 } in
@@ -158,7 +187,7 @@ let parse_flat line =
           skip_ws c;
           let key = parse_string c in
           expect c ':';
-          let v = parse_scalar c in
+          let v = parse_value c in
           fields := (key, v) :: !fields;
           skip_ws c;
           match peek c with

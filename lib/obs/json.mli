@@ -24,10 +24,15 @@ val list : string list -> string
 
 (** {1 Flat-object parsing} *)
 
-type value = String of string | Number of float | Bool of bool | Null
+type value =
+  | String of string
+  | Number of float
+  | Bool of bool
+  | Null
+  | List of value list  (** one level deep, scalar elements only *)
 
 val parse_flat : string -> ((string * value) list, string) result
-(** Parse one object whose values are scalars (no nesting), in source
-    order. *)
+(** Parse one object whose values are scalars, or one-level lists of
+    scalars (no deeper nesting), in source order. *)
 
 val member : string -> (string * value) list -> value option

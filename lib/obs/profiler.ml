@@ -110,6 +110,28 @@ let attach_metrics t m =
   List.iter (fun name -> register_probes t name (Hashtbl.find t.entries name))
     names
 
+(* Allocation-rate probes: GC words since attachment per simulated
+   second, so a "zero-alloc hot path" claim is a number on the report
+   rather than an assertion. GC counters are deterministic (they
+   count words allocated, not wall time), but the probes live under
+   the [profile.] prefix anyway: replay comparisons already exclude
+   it, and allocation totals may legitimately differ across
+   compilation modes. *)
+let attach_alloc_probes t m ~label ~sim0 =
+  if t.enabled then begin
+    let minor0 = Gc.minor_words () in
+    let major0 = (Gc.quick_stat ()).Gc.major_words in
+    Metrics.probe m (prefix ^ label ^ ".minor_words_per_sim_s")
+      (fun ~now ->
+        let sim = now -. sim0 in
+        if sim <= 0.0 then nan else (Gc.minor_words () -. minor0) /. sim);
+    Metrics.probe m (prefix ^ label ^ ".major_words_per_sim_s")
+      (fun ~now ->
+        let sim = now -. sim0 in
+        if sim <= 0.0 then nan
+        else ((Gc.quick_stat ()).Gc.major_words -. major0) /. sim)
+  end
+
 type report_entry = {
   name : string;
   calls : int;

@@ -45,6 +45,14 @@ val attach_metrics : t -> Metrics.t -> unit
     [profile.<name>.self_s] / [.cum_s] / [.calls]; scopes first seen
     after attachment are registered on first use. *)
 
+val attach_alloc_probes :
+  t -> Metrics.t -> label:string -> sim0:float -> unit
+(** Register [profile.<label>.minor_words_per_sim_s] and
+    [.major_words_per_sim_s] probes: GC words allocated since this
+    call, divided by simulated seconds elapsed past [sim0] — the
+    observable form of a hot path's zero-alloc claim. No-op on a
+    disabled profiler. *)
+
 type report_entry = {
   name : string;
   calls : int;

@@ -15,8 +15,12 @@
    results), so the determinism contract is untouched. *)
 
 module Stats = struct
+  type mode = Sequential | Domains
+
+  let mode_name = function Sequential -> "sequential" | Domains -> "domains"
+
   type domain = { index : int; tasks : int; wall_s : float }
-  type t = { jobs : int; domains : domain array }
+  type t = { jobs : int; mode : mode; domains : domain array }
 
   let total_tasks t =
     Array.fold_left (fun acc d -> acc + d.tasks) 0 t.domains
@@ -44,12 +48,18 @@ let wall () = Unix.gettimeofday ()
 let map ?(jobs = 1) ?report n f =
   if n < 0 then invalid_arg "Parallel.map: negative count";
   let jobs = min (resolve_jobs jobs) (max 1 n) in
-  if jobs = 1 || n <= 1 then begin
+  (* A single-domain box gains nothing from spawning helpers — they
+     timeshare one core and the spawn/join overhead makes jobs > 1
+     strictly slower than sequential (the sweep_speedup 0.43
+     regression). Results are index-keyed either way, so falling back
+     cannot change any output, only the wall clock. *)
+  if jobs = 1 || n <= 1 || recommended_jobs () = 1 then begin
     let t0 = wall () in
     let results = Array.init n f in
     (match report with
     | Some k ->
         k { Stats.jobs = 1;
+            mode = Stats.Sequential;
             domains = [| { Stats.index = 0; tasks = n; wall_s = wall () -. t0 } |] }
     | None -> ());
     results
@@ -77,7 +87,7 @@ let map ?(jobs = 1) ?report n f =
     Array.iter Domain.join helpers;
     (match here with Some e -> raise e | None -> ());
     (match report with
-    | Some k -> k { Stats.jobs; domains = stats }
+    | Some k -> k { Stats.jobs; mode = Stats.Domains; domains = stats }
     | None -> ());
     Array.map
       (function Some x -> x | None -> assert false (* every slot filled *))

@@ -15,13 +15,26 @@
     a disappointing parallel speedup attributable — skew shows up as
     one domain's [wall_s] dwarfing the others'. *)
 module Stats : sig
+  (** How the fan-out actually executed: [Sequential] when it ran
+      in-process on the calling domain (requested [jobs = 1], a
+      single-item fan-out, or the single-available-domain fallback),
+      [Domains] when helper domains were spawned. *)
+  type mode = Sequential | Domains
+
+  val mode_name : mode -> string
+  (** ["sequential"] / ["domains"], for reports. *)
+
   type domain = {
     index : int;   (** worker index, [0 .. jobs-1]; 0 ran on the caller *)
     tasks : int;   (** replications this domain executed *)
     wall_s : float; (** wall seconds from the domain's first task to its last *)
   }
 
-  type t = { jobs : int; domains : domain array (** in index order *) }
+  type t = {
+    jobs : int;    (** effective job count (1 in [Sequential] mode) *)
+    mode : mode;
+    domains : domain array (** in index order *)
+  }
 
   val total_tasks : t -> int
 
@@ -42,7 +55,11 @@ val map : ?jobs:int -> ?report:(Stats.t -> unit) -> int -> (int -> 'a) -> 'a arr
 (** [map ~jobs n f] computes [| f 0; ...; f (n-1) |] across
     [min jobs n] domains. [jobs <= 0] means use all recommended
     domains; the default [jobs:1] runs sequentially on the calling
-    domain. If any [f i] raises, all domains are joined first and one
+    domain, as does {e any} job count when only one domain is
+    available ([recommended_jobs () = 1]) — spawning helpers there
+    only adds timesharing overhead. Results are keyed by index, so
+    the fallback is output-invisible; [Stats.mode] records which path
+    ran. If any [f i] raises, all domains are joined first and one
     of the exceptions is re-raised (in which case [report] is not
     called). [report] receives the per-domain wall-time/task-count
     stats after every domain has been joined. *)

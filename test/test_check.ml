@@ -42,6 +42,13 @@ let corrupt_delivered outcome =
             { r with
               Experiment.packets_delivered =
                 r.Experiment.packets_delivered + 100 } }
+  | Scenario.Gossip_result r ->
+      { outcome with
+        Scenario.payload =
+          Scenario.Gossip_result
+            { r with
+              Softstate_core.Gossip.deliveries =
+                r.Softstate_core.Gossip.deliveries + 100 } }
   | Scenario.Sstp_result _ -> outcome
 
 let test_mutation_smoke () =
@@ -62,8 +69,13 @@ let test_mutation_smoke () =
             (c.Experiment.faults = []);
           Alcotest.(check bool) "reproducer mentions replay" true
             (String.length (Fuzz.reproducer f) > 0)
+      | Scenario.Gossip g ->
+          Alcotest.(check bool) "gossip shrunk to uniform mixing" true
+            (g.Experiment.g_topology = Experiment.Single_hop);
+          Alcotest.(check bool) "gossip loss shrunk away" true
+            (Float.equal g.Experiment.g_loss 0.0)
       | Scenario.Sstp _ ->
-          Alcotest.fail "sstp scenario failed a core-only corruption")
+          Alcotest.fail "sstp scenario failed a counter corruption")
     stats.Fuzz.failures
 
 (* ------------------------------------------------------------------ *)

@@ -283,6 +283,17 @@ let test_fuzz_regression_multicast () =
          loss = Experiment.Bernoulli 0.1;
          topology = Experiment.Kary_tree { arity = 2; depth = 2 } })
 
+let test_fuzz_regression_gossip () =
+  check_oracles "gossip over random mesh"
+    (Check.Scenario.Gossip
+       { Experiment.gossip_default with
+         Experiment.g_seed = 106;
+         g_topology = Experiment.Random_graph { nodes = 150; edge_prob = 0.05 };
+         g_mode = Softstate_core.Gossip.Push_pull;
+         g_fanout = 2;
+         g_loss = 0.15;
+         g_max_rounds = 32 })
+
 let test_fuzz_regression_sstp () =
   check_oracles "sstp session"
     (Check.Scenario.Sstp
@@ -328,5 +339,7 @@ let () =
           Alcotest.test_case "multicast over tree" `Quick
             test_fuzz_regression_multicast;
           Alcotest.test_case "sstp session" `Quick test_fuzz_regression_sstp;
+          Alcotest.test_case "gossip over random mesh" `Quick
+            test_fuzz_regression_gossip;
         ] );
     ]

@@ -783,6 +783,155 @@ let test_fault_spec_roundtrip () =
       | Error _ -> ())
     [ "cable:x@1-2"; "node:1@5-2"; "partition@-1-2"; "flap:0:1"; "nonsense" ]
 
+(* ------------------------------------------------------------------ *)
+(* Flat struct-of-arrays topology *)
+
+module Flat = Net.Flat_topology
+
+(* Sorted canonical cable list: endpoints low-high, pairs sorted. *)
+let canon_cables endpoints count =
+  List.sort compare
+    (List.init count (fun i ->
+         let a, b = endpoints i in
+         (min a b, max a b)))
+
+let object_cables topo =
+  canon_cables (Net.Topology.cable_endpoints topo) (Net.Topology.cable_count topo)
+
+let flat_cables flat =
+  canon_cables (Flat.cable_endpoints flat) (Flat.cable_count flat)
+
+let test_flat_builders_match_object () =
+  let e = Engine.create () in
+  let rate_bps = 1e6 in
+  let pairs =
+    [ ( "star:5",
+        Flat.star ~leaves:5 (),
+        Net.Topology.star ~engine:e ~rng:(Rng.create 1) ~rate_bps ~leaves:5 () );
+      ( "chain:6",
+        Flat.chain ~hops:6 (),
+        Net.Topology.chain ~engine:e ~rng:(Rng.create 1) ~rate_bps ~hops:6 () );
+      ( "tree:3:3",
+        Flat.kary_tree ~arity:3 ~depth:3 (),
+        Net.Topology.kary_tree ~engine:e ~rng:(Rng.create 1) ~rate_bps
+          ~arity:3 ~depth:3 () ) ]
+  in
+  List.iter
+    (fun (name, flat, topo) ->
+      Alcotest.(check int)
+        (name ^ " node count")
+        (Net.Topology.node_count topo)
+        (Flat.node_count flat);
+      Alcotest.(check (list (pair int int)))
+        (name ^ " cable set")
+        (object_cables topo) (flat_cables flat))
+    pairs
+
+let test_flat_csr_adjacency () =
+  let flat = Flat.random ~rng:(Rng.create 11) ~nodes:60 ~edge_prob:0.08 () in
+  let n = Flat.node_count flat in
+  (* degrees sum to twice the cable count *)
+  let degsum = ref 0 in
+  for u = 0 to n - 1 do
+    degsum := !degsum + Flat.degree flat u
+  done;
+  Alcotest.(check int) "sum of degrees" (2 * Flat.cable_count flat) !degsum;
+  for u = 0 to n - 1 do
+    for k = 0 to Flat.degree flat u - 1 do
+      let v = Flat.neighbor flat u k in
+      (* neighbour lists ascend (ties by cable keep it non-strict) *)
+      if k > 0 then
+        Alcotest.(check bool) "neighbours ascend" true
+          (Flat.neighbor flat u (k - 1) <= v);
+      (* the carrying cable really joins u and v *)
+      let a, b = Flat.cable_endpoints flat (Flat.neighbor_cable flat u k) in
+      Alcotest.(check bool) "cable joins the pair" true
+        ((a, b) = (u, v) || (a, b) = (v, u));
+      (* symmetry: u appears among v's neighbours *)
+      let found = ref false in
+      for j = 0 to Flat.degree flat v - 1 do
+        if Flat.neighbor flat v j = u then found := true
+      done;
+      Alcotest.(check bool) "adjacency symmetric" true !found
+    done
+  done
+
+let test_flat_random_deterministic () =
+  let build seed =
+    flat_cables (Flat.random ~rng:(Rng.create seed) ~nodes:200 ~edge_prob:0.03 ())
+  in
+  Alcotest.(check (list (pair int int))) "same seed, same graph"
+    (build 5) (build 5);
+  Alcotest.(check bool) "different seed diverges" true (build 5 <> build 6);
+  (* spanning chain keeps it connected: every node reachable from 0 *)
+  let flat = Flat.random ~rng:(Rng.create 5) ~nodes:200 ~edge_prob:0.03 () in
+  for v = 0 to 199 do
+    Alcotest.(check bool) "connected" true (Flat.dist flat ~src:0 ~dst:v >= 0)
+  done
+
+let test_flat_routing_matches_object () =
+  let e = Engine.create () in
+  let topo =
+    Net.Topology.random_graph ~engine:e ~rng:(Rng.create 3) ~rate_bps:1e6
+      ~nodes:40 ~edge_prob:0.12 ()
+  in
+  let cables =
+    Array.init (Net.Topology.cable_count topo)
+      (Net.Topology.cable_endpoints topo)
+  in
+  let flat = Flat.of_cables ~nodes:(Net.Topology.node_count topo) cables in
+  Alcotest.(check (list (pair int int))) "of_cables preserves the graph"
+    (object_cables topo) (flat_cables flat);
+  for dst = 0 to Net.Topology.node_count topo - 1 do
+    let hops =
+      if dst = 0 then 0
+      else List.length (Net.Topology.path topo ~src:0 ~dst)
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "dist to %d" dst)
+      hops
+      (Flat.dist flat ~src:0 ~dst)
+  done;
+  Alcotest.(check int) "farthest agrees"
+    (Net.Topology.farthest topo ~src:0)
+    (Flat.farthest flat ~src:0);
+  (* parent chains walk back to the source, one hop at a time *)
+  let dst = Flat.farthest flat ~src:0 in
+  let rec walk v steps =
+    if v = 0 then steps
+    else begin
+      let p = Flat.route_parent flat ~src:0 v in
+      Alcotest.(check int) "parent is one hop closer"
+        (Flat.dist flat ~src:0 ~dst:v - 1)
+        (Flat.dist flat ~src:0 ~dst:p);
+      walk p (steps + 1)
+    end
+  in
+  Alcotest.(check int) "parent chain length" (Flat.dist flat ~src:0 ~dst)
+    (walk dst 0)
+
+let test_flat_fault_bits () =
+  let flat = Flat.chain ~hops:4 () in
+  Alcotest.(check bool) "cables start up" true (Flat.is_cable_up flat 2);
+  Alcotest.(check bool) "nodes start up" true (Flat.is_node_up flat 3);
+  Alcotest.(check int) "no transitions yet" 0 (Flat.fault_transitions flat);
+  Alcotest.(check bool) "cable down transitions" true
+    (Flat.set_cable flat 2 ~up:false);
+  Alcotest.(check bool) "repeat is idempotent" false
+    (Flat.set_cable flat 2 ~up:false);
+  Alcotest.(check bool) "cable reads down" false (Flat.is_cable_up flat 2);
+  Alcotest.(check bool) "crash transitions" true (Flat.crash_node flat 3);
+  Alcotest.(check bool) "crashed node reads down" false (Flat.is_node_up flat 3);
+  Alcotest.(check bool) "restart transitions" true (Flat.restart_node flat 3);
+  Alcotest.(check bool) "re-restart is idempotent" false
+    (Flat.restart_node flat 3);
+  Alcotest.(check bool) "cable back up" true (Flat.set_cable flat 2 ~up:true);
+  Alcotest.(check int) "four transitions counted" 4
+    (Flat.fault_transitions flat);
+  (* fault state is invisible to routing (static routes, as documented) *)
+  ignore (Flat.set_cable flat 1 ~up:false);
+  Alcotest.(check int) "routing is fault-blind" 4 (Flat.dist flat ~src:0 ~dst:4)
+
 let () =
   Alcotest.run "softstate_net"
     [
@@ -838,6 +987,17 @@ let () =
             test_transport_outbox_reverse_path;
           Alcotest.test_case "fanout over tree" `Quick
             test_transport_fanout_over_tree;
+        ] );
+      ( "flat topology",
+        [
+          Alcotest.test_case "builders match object engine" `Quick
+            test_flat_builders_match_object;
+          Alcotest.test_case "csr adjacency" `Quick test_flat_csr_adjacency;
+          Alcotest.test_case "random builder deterministic" `Quick
+            test_flat_random_deterministic;
+          Alcotest.test_case "routing matches object engine" `Quick
+            test_flat_routing_matches_object;
+          Alcotest.test_case "fault bits" `Quick test_flat_fault_bits;
         ] );
       ( "fault",
         [
