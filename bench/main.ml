@@ -35,6 +35,7 @@ let experiments =
     ("obs-smoke", "Observability: traced-run throughput", Obs_smoke.run);
     ("fuzz-smoke", "Scenario fuzzer: pinned-seed oracle pass", Fuzz_smoke.run);
     ("perf", "Performance suite: calendar + parallel sweep", Perf.run);
+    ("soak", "Bounded-memory soak: 10^6 keys, heap-flatness gate", Soak.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -1,0 +1,26 @@
+(* Shared live-heap sampling for the bench executables.
+
+   Convention: heap figures are OCaml *words* of live data reported by
+   [Gc.stat] after a forced collection; multiply by [words_to_bytes]
+   only at presentation time, so JSON baselines stay comparable across
+   32/64-bit word sizes (they are all 64-bit in practice, but the unit
+   is part of the committed baseline's name: [*_words]). *)
+
+(* Authoritative measurement: full compaction first, so free-list
+   fragmentation and unswept garbage cannot inflate the figure. Use
+   for before/after deltas where the cost (O(heap) and a heap copy) is
+   paid a handful of times. *)
+let live_words () =
+  Gc.compact ();
+  (Gc.stat ()).Gc.live_words
+
+(* Periodic in-run sampling: a full major cycle without compaction.
+   Cheaper on large heaps and does not move blocks, at the price of a
+   slightly noisier figure (floats within a major-GC round of the
+   compacted value). Good enough for slope-over-time gates, which are
+   insensitive to a constant offset. *)
+let live_words_major () =
+  Gc.full_major ();
+  (Gc.stat ()).Gc.live_words
+
+let words_to_bytes w = w * (Sys.word_size / 8)

@@ -412,10 +412,7 @@ let run () =
      keeps the mean degree at 4 across scales. *)
   let module Flat = Net.Flat_topology in
   let module G = Softstate_core.Gossip in
-  let live_words () =
-    Gc.compact ();
-    (Gc.stat ()).Gc.live_words
-  in
+  let live_words = Memprobe.live_words in
   let lt_measure build =
     let before = live_words () in
     let (flat : Flat.t), build_s = timed build in

@@ -27,10 +27,14 @@ let fs v =
 let fopt = function None -> "-" | Some v -> Printf.sprintf "%.3f" v
 
 let percentile_row name values =
-  let p q = Lifecycle.percentile values q in
-  Printf.printf "  %-18s %8s %8s %8s %8s  (n=%d)\n" name
+  (* sketch-backed: bounded memory however long the trace, with an
+     explicit rank-error bound in the report *)
+  let s = Lifecycle.sketch values in
+  let p q = Softstate_util.Sketch.quantile s q in
+  Printf.printf "  %-18s %8s %8s %8s %8s  (n=%d, rank err <= %.0f)\n" name
     (fs (p 0.5)) (fs (p 0.9)) (fs (p 0.99)) (fs (p 1.0))
-    (List.length values)
+    (Softstate_util.Sketch.count s)
+    (ceil (Softstate_util.Sketch.rank_error s))
 
 let print_percentiles t =
   Printf.printf "latency percentiles (s)  %8s %8s %8s %8s\n" "p50" "p90"
@@ -156,16 +160,20 @@ let print_diff (path_a, a) (path_b, b) =
   diff_line "repairs"
     (total (fun k -> k.Lifecycle.repairs) a)
     (total (fun k -> k.Lifecycle.repairs) b);
+  let ttc_a = Lifecycle.sketch (Lifecycle.ttc_values a)
+  and ttc_b = Lifecycle.sketch (Lifecycle.ttc_values b)
+  and rep_a = Lifecycle.sketch (Lifecycle.repair_latency_values a)
+  and rep_b = Lifecycle.sketch (Lifecycle.repair_latency_values b) in
   List.iter
     (fun q ->
       diff_line
         (Printf.sprintf "ttc p%g (s)" (q *. 100.0))
-        (Lifecycle.percentile (Lifecycle.ttc_values a) q)
-        (Lifecycle.percentile (Lifecycle.ttc_values b) q);
+        (Softstate_util.Sketch.quantile ttc_a q)
+        (Softstate_util.Sketch.quantile ttc_b q);
       diff_line
         (Printf.sprintf "repair p%g (s)" (q *. 100.0))
-        (Lifecycle.percentile (Lifecycle.repair_latency_values a) q)
-        (Lifecycle.percentile (Lifecycle.repair_latency_values b) q))
+        (Softstate_util.Sketch.quantile rep_a q)
+        (Softstate_util.Sketch.quantile rep_b q))
     [ 0.5; 0.9; 0.99 ]
 
 (* -------------------------------------------------------------- *)

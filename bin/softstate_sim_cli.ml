@@ -182,6 +182,21 @@ let death_arg =
     & opt (conv (parse, print)) (Base.Lifetime_fixed 30.0)
     & info [ "death" ] ~doc)
 
+let expiry_arg =
+  let doc =
+    "Receiver-side soft-state expiry: none, refresh:M:P (periodic sweep \
+     every P seconds, timeout M estimated refresh intervals) or wheel:M \
+     (per-key timing-wheel timers, same timeout rule)."
+  in
+  let parse s =
+    match Base.expiry_of_string s with
+    | Ok e -> Ok e
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt e = Format.pp_print_string fmt (Base.expiry_to_string e) in
+  Arg.(
+    value & opt (conv (parse, print)) Base.No_expiry & info [ "expiry" ] ~doc)
+
 let sched_arg =
   let doc = "Proportional-share scheduler for the hot/cold split." in
   Arg.(
@@ -301,7 +316,7 @@ let run_gossip seed topology loss gossip_mode fanout rounds round_period
   end
 
 let run protocol seed duration lambda size_bits loss update_fraction mu_data
-    mu_hot mu_cold mu_fb nack_bits receivers topology faults death sched
+    mu_hot mu_cold mu_fb nack_bits receivers topology faults death expiry sched
     gossip_mode fanout rounds round_period initial target nodes fluid
     replications jobs trace_file metrics_file report =
   match protocol with
@@ -326,7 +341,7 @@ let run protocol seed duration lambda size_bits loss update_fraction mu_data
   let obs = Obs_cli.setup ~trace_file ~metrics_file ~report in
   let config =
     { E.seed; duration; lambda_kbps = lambda; size_bits; death;
-      expiry = Base.No_expiry;
+      expiry;
       update_fraction; loss; protocol;
       topology; faults; sched;
       empty_policy = Consistency.Empty_is_consistent; record_series = false;
@@ -396,7 +411,8 @@ let cmd =
       $ size_arg $ loss_arg $ update_fraction_arg $ mu_data_arg $ mu_hot_arg
       $ mu_cold_arg
       $ mu_fb_arg $ nack_arg $ receivers_arg $ topology_arg $ faults_arg
-      $ death_arg $ sched_arg $ gossip_mode_arg $ fanout_arg $ rounds_arg
+      $ death_arg $ expiry_arg $ sched_arg $ gossip_mode_arg $ fanout_arg
+      $ rounds_arg
       $ round_period_arg $ initial_arg $ target_arg $ nodes_arg $ fluid_arg
       $ replications_arg
       $ jobs_arg $ Obs_cli.trace_arg $ Obs_cli.metrics_arg

@@ -137,10 +137,12 @@ let gen_core rng =
     | _ -> Base.Lifetime_exp (range rng 10.0 70.0)
   in
   let expiry =
-    if Rng.bool rng then Base.No_expiry
-    else
-      Base.Refresh_timeout
-        { multiple = range rng 2.0 6.0; sweep_period = range rng 0.5 2.5 }
+    match Rng.int rng 3 with
+    | 0 -> Base.No_expiry
+    | 1 ->
+        Base.Refresh_timeout
+          { multiple = range rng 2.0 6.0; sweep_period = range rng 0.5 2.5 }
+    | _ -> Base.Refresh_wheel { multiple = range rng 2.0 6.0 }
   in
   Core
     { Experiment.seed = 1 + Rng.int rng 1_000_000;
@@ -352,20 +354,10 @@ let death_of_string s =
       | None -> Error ("bad death " ^ s))
   | _ -> Error ("bad death " ^ s)
 
-let expiry_to_string = function
-  | Base.No_expiry -> "none"
-  | Base.Refresh_timeout { multiple; sweep_period } ->
-      Printf.sprintf "refresh:%s:%s" (f17 multiple) (f17 sweep_period)
-
-let expiry_of_string s =
-  match String.split_on_char ':' s with
-  | [ "none" ] -> Ok Base.No_expiry
-  | [ "refresh"; m; p ] -> (
-      match (float_of_string_opt m, float_of_string_opt p) with
-      | Some multiple, Some sweep_period ->
-          Ok (Base.Refresh_timeout { multiple; sweep_period })
-      | _ -> Error ("bad expiry " ^ s))
-  | _ -> Error ("bad expiry " ^ s)
+(* the expiry codec lives with the spec itself; softstate_sim_cli
+   shares it *)
+let expiry_to_string = Base.expiry_to_string
+let expiry_of_string = Base.expiry_of_string
 
 let empty_to_string = function
   | Consistency.Empty_is_consistent -> "consistent"
@@ -554,8 +546,7 @@ let to_cli = function
   | Core c ->
       (* Only claim a CLI reproducer when every knob is expressible as
          a softstate_sim_cli flag. *)
-      let ok_expiry = c.Experiment.expiry = Base.No_expiry in
-      let ok_empty = c.empty_policy = Consistency.Empty_is_consistent in
+      let ok_empty = c.Experiment.empty_policy = Consistency.Empty_is_consistent in
       let proto_flags =
         match c.protocol with
         | Experiment.Open_loop { mu_data_kbps } ->
@@ -598,7 +589,7 @@ let to_cli = function
             Printf.sprintf "--loss ge:%g:%g:%g:%g" p_good_to_bad p_bad_to_good
               loss_good loss_bad
       in
-      if not (ok_expiry && ok_empty && ok_slot) then None
+      if not (ok_empty && ok_slot) then None
       else
         Option.map
           (fun proto ->
@@ -616,13 +607,18 @@ let to_cli = function
               if Float.equal c.update_fraction 0.0 then ""
               else Printf.sprintf " --update-fraction %g" c.update_fraction
             in
+            let expiry =
+              match c.expiry with
+              | Base.No_expiry -> ""
+              | e -> Printf.sprintf " --expiry %s" (expiry_to_string e)
+            in
             Printf.sprintf
               "softstate_sim_cli %s --seed %d --duration %g --lambda %g \
-               --size-bits %d --death %s --sched %s %s%s%s%s"
+               --size-bits %d --death %s --sched %s %s%s%s%s%s"
               proto c.seed c.duration c.lambda_kbps c.size_bits
               (death_to_string c.death)
               (Sched.algorithm_name c.sched)
-              loss_flag topo faults uf)
+              loss_flag topo faults uf expiry)
           proto_flags
 
 (* ------------------------------------------------------------------ *)

@@ -1,4 +1,5 @@
 module Engine = Softstate_sim.Engine
+module Expiry_wheel = Softstate_sim.Expiry_wheel
 module Rng = Softstate_util.Rng
 
 type announcement = {
@@ -15,6 +16,29 @@ type death_spec =
 type expiry_spec =
   | No_expiry
   | Refresh_timeout of { multiple : float; sweep_period : float }
+  | Refresh_wheel of { multiple : float }
+
+let f17 = Printf.sprintf "%.17g"
+
+let expiry_to_string = function
+  | No_expiry -> "none"
+  | Refresh_timeout { multiple; sweep_period } ->
+      Printf.sprintf "refresh:%s:%s" (f17 multiple) (f17 sweep_period)
+  | Refresh_wheel { multiple } -> Printf.sprintf "wheel:%s" (f17 multiple)
+
+let expiry_of_string s =
+  match String.split_on_char ':' s with
+  | [ "none" ] -> Ok No_expiry
+  | [ ("refresh" | "sweep"); m; p ] -> (
+      match (float_of_string_opt m, float_of_string_opt p) with
+      | Some multiple, Some sweep_period ->
+          Ok (Refresh_timeout { multiple; sweep_period })
+      | _ -> Error ("bad expiry " ^ s))
+  | [ "wheel"; m ] -> (
+      match float_of_string_opt m with
+      | Some multiple -> Ok (Refresh_wheel { multiple })
+      | None -> Error ("bad expiry " ^ s))
+  | _ -> Error ("bad expiry " ^ s)
 
 (* Per-receiver, per-key soft-state entry. [gap] is the scalable-timer
    estimate of the sender's refresh interval for this key (EWMA of
@@ -26,13 +50,37 @@ type entry = {
   mutable gap : float;
 }
 
+(* Struct-of-arrays receiver state, indexed by the record's dense
+   Table slot: one row of parallel arrays instead of one boxed
+   Hashtbl entry per (receiver, key). Rows relocate in lockstep with
+   Table's swap-remove, and rows at slots >= live are always cleared.
+   Slots beyond the current capacity are implicitly absent — arrays
+   only grow when a delivery actually writes that far. Flag bits:
+   bit 0 = copy present, bit 1 = a wheel expiry timer is armed. *)
+type soa = {
+  mutable version_a : Record.version array;
+  mutable last_heard_a : float array;
+  mutable gap_a : float array;
+  mutable flags : Bytes.t;
+}
+
+(* Which receiver-state backend a run uses is decided by the expiry
+   spec at create time. The sweep implementation keeps its historical
+   Hashtbl maps (its scan iterates per-key state directly); the
+   no-expiry and wheel paths run on the flat rows. *)
+type store =
+  | Maps of (Record.key, entry) Hashtbl.t array
+  | Rows of soa array
+
 type t = {
   engine : Engine.t;
   arrival_rng : Rng.t;
   death_rng : Rng.t;
   update_rng : Rng.t;
   table : Table.t;
-  receivers : (Record.key, entry) Hashtbl.t array;
+  store : store;
+  wheel : (int * Record.key) Expiry_wheel.t;
+  mutable wheel_event : (Engine.event * float) option;
   tracker : Consistency.t;
   workload : Workload.t;
   death : death_spec;
@@ -59,6 +107,74 @@ let validate_expiry = function
         invalid_arg "Base.create: expiry multiple must exceed 1";
       if sweep_period <= 0.0 then
         invalid_arg "Base.create: sweep period must be positive"
+  | Refresh_wheel { multiple } ->
+      if multiple <= 1.0 then
+        invalid_arg "Base.create: expiry multiple must exceed 1"
+
+let soa_create () =
+  { version_a = Array.make 256 0;
+    last_heard_a = Array.make 256 0.0;
+    gap_a = Array.make 256 nan;
+    flags = Bytes.make 256 '\000' }
+
+let soa_capacity soa = Array.length soa.version_a
+
+let soa_ensure soa slot =
+  let cap = soa_capacity soa in
+  if slot >= cap then begin
+    let ncap = ref (2 * cap) in
+    while slot >= !ncap do
+      ncap := 2 * !ncap
+    done;
+    let ncap = !ncap in
+    let grow_int a =
+      let g = Array.make ncap 0 in
+      Array.blit a 0 g 0 cap;
+      g
+    in
+    let grow_float a fill =
+      let g = Array.make ncap fill in
+      Array.blit a 0 g 0 cap;
+      g
+    in
+    soa.version_a <- grow_int soa.version_a;
+    soa.last_heard_a <- grow_float soa.last_heard_a 0.0;
+    soa.gap_a <- grow_float soa.gap_a nan;
+    let nf = Bytes.make ncap '\000' in
+    Bytes.blit soa.flags 0 nf 0 cap;
+    soa.flags <- nf
+  end
+
+let soa_present soa slot =
+  slot < soa_capacity soa && Bytes.get_uint8 soa.flags slot land 1 <> 0
+
+let soa_armed soa slot =
+  slot < soa_capacity soa && Bytes.get_uint8 soa.flags slot land 2 <> 0
+
+let soa_set_flags soa slot ~present ~armed =
+  Bytes.set_uint8 soa.flags slot
+    ((if present then 1 else 0) lor if armed then 2 else 0)
+
+(* Clear the row a dying record occupied and mirror Table's
+   swap-remove: the last slot's row moves into the vacated slot so
+   row index keeps tracking table slot. Called after [Table.remove];
+   [slot] is the dying record's slot before removal and [last_slot]
+   the pre-removal last slot. *)
+let soa_on_remove soa ~slot ~last_slot =
+  let cap = soa_capacity soa in
+  if slot <> last_slot && last_slot < cap then begin
+    (* slot < last_slot < cap: the vacated row is in range *)
+    soa.version_a.(slot) <- soa.version_a.(last_slot);
+    soa.last_heard_a.(slot) <- soa.last_heard_a.(last_slot);
+    soa.gap_a.(slot) <- soa.gap_a.(last_slot);
+    Bytes.set_uint8 soa.flags slot (Bytes.get_uint8 soa.flags last_slot);
+    Bytes.set_uint8 soa.flags last_slot 0
+  end
+  else if slot < cap then
+    (* either the dying record held the last slot, or the moved-in
+       key's row lies beyond capacity (implicitly absent): the vacated
+       row just clears *)
+    Bytes.set_uint8 soa.flags slot 0
 
 let create ~engine ~rng ~workload ~death ?(receivers = 1)
     ?(expiry = No_expiry) ~tracker () =
@@ -67,12 +183,21 @@ let create ~engine ~rng ~workload ~death ?(receivers = 1)
   if receivers < 1 then invalid_arg "Base.create: receivers >= 1";
   if Consistency.receivers tracker <> receivers then
     invalid_arg "Base.create: tracker sized for a different group";
+  let store =
+    match expiry with
+    | Refresh_timeout _ ->
+        Maps (Array.init receivers (fun _ -> Hashtbl.create 256))
+    | No_expiry | Refresh_wheel _ ->
+        Rows (Array.init receivers (fun _ -> soa_create ()))
+  in
   { engine;
     arrival_rng = Rng.split rng;
     death_rng = Rng.split rng;
     update_rng = Rng.split rng;
     table = Table.create ();
-    receivers = Array.init receivers (fun _ -> Hashtbl.create 256);
+    store;
+    wheel = Expiry_wheel.create ~start:(Engine.now engine) ();
+    wheel_event = None;
     tracker; workload; death; expiry; next_key = 0;
     on_arrival = ignore; on_death = ignore; hooks_set = false;
     false_expiries = 0; stale_purged = 0 }
@@ -86,44 +211,87 @@ let engine t = t.engine
 let table t = t.table
 let tracker t = t.tracker
 let workload t = t.workload
-let receiver_count t = Array.length t.receivers
+
+let receiver_count t =
+  match t.store with Maps a -> Array.length a | Rows a -> Array.length a
+
 let false_expiries t = t.false_expiries
 let stale_purged t = t.stale_purged
 
-let receiver_map t receiver =
-  if receiver < 0 || receiver >= Array.length t.receivers then
-    invalid_arg "Base: receiver index out of range";
-  t.receivers.(receiver)
+let check_receiver t receiver =
+  if receiver < 0 || receiver >= receiver_count t then
+    invalid_arg "Base: receiver index out of range"
 
 let receiver_version t ~receiver key =
-  match Hashtbl.find_opt (receiver_map t receiver) key with
-  | Some e -> Some e.version
-  | None -> None
+  check_receiver t receiver;
+  match t.store with
+  | Maps maps -> (
+      match Hashtbl.find_opt maps.(receiver) key with
+      | Some e -> Some e.version
+      | None -> None)
+  | Rows rows -> (
+      match Table.slot_of_key t.table key with
+      | Some slot when soa_present rows.(receiver) slot ->
+          Some rows.(receiver).version_a.(slot)
+      | Some _ | None -> None)
 
 let is_matching t ~receiver r =
-  match Hashtbl.find_opt (receiver_map t receiver) r.Record.key with
-  | Some e -> e.version = r.Record.version
+  match receiver_version t ~receiver r.Record.key with
+  | Some v -> v = r.Record.version
   | None -> false
 
 let matching_count t r =
-  Array.fold_left
-    (fun acc map ->
-      match Hashtbl.find_opt map r.Record.key with
-      | Some e when e.version = r.Record.version -> acc + 1
-      | Some _ | None -> acc)
-    0 t.receivers
+  match t.store with
+  | Maps maps ->
+      Array.fold_left
+        (fun acc map ->
+          match Hashtbl.find_opt map r.Record.key with
+          | Some e when e.version = r.Record.version -> acc + 1
+          | Some _ | None -> acc)
+        0 maps
+  | Rows rows -> (
+      match Table.slot_of_key t.table r.Record.key with
+      | None -> 0
+      | Some slot ->
+          Array.fold_left
+            (fun acc soa ->
+              if
+                soa_present soa slot
+                && soa.version_a.(slot) = r.Record.version
+              then acc + 1
+              else acc)
+            0 rows)
 
 let remove_record t ~now r =
-  ignore (Table.remove t.table r.Record.key);
+  (* matching_count only reads receiver state, so it commutes with the
+     table removal; it must run while the key still has a slot. *)
   let matching = matching_count t r in
-  (* With expiry timers running, dead records linger in the receiver
-     maps until their refresh timeout fires - soft-state garbage
-     collection doing its job (counted by stale_purged). Without
-     timers we drop them eagerly so nothing leaks. *)
-  (match t.expiry with
-  | No_expiry ->
-      Array.iter (fun map -> Hashtbl.remove map r.Record.key) t.receivers
-  | Refresh_timeout _ -> ());
+  let key = r.Record.key in
+  (match t.store with
+  | Maps maps ->
+      ignore (Table.remove t.table key);
+      (* With sweep expiry running, dead records linger in the receiver
+         maps until their refresh timeout fires - soft-state garbage
+         collection doing its job (counted by stale_purged). Without
+         timers we drop them eagerly so nothing leaks. *)
+      (match t.expiry with
+      | No_expiry -> Array.iter (fun map -> Hashtbl.remove map key) maps
+      | Refresh_timeout _ | Refresh_wheel _ -> ())
+  | Rows rows ->
+      (* Slot-indexed rows cannot outlive the slot: the dying record's
+         row is reclaimed here, in lockstep with Table's swap-remove.
+         Under wheel expiry an armed timer for the dead key stays in
+         the wheel and is counted as stale_purged when it surfaces —
+         the same garbage-collection event the sweep counts, observed
+         at timer-fire time instead of scan time. *)
+      let slot =
+        match Table.slot_of_key t.table key with
+        | Some s -> s
+        | None -> assert false
+      in
+      let last_slot = Table.live_count t.table - 1 in
+      ignore (Table.remove t.table key);
+      Array.iter (fun soa -> soa_on_remove soa ~slot ~last_slot) rows);
   Consistency.on_death t.tracker ~now ~matching;
   t.on_death r
 
@@ -175,7 +343,11 @@ let arrival t =
    expired after [multiple] estimated refresh intervals of silence;
    without a gap estimate (heard fewer than twice) it is left alone. *)
 let sweep_receiver t ~now ~multiple receiver =
-  let map = t.receivers.(receiver) in
+  let map =
+    match t.store with
+    | Maps maps -> maps.(receiver)
+    | Rows _ -> assert false
+  in
   let doomed =
     (* lint: allow D003 commutative: builds an unordered removal set; per-key expiry effects are independent *)
     Hashtbl.fold
@@ -200,6 +372,104 @@ let sweep_receiver t ~now ~multiple receiver =
           Hashtbl.remove map key)
     doomed
 
+(* --- wheel-based expiry -------------------------------------------
+
+   One Expiry_wheel of (receiver, key) deadlines, driven by a single
+   armed Engine one-shot at the wheel's next-due time. Timers are
+   lazy-pushback: a delivery never reschedules an armed timer, it only
+   refreshes the row; when the timer fires, the true deadline is
+   recomputed from the row and the timer is pushed back if the record
+   has been heard from since. A timer is armed exactly when the row's
+   armed bit is set, so each (receiver, key) has at most one live
+   wheel entry.
+
+   Contract vs the sweep: the wheel fires at the deadline itself, so a
+   record is expired when now - last_heard >= multiple * gap (the
+   sweep, sampling at sweep_period boundaries, tests with strict >
+   some time after the deadline has passed). Dead keys cannot linger
+   in slot-indexed rows (the slot is recycled), so their copies are
+   reclaimed at sender death and stale_purged counts the orphaned
+   timer firing instead of a scan hit. *)
+
+let wheel_rows t =
+  match t.store with Rows rows -> rows | Maps _ -> assert false
+
+let wheel_multiple t =
+  match t.expiry with
+  | Refresh_wheel { multiple } -> multiple
+  | No_expiry | Refresh_timeout _ -> assert false
+
+let rec drive_wheel t engine =
+  let now = Engine.now engine in
+  t.wheel_event <- None;
+  let rec loop () =
+    match Expiry_wheel.next_due t.wheel with
+    | Some due when due <= now -> (
+        match Expiry_wheel.pop t.wheel with
+        | Some (_, (receiver, key)) ->
+            fire_expiry t ~now receiver key;
+            loop ()
+        | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ();
+  rearm_wheel t ~now
+
+and fire_expiry t ~now receiver key =
+  match Table.slot_of_key t.table key with
+  | None ->
+      (* the record died at the sender; its row was reclaimed with the
+         slot, and this orphaned timer is the purge event *)
+      t.stale_purged <- t.stale_purged + 1
+  | Some slot ->
+      let soa = (wheel_rows t).(receiver) in
+      if soa_present soa slot && soa_armed soa slot then begin
+        let deadline =
+          soa.last_heard_a.(slot)
+          +. (wheel_multiple t *. soa.gap_a.(slot))
+        in
+        if deadline <= now then begin
+          t.false_expiries <- t.false_expiries + 1;
+          let r =
+            match Table.find t.table key with
+            | Some r -> r
+            | None -> assert false
+          in
+          let was_matching = soa.version_a.(slot) = r.Record.version in
+          soa_set_flags soa slot ~present:false ~armed:false;
+          if was_matching then Consistency.on_unmatch t.tracker ~now
+        end
+        else
+          (* heard from since the timer was set: push back to the
+             recomputed deadline (the armed bit stays set) *)
+          ignore (Expiry_wheel.schedule t.wheel ~time:deadline (receiver, key))
+      end
+
+(* (Re)arm the single engine one-shot at the wheel's next-due time.
+   Only called after a drive drains the due prefix, so the O(levels *
+   slots) next_due scan runs once per firing batch, not per event. *)
+and rearm_wheel t ~now =
+  match Expiry_wheel.next_due t.wheel with
+  | None -> ()
+  | Some due ->
+      let after = Float.max 0.0 (due -. now) in
+      let ev = Engine.schedule t.engine ~after (fun e -> drive_wheel t e) in
+      t.wheel_event <- Some (ev, now +. after)
+
+(* A newly armed timer at [deadline] needs the engine one-shot pulled
+   earlier iff it beats the currently armed time — an O(1) comparison,
+   so deliveries stay cheap. *)
+let note_deadline t ~now ~deadline =
+  match t.wheel_event with
+  | Some (_, armed_at) when armed_at <= deadline -> ()
+  | other ->
+      (match other with
+      | Some (ev, _) -> ignore (Engine.cancel t.engine ev)
+      | None -> ());
+      let after = Float.max 0.0 (deadline -. now) in
+      let ev = Engine.schedule t.engine ~after (fun e -> drive_wheel t e) in
+      t.wheel_event <- Some (ev, now +. after)
+
 let start t =
   if not t.hooks_set then failwith "Base.start: hooks not set";
   let rec tick engine =
@@ -215,11 +485,15 @@ let start t =
        tick);
   match t.expiry with
   | No_expiry -> ()
+  | Refresh_wheel _ ->
+      (* timers are armed per-row as gap estimates form; the engine
+         one-shot is managed on demand *)
+      ()
   | Refresh_timeout { multiple; sweep_period } ->
       let (_ : unit -> bool) =
         Engine.every t.engine ~period:sweep_period (fun engine ->
             let now = Engine.now engine in
-            for receiver = 0 to Array.length t.receivers - 1 do
+            for receiver = 0 to receiver_count t - 1 do
               sweep_receiver t ~now ~multiple receiver
             done)
       in
@@ -227,18 +501,18 @@ let start t =
 
 let announce_of t ~seq r =
   Consistency.on_transmission t.tracker
-    ~redundant:(matching_count t r = Array.length t.receivers);
+    ~redundant:(matching_count t r = receiver_count t);
   { key = r.Record.key; version = r.Record.version; seq }
 
 let deliver t ~now ~receiver ann =
+  check_receiver t receiver;
   (* Announcements of dead keys are absorbed without storing: a real
      subscriber would cache and expire them, with no effect on the
      consistency metric (only live keys count); dropping them here
-     keeps the receiver maps bounded by the live set. *)
+     keeps the receiver state bounded by the live set. *)
   match Table.find t.table ann.key with
   | None -> ()
   | Some r -> (
-      let map = receiver_map t receiver in
       let note_match () =
         if r.Record.version = ann.version then begin
           Consistency.on_match t.tracker ~now;
@@ -248,22 +522,65 @@ let deliver t ~now ~receiver ann =
             Consistency.on_first_delivery t.tracker ~now ~born:r.Record.born
         end
       in
-      match Hashtbl.find_opt map ann.key with
-      | None ->
-          Hashtbl.replace map ann.key
-            { version = ann.version; last_heard = now; gap = nan };
-          note_match ()
-      | Some e ->
-          (* scalable-timers gap estimation: EWMA of observed
-             inter-announcement gaps, gain 0.25 *)
-          let observed = now -. e.last_heard in
-          e.gap <-
-            (if Float.is_nan e.gap then observed
-             else (0.25 *. observed) +. (0.75 *. e.gap));
-          e.last_heard <- now;
-          if ann.version > e.version then begin
-            e.version <- ann.version;
+      match t.store with
+      | Maps maps -> (
+          let map = maps.(receiver) in
+          match Hashtbl.find_opt map ann.key with
+          | None ->
+              Hashtbl.replace map ann.key
+                { version = ann.version; last_heard = now; gap = nan };
+              note_match ()
+          | Some e ->
+              (* scalable-timers gap estimation: EWMA of observed
+                 inter-announcement gaps, gain 0.25 *)
+              let observed = now -. e.last_heard in
+              e.gap <-
+                (if Float.is_nan e.gap then observed
+                 else (0.25 *. observed) +. (0.75 *. e.gap));
+              e.last_heard <- now;
+              if ann.version > e.version then begin
+                e.version <- ann.version;
+                note_match ()
+              end)
+      | Rows rows ->
+          let slot =
+            match Table.slot_of_key t.table ann.key with
+            | Some s -> s
+            | None -> assert false
+          in
+          let soa = rows.(receiver) in
+          soa_ensure soa slot;
+          if not (soa_present soa slot) then begin
+            soa.version_a.(slot) <- ann.version;
+            soa.last_heard_a.(slot) <- now;
+            soa.gap_a.(slot) <- nan;
+            soa_set_flags soa slot ~present:true ~armed:false;
             note_match ()
+          end
+          else begin
+            let observed = now -. soa.last_heard_a.(slot) in
+            let gap =
+              if Float.is_nan soa.gap_a.(slot) then observed
+              else (0.25 *. observed) +. (0.75 *. soa.gap_a.(slot))
+            in
+            soa.gap_a.(slot) <- gap;
+            soa.last_heard_a.(slot) <- now;
+            (match t.expiry with
+            | Refresh_wheel { multiple } ->
+                if not (soa_armed soa slot) then begin
+                  (* first defined gap estimate: arm the expiry timer *)
+                  let deadline = now +. (multiple *. gap) in
+                  ignore
+                    (Expiry_wheel.schedule t.wheel ~time:deadline
+                       (receiver, ann.key));
+                  soa_set_flags soa slot ~present:true ~armed:true;
+                  note_deadline t ~now ~deadline
+                end
+            | No_expiry | Refresh_timeout _ -> ());
+            if ann.version > soa.version_a.(slot) then begin
+              soa.version_a.(slot) <- ann.version;
+              note_match ()
+            end
           end)
 
 let death_draw t ~now r =

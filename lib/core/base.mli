@@ -34,13 +34,37 @@ type death_spec =
     observed gaps and expires a record after [multiple] estimated
     intervals of silence. Records heard only once are not expired (no
     gap estimate yet) — the death process or explicit withdrawal
-    covers them. *)
+    covers them.
+
+    Two implementations share those semantics. {!Refresh_timeout} is
+    the historical periodic sweep: O(keys) per sweep_period, expiry
+    observed at the first scan after the deadline (strict [>] test),
+    dead-at-sender copies lingering in receiver maps until swept.
+    {!Refresh_wheel} arms one hierarchical timing-wheel timer per
+    (receiver, key) and is O(1) amortised per event: expiry fires at
+    the deadline itself ([now - last_heard >= multiple * gap]), and
+    dead-at-sender copies are reclaimed when the sender's slot is
+    recycled, with the orphaned timer firing counted as
+    {!stale_purged}. The wheel variant runs on flat struct-of-arrays
+    receiver state, so per-copy memory is a few words instead of a
+    Hashtbl binding. *)
 type expiry_spec =
   | No_expiry
   | Refresh_timeout of {
       multiple : float;      (** timeout = multiple × estimated gap *)
       sweep_period : float;  (** how often receivers scan for silence *)
     }
+  | Refresh_wheel of {
+      multiple : float;      (** timeout = multiple × estimated gap *)
+    }
+
+val expiry_to_string : expiry_spec -> string
+(** Round-trippable text form: ["none"], ["refresh:M:P"] or
+    ["wheel:M"], floats rendered exactly ([%.17g]). *)
+
+val expiry_of_string : string -> (expiry_spec, string) result
+(** Inverse of {!expiry_to_string}; also accepts ["sweep:M:P"] as an
+    alias for ["refresh:M:P"]. *)
 
 type t
 

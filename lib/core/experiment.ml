@@ -398,21 +398,22 @@ let combine_metric n vs =
         List.map
           (fun v ->
             match v with
-            | Metrics.Dist { count; mean; p50; p90; p99; underflow; overflow }
+            | Metrics.Dist
+                { count; mean; p50; p90; p99; epsilon; underflow; overflow }
               ->
-                (count, mean, p50, p90, p99, underflow, overflow)
+                (count, mean, p50, p90, p99, epsilon, underflow, overflow)
             | _ -> fail ())
           vs
       in
       let total =
-        List.fold_left (fun acc (c, _, _, _, _, _, _) -> acc + c) 0 dists
+        List.fold_left (fun acc (c, _, _, _, _, _, _, _) -> acc + c) 0 dists
       in
       let wmean field =
         if total = 0 then 0.0
         else
           List.fold_left
             (fun acc d ->
-              let (c, _, _, _, _, _, _) = d in
+              let (c, _, _, _, _, _, _, _) = d in
               acc +. (float_of_int c *. field d))
             0.0 dists
           /. float_of_int total
@@ -422,12 +423,17 @@ let combine_metric n vs =
       in
       Metrics.Dist
         { count = total;
-          mean = wmean (fun (_, m, _, _, _, _, _) -> m);
-          p50 = wmean (fun (_, _, p, _, _, _, _) -> p);
-          p90 = wmean (fun (_, _, _, p, _, _, _) -> p);
-          p99 = wmean (fun (_, _, _, _, p, _, _) -> p);
-          underflow = isum (fun (_, _, _, _, _, u, _) -> u);
-          overflow = isum (fun (_, _, _, _, _, _, o) -> o) }
+          mean = wmean (fun (_, m, _, _, _, _, _, _) -> m);
+          p50 = wmean (fun (_, _, p, _, _, _, _, _) -> p);
+          p90 = wmean (fun (_, _, _, p, _, _, _, _) -> p);
+          p99 = wmean (fun (_, _, _, _, p, _, _, _) -> p);
+          (* replication quantiles share one bound; keep the loosest *)
+          epsilon =
+            List.fold_left
+              (fun acc (_, _, _, _, _, e, _, _) -> Float.max acc e)
+              0.0 dists;
+          underflow = isum (fun (_, _, _, _, _, _, u, _) -> u);
+          overflow = isum (fun (_, _, _, _, _, _, _, o) -> o) }
 
 let merge_snapshots snaps =
   match snaps with

@@ -9,7 +9,7 @@ type nack = { missing_seq : int }
 type t = {
   base : Base.t;
   sender : Two_queue.t;
-  seq_to_key : (int, Record.key) Hashtbl.t;
+  seq_to_key : Seq_ring.t;
   nack_bits : int;
   trace : Trace.t;
   traced : bool; (* Trace.enabled, hoisted to creation time *)
@@ -20,27 +20,11 @@ type t = {
   mutable reheats : int;
 }
 
-(* Keep the seq->key map bounded: sequence numbers are monotonic, so
-   once the map grows past the window we drop the oldest half. NACKs
-   for sequences older than the window are obsolete anyway — the cold
-   queue has long since re-announced those records. *)
 let seq_window = 1 lsl 16
-
-let prune_seq_map t current_seq =
-  if Hashtbl.length t.seq_to_key > 2 * seq_window then begin
-    let cutoff = current_seq - seq_window in
-    let stale =
-      (* lint: allow D003 commutative: collects a stale set for removal; order never escapes *)
-      Hashtbl.fold
-        (fun seq _ acc -> if seq < cutoff then seq :: acc else acc)
-        t.seq_to_key []
-    in
-    List.iter (Hashtbl.remove t.seq_to_key) stale
-  end
 
 let on_nack t ~now nack =
   t.nacks_delivered <- t.nacks_delivered + 1;
-  match Hashtbl.find_opt t.seq_to_key nack.missing_seq with
+  match Seq_ring.find t.seq_to_key nack.missing_seq with
   | None -> ()
   | Some key ->
       if Two_queue.reheat t.sender ~now ~cause:nack.missing_seq key then
@@ -54,7 +38,7 @@ let receiver_deliver t ~now (ann : Base.announcement) =
       t.nacks_sent <- t.nacks_sent + 1;
       if t.traced then begin
         let key =
-          match Hashtbl.find_opt t.seq_to_key missing with
+          match Seq_ring.find t.seq_to_key missing with
           | Some k -> k
           | None -> Trace.no_id
         in
@@ -92,7 +76,9 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs ?transport
       ~sched_rng ()
   in
   let t =
-    { base; sender; seq_to_key = Hashtbl.create 1024; nack_bits;
+    { base; sender;
+      seq_to_key = Seq_ring.create ~window:seq_window;
+      nack_bits;
       trace = Obs.trace_of obs; traced = Trace.enabled (Obs.trace_of obs);
       fb_outbox = None; expected_seq = 0; nacks_sent = 0; nacks_delivered = 0;
       reheats = 0 }
@@ -102,8 +88,7 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs ?transport
     | None -> None
     | Some packet ->
         let ann = packet.Net.Packet.payload in
-        Hashtbl.replace t.seq_to_key ann.Base.seq ann.Base.key;
-        prune_seq_map t ann.Base.seq;
+        Seq_ring.store t.seq_to_key ~seq:ann.Base.seq ~key:ann.Base.key;
         Some packet
   in
   let unicast =

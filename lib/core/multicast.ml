@@ -15,7 +15,7 @@ type receiver_state = {
 type t = {
   base : Base.t;
   sender : Two_queue.t;
-  seq_to_key : (int, Record.key) Hashtbl.t;
+  seq_to_key : Seq_ring.t;
   nack_bits : int;
   suppression : bool;
   nack_slot : float;
@@ -35,18 +35,6 @@ type t = {
 }
 
 let seq_window = 1 lsl 16
-
-let prune_seq_map t current_seq =
-  if Hashtbl.length t.seq_to_key > 2 * seq_window then begin
-    let cutoff = current_seq - seq_window in
-    let stale =
-      (* lint: allow D003 commutative: collects a stale set for removal; order never escapes *)
-      Hashtbl.fold
-        (fun seq _ acc -> if seq < cutoff then seq :: acc else acc)
-        t.seq_to_key []
-    in
-    List.iter (Hashtbl.remove t.seq_to_key) stale
-  end
 
 let prune_heard t now =
   if Hashtbl.length t.heard > 8192 then begin
@@ -72,7 +60,7 @@ let send_nack t ~now ?(parent = Trace.no_id) receiver seq =
       t.nacks_sent <- t.nacks_sent + 1;
       if t.traced then begin
         let key =
-          match Hashtbl.find_opt t.seq_to_key seq with
+          match Seq_ring.find t.seq_to_key seq with
           | Some k -> k
           | None -> Trace.no_id
         in
@@ -122,7 +110,7 @@ let receiver_deliver t state ~now (ann : Base.announcement) =
 
 let on_nack t ~now nack =
   t.nacks_delivered <- t.nacks_delivered + 1;
-  match Hashtbl.find_opt t.seq_to_key nack.missing_seq with
+  match Seq_ring.find t.seq_to_key nack.missing_seq with
   | None -> ()
   | Some key ->
       if Two_queue.reheat t.sender ~now ~cause:nack.missing_seq key then
@@ -148,7 +136,8 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs ?transport
       ~sched_rng ()
   in
   let t =
-    { base; sender; seq_to_key = Hashtbl.create 1024; nack_bits; suppression;
+    { base; sender; seq_to_key = Seq_ring.create ~window:seq_window;
+      nack_bits; suppression;
       nack_slot; slot_rng; heard = Hashtbl.create 1024;
       trace = Obs.trace_of obs; traced = Trace.enabled (Obs.trace_of obs);
       fb_outbox = None;
@@ -160,8 +149,7 @@ let create ~base ~mu_hot_bps ~mu_cold_bps ~mu_fb_bps ?sched ?obs ?transport
     | None -> None
     | Some packet ->
         let ann = packet.Net.Packet.payload in
-        Hashtbl.replace t.seq_to_key ann.Base.seq ann.Base.key;
-        prune_seq_map t ann.Base.seq;
+        Seq_ring.store t.seq_to_key ~seq:ann.Base.seq ~key:ann.Base.key;
         Some packet
   in
   let fanout =

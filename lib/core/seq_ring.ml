@@ -1,0 +1,34 @@
+(* Bounded seq -> key memory for NACK-based repair.
+
+   Channel sequence numbers are monotonic and NACKs only ever name
+   recent gaps (the data links are FIFO), so the last [window]
+   sequence numbers are all a sender needs to resolve feedback. Slot
+   [seq land (window - 1)] holds the key announced with [seq] iff the
+   recorded seq still matches; older sequences are silently
+   overwritten by slot reuse. O(1) store and lookup, fixed memory —
+   this replaces per-protocol Hashtbls that grew to 2 * window
+   entries between fold-scan prunes. *)
+
+type t = {
+  seqs : int array;
+  keys : Record.key array;
+  mask : int;
+}
+
+let create ~window =
+  if window <= 0 || window land (window - 1) <> 0 then
+    invalid_arg "Seq_ring.create: window must be a positive power of two";
+  { seqs = Array.make window (-1); keys = Array.make window 0;
+    mask = window - 1 }
+
+let store t ~seq ~key =
+  if seq < 0 then invalid_arg "Seq_ring.store: negative seq";
+  let slot = seq land t.mask in
+  t.seqs.(slot) <- seq;
+  t.keys.(slot) <- key
+
+let find t seq =
+  if seq < 0 then None
+  else
+    let slot = seq land t.mask in
+    if t.seqs.(slot) = seq then Some t.keys.(slot) else None

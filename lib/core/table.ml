@@ -24,6 +24,7 @@ let create () =
 let live_count t = t.live
 let find t key = Hashtbl.find_opt t.records key
 let mem t key = Hashtbl.mem t.records key
+let slot_of_key t key = Hashtbl.find_opt t.slots key
 
 let insert t r =
   let key = r.Record.key in

@@ -30,3 +30,9 @@ val random_key : t -> Softstate_util.Rng.t -> Record.key option
 (** A uniformly random live key, or [None] when empty; O(1). The
     draw depends only on the seeded generator and the insert/remove
     history, never on hash order. *)
+
+val slot_of_key : t -> Record.key -> int option
+(** The key's current dense slot in [0, live_count), or [None] if not
+    live. Slots are stable between mutations but removal moves the
+    last key into the vacated slot — callers holding slot-indexed
+    side state must mirror that swap. *)

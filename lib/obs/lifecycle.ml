@@ -392,6 +392,11 @@ let repair_latency_values t =
 (* ------------------------------------------------------------------ *)
 (* Series and percentiles *)
 
+let sketch ?(epsilon = 0.01) values =
+  let s = Softstate_util.Sketch.create ~epsilon () in
+  List.iter (Softstate_util.Sketch.add s) values;
+  s
+
 let percentile values q =
   let q = Float.max 0.0 (Float.min 1.0 q) in
   let arr = Array.of_list values in

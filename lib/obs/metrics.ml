@@ -36,21 +36,36 @@ module Tw_gauge = struct
 end
 
 module Hist = struct
-  type t = { name : string; h : Stats.Histogram.t }
+  (* The binned histogram keeps shape/mean/under-overflow accounting;
+     quantiles are answered by a GK sketch fed the same samples, so
+     they cover the full stream (out-of-range samples included) with a
+     guaranteed rank-error bound instead of being clipped to the bin
+     range. Provenance: until PR 8 quantiles interpolated within the
+     bin range only and were nan whenever every sample fell outside
+     it. *)
+  type t = {
+    name : string;
+    h : Stats.Histogram.t;
+    sketch : Softstate_util.Sketch.t;
+  }
 
-  let make name ~lo ~hi ~bins = { name; h = Stats.Histogram.create ~lo ~hi ~bins }
-  let add t x = Stats.Histogram.add t.h x
+  let make name ~lo ~hi ~bins =
+    { name;
+      h = Stats.Histogram.create ~lo ~hi ~bins;
+      sketch = Softstate_util.Sketch.create () }
+
+  let add t x =
+    Stats.Histogram.add t.h x;
+    Softstate_util.Sketch.add t.sketch x
+
   let count t = Stats.Histogram.count t.h
   let mean t = Stats.Histogram.mean t.h
 
-  let in_range t =
-    Stats.Histogram.count t.h
-    - Stats.Histogram.underflow t.h
-    - Stats.Histogram.overflow t.h
-
   let quantile t q =
-    if in_range t <= 0 then nan else Stats.Histogram.quantile t.h q
+    if Softstate_util.Sketch.count t.sketch = 0 then nan
+    else Softstate_util.Sketch.quantile t.sketch q
 
+  let epsilon t = Softstate_util.Sketch.epsilon t.sketch
   let underflow t = Stats.Histogram.underflow t.h
   let overflow t = Stats.Histogram.overflow t.h
   let name t = t.name
@@ -143,6 +158,7 @@ type value =
       p50 : float;
       p90 : float;
       p99 : float;
+      epsilon : float;  (* sketch rank-error bound behind the quantiles *)
       underflow : int;
       overflow : int;
     }
@@ -159,6 +175,7 @@ let read_entry entry ~now =
           p50 = Hist.quantile h 0.5;
           p90 = Hist.quantile h 0.9;
           p99 = Hist.quantile h 0.99;
+          epsilon = Hist.epsilon h;
           underflow = Hist.underflow h;
           overflow = Hist.overflow h }
   | Probe_e p -> Float (p.read ~now)
@@ -174,11 +191,12 @@ let names t = List.rev_map entry_name t.order
 let value_to_json = function
   | Int n -> Json.int n
   | Float x -> Json.float x
-  | Dist { count; mean; p50; p90; p99; underflow; overflow } ->
+  | Dist { count; mean; p50; p90; p99; epsilon; underflow; overflow } ->
       Json.obj
         [ ("count", Json.int count); ("mean", Json.float mean);
           ("p50", Json.float p50); ("p90", Json.float p90);
-          ("p99", Json.float p99); ("underflow", Json.int underflow);
+          ("p99", Json.float p99); ("epsilon", Json.float epsilon);
+          ("underflow", Json.int underflow);
           ("overflow", Json.int overflow) ]
 
 let to_json t ~now =

@@ -52,12 +52,20 @@ module Hist : sig
   val mean : t -> float
 
   val quantile : t -> float -> float
-  (** Linear interpolation within the bucket; [nan] when no in-range
-      sample has been recorded. *)
+  (** Answered by a streaming GK sketch fed the same samples: the
+      returned value's rank is within [epsilon * count] of the exact
+      rank, over the {e full} stream (out-of-range samples included).
+      [nan] when no sample has been recorded. Provenance: until PR 8
+      this interpolated within the bin range only, ignoring
+      under/overflow samples. *)
+
+  val epsilon : t -> float
+  (** Rank-error bound of the quantile sketch (relative; the absolute
+      bound is [epsilon t *. float_of_int (count t)]). *)
 
   val underflow : t -> int
-  (** Samples below [lo]: counted, never silently dropped. They
-      contribute to {!count} and {!mean} but not to {!quantile}. *)
+  (** Samples below [lo]: excluded from the binned shape but counted
+      and included in {!mean} and {!quantile}. *)
 
   val overflow : t -> int
   (** Samples at or above [hi], symmetrically. *)
@@ -93,6 +101,8 @@ type value =
       p50 : float;
       p90 : float;
       p99 : float;
+      epsilon : float;
+          (** rank-error bound of the sketch behind the quantiles *)
       underflow : int;  (** samples below the histogram's [lo] *)
       overflow : int;   (** samples at or above [hi] *)
     }

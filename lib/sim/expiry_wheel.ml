@@ -1,0 +1,268 @@
+(* Hierarchical timing wheel for per-key expiry timers.
+
+   Soft-state expiry deadlines are spread across decades of scale: a
+   refresh timer fires seconds ahead, while a rarely-heard record's
+   expiry can sit hours out. A single hashed wheel (Timer_wheel) either
+   wastes slots on a huge span or spills most entries to its heap.
+   This wheel stacks L levels over one shared bucket count S: level k
+   has granularity g * S^k, so level 0 covers [now, now + g*S), level 1
+   covers up to g*S^2 ahead, and so on — with the defaults (256 slots,
+   0.25 s, 3 levels) that is 64 s / ~4.5 h / ~48 d. Entries land in the
+   finest level whose window contains their deadline; anything beyond
+   the coarsest window goes to an overflow heap.
+
+   Ordering contract (same as Timer_wheel): entries surface in
+   (time, seq) order, seq being allocation order — equal-deadline
+   entries fire FIFO regardless of which level or the overflow they
+   lived in.
+
+   Window invariant, per level: every live entry at level k has
+   tick_k in [cur_tick_k, cur_tick_k + S). It holds at insert by
+   construction (finest-fitting level, clamped below) and is preserved
+   because every cur_tick_k advances only to tick_k of an extracted
+   global minimum — all remaining live entries are >= it in (time,
+   seq), hence >= in tick_k. Therefore the first non-empty bucket at
+   or after cur_tick_k holds level k's minimum-tick entries, and the
+   fold inside it yields the level minimum.
+
+   Cascade on extraction: after popping the minimum out of a coarse
+   bucket (level k > 0), the bucket's surviving entries are re-placed
+   into the finest level that now fits them — the wheel position just
+   advanced, so near-future entries drop into finer wheels and later
+   pops touch short bucket lists instead of rescanning one coarse
+   bucket. Re-placement is O(1) per entry and each entry only ever
+   moves to finer levels, so an entry cascades at most L - 1 times in
+   its life.
+
+   Cancellation is lazy: a tombstone flip; dead entries are compacted
+   out when a scan or cascade touches their bucket, or discarded when
+   they surface at the overflow root. *)
+
+module Heap = Softstate_util.Heap
+
+type timer = {
+  mutable live : bool;
+  mutable loc : int; (* level index, or -1 = overflow; tracked across
+                        cascades so cancel hits the right counter *)
+}
+
+type 'a entry = { time : float; seq : int; value : 'a; timer : timer }
+
+type 'a level = {
+  granularity : float;
+  buckets : 'a entry list array;
+  mutable cur_tick : int;
+  mutable live : int; (* live entries resident in this level *)
+  mutable min_cache : (int * 'a entry) option;
+      (* (resident tick, entry) of the level's minimum live entry when
+         known; [None] means dirty — recompute by window scan. Without
+         this cache every {!next_entry} re-folds the level's first
+         non-empty bucket, which at coarse levels holds thousands of
+         entries; with it the fold runs only after that minimum is
+         extracted or cancelled. *)
+}
+
+type 'a t = {
+  slots : int;
+  levels : 'a level array;
+  overflow : 'a entry Heap.t;
+  mutable overflow_live : int;
+  mutable total_live : int;
+  mutable next_seq : int;
+}
+
+let create ?(slots = 256) ?(granularity = 0.25) ?(levels = 3) ~start () =
+  if slots < 2 then invalid_arg "Expiry_wheel.create: slots must be >= 2";
+  if granularity <= 0.0 then
+    invalid_arg "Expiry_wheel.create: granularity must be positive";
+  if levels < 1 then invalid_arg "Expiry_wheel.create: levels must be >= 1";
+  let start = Float.max 0.0 start in
+  let mk k =
+    let g = granularity *. (float_of_int slots ** float_of_int k) in
+    { granularity = g;
+      buckets = Array.make slots [];
+      cur_tick = int_of_float (start /. g);
+      live = 0;
+      min_cache = None }
+  in
+  { slots;
+    levels = Array.init levels mk;
+    overflow = Heap.create ();
+    overflow_live = 0;
+    total_live = 0;
+    next_seq = 0 }
+
+let length t = t.total_live
+let is_empty t = t.total_live = 0
+
+let tick_of lvl time = int_of_float (time /. lvl.granularity)
+
+let entry_precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+(* Place an existing entry at the finest level whose window contains
+   its deadline, or in the overflow heap. Shared by schedule and the
+   cascade path; updates location and per-location live counts but not
+   total_live. *)
+let place t e =
+  let rec find k =
+    if k >= Array.length t.levels then -1
+    else
+      let lvl = t.levels.(k) in
+      if max lvl.cur_tick (tick_of lvl e.time) < lvl.cur_tick + t.slots then k
+      else find (k + 1)
+  in
+  let k = find 0 in
+  e.timer.loc <- k;
+  if k < 0 then begin
+    ignore (Heap.insert t.overflow ~key:e.time e);
+    t.overflow_live <- t.overflow_live + 1
+  end
+  else begin
+    let lvl = t.levels.(k) in
+    let tick = max lvl.cur_tick (tick_of lvl e.time) in
+    let b = tick mod t.slots in
+    lvl.buckets.(b) <- e :: lvl.buckets.(b);
+    lvl.live <- lvl.live + 1;
+    (* keep the min cache exact when we can do it in O(1): a new entry
+       preceding the cached minimum is the new minimum; the first
+       entry of an empty level is trivially its minimum. A dirty cache
+       stays dirty. *)
+    match lvl.min_cache with
+    | Some (_, m) when entry_precedes e m -> lvl.min_cache <- Some (tick, e)
+    | Some _ -> ()
+    | None -> if lvl.live = 1 then lvl.min_cache <- Some (tick, e)
+  end
+
+let schedule t ~time value =
+  if not (Float.is_finite time) then
+    invalid_arg "Expiry_wheel.schedule: time must be finite";
+  let timer = { live = true; loc = -1 } in
+  let e = { time; seq = t.next_seq; value; timer } in
+  t.next_seq <- t.next_seq + 1;
+  t.total_live <- t.total_live + 1;
+  place t e;
+  timer
+
+let cancel t (timer : timer) =
+  if not timer.live then false
+  else begin
+    timer.live <- false;
+    t.total_live <- t.total_live - 1;
+    if timer.loc < 0 then t.overflow_live <- t.overflow_live - 1
+    else begin
+      let lvl = t.levels.(timer.loc) in
+      lvl.live <- lvl.live - 1
+    end;
+    true
+  end
+
+let mem _t (timer : timer) = timer.live
+
+(* Minimum live entry of level [k] and its tick, compacting dead
+   entries out of every bucket touched. Only called when the level has
+   live entries, so the window scan always terminates. A live cached
+   minimum is returned directly: entries only leave a level through
+   {!take} (which empties the bucket and clears the cache) or
+   cancellation (which flips [timer.live], checked here), so a live
+   cache is still the minimum. *)
+let rec level_min t k =
+  let lvl = t.levels.(k) in
+  match lvl.min_cache with
+  | Some ((_, m) as cached) when m.timer.live -> cached
+  | _ -> level_min_scan t k
+
+and level_min_scan t k =
+  let lvl = t.levels.(k) in
+  let found = ref None in
+  let tk = ref lvl.cur_tick in
+  while !found = None && !tk < lvl.cur_tick + t.slots do
+    let b = !tk mod t.slots in
+    (match lvl.buckets.(b) with
+    | [] -> ()
+    | l ->
+        let alive = List.filter (fun e -> e.timer.live) l in
+        lvl.buckets.(b) <- alive;
+        (match alive with
+        | [] -> ()
+        | e0 :: rest ->
+            let best =
+              List.fold_left
+                (fun acc e -> if entry_precedes e acc then e else acc)
+                e0 rest
+            in
+            found := Some (!tk, best)));
+    if !found = None then incr tk
+  done;
+  match !found with
+  | Some r ->
+      lvl.min_cache <- Some r;
+      r
+  | None -> assert false
+
+(* Live overflow minimum, discarding dead entries at the root. *)
+let rec overflow_min t =
+  match Heap.peek t.overflow with
+  | None -> None
+  | Some (_, e) when not e.timer.live ->
+      ignore (Heap.pop t.overflow);
+      overflow_min t
+  | Some (_, e) -> Some e
+
+let next_entry t =
+  if t.total_live = 0 then None
+  else begin
+    let best = ref None in
+    Array.iteri
+      (fun k lvl ->
+        if lvl.live > 0 then begin
+          let tick, e = level_min t k in
+          match !best with
+          | Some (_, b) when not (entry_precedes e b) -> ()
+          | _ -> best := Some (`Level (k, tick), e)
+        end)
+      t.levels;
+    (match overflow_min t with
+    | Some e -> (
+        match !best with
+        | Some (_, b) when not (entry_precedes e b) -> ()
+        | _ -> best := Some (`Overflow, e))
+    | None -> ());
+    !best
+  end
+
+let next_due t =
+  match next_entry t with None -> None | Some (_, e) -> Some e.time
+
+let take t where e =
+  (* advance every level to the extracted minimum — all remaining live
+     entries are >= e in (time, seq), so each window invariant holds *)
+  Array.iter
+    (fun lvl -> lvl.cur_tick <- max lvl.cur_tick (tick_of lvl e.time))
+    t.levels;
+  (match where with
+  | `Level (k, tick) ->
+      let lvl = t.levels.(k) in
+      let b = tick mod t.slots in
+      let rest = List.filter (fun x -> x != e && x.timer.live) lvl.buckets.(b) in
+      lvl.buckets.(b) <- [];
+      lvl.live <- lvl.live - (1 + List.length rest);
+      lvl.min_cache <- None;
+      (* cascade: with the wheel advanced, the bucket's survivors may
+         now fit a finer level; re-place each at its finest fit *)
+      List.iter (fun x -> place t x) rest
+  | `Overflow ->
+      ignore (Heap.pop t.overflow);
+      t.overflow_live <- t.overflow_live - 1);
+  e.timer.live <- false;
+  t.total_live <- t.total_live - 1;
+  (e.time, e.value)
+
+let pop_before t ~limit =
+  match next_entry t with
+  | Some (where, e) when e.time < limit -> Some (take t where e)
+  | _ -> None
+
+let pop t =
+  match next_entry t with
+  | Some (where, e) -> Some (take t where e)
+  | None -> None

@@ -1,0 +1,52 @@
+(** Hierarchical timing wheel for per-key expiry timers.
+
+    Stacks L hashed wheels over one bucket count S: level k has
+    granularity [g * S^k], so the covered spans grow geometrically —
+    with the defaults (256 slots of 0.25 s, 3 levels) roughly 64 s,
+    4.5 h and 48 d. An entry lands in the finest level whose window
+    contains its deadline; deadlines beyond the coarsest window spill
+    into an overflow heap. Schedule and cancel are O(1); extraction
+    cascades the survivors of a popped coarse bucket down to finer
+    levels, so each entry is re-placed at most [L - 1] times in its
+    life.
+
+    Delivery order is by (deadline, allocation order): equal-deadline
+    timers fire FIFO, regardless of level or overflow residence — the
+    same contract as {!Timer_wheel}. Cancellation is lazy; cancelled
+    entries are reclaimed as scans pass over them. *)
+
+type 'a t
+
+type timer
+(** Reference to a scheduled entry; invalid once fired or cancelled. *)
+
+val create :
+  ?slots:int -> ?granularity:float -> ?levels:int -> start:float -> unit -> 'a t
+(** [create ~start ()] positions the wheel at time [start] (clamped to
+    0). Defaults: 256 slots of 0.25 s across 3 levels. [slots >= 2],
+    [granularity > 0], [levels >= 1]. *)
+
+val length : 'a t -> int
+(** Live (scheduled, not yet fired or cancelled) entry count. *)
+
+val is_empty : 'a t -> bool
+
+val schedule : 'a t -> time:float -> 'a -> timer
+(** [schedule t ~time v] registers [v] to surface at [time]. Deadlines
+    at or before the wheel's position fire on the next extraction. *)
+
+val cancel : 'a t -> timer -> bool
+(** O(1) lazy cancel; [false] if the entry already fired or was
+    cancelled. *)
+
+val mem : 'a t -> timer -> bool
+
+val next_due : 'a t -> float option
+(** Deadline of the earliest live entry. *)
+
+val pop_before : 'a t -> limit:float -> (float * 'a) option
+(** Extract the earliest live entry with deadline strictly below
+    [limit]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Extract the earliest live entry unconditionally. *)

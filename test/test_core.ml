@@ -640,6 +640,144 @@ let test_expiry_disabled_counts_nothing () =
   Alcotest.(check int) "no false expiries" 0 r.Experiment.false_expiries;
   Alcotest.(check int) "no stale purges" 0 r.Experiment.stale_purged
 
+let test_expiry_codec_roundtrip () =
+  let roundtrip e =
+    match Base.expiry_of_string (Base.expiry_to_string e) with
+    | Ok e' -> Alcotest.(check bool) (Base.expiry_to_string e) true (e = e')
+    | Error m -> Alcotest.fail m
+  in
+  roundtrip Base.No_expiry;
+  roundtrip (Base.Refresh_timeout { multiple = 3.5; sweep_period = 0.75 });
+  roundtrip (Base.Refresh_wheel { multiple = 2.25 });
+  (* the historical alias still parses *)
+  (match Base.expiry_of_string "sweep:3:1" with
+  | Ok (Base.Refresh_timeout { multiple = 3.0; sweep_period = 1.0 }) -> ()
+  | _ -> Alcotest.fail "sweep: alias");
+  List.iter
+    (fun s ->
+      match Base.expiry_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (s ^ " should not parse"))
+    [ "bogus"; "refresh:1"; "wheel:"; "wheel:x"; "refresh:1:2:3" ]
+
+(* Deterministic micro-harness: a Base with a negligible arrival rate
+   and effectively immortal records, fed hand-scripted deliveries, so
+   wheel and sweep firing semantics can be pinned exactly. *)
+let expiry_micro expiry script =
+  let engine = Engine.create () in
+  let tracker = Consistency.create ~now:0.0 () in
+  let workload = Workload.create ~arrival_rate:1e-12 ~size_bits:1000 () in
+  let base =
+    Base.create ~engine ~rng:(Rng.create 7) ~workload
+      ~death:(Base.Lifetime_fixed 1e9) ~expiry ~tracker ()
+  in
+  Base.set_hooks base ~on_arrival:(fun _ -> ()) ~on_death:(fun _ -> ());
+  Base.start base;
+  let insert key =
+    let r = Record.make ~key ~now:(Engine.now engine) ~size_bits:1000 in
+    Table.insert (Base.table base) r;
+    Consistency.on_birth tracker ~now:(Engine.now engine);
+    r
+  in
+  let deliver_at time key =
+    ignore
+      (Engine.schedule engine ~after:(time -. Engine.now engine) (fun engine ->
+           match Table.find (Base.table base) key with
+           | Some r ->
+               Base.deliver base ~now:(Engine.now engine) ~receiver:0
+                 (Base.announce_of base ~seq:0 r)
+           | None -> ()))
+  in
+  script ~insert ~deliver_at ~engine ~base;
+  base
+
+let test_expiry_wheel_fires_at_deadline () =
+  (* deliveries at t=0 and t=10 give gap=10; multiple=2 puts the
+     deadline at t=30. The wheel expires at the deadline itself; the
+     1 s sweep only notices at its first scan strictly past it
+     (t=31) — both end with exactly one false expiry. *)
+  let script ~insert ~deliver_at ~engine ~base:_ =
+    let r = insert 1 in
+    deliver_at 0.0 r.Record.key;
+    deliver_at 10.0 r.Record.key;
+    Engine.run ~until:40.0 engine
+  in
+  let wheel =
+    expiry_micro (Base.Refresh_wheel { multiple = 2.0 }) script
+  in
+  let sweep =
+    expiry_micro
+      (Base.Refresh_timeout { multiple = 2.0; sweep_period = 1.0 })
+      script
+  in
+  Alcotest.(check int) "wheel false expiry" 1 (Base.false_expiries wheel);
+  Alcotest.(check int) "sweep false expiry" 1 (Base.false_expiries sweep);
+  Alcotest.(check int) "wheel no stale" 0 (Base.stale_purged wheel);
+  Alcotest.(check int) "sweep no stale" 0 (Base.stale_purged sweep);
+  (* a refresh just before the wheel deadline pushes it back: same
+     script plus a delivery at t=29.9 must not expire by t=35 *)
+  let pushed =
+    expiry_micro (Base.Refresh_wheel { multiple = 2.0 })
+      (fun ~insert ~deliver_at ~engine ~base:_ ->
+        let r = insert 1 in
+        deliver_at 0.0 r.Record.key;
+        deliver_at 10.0 r.Record.key;
+        deliver_at 29.9 r.Record.key;
+        Engine.run ~until:35.0 engine)
+  in
+  Alcotest.(check int) "pushed back" 0 (Base.false_expiries pushed)
+
+let test_expiry_wheel_stale_purge () =
+  (* once armed, a key killed at the sender leaves an orphaned wheel
+     timer; its eventual firing is the stale purge. The sweep path
+     counts the same event at its next scan. *)
+  let script ~insert ~deliver_at ~engine ~base =
+    let r = insert 1 in
+    let key = r.Record.key in
+    deliver_at 0.0 key;
+    deliver_at 10.0 key;
+    ignore
+      (Engine.schedule engine ~after:15.0 (fun engine ->
+           Base.kill base ~now:(Engine.now engine) key));
+    Engine.run ~until:60.0 engine
+  in
+  let wheel = expiry_micro (Base.Refresh_wheel { multiple = 2.0 }) script in
+  let sweep =
+    expiry_micro
+      (Base.Refresh_timeout { multiple = 2.0; sweep_period = 1.0 })
+      script
+  in
+  Alcotest.(check int) "wheel stale purge" 1 (Base.stale_purged wheel);
+  Alcotest.(check int) "sweep stale purge" 1 (Base.stale_purged sweep);
+  Alcotest.(check int) "wheel no false" 0 (Base.false_expiries wheel);
+  Alcotest.(check int) "sweep no false" 0 (Base.false_expiries sweep)
+
+let test_expiry_wheel_vs_sweep_agreement () =
+  (* same end-to-end experiment under both implementations: identical
+     semantics up to observation timing, so the aggregate counters and
+     consistency must agree closely (not exactly — the sweep observes
+     expiries late, the wheel on time) *)
+  let sweep = Experiment.run (expiry_config 3.0) in
+  let wheel =
+    Experiment.run
+      { (expiry_config 3.0) with
+        Experiment.expiry = Base.Refresh_wheel { multiple = 3.0 } }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "consistency close (%.4f vs %.4f)"
+       wheel.Experiment.avg_consistency sweep.Experiment.avg_consistency)
+    true
+    (abs_float
+       (wheel.Experiment.avg_consistency -. sweep.Experiment.avg_consistency)
+    < 0.02);
+  let ratio a b = float_of_int (max a 1) /. float_of_int (max b 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "stale purges same order (%d vs %d)"
+       wheel.Experiment.stale_purged sweep.Experiment.stale_purged)
+    true
+    (ratio wheel.Experiment.stale_purged sweep.Experiment.stale_purged < 2.0
+    && ratio sweep.Experiment.stale_purged wheel.Experiment.stale_purged < 2.0)
+
 (* ------------------------------------------------------------------ *)
 (* Parallel replication runner *)
 
@@ -1157,6 +1295,14 @@ let () =
             test_expiry_collects_dead_state;
           Alcotest.test_case "disabled counts nothing" `Quick
             test_expiry_disabled_counts_nothing;
+          Alcotest.test_case "codec roundtrip" `Quick
+            test_expiry_codec_roundtrip;
+          Alcotest.test_case "wheel fires at deadline" `Quick
+            test_expiry_wheel_fires_at_deadline;
+          Alcotest.test_case "wheel stale purge" `Quick
+            test_expiry_wheel_stale_purge;
+          Alcotest.test_case "wheel vs sweep agreement" `Slow
+            test_expiry_wheel_vs_sweep_agreement;
         ] );
       ( "run_many",
         [

@@ -427,9 +427,16 @@ let test_hist_out_of_range () =
   Alcotest.(check int) "overflow" 1 (Metrics.Hist.overflow h);
   Alcotest.(check (float 1e-9)) "mean includes out-of-range" 5.0
     (Metrics.Hist.mean h);
-  (* quantiles stay in-range-only *)
-  Alcotest.(check (float 0.6)) "p50 over in-range samples" 5.5
+  (* Provenance: since PR 8 quantiles come from a sketch over the full
+     stream, so out-of-range samples are ranked too (previously they
+     were clipped to the bin range). With three samples {-5, 5, 15}
+     the median is the middle value exactly. *)
+  Alcotest.(check (float 1e-9)) "p50 over all samples" 5.0
     (Metrics.Hist.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p0 is the exact minimum" (-5.0)
+    (Metrics.Hist.quantile h 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is the exact maximum" 15.0
+    (Metrics.Hist.quantile h 1.0);
   (* snapshot and report expose the out-of-range tallies *)
   (match Metrics.get m "lat" ~now:0.0 with
   | Some (Metrics.Dist { underflow; overflow; _ }) ->

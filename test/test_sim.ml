@@ -299,6 +299,114 @@ let test_wheel_heap_equivalence () =
   Alcotest.(check (list (pair (float 1e-9) string)))
     "same firing order" on_wheel on_heap
 
+(* ------------------------------------------------------------------ *)
+(* Hierarchical expiry wheel *)
+
+module EW = Softstate_sim.Expiry_wheel
+
+let test_expiry_wheel_ordering () =
+  (* slots=4, granularity=1, levels=2: level 0 spans 4 s, level 1
+     16 s, anything later overflows — one entry per region plus a
+     FIFO tie *)
+  let w = EW.create ~slots:4 ~granularity:1.0 ~levels:2 ~start:0.0 () in
+  ignore (EW.schedule w ~time:2.0 "fine");
+  ignore (EW.schedule w ~time:30.0 "overflow");
+  ignore (EW.schedule w ~time:10.0 "coarse");
+  ignore (EW.schedule w ~time:2.0 "fine-b");
+  Alcotest.(check int) "length" 4 (EW.length w);
+  Alcotest.(check (option (float 0.0))) "next due" (Some 2.0) (EW.next_due w);
+  let pop () = match EW.pop w with Some (_, v) -> v | None -> "?" in
+  Alcotest.(check string) "finest first" "fine" (pop ());
+  Alcotest.(check string) "fifo at equal deadline" "fine-b" (pop ());
+  Alcotest.(check string) "coarse level" "coarse" (pop ());
+  Alcotest.(check string) "overflow last" "overflow" (pop ());
+  Alcotest.(check bool) "drained" true (EW.is_empty w)
+
+let test_expiry_wheel_cancel () =
+  let w = EW.create ~slots:4 ~granularity:1.0 ~levels:2 ~start:0.0 () in
+  let a = EW.schedule w ~time:1.0 "a" in
+  let b = EW.schedule w ~time:2.0 "b" in
+  let c = EW.schedule w ~time:40.0 "c" in
+  (* cancelling the wheel's current minimum exercises the min-cache
+     invalidation path *)
+  Alcotest.(check bool) "cancel minimum" true (EW.cancel w a);
+  Alcotest.(check bool) "cancel twice" false (EW.cancel w a);
+  Alcotest.(check bool) "cancel overflow" true (EW.cancel w c);
+  Alcotest.(check bool) "b still member" true (EW.mem w b);
+  Alcotest.(check int) "one live" 1 (EW.length w);
+  (match EW.pop w with
+  | Some (t, v) ->
+      Alcotest.(check (float 0.0)) "survivor time" 2.0 t;
+      Alcotest.(check string) "survivor" "b" v
+  | None -> Alcotest.fail "wheel empty");
+  Alcotest.(check bool) "fired handle dead" false (EW.cancel w b)
+
+let test_expiry_wheel_pop_before_strict () =
+  let w = EW.create ~start:0.0 () in
+  ignore (EW.schedule w ~time:1.0 ());
+  Alcotest.(check bool) "limit is exclusive" true
+    (EW.pop_before w ~limit:1.0 = None);
+  Alcotest.(check bool) "just past the deadline" true
+    (EW.pop_before w ~limit:1.0000001 <> None)
+
+let test_expiry_wheel_cascade () =
+  (* entries sharing one coarse bucket surface in time order: after
+     the first pop advances the wheel, the bucket's survivors cascade
+     into the fine level and still come out sorted *)
+  let w = EW.create ~slots:4 ~granularity:1.0 ~levels:2 ~start:0.0 () in
+  ignore (EW.schedule w ~time:9.5 "third");
+  ignore (EW.schedule w ~time:8.25 "first");
+  ignore (EW.schedule w ~time:8.75 "second");
+  let pop () = match EW.pop w with Some (_, v) -> v | None -> "?" in
+  Alcotest.(check string) "first" "first" (pop ());
+  Alcotest.(check string) "second" "second" (pop ());
+  Alcotest.(check string) "third" "third" (pop ())
+
+let test_expiry_wheel_model_check () =
+  (* random schedule/cancel churn drained through pop_before against a
+     sorted-list reference: the wheel must produce exactly the
+     reference's (time, insertion order) sequence *)
+  let g = Softstate_util.Rng.create 4242 in
+  for _trial = 1 to 20 do
+    let w = EW.create ~slots:8 ~granularity:0.5 ~levels:3 ~start:0.0 () in
+    let reference = ref [] (* (time, id), unsorted *) in
+    let handles = Hashtbl.create 64 in
+    let next_id = ref 0 in
+    for _ = 1 to 200 do
+      let time = Softstate_util.Rng.float g *. 500.0 in
+      let id = !next_id in
+      incr next_id;
+      Hashtbl.replace handles id (EW.schedule w ~time id);
+      reference := (time, id) :: !reference;
+      (* cancel a random earlier entry 25% of the time *)
+      if Softstate_util.Rng.float g < 0.25 then begin
+        let victim = Softstate_util.Rng.int g !next_id in
+        match Hashtbl.find_opt handles victim with
+        | Some h when EW.mem w h ->
+            ignore (EW.cancel w h);
+            reference :=
+              List.filter (fun (_, id) -> id <> victim) !reference
+        | _ -> ()
+      end
+    done;
+    let expect =
+      List.sort
+        (fun (t1, i1) (t2, i2) ->
+          if t1 <> t2 then compare t1 t2 else compare i1 i2)
+        !reference
+    in
+    let got = ref [] in
+    let continue = ref true in
+    while !continue do
+      match EW.pop_before w ~limit:infinity with
+      | Some (t, id) -> got := (t, id) :: !got
+      | None -> continue := false
+    done;
+    Alcotest.(check (list (pair (float 0.0) int)))
+      "same drain sequence" expect (List.rev !got);
+    Alcotest.(check bool) "empty after drain" true (EW.is_empty w)
+  done
+
 let test_many_events_throughput () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -347,5 +455,17 @@ let () =
             test_pending_counts_both_calendars;
           Alcotest.test_case "wheel/heap firing-order equivalence" `Quick
             test_wheel_heap_equivalence;
+        ] );
+      ( "expiry wheel",
+        [
+          Alcotest.test_case "ordering across levels" `Quick
+            test_expiry_wheel_ordering;
+          Alcotest.test_case "cancel" `Quick test_expiry_wheel_cancel;
+          Alcotest.test_case "pop_before strict" `Quick
+            test_expiry_wheel_pop_before_strict;
+          Alcotest.test_case "cascade keeps order" `Quick
+            test_expiry_wheel_cascade;
+          Alcotest.test_case "model check vs sorted reference" `Slow
+            test_expiry_wheel_model_check;
         ] );
     ]

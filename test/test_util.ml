@@ -7,6 +7,7 @@ module Heap = Softstate_util.Heap
 module Ewma = Softstate_util.Ewma
 module Ring = Softstate_util.Ring
 module Codec = Softstate_util.Codec
+module Sketch = Softstate_util.Sketch
 
 let check_float = Alcotest.(check (float 1e-9))
 let check_close eps = Alcotest.(check (float eps))
@@ -348,6 +349,134 @@ let test_series_thinning () =
   let times = List.map fst pts in
   let sorted = List.sort compare times in
   Alcotest.(check (list (float 0.0))) "kept in time order" sorted times
+
+let test_series_decimate_means () =
+  (* capacity 4, 8 samples: one thinning pass leaves stride-2 windows,
+     each point the exact mean of its pair *)
+  let s = Stats.Series.create ~capacity:4 ~mode:Stats.Series.Decimate () in
+  for i = 1 to 8 do
+    Stats.Series.add s ~time:(float_of_int i) ~value:(float_of_int i)
+  done;
+  let pts = Stats.Series.to_list s in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "pair means"
+    [ (1.5, 1.5); (3.5, 3.5); (5.5, 5.5); (7.5, 7.5) ]
+    pts;
+  (* a partial window surfaces as a provisional trailing point *)
+  Stats.Series.add s ~time:9.0 ~value:9.0;
+  let pts = Stats.Series.to_list s in
+  Alcotest.(check int) "provisional tail" 5 (List.length pts);
+  let t, v = List.nth pts 4 in
+  check_float "tail time" 9.0 t;
+  check_float "tail value" 9.0 v
+
+let test_series_decimate_preserves_mean () =
+  (* decimation preserves the stream mean exactly: every point is the
+     equal-weight mean of its window and the accumulator carries sums *)
+  let g = Rng.create 91 in
+  let s = Stats.Series.create ~capacity:8 ~mode:Stats.Series.Decimate () in
+  let sum = ref 0.0 in
+  (* n = capacity * 2^k: the stream divides into full equal-stride
+     windows with no partial tail, so the unweighted mean of the
+     points is the stream mean (up to float rounding) *)
+  let n = 1024 in
+  for i = 1 to n do
+    let v = Rng.float g in
+    sum := !sum +. v;
+    Stats.Series.add s ~time:(float_of_int i) ~value:v
+  done;
+  let pts = Stats.Series.to_list s in
+  Alcotest.(check bool) "bounded" true (List.length pts <= 9);
+  let mean_pts =
+    List.fold_left (fun a (_, v) -> a +. v) 0.0 pts
+    /. float_of_int (List.length pts)
+  in
+  check_close 1e-9 "stream mean preserved" (!sum /. float_of_int n) mean_pts
+
+(* ------------------------------------------------------------------ *)
+(* Sketch *)
+
+let test_sketch_empty () =
+  let s = Sketch.create () in
+  Alcotest.(check int) "count" 0 (Sketch.count s);
+  Alcotest.(check bool) "nan" true (Float.is_nan (Sketch.quantile s 0.5))
+
+let test_sketch_small_exact () =
+  (* with eps * n < 1 the permitted rank error is zero: answers are
+     exact order statistics *)
+  let s = Sketch.create ~epsilon:0.01 () in
+  List.iter (Sketch.add s) [ 7.0; 1.0; 9.0; 3.0; 5.0 ];
+  check_float "min" 1.0 (Sketch.quantile s 0.0);
+  check_float "median" 5.0 (Sketch.quantile s 0.5);
+  check_float "max" 9.0 (Sketch.quantile s 1.0)
+
+let test_sketch_drops_non_finite () =
+  let s = Sketch.create () in
+  List.iter (Sketch.add s) [ 1.0; nan; 2.0; infinity; 3.0; neg_infinity ];
+  Alcotest.(check int) "count" 3 (Sketch.count s);
+  Alcotest.(check int) "dropped" 3 (Sketch.dropped s);
+  check_float "median" 2.0 (Sketch.quantile s 0.5)
+
+let test_sketch_space_bounded () =
+  (* 10^5 samples at eps = 0.01 must stay well under the exact-storage
+     size — the whole point of the summary *)
+  let g = Rng.create 92 in
+  let s = Sketch.create ~epsilon:0.01 () in
+  for _ = 1 to 100_000 do
+    Sketch.add s (Rng.float g)
+  done;
+  ignore (Sketch.quantile s 0.5);
+  Alcotest.(check bool) "summary small" true (Sketch.size s < 1000)
+
+(* Exact rank interval of [v] in sorted array [a]: 1-based ranks
+   [lo, hi] where it could sit among duplicates; a value absent from
+   the stream gets an empty interval at its insertion point. *)
+let rank_interval a v =
+  let n = Array.length a in
+  let lt = ref 0 and le = ref 0 in
+  for i = 0 to n - 1 do
+    if a.(i) < v then incr lt;
+    if a.(i) <= v then incr le
+  done;
+  (!lt + 1, !le)
+
+let qcheck_sketch_rank_error =
+  QCheck.Test.make ~name:"sketch quantiles within eps*n rank error"
+    ~count:50
+    QCheck.(pair (int_bound 0xFFFFF) (int_range 50 3000))
+    (fun (seed, n) ->
+      let epsilon = 0.02 in
+      let g = Rng.create (succ seed) in
+      let s = Sketch.create ~epsilon () in
+      let values = Array.init n (fun _ -> Rng.float g) in
+      Array.iter (Sketch.add s) values;
+      let sorted = Array.copy values in
+      Array.sort Float.compare sorted;
+      let err = int_of_float (epsilon *. float_of_int n) in
+      List.for_all
+        (fun q ->
+          let v = Sketch.quantile s q in
+          let r = 1 + int_of_float (q *. float_of_int (n - 1)) in
+          let lo, hi = rank_interval sorted v in
+          (* answered value must be a stream value whose rank interval
+             comes within err of the target rank *)
+          lo <= hi && lo - err <= r && r <= hi + err)
+        [ 0.0; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ])
+
+let qcheck_sketch_deterministic =
+  QCheck.Test.make ~name:"sketch is a pure function of the stream"
+    ~count:50
+    QCheck.(pair (int_bound 0xFFFFF) (int_range 10 2000))
+    (fun (seed, n) ->
+      let stream () =
+        let g = Rng.create (succ seed) in
+        let s = Sketch.create ~epsilon:0.05 () in
+        for _ = 1 to n do
+          Sketch.add s (Rng.float g)
+        done;
+        List.map (Sketch.quantile s) [ 0.0; 0.1; 0.5; 0.9; 0.99; 1.0 ]
+      in
+      stream () = stream ())
 
 (* ------------------------------------------------------------------ *)
 (* Heap *)
@@ -796,7 +925,8 @@ let () =
         qcheck_codec_f64_roundtrip; qcheck_heap_sorts;
         qcheck_welford_mean_matches; qcheck_ring_fifo;
         qcheck_geometric_mean; qcheck_pareto_mean; qcheck_zipf_mean;
-        qcheck_split_stream_independent ]
+        qcheck_split_stream_independent; qcheck_sketch_rank_error;
+        qcheck_sketch_deterministic ]
   in
   Alcotest.run "softstate_util"
     [
@@ -848,6 +978,18 @@ let () =
           Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
           Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
           Alcotest.test_case "series thinning" `Quick test_series_thinning;
+          Alcotest.test_case "series decimate means" `Quick
+            test_series_decimate_means;
+          Alcotest.test_case "series decimate stream mean" `Quick
+            test_series_decimate_preserves_mean;
+        ] );
+      ( "sketch",
+        [
+          Alcotest.test_case "empty" `Quick test_sketch_empty;
+          Alcotest.test_case "small exact" `Quick test_sketch_small_exact;
+          Alcotest.test_case "drops non-finite" `Quick
+            test_sketch_drops_non_finite;
+          Alcotest.test_case "space bounded" `Quick test_sketch_space_bounded;
         ] );
       ( "heap",
         [
