@@ -5,10 +5,25 @@
    pass from the bench harness and reports throughput. *)
 
 module Fuzz = Softstate_check.Fuzz
+module Coverage = Softstate_check.Coverage
 module Scenario = Softstate_check.Scenario
 
 let seed = 20260807
 let count = 100
+
+(* Generation-only: how many scenarios until every feature bucket has
+   been touched at least once? Capped so a regression cannot hang the
+   bench; reports the cap as "never" instead. *)
+let scenarios_to_full ~guided ~cap =
+  let rec go n =
+    if n > cap then None
+    else if
+      Coverage.feature_fraction (Fuzz.feature_coverage ~guided ~seed ~count:n ())
+      >= 1.0
+    then Some n
+    else go (n + 10)
+  in
+  go 10
 
 let run () =
   let t0 = Unix.gettimeofday () in
@@ -22,4 +37,35 @@ let run () =
       Printf.printf "  scenario %d failed, shrunk to: %s\n" f.Fuzz.index
         (Scenario.to_string f.Fuzz.shrunk))
     stats.Fuzz.failures;
-  if stats.Fuzz.failures <> [] then exit 1
+  if stats.Fuzz.failures <> [] then exit 1;
+  (* coverage guidance must beat uniform generation at equal count —
+     compared below saturation (both streams touch all 53 buckets by
+     ~100 scenarios; at 20 the gap is widest) *)
+  let compare_count = 20 in
+  let uniform =
+    Coverage.feature_count (Fuzz.feature_coverage ~seed ~count:compare_count ())
+  in
+  let guided =
+    Coverage.feature_count
+      (Fuzz.feature_coverage ~guided:true ~seed ~count:compare_count ())
+  in
+  Printf.printf
+    "fuzz-coverage: %d scenarios touch %d feature buckets uniform, %d \
+     guided\n"
+    compare_count uniform guided;
+  let show = function
+    | Some n -> string_of_int n
+    | None -> "never"
+  in
+  let cap = 400 in
+  Printf.printf
+    "fuzz-coverage: scenarios to full feature coverage: %s uniform, %s \
+     guided (cap %d)\n"
+    (show (scenarios_to_full ~guided:false ~cap))
+    (show (scenarios_to_full ~guided:true ~cap))
+    cap;
+  if guided <= uniform then begin
+    Printf.printf
+      "fuzz-coverage: FAILED — guided generation did not beat uniform\n";
+    exit 1
+  end

@@ -59,12 +59,64 @@ let inject_bug_arg =
     value & flag
     & info [ "inject-bug" ]
         ~doc:
-          "Mutation smoke test: corrupt every outcome's delivered-packet \
-           counter before the oracles see it (the conservation oracle must \
-           catch and shrink it), and plant a Random.self_init call in a \
-           scratch copy of a source file (the determinism lint must catch \
-           it). The run still exits non-zero; exit 3 means a smoke check \
-           itself failed.")
+          "Mutation smoke test: corrupt every outcome before the oracles \
+           see it (see $(b,--inject-mode)), and plant a Random.self_init \
+           call in a scratch copy of a source file (the determinism lint \
+           must catch it). The run still exits non-zero; exit 3 means a \
+           smoke check itself failed.")
+
+let inject_mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("counters", `Counters); ("backlog", `Backlog) ]) `Counters
+    & info [ "inject-mode" ] ~docv:"MODE"
+        ~doc:
+          "Which bug $(b,--inject-bug) plants. $(b,counters) inflates the \
+           delivered-packet counter (the conservation oracle must catch \
+           it); $(b,backlog) splices a deterministically accelerating \
+           synthetic NACK storm into every core trace (the backlog \
+           stability oracle must catch it).")
+
+let guided_arg =
+  Arg.(
+    value & flag
+    & info [ "guided" ]
+        ~doc:
+          "Coverage-guided generation: pick each scenario among a few \
+           candidate draws from its own seed, preferring unseen feature \
+           buckets. Off by default (the historical uniform stream).")
+
+let coverage_arg =
+  Arg.(
+    value & flag
+    & info [ "coverage" ]
+        ~doc:"Print the run's coverage report (features, events, branches).")
+
+let coverage_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "coverage-out" ] ~docv:"FILE"
+        ~doc:"Write the serialized coverage table to $(docv).")
+
+let min_coverage_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-coverage" ] ~docv:"FRAC"
+        ~doc:
+          "Fail (exit 1) unless the run's feature-bucket coverage fraction \
+           reaches $(docv).")
+
+let frontier_arg =
+  Arg.(
+    value & flag
+    & info [ "frontier" ]
+        ~doc:
+          "Instead of fuzzing, sweep the multicast slotting/damping \
+           parameter grid under a fixed lossy flash workload and print a \
+           NACK-stability frontier table judged by the backlog oracle's \
+           measure.")
 
 let progress_arg =
   Arg.(
@@ -92,9 +144,124 @@ let corrupt_delivered outcome =
                 r.Softstate_core.Gossip.deliveries + 100 } }
   | Scenario.Sstp_result _ -> outcome
 
+module Trace = Softstate_obs.Trace
+
+(* The planted NACK storm: splice a synthetic feedback series into the
+   trace whose per-quarter volume explodes toward the horizon and
+   dwarfs the run's real repair count — the exact signature the
+   backlog stability oracle exists to catch. Purely a function of the
+   outcome, so replay determinism is preserved. *)
+let corrupt_backlog outcome =
+  match outcome.Scenario.payload with
+  | Scenario.Sstp_result _ | Scenario.Gossip_result _ -> outcome
+  | Scenario.Core_result _ when outcome.Scenario.horizon <= 0.0 -> outcome
+  | Scenario.Core_result _ ->
+      let horizon = outcome.Scenario.horizon in
+      let repairs =
+        List.fold_left
+          (fun n ev ->
+            match ev.Trace.kind with Trace.Repair -> n + 1 | _ -> n)
+          0 outcome.Scenario.events
+      in
+      (* enough volume that NACKs dwarf repairs even after the real
+         NACKs are counted alongside, with an 80% last-quarter share *)
+      let total = max 512 (8 * repairs) in
+      let quarter_share = [| 0.02; 0.05; 0.13; 0.80 |] in
+      let synth = ref [] in
+      Array.iteri
+        (fun q share ->
+          let n = int_of_float (share *. float_of_int total) in
+          let q_start = float_of_int q *. horizon /. 4.0 in
+          for i = 0 to n - 1 do
+            let time =
+              q_start
+              +. (float_of_int i +. 0.5) /. float_of_int n *. horizon /. 4.0
+            in
+            synth :=
+              Trace.event ~time ~src:"injected" ~detail:"backlog-storm"
+                Trace.Nack
+              :: !synth
+          done)
+        quarter_share;
+      let by_time a b = compare a.Trace.time b.Trace.time in
+      let events =
+        List.merge by_time outcome.Scenario.events
+          (List.sort by_time !synth)
+      in
+      { outcome with Scenario.events }
+
 let parse_oracles s =
   if s = "" then []
   else List.filter (fun x -> x <> "") (String.split_on_char ',' s)
+
+(* ------------------------------------------------------------------ *)
+(* The stability frontier: a fixed lossy multicast workload whose
+   repair loop goes supercritical exactly when NACK damping is off and
+   the per-transmission loss exposure (loss x receivers) exceeds one.
+   Every retransmission consumes a fresh sequence number, so each lost
+   repair breeds fresh gap NACKs; damping collapses the per-loss NACK
+   group to roughly one request and keeps the branching ratio under
+   one. The sweep holds the workload fixed and walks the
+   slotting/damping knobs, judging each cell with the same measure the
+   backlog oracle enforces. *)
+
+let frontier_config ~suppression ~nack_slot ~loss =
+  { Experiment.default with
+    Experiment.duration = 4.0;
+    lambda_kbps = 1.0;
+    size_bits = 1000;
+    protocol =
+      Experiment.Multicast
+        { receivers = 8; mu_hot_kbps = 1000.0; mu_cold_kbps = 2.0;
+          mu_fb_kbps = 100.0; nack_slot; nack_bits = 100; suppression };
+    loss = Experiment.Bernoulli loss;
+    death = Softstate_core.Base.Lifetime_fixed 600.0;
+    expiry = Softstate_core.Base.No_expiry;
+    record_series = true;
+    obs = None }
+
+let frontier_losses = [ 0.1; 0.2; 0.3; 0.4 ]
+
+let run_frontier () =
+  Printf.printf
+    "NACK-stability frontier (8 receivers, 1 arrival/s, 4 s horizon)\n";
+  Printf.printf "cell: NACK issues in the last quarter, * = backlog oracle \
+                 flags the run unstable\n\n";
+  Printf.printf "%-10s %-8s" "damping" "slot";
+  List.iter (fun p -> Printf.printf " %11s" (Printf.sprintf "p=%.2f" p))
+    frontier_losses;
+  print_newline ();
+  let unstable_cells = ref 0 in
+  List.iter
+    (fun (suppression, nack_slot, label) ->
+      Printf.printf "%-10s %-8s"
+        (if suppression then "on" else "off")
+        label;
+      List.iter
+        (fun loss ->
+          let c = frontier_config ~suppression ~nack_slot ~loss in
+          let outcome = Scenario.run (Scenario.Core c) in
+          let cell =
+            match Oracle.backlog_measure outcome with
+            | None -> "-"
+            | Some m ->
+                let q4 = m.Oracle.b_nack_quarters.(3) in
+                if Oracle.backlog_unstable m then begin
+                  incr unstable_cells;
+                  Printf.sprintf "%d*" q4
+                end
+                else string_of_int q4
+          in
+          Printf.printf " %11s" cell)
+        frontier_losses;
+      print_newline ())
+    [ (true, 0.005, "0.005"); (true, 0.05, "0.05"); (true, 0.5, "0.5");
+      (false, 0.5, "-") ];
+  Printf.printf
+    "\n%d unstable cell(s); damping off with loss x receivers > 1 is the \
+     supercritical regime\n"
+    !unstable_cells;
+  0
 
 (* ------------------------------------------------------------------ *)
 (* Lint mutation smoke: the same guard for the static pass that the
@@ -175,10 +342,18 @@ let lint_smoke () =
         true
       end)
 
-let run seed count max_shrink oracle log replay inject_bug progress =
+let run seed count max_shrink oracle log replay inject_bug inject_mode
+    progress guided coverage coverage_out min_coverage frontier =
   let oracles = parse_oracles oracle in
-  let corrupt = if inject_bug then Some corrupt_delivered else None in
-  if inject_bug && not (lint_smoke ()) then 3
+  let corrupt =
+    if not inject_bug then None
+    else
+      match inject_mode with
+      | `Counters -> Some corrupt_delivered
+      | `Backlog -> Some corrupt_backlog
+  in
+  if frontier then run_frontier ()
+  else if inject_bug && not (lint_smoke ()) then 3
   else
   match replay with
   | Some spec -> (
@@ -216,13 +391,49 @@ let run seed count max_shrink oracle log replay inject_bug progress =
         else None
       in
       let stats =
-        Fuzz.run ?corrupt ~oracles ~max_shrink ?log:log_fn ?on_progress ~seed
-          ~count ()
+        Fuzz.run ?corrupt ~oracles ~max_shrink ?log:log_fn ?on_progress
+          ~guided ~seed ~count ()
       in
       Option.iter close_out log_chan;
       Printf.printf "%d scenarios, %d runs, %d failures\n"
         stats.Fuzz.scenarios stats.Fuzz.runs
         (List.length stats.Fuzz.failures);
+      let cov = stats.Fuzz.coverage in
+      Printf.printf
+        "coverage: %d/%d feature buckets (%.0f%%), %d/%d event kinds, \
+         %d/%d oracle branches%s\n"
+        (List.length (Check.Coverage.seen_features cov))
+        (List.length Scenario.feature_catalogue)
+        (100.0 *. Check.Coverage.feature_fraction cov)
+        (List.length (Check.Coverage.seen_events cov))
+        (List.length Check.Coverage.event_catalogue)
+        (List.length (Check.Coverage.seen_branches cov))
+        (List.length Oracle.branches)
+        (if guided then " [guided]" else "");
+      if coverage then print_string (Check.Coverage.report cov);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Check.Coverage.to_string cov);
+          close_out oc)
+        coverage_out;
+      let coverage_ok =
+        match min_coverage with
+        | None -> true
+        | Some frac ->
+            let got = Check.Coverage.feature_fraction cov in
+            if got < frac then begin
+              Printf.printf
+                "coverage gate: FAILED — feature coverage %.3f below \
+                 required %.3f\n"
+                got frac;
+              false
+            end
+            else begin
+              Printf.printf "coverage gate: ok (%.3f >= %.3f)\n" got frac;
+              true
+            end
+      in
       List.iter
         (fun f ->
           Printf.printf "\nscenario %d failed:\n" f.Fuzz.index;
@@ -236,7 +447,7 @@ let run seed count max_shrink oracle log replay inject_bug progress =
           String.split_on_char '\n' (Fuzz.reproducer f)
           |> List.iter (Printf.printf "    %s\n"))
         stats.Fuzz.failures;
-      if stats.Fuzz.failures = [] then 0 else 1
+      if stats.Fuzz.failures = [] && coverage_ok then 0 else 1
 
 let cmd =
   let doc = "fuzz the soft-state simulator with invariant oracles" in
@@ -244,6 +455,8 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ seed_arg $ count_arg $ max_shrink_arg $ oracle_arg
-      $ log_arg $ replay_arg $ inject_bug_arg $ progress_arg)
+      $ log_arg $ replay_arg $ inject_bug_arg $ inject_mode_arg
+      $ progress_arg $ guided_arg $ coverage_arg $ coverage_out_arg
+      $ min_coverage_arg $ frontier_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -197,6 +197,26 @@ let expiry_arg =
   Arg.(
     value & opt (conv (parse, print)) Base.No_expiry & info [ "expiry" ] ~doc)
 
+let arrival_arg =
+  let doc =
+    "Arrival-process shape: poisson (default) or \
+     flash:MULT:PERIOD:DWELL:S — bursts at MULT times the mean rate \
+     for DWELL seconds out of every PERIOD, with update targets \
+     Zipf(S)-skewed over the live table (S = 0 keeps them uniform)."
+  in
+  let parse s =
+    match Softstate_core.Workload.shape_of_string s with
+    | Some shape -> Ok shape
+    | None -> Error (`Msg "expected poisson or flash:MULT:PERIOD:DWELL:S")
+  in
+  let print fmt shape =
+    Format.pp_print_string fmt (Softstate_core.Workload.shape_to_string shape)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Softstate_core.Workload.Poisson
+    & info [ "arrival" ] ~doc)
+
 let sched_arg =
   let doc = "Proportional-share scheduler for the hot/cold split." in
   Arg.(
@@ -315,10 +335,10 @@ let run_gossip seed topology loss gossip_mode fanout rounds round_period
     Printf.printf "max |sim - fluid|     %.4f\n" !gap
   end
 
-let run protocol seed duration lambda size_bits loss update_fraction mu_data
-    mu_hot mu_cold mu_fb nack_bits receivers topology faults death expiry sched
-    gossip_mode fanout rounds round_period initial target nodes fluid
-    replications jobs trace_file metrics_file report =
+let run protocol seed duration lambda size_bits loss update_fraction arrival
+    mu_data mu_hot mu_cold mu_fb nack_bits receivers topology faults death
+    expiry sched gossip_mode fanout rounds round_period initial target nodes
+    fluid replications jobs trace_file metrics_file report =
   match protocol with
   | `Gossip ->
       run_gossip seed topology loss gossip_mode fanout rounds round_period
@@ -342,7 +362,7 @@ let run protocol seed duration lambda size_bits loss update_fraction mu_data
   let config =
     { E.seed; duration; lambda_kbps = lambda; size_bits; death;
       expiry;
-      update_fraction; loss; protocol;
+      update_fraction; arrival; loss; protocol;
       topology; faults; sched;
       empty_policy = Consistency.Empty_is_consistent; record_series = false;
       obs = obs.Obs_cli.obs }
@@ -408,8 +428,8 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ protocol_arg $ seed_arg $ duration_arg $ lambda_arg
-      $ size_arg $ loss_arg $ update_fraction_arg $ mu_data_arg $ mu_hot_arg
-      $ mu_cold_arg
+      $ size_arg $ loss_arg $ update_fraction_arg $ arrival_arg $ mu_data_arg
+      $ mu_hot_arg $ mu_cold_arg
       $ mu_fb_arg $ nack_arg $ receivers_arg $ topology_arg $ faults_arg
       $ death_arg $ expiry_arg $ sched_arg $ gossip_mode_arg $ fanout_arg
       $ rounds_arg

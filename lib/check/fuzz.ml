@@ -16,6 +16,7 @@ type stats = {
   scenarios : int;
   runs : int;
   failures : failure list;
+  coverage : Coverage.t;
 }
 
 let scenario_seeds ~seed ~count =
@@ -25,11 +26,38 @@ let scenario_seeds ~seed ~count =
 
 let id x = x
 
-let oracle_battery ?(corrupt = id) names =
+let oracle_battery ?(corrupt = id) ?note names =
   let rerun s = corrupt (Scenario.run s) in
-  match Oracle.select ~rerun names with
+  match Oracle.select ?note ~rerun names with
   | Ok oracles -> (rerun, oracles)
   | Error e -> invalid_arg ("Fuzz: " ^ e)
+
+(* CoreSim-style seed-chain guidance: draw a few candidate scenarios
+   sequentially from the scenario's own rng and keep the one touching
+   the most feature buckets the run has not seen yet. Candidate 1 is
+   exactly the uniform generator's scenario, so guidance can only add
+   draws, never perturb the unguided stream. *)
+let generate_candidate ~coverage ~candidates scenario_seed =
+  let rng = Rng.create scenario_seed in
+  let first = Scenario.generate rng in
+  if candidates <= 1 then first
+  else begin
+    let unseen = Coverage.unseen_features coverage in
+    let score s =
+      List.length
+        (List.filter (fun f -> List.mem f unseen) (Scenario.features s))
+    in
+    let best = ref first and best_score = ref (score first) in
+    for _ = 2 to candidates do
+      let s = Scenario.generate rng in
+      let sc = score s in
+      if sc > !best_score then begin
+        best := s;
+        best_score := sc
+      end
+    done;
+    !best
+  end
 
 let check_scenario ?corrupt ?(oracles = []) scenario =
   let rerun, battery = oracle_battery ?corrupt oracles in
@@ -66,17 +94,26 @@ let failure_to_json f =
          measurement stopped, each already a JSON object line *)
       ("flight", Json.list (List.map Trace.to_json f.flight)) ]
 
-let run ?corrupt ?(oracles = []) ?(max_shrink = 200) ?log ?on_progress ~seed
-    ~count () =
-  let rerun, battery = oracle_battery ?corrupt oracles in
+let run ?corrupt ?(oracles = []) ?(max_shrink = 200) ?log ?on_progress
+    ?(guided = false) ?(candidates = 4) ~seed ~count () =
+  let coverage = Coverage.create () in
+  let rerun, battery =
+    oracle_battery ?corrupt ~note:(Coverage.note_branch coverage) oracles
+  in
   let seeds = scenario_seeds ~seed ~count in
   let runs = ref 0 in
   let failures = ref [] in
   Array.iteri
     (fun index scenario_seed ->
-      let scenario = Scenario.generate (Rng.create scenario_seed) in
+      let scenario =
+        if guided then generate_candidate ~coverage ~candidates scenario_seed
+        else Scenario.generate (Rng.create scenario_seed)
+      in
+      Coverage.note_scenario coverage scenario;
       incr runs;
-      let violations = Oracle.check battery (rerun scenario) in
+      let outcome = rerun scenario in
+      Coverage.note_outcome coverage outcome;
+      let violations = Oracle.check battery outcome in
       (match violations with
       | [] -> ()
       | violations ->
@@ -98,4 +135,22 @@ let run ?corrupt ?(oracles = []) ?(max_shrink = 200) ?log ?on_progress ~seed
           Option.iter (fun f -> f (failure_to_json failure ^ "\n")) log);
       Option.iter (fun f -> f index) on_progress)
     seeds;
-  { scenarios = count; runs = !runs; failures = List.rev !failures }
+  { scenarios = count;
+    runs = !runs;
+    failures = List.rev !failures;
+    coverage }
+
+(* Generation-only coverage comparison: what fraction of the feature
+   catalogue does a [count]-scenario chain touch, without running
+   anything? Cheap enough for a bench row. *)
+let feature_coverage ?(guided = false) ?(candidates = 4) ~seed ~count () =
+  let coverage = Coverage.create () in
+  Array.iter
+    (fun scenario_seed ->
+      let scenario =
+        if guided then generate_candidate ~coverage ~candidates scenario_seed
+        else Scenario.generate (Rng.create scenario_seed)
+      in
+      Coverage.note_scenario coverage scenario)
+    (scenario_seeds ~seed ~count);
+  coverage

@@ -22,6 +22,9 @@ type stats = {
   scenarios : int;  (** scenarios generated and checked *)
   runs : int;       (** total executions, including shrinking *)
   failures : failure list;  (** chronological *)
+  coverage : Coverage.t;
+      (** features of every scenario checked, trace-event kinds of
+          every outcome, and oracle branches exercised *)
 }
 
 val scenario_seeds : seed:int -> count:int -> int array
@@ -34,6 +37,8 @@ val run :
   ?max_shrink:int ->
   ?log:(string -> unit) ->
   ?on_progress:(int -> unit) ->
+  ?guided:bool ->
+  ?candidates:int ->
   seed:int ->
   count:int ->
   unit ->
@@ -46,7 +51,25 @@ val run :
     name ([[]] = all, including replay); raises [Invalid_argument] on
     an unknown name. [max_shrink] bounds candidate executions per
     failure (default 200). [log] receives one JSON line per failure.
-    [on_progress] is called with each completed scenario index. *)
+    [on_progress] is called with each completed scenario index.
+
+    [guided] turns on coverage guidance: scenario [i] is chosen among
+    [candidates] (default 4) sequential draws from its seed-chain rng,
+    keeping the draw that touches the most feature buckets not yet in
+    the run's coverage map. The first draw is exactly the unguided
+    scenario, so [guided:false] (default) remains byte-identical to
+    the historical stream. *)
+
+val feature_coverage :
+  ?guided:bool ->
+  ?candidates:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  Coverage.t
+(** Generation-only: the coverage map of a [count]-scenario chain's
+    features, without executing any scenario — the cheap way to
+    compare guided against uniform generation at equal count. *)
 
 val check_scenario :
   ?corrupt:(Scenario.outcome -> Scenario.outcome) ->

@@ -1,6 +1,7 @@
 module Experiment = Softstate_core.Experiment
 module Trace = Softstate_obs.Trace
 module Metrics = Softstate_obs.Metrics
+module Lifecycle = Softstate_obs.Lifecycle
 
 type violation = { oracle : string; message : string }
 
@@ -42,7 +43,7 @@ let metric_num outcome name =
   | Some (Metrics.Int i) -> Some (float_of_int i)
   | _ -> None
 
-let substrate_checks outcome =
+let substrate_checks note outcome =
   (* the 8 substrate probes a topology registers under its label
      (Experiment uses the default, "topo") *)
   let get n = metric_num outcome ("topo." ^ n) in
@@ -53,6 +54,7 @@ let substrate_checks outcome =
   with
   | Some inj, Some bhi, Some bhd, Some ovf, Some que, Some snt, Some dlv,
     Some drp ->
+      note "conservation:substrate";
       let bad = ref [] in
       let slack = inj -. bhi -. ovf -. que -. snt in
       if Float.abs slack > 0.5 then
@@ -85,9 +87,10 @@ let substrate_checks outcome =
    [detail = "fault"] and belong to [fault_drops], not the loss
    processes, so they are excluded; the single-hop multicast channel
    offers every send to each subscriber, hence the multiplier. *)
-let trace_checks outcome =
+let trace_checks note outcome =
   if outcome.Scenario.events_dropped > 0 then []
   else begin
+    note "conservation:trace";
     let mult_for src =
       match outcome.Scenario.scenario with
       | Scenario.Core
@@ -143,11 +146,14 @@ let trace_checks outcome =
       sources
   end
 
-let conservation outcome =
+let conservation note outcome =
   let triple =
     match outcome.Scenario.payload with
-    | Scenario.Sstp_result _ -> []
+    | Scenario.Sstp_result _ ->
+        note "conservation:sstp";
+        []
     | Scenario.Gossip_result r ->
+        note "conservation:gossip";
         let module G = Softstate_core.Gossip in
         (* every contact is classified exactly once *)
         let classified =
@@ -178,6 +184,7 @@ let conservation outcome =
             :: !bad;
         List.rev !bad
     | Scenario.Core_result r ->
+        note "conservation:core";
         let slack =
           r.Experiment.packets_sent - r.Experiment.packets_delivered
           - r.Experiment.packets_dropped
@@ -205,12 +212,14 @@ let conservation outcome =
               r.Experiment.packets_delivered r.Experiment.packets_dropped ]
         else []
   in
-  triple @ substrate_checks outcome @ trace_checks outcome
+  triple @ substrate_checks note outcome @ trace_checks note outcome
 
 (* ------------------------------------------------------------------ *)
 (* clock *)
 
-let clock outcome =
+let clock note outcome =
+  note
+    (if outcome.Scenario.events = [] then "clock:empty" else "clock:events");
   let bad = ref [] in
   let last = ref neg_infinity in
   let horizon = outcome.Scenario.horizon in
@@ -233,7 +242,7 @@ let clock outcome =
 (* ------------------------------------------------------------------ *)
 (* consistency *)
 
-let consistency outcome =
+let consistency note outcome =
   let bad = ref [] in
   let unit_check what x =
     (* nan is an instant violation too: none of these quantities is
@@ -243,6 +252,7 @@ let consistency outcome =
   in
   (match outcome.Scenario.payload with
   | Scenario.Core_result r ->
+      note "consistency:core";
       unit_check "avg_consistency" r.Experiment.avg_consistency;
       unit_check "final_consistency" r.Experiment.final_consistency;
       let last = ref neg_infinity in
@@ -258,9 +268,11 @@ let consistency outcome =
           unit_check "series value" c)
         r.Experiment.series
   | Scenario.Sstp_result r ->
+      note "consistency:sstp";
       unit_check "consistency" r.Scenario.consistency;
       unit_check "avg_consistency" r.Scenario.avg_consistency
   | Scenario.Gossip_result r ->
+      note "consistency:gossip";
       (* the infected fraction is a monotone staircase on the round
          grid: time strictly increasing, fraction never decreasing
          (gossip has no uninfection) *)
@@ -287,13 +299,14 @@ let consistency outcome =
 (* ------------------------------------------------------------------ *)
 (* counters *)
 
-let counters outcome =
+let counters note outcome =
   let bad = ref [] in
   let nonneg what x =
     if x < 0 then bad := v "counters" "%s = %d is negative" what x :: !bad
   in
   (match outcome.Scenario.payload with
   | Scenario.Core_result r ->
+      note "counters:core";
       List.iter
         (fun (what, x) -> nonneg what x)
         [ ("sent_hot", r.Experiment.sent_hot);
@@ -346,6 +359,7 @@ let counters outcome =
           :: !bad;
       (match outcome.Scenario.scenario with
       | Scenario.Core { Experiment.topology = Experiment.Single_hop; _ } ->
+          note "counters:single-hop";
           if r.Experiment.fault_transitions <> 0 || r.Experiment.fault_drops <> 0
           then
             bad :=
@@ -355,6 +369,7 @@ let counters outcome =
               :: !bad
       | _ -> ())
   | Scenario.Sstp_result r ->
+      note "counters:sstp";
       nonneg "data_packets" r.Scenario.data_packets;
       nonneg "feedback_packets" r.Scenario.feedback_packets;
       if not (in_unit r.Scenario.link_utilisation) then
@@ -363,6 +378,7 @@ let counters outcome =
             r.Scenario.link_utilisation
           :: !bad
   | Scenario.Gossip_result r ->
+      note "counters:gossip";
       let module G = Softstate_core.Gossip in
       List.iter
         (fun (what, x) -> nonneg what x)
@@ -397,16 +413,19 @@ let counters outcome =
 (* ------------------------------------------------------------------ *)
 (* convergence *)
 
-let convergence outcome =
+let convergence note outcome =
   match outcome.Scenario.payload with
   | Scenario.Core_result _ | Scenario.Gossip_result _ -> []
   | Scenario.Sstp_result r -> (
       match r.Scenario.converged_after with
-      | Some t when t <= outcome.Scenario.horizon +. eps -> []
+      | Some t when t <= outcome.Scenario.horizon +. eps ->
+          note "convergence:converged";
+          []
       | Some t ->
           [ v "convergence" "claimed convergence at %g beyond horizon %g" t
               outcome.Scenario.horizon ]
       | None ->
+          note "convergence:never";
           [ v "convergence"
               "session never converged (roots %s vs %s after %g s of grace)"
               r.Scenario.sender_root r.Scenario.receiver_root
@@ -415,10 +434,14 @@ let convergence outcome =
 (* ------------------------------------------------------------------ *)
 (* replay / jobs (need a runner) *)
 
-let replay rerun outcome =
+let replay note rerun outcome =
   let again = rerun outcome.Scenario.scenario in
-  if Stdlib.compare outcome again = 0 then []
-  else
+  if Stdlib.compare outcome again = 0 then begin
+    note "replay:equal";
+    []
+  end
+  else begin
+    note "replay:diverged";
     let part =
       if Stdlib.compare outcome.Scenario.payload again.Scenario.payload <> 0
       then "results differ"
@@ -434,41 +457,185 @@ let replay rerun outcome =
       else "outcomes differ"
     in
     [ v "replay" "re-running the same scenario diverged: %s" part ]
+  end
 
 (* run_many must be jobs-invariant; keep it to short scenarios, it
    costs four extra runs *)
 let jobs_horizon = 60.0
 
-let jobs outcome =
+let jobs note outcome =
   match outcome.Scenario.scenario with
   | Scenario.Core c when c.Experiment.duration <= jobs_horizon ->
+      note "jobs:ran";
       let c = { c with Experiment.obs = None; record_series = false } in
       let s1, r1 = Experiment.run_many ~jobs:1 ~replications:2 c in
       let s2, r2 = Experiment.run_many ~jobs:2 ~replications:2 c in
       if Stdlib.compare (s1, r1) (s2, r2) = 0 then []
       else [ v "jobs" "run_many differs between jobs:1 and jobs:2" ]
-  | _ -> []
+  | _ ->
+      note "jobs:skipped";
+      []
+
+(* ------------------------------------------------------------------ *)
+(* backlog: NACK-repair stability *)
+
+(* The depth series is cut into this many buckets of the horizon; the
+   instability test compares the first and second halves, so the
+   resolution must be even and coarse enough that a bucket holds a few
+   slotting delays' worth of activity. *)
+let backlog_buckets = 32
+
+type backlog_stats = {
+  b_buckets : int;          (** depth-series points actually observed *)
+  b_peak : int;             (** max outstanding repair requests *)
+  b_final : int;            (** outstanding in the last observed bucket *)
+  b_nack_quarters : int array;
+      (** NACK/query issues per run quarter, length 4 *)
+  b_repair_total : int;
+  b_nack_total : int;
+}
+
+let backlog_measure outcome =
+  match outcome.Scenario.payload with
+  | Scenario.Sstp_result _ | Scenario.Gossip_result _ -> None
+  | Scenario.Core_result _ ->
+      if
+        outcome.Scenario.events_dropped > 0
+        || outcome.Scenario.horizon <= 0.0
+        || not
+             (List.exists
+                (fun ev ->
+                  match ev.Trace.kind with
+                  | Trace.Nack | Trace.Query -> true
+                  | _ -> false)
+                outcome.Scenario.events)
+      then None
+      else begin
+        let lc = Lifecycle.of_event_list outcome.Scenario.events in
+        let bucket =
+          outcome.Scenario.horizon /. float_of_int backlog_buckets
+        in
+        let pts =
+          Array.of_list (Lifecycle.nack_depth_series lc ~bucket)
+        in
+        let n = Array.length pts in
+        (* the series stops at the last event: missing tail buckets
+           mean the feedback channel went quiet early, which is a
+           drained backlog, not a growing one *)
+        if n < backlog_buckets / 2 then None
+        else begin
+          let quarters = Array.make 4 0 in
+          let peak = ref 0 and nacks = ref 0 and repairs = ref 0 in
+          Array.iteri
+            (fun i (p : Lifecycle.depth_point) ->
+              let q = min 3 (4 * i / n) in
+              quarters.(q) <- quarters.(q) + p.Lifecycle.nacks;
+              peak := max !peak p.Lifecycle.outstanding;
+              nacks := !nacks + p.Lifecycle.nacks;
+              repairs := !repairs + p.Lifecycle.repairs)
+            pts;
+          Some
+            { b_buckets = n;
+              b_peak = !peak;
+              b_final = pts.(n - 1).Lifecycle.outstanding;
+              b_nack_quarters = quarters;
+              b_repair_total = !repairs;
+              b_nack_total = !nacks }
+        end
+      end
+
+(* Thresholds picked against the default fuzz battery. A finite lossy
+   run normally shows a *flat* NACK issue rate (steady state, however
+   loaded) or a fault-window spike that decays before the horizon;
+   linear growth of open repair spans is routine because keys that die
+   unrepaired never close their span. The implosion signature is the
+   issue rate itself accelerating quarter over quarter all the way to
+   the horizon: the repair plant is falling further behind while
+   arrivals keep feeding it. *)
+let backlog_growth = 1.3
+let backlog_late_floor = 64
+
+let backlog_deficit = 3.0
+
+(* The implosion transition is abrupt: once the repair branching ratio
+   exceeds one, the NACK rate sweeps from near-zero to the service cap
+   within a generation or two. So the reliable growth signature is not
+   smooth quarter-over-quarter acceleration (early quarters are often
+   exactly zero) but onset without recovery: the final quarter carries
+   substantial volume, dwarfs both early quarters, and has not decayed
+   from the run's peak quarter — the run ends inside a storm that
+   built up during it. Growth alone cannot separate an imploding
+   repair loop from an arrival process that merely keeps adding keys
+   (refresh traffic, and with it NACK volume, scales with the live
+   population), so the second conjunct is the feedback amplification
+   ratio: an unstable loop shouts [backlog_deficit] or more NACKs for
+   every repair it actually lands, where a damped or subcritical loop
+   stays near one-for-one. A loaded steady state is flat (q4 ~ q2) and
+   passes; a fault-window spike decays (q4 << peak) and passes. *)
+let backlog_unstable m =
+  match m.b_nack_quarters with
+  | [| q1; q2; q3; q4 |] ->
+      let dwarfs early =
+        float_of_int q4 >= (backlog_growth *. float_of_int early) +. 1.0
+      in
+      let peak_q = max (max q1 q2) (max q3 q4) in
+      q4 >= backlog_late_floor
+      && dwarfs q1 && dwarfs q2
+      && float_of_int q4 >= 0.8 *. float_of_int peak_q
+      && float_of_int m.b_nack_total
+         >= backlog_deficit *. float_of_int m.b_repair_total
+  | _ -> false
+
+let backlog note outcome =
+  match backlog_measure outcome with
+  | None ->
+      note "backlog:skipped";
+      []
+  | Some m ->
+      note "backlog:series";
+      if backlog_unstable m then begin
+        note "backlog:unstable";
+        let q = m.b_nack_quarters in
+        [ v "backlog"
+            "NACK storm builds up and never recovers: %d -> %d -> %d -> %d \
+             issues per quarter (%d repairs against %d NACKs, %d spans \
+             still open)"
+            q.(0) q.(1) q.(2) q.(3) m.b_repair_total m.b_nack_total m.b_final ]
+      end
+      else []
 
 (* ------------------------------------------------------------------ *)
 
 let names =
   [ "conservation"; "clock"; "consistency"; "counters"; "convergence";
-    "replay"; "jobs" ]
+    "backlog"; "replay"; "jobs" ]
 
-let all ?rerun () =
-  [ { name = "conservation"; check = conservation };
-    { name = "clock"; check = clock };
-    { name = "consistency"; check = consistency };
-    { name = "counters"; check = counters };
-    { name = "convergence"; check = convergence } ]
+(* Every coverage bucket an oracle can note; the fuzzer's coverage map
+   scores branch coverage against this catalogue. *)
+let branches =
+  [ "conservation:core"; "conservation:gossip"; "conservation:sstp";
+    "conservation:substrate"; "conservation:trace"; "clock:events";
+    "clock:empty"; "consistency:core"; "consistency:gossip";
+    "consistency:sstp"; "counters:core"; "counters:gossip"; "counters:sstp";
+    "counters:single-hop"; "convergence:converged"; "convergence:never";
+    "backlog:series"; "backlog:skipped"; "backlog:unstable"; "replay:equal";
+    "replay:diverged"; "jobs:ran"; "jobs:skipped" ]
+
+let all ?(note = fun _ -> ()) ?rerun () =
+  [ { name = "conservation"; check = conservation note };
+    { name = "clock"; check = clock note };
+    { name = "consistency"; check = consistency note };
+    { name = "counters"; check = counters note };
+    { name = "convergence"; check = convergence note };
+    { name = "backlog"; check = backlog note } ]
   @ (match rerun with
     | None -> []
-    | Some rerun -> [ { name = "replay"; check = replay rerun } ])
-  @ [ { name = "jobs"; check = jobs } ]
+    | Some rerun -> [ { name = "replay"; check = replay note rerun } ])
+  @ [ { name = "jobs"; check = jobs note } ]
 
-let select ?rerun wanted =
+let select ?note ?rerun wanted =
   match wanted with
-  | [] -> Ok (all ?rerun ())
+  | [] -> Ok (all ?note ?rerun ())
   | wanted -> (
       match List.find_opt (fun w -> not (List.mem w names)) wanted with
       | Some bad ->
@@ -479,7 +646,7 @@ let select ?rerun wanted =
           Ok
             (List.filter
                (fun o -> List.mem o.name wanted)
-               (all ?rerun ())))
+               (all ?note ?rerun ())))
 
 let check oracles outcome =
   List.concat_map (fun o -> o.check outcome) oracles

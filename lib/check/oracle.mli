@@ -23,6 +23,14 @@
       first deliveries never exceed transmissions x receivers.
     - [convergence] — an SSTP session over moderate loss reaches
       digest agreement within the grace window {!Scenario.run} allows.
+    - [backlog] — the NACK-repair loop is stable: the NACK issue-rate
+      series (from {!Softstate_obs.Lifecycle.nack_depth_series}) must
+      not end the run in a storm that built up during it — a final
+      quarter that carries substantial volume, dwarfs both early
+      quarters, and has not decayed from the run's peak. That is the
+      signature of an undamped repair loop whose branching ratio
+      crossed one (every lost retransmission breeds fresh NACKs faster
+      than repairs retire them).
     - [replay] — re-running the same scenario yields a structurally
       identical outcome (bit-identical determinism).
     - [jobs] — [Experiment.run_many] summaries are identical for
@@ -40,9 +48,21 @@ type t = { name : string; check : Scenario.outcome -> violation list }
 val names : string list
 (** Every oracle name, in catalogue order. *)
 
-val all : ?rerun:(Scenario.t -> Scenario.outcome) -> unit -> t list
+val branches : string list
+(** Every branch bucket an oracle can report through [note] — the
+    catalogue the fuzzer's coverage map scores branch coverage
+    against. *)
+
+val all :
+  ?note:(string -> unit) ->
+  ?rerun:(Scenario.t -> Scenario.outcome) ->
+  unit ->
+  t list
+(** [note] is called with a {!branches} bucket every time a checking
+    path is exercised; defaults to a no-op. *)
 
 val select :
+  ?note:(string -> unit) ->
   ?rerun:(Scenario.t -> Scenario.outcome) ->
   string list ->
   (t list, string) result
@@ -50,3 +70,32 @@ val select :
 
 val check : t list -> Scenario.outcome -> violation list
 (** Run every oracle, concatenating violations in catalogue order. *)
+
+(** {1 Backlog stability measure}
+
+    Exposed so the fuzz CLI can sweep a slotting/damping parameter
+    grid and report a stability frontier with the same measure the
+    [backlog] oracle enforces. *)
+
+type backlog_stats = {
+  b_buckets : int;          (** depth-series points actually observed *)
+  b_peak : int;             (** max outstanding repair requests *)
+  b_final : int;            (** outstanding in the last observed bucket *)
+  b_nack_quarters : int array;
+      (** NACK/query issues per run quarter, length 4 *)
+  b_repair_total : int;
+  b_nack_total : int;
+}
+
+val backlog_measure : Scenario.outcome -> backlog_stats option
+(** [None] for non-core outcomes, overwritten traces, or runs whose
+    feedback channel went quiet too early to judge. *)
+
+val backlog_unstable : backlog_stats -> bool
+(** The thresholded instability predicate the [backlog] oracle
+    applies: the final quarter's NACK volume is substantial, dwarfs
+    both early quarters, and has not decayed from the run's peak
+    quarter — onset without recovery. A steady state — however
+    loaded — reads as flat and passes; a fault-window spike decays
+    before the horizon and passes; only a storm the run ends inside
+    of fails. *)

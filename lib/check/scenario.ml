@@ -9,6 +9,22 @@ module Obs = Softstate_obs.Obs
 module Trace = Softstate_obs.Trace
 module Metrics = Softstate_obs.Metrics
 module Session = Sstp.Session
+module Workload = Softstate_core.Workload
+module Tevent = Softstate_trace.Trace_event
+module Generators = Softstate_trace.Generators
+
+(* What drives the session's puts: the classic evenly-spread publish
+   script, or a flash-crowd trace from lib/trace/generators. *)
+type sstp_workload =
+  | Script
+  | Flash of {
+      f_keys : int;
+      f_rate : float;
+      f_mult : float;
+      f_period : float;
+      f_dwell : float;
+      f_zipf : float;
+    }
 
 type sstp = {
   s_seed : int;
@@ -19,6 +35,7 @@ type sstp = {
   removes : int;
   s_duration : float;
   summary_period : float;
+  workload : sstp_workload;
 }
 
 type t =
@@ -58,7 +75,7 @@ let gen_fault rng ~cables ~nodes ~duration =
     let till = q2 (from_ +. range rng 1.0 (duration *. 0.4)) in
     (from_, till)
   in
-  match Rng.int rng 5 with
+  match Rng.int rng 7 with
   | 0 ->
       let from_, till = window () in
       Net.Fault.Cable_window { cable = Rng.int rng cables; from_; till }
@@ -74,10 +91,23 @@ let gen_fault rng ~cables ~nodes ~duration =
       Net.Fault.Flap_process
         { rate_per_s = q4 (range rng 0.005 0.05);
           mean_downtime = q2 (range rng 1.0 10.0) }
-  | _ ->
+  | 4 ->
       Net.Fault.Churn_process
         { rate_per_s = q4 (range rng 0.005 0.05);
           mean_downtime = q2 (range rng 1.0 10.0) }
+  | 5 ->
+      (* correlated storm: several outages landing in one window *)
+      let from_, till = window () in
+      Net.Fault.Storm
+        { count = 2 + Rng.int rng 4;
+          mean_downtime = q2 (range rng 1.0 10.0);
+          from_;
+          till }
+  | _ ->
+      Net.Fault.Churn_wave
+        { period = q2 (range rng 5.0 20.0);
+          fraction = q2 (range rng 0.2 0.6);
+          downtime = q2 (range rng 1.0 8.0) }
 
 let gen_core rng =
   let duration = choice rng [| 50.0; 100.0; 200.0; 400.0 |] in
@@ -144,6 +174,19 @@ let gen_core rng =
           { multiple = range rng 2.0 6.0; sweep_period = range rng 0.5 2.5 }
     | _ -> Base.Refresh_wheel { multiple = range rng 2.0 6.0 }
   in
+  let arrival =
+    (* 1-in-3 flash crowds; within those, half get a Zipf-skewed
+       update-target popularity on top of the burst shape *)
+    match Rng.int rng 3 with
+    | 0 ->
+        let period = q2 (range rng 5.0 30.0) in
+        Workload.Flash_crowd
+          { mult = q2 (range rng 2.0 10.0);
+            period;
+            dwell = q2 (range rng 1.0 (period *. 0.5));
+            zipf_s = (if Rng.bool rng then 0.0 else q2 (range rng 0.6 1.4)) }
+    | _ -> Workload.Poisson
+  in
   Core
     { Experiment.seed = 1 + Rng.int rng 1_000_000;
       duration;
@@ -152,6 +195,7 @@ let gen_core rng =
       death;
       expiry;
       update_fraction = (if Rng.bool rng then 0.0 else Rng.float rng);
+      arrival;
       loss;
       protocol;
       topology;
@@ -178,6 +222,19 @@ let gen_sstp rng =
           loss_bad = range rng 0.3 0.7 }
   in
   let publishes = 5 + Rng.int rng 46 in
+  let workload =
+    match Rng.int rng 3 with
+    | 0 ->
+        let f_period = range rng 8.0 25.0 in
+        Flash
+          { f_keys = 8 + Rng.int rng 25;
+            f_rate = range rng 1.0 4.0;
+            f_mult = range rng 3.0 10.0;
+            f_period;
+            f_dwell = range rng 1.0 (f_period *. 0.4);
+            f_zipf = range rng 0.8 1.3 }
+    | _ -> Script
+  in
   Sstp
     { s_seed = 1 + Rng.int rng 1_000_000;
       mu_total_kbps = range rng 20.0 200.0;
@@ -186,7 +243,8 @@ let gen_sstp rng =
       publish_window = s_duration *. range rng 0.2 0.5;
       removes = Rng.int rng (1 + (publishes / 3));
       s_duration;
-      summary_period = range rng 0.5 2.0 }
+      summary_period = range rng 0.5 2.0;
+      workload }
 
 let gen_gossip rng =
   (* kept small: the fuzzer wants many scenarios per second, and every
@@ -378,6 +436,36 @@ let faults_of_string = function
   | "-" -> Ok []
   | s -> Net.Fault.specs_of_string s
 
+let arrival_to_string = Workload.shape_to_string
+
+let arrival_of_string s =
+  match Workload.shape_of_string s with
+  | Some shape -> Ok shape
+  | None -> Error ("bad arrival shape " ^ s)
+
+let sstp_workload_to_string = function
+  | Script -> "script"
+  | Flash { f_keys; f_rate; f_mult; f_period; f_dwell; f_zipf } ->
+      Printf.sprintf "flash:%d:%s:%s:%s:%s:%s" f_keys (f17 f_rate) (f17 f_mult)
+        (f17 f_period) (f17 f_dwell) (f17 f_zipf)
+
+let sstp_workload_of_string s =
+  if String.equal s "script" then Ok Script
+  else
+    match String.split_on_char ':' s with
+    | [ "flash"; k; r; m; p; d; z ] -> (
+        match
+          ( int_of_string_opt k, float_of_string_opt r, float_of_string_opt m,
+            float_of_string_opt p, float_of_string_opt d,
+            float_of_string_opt z )
+        with
+        | Some f_keys, Some f_rate, Some f_mult, Some f_period, Some f_dwell,
+          Some f_zipf
+          when f_keys > 0 && f_rate > 0.0 ->
+            Ok (Flash { f_keys; f_rate; f_mult; f_period; f_dwell; f_zipf })
+        | _ -> Error ("bad sstp workload " ^ s))
+    | _ -> Error ("bad sstp workload " ^ s)
+
 let to_string = function
   | Core c ->
       String.concat " "
@@ -389,6 +477,7 @@ let to_string = function
           "death=" ^ death_to_string c.death;
           "expiry=" ^ expiry_to_string c.expiry;
           "uf=" ^ f17 c.update_fraction;
+          "arrival=" ^ arrival_to_string c.arrival;
           "loss=" ^ loss_to_string c.loss;
           "proto=" ^ protocol_to_string c.protocol;
           "topo=" ^ topology_to_string c.topology;
@@ -405,7 +494,8 @@ let to_string = function
           "pubwin=" ^ f17 s.publish_window;
           "removes=" ^ string_of_int s.removes;
           "dur=" ^ f17 s.s_duration;
-          "sumper=" ^ f17 s.summary_period ]
+          "sumper=" ^ f17 s.summary_period;
+          "workload=" ^ sstp_workload_to_string s.workload ]
   | Gossip g ->
       String.concat " "
         [ "gossip";
@@ -438,6 +528,13 @@ let float_field fields key =
       match float_of_string_opt v with
       | Some f -> Ok f
       | None -> Error (Printf.sprintf "bad number %s=%s" key v))
+
+(* Fields added after a release default when absent, so older
+   reproducer lines keep parsing. *)
+let opt_field fields key ~default parse =
+  match List.assoc_opt key fields with
+  | None -> Ok default
+  | Some v -> parse v
 
 let sched_of_string s =
   match
@@ -478,6 +575,10 @@ let of_string line =
             let* death = field fields "death" death_of_string in
             let* expiry = field fields "expiry" expiry_of_string in
             let* update_fraction = float_field fields "uf" in
+            let* arrival =
+              opt_field fields "arrival" ~default:Workload.Poisson
+                arrival_of_string
+            in
             let* loss = field fields "loss" loss_of_string in
             let* protocol = field fields "proto" protocol_of_string in
             let* topology = field fields "topo" topology_of_string in
@@ -487,8 +588,9 @@ let of_string line =
             Ok
               (Core
                  { Experiment.seed; duration; lambda_kbps; size_bits; death;
-                   expiry; update_fraction; loss; protocol; topology; faults;
-                   sched; empty_policy; record_series = true; obs = None })
+                   expiry; update_fraction; arrival; loss; protocol; topology;
+                   faults; sched; empty_policy; record_series = true;
+                   obs = None })
         | "gossip" ->
             let* g_seed = int_field fields "seed" in
             let* g_topology = field fields "topo" topology_of_string in
@@ -518,10 +620,14 @@ let of_string line =
             let* removes = int_field fields "removes" in
             let* s_duration = float_field fields "dur" in
             let* summary_period = float_field fields "sumper" in
+            let* workload =
+              opt_field fields "workload" ~default:Script
+                sstp_workload_of_string
+            in
             Ok
               (Sstp
                  { s_seed; mu_total_kbps; s_loss; publishes; publish_window;
-                   removes; s_duration; summary_period })
+                   removes; s_duration; summary_period; workload })
         | tag -> Error ("unknown scenario kind " ^ tag))
 
 let to_cli = function
@@ -612,14 +718,127 @@ let to_cli = function
               | Base.No_expiry -> ""
               | e -> Printf.sprintf " --expiry %s" (expiry_to_string e)
             in
+            let arrival =
+              match c.arrival with
+              | Workload.Poisson -> ""
+              | shape ->
+                  Printf.sprintf " --arrival %s" (arrival_to_string shape)
+            in
             Printf.sprintf
               "softstate_sim_cli %s --seed %d --duration %g --lambda %g \
-               --size-bits %d --death %s --sched %s %s%s%s%s%s"
+               --size-bits %d --death %s --sched %s %s%s%s%s%s%s"
               proto c.seed c.duration c.lambda_kbps c.size_bits
               (death_to_string c.death)
               (Sched.algorithm_name c.sched)
-              loss_flag topo faults uf expiry)
+              loss_flag topo faults uf expiry arrival)
           proto_flags
+
+(* ------------------------------------------------------------------ *)
+(* Feature buckets for coverage accounting.
+
+   Each scenario maps to a small set of static bucket strings; the
+   catalogue below enumerates every bucket the generator can emit, so
+   a coverage fraction has a well-defined denominator. *)
+
+let topo_feature = function
+  | Experiment.Single_hop -> "topo:single-hop"
+  | Experiment.Star _ -> "topo:star"
+  | Experiment.Chain _ -> "topo:chain"
+  | Experiment.Kary_tree _ -> "topo:tree"
+  | Experiment.Random_graph _ -> "topo:random"
+
+let loss_feature = function
+  | Experiment.Bernoulli _ -> "loss:bernoulli"
+  | Experiment.Gilbert_elliott _ -> "loss:ge"
+
+let fault_feature = function
+  | Net.Fault.Cable_window _ -> "fault:cable"
+  | Net.Fault.Node_window _ -> "fault:node"
+  | Net.Fault.Partition_window _ -> "fault:partition"
+  | Net.Fault.Flap_process _ -> "fault:flap"
+  | Net.Fault.Churn_process _ -> "fault:churn"
+  | Net.Fault.Storm _ -> "fault:storm"
+  | Net.Fault.Churn_wave _ -> "fault:churnwave"
+
+let features = function
+  | Core c ->
+      let proto =
+        match c.Experiment.protocol with
+        | Experiment.Open_loop _ -> [ "proto:open" ]
+        | Experiment.Two_queue _ -> [ "proto:twoq" ]
+        | Experiment.Feedback { fb_lossy; _ } ->
+            [ "proto:fb";
+              (if fb_lossy then "fb-lossy:on" else "fb-lossy:off") ]
+        | Experiment.Multicast { suppression; _ } ->
+            [ "proto:mc";
+              (if suppression then "mc-suppression:on"
+               else "mc-suppression:off") ]
+      in
+      let arrival =
+        match c.arrival with
+        | Workload.Poisson -> [ "arrival:poisson" ]
+        | Workload.Flash_crowd { zipf_s; _ } ->
+            "arrival:flash"
+            :: (if zipf_s > 0.0 then [ "arrival:flash-zipf" ] else [])
+      in
+      let faults =
+        match c.faults with
+        | [] -> [ "fault:none" ]
+        | fs -> List.map fault_feature fs
+      in
+      List.sort_uniq String.compare
+        (("kind:core" :: proto)
+        @ [ topo_feature c.topology;
+            loss_feature c.loss;
+            (match c.death with
+            | Base.Per_service _ -> "death:service"
+            | Base.Lifetime_fixed _ -> "death:fixed"
+            | Base.Lifetime_exp _ -> "death:exp");
+            (match c.expiry with
+            | Base.No_expiry -> "expiry:none"
+            | Base.Refresh_timeout _ -> "expiry:sweep"
+            | Base.Refresh_wheel _ -> "expiry:wheel");
+            "sched:" ^ Sched.algorithm_name c.sched;
+            "empty:" ^ empty_to_string c.empty_policy;
+            (if c.update_fraction > 0.0 then "uf:pos" else "uf:zero") ]
+        @ arrival @ faults)
+  | Sstp s ->
+      List.sort_uniq String.compare
+        [ "kind:sstp";
+          loss_feature s.s_loss;
+          (match s.workload with
+          | Script -> "sstp-workload:script"
+          | Flash _ -> "sstp-workload:flash");
+          (if s.removes > 0 then "sstp-removes:pos" else "sstp-removes:zero") ]
+  | Gossip g ->
+      List.sort_uniq String.compare
+        [ "kind:gossip";
+          topo_feature g.Experiment.g_topology;
+          "gossip-mode:" ^ Softstate_core.Gossip.mode_name g.g_mode;
+          Printf.sprintf "gossip-fanout:%d" g.g_fanout ]
+
+let feature_catalogue =
+  List.sort_uniq String.compare
+    ([ "kind:core"; "kind:sstp"; "kind:gossip";
+       "proto:open"; "proto:twoq"; "proto:fb"; "proto:mc";
+       "fb-lossy:on"; "fb-lossy:off";
+       "mc-suppression:on"; "mc-suppression:off";
+       "topo:single-hop"; "topo:star"; "topo:chain"; "topo:tree"; "topo:random";
+       "loss:bernoulli"; "loss:ge";
+       "death:service"; "death:fixed"; "death:exp";
+       "expiry:none"; "expiry:sweep"; "expiry:wheel";
+       "empty:consistent"; "empty:zero"; "empty:last";
+       "uf:zero"; "uf:pos";
+       "arrival:poisson"; "arrival:flash"; "arrival:flash-zipf";
+       "fault:none"; "fault:cable"; "fault:node"; "fault:partition";
+       "fault:flap"; "fault:churn"; "fault:storm"; "fault:churnwave";
+       "sstp-workload:script"; "sstp-workload:flash";
+       "sstp-removes:zero"; "sstp-removes:pos";
+       "gossip-mode:push"; "gossip-mode:push-pull";
+       "gossip-fanout:1"; "gossip-fanout:2"; "gossip-fanout:3" ]
+    @ List.map
+        (fun a -> "sched:" ^ Sched.algorithm_name a)
+        Sched.all_algorithms)
 
 (* ------------------------------------------------------------------ *)
 (* Running *)
@@ -695,30 +914,51 @@ let run_sstp scenario s =
       Session.loss = Experiment.make_loss s.s_loss;
       summary_period = s.summary_period }
   in
+  (* The flash trace draws from a split generator before the session
+     sees [rng], so Script scenarios keep the historical session
+     stream byte-for-byte (the split only happens on Flash). *)
+  let flash_trace =
+    match s.workload with
+    | Script -> None
+    | Flash f ->
+        let trace_rng = Rng.split rng in
+        Some
+          (Generators.flash_crowd ~rng:trace_rng ~duration:s.s_duration
+             ~keys:f.f_keys ~base_rate:f.f_rate ~mult:f.f_mult
+             ~period:f.f_period ~dwell:f.f_dwell ~zipf_s:f.f_zipf ())
+  in
   let session = Session.create ~obs ~engine ~rng ~config () in
   Session.track_consistency session ~period:1.0;
-  let publishes = max 1 s.publishes in
-  for i = 0 to s.publishes - 1 do
-    let time = s.publish_window *. float_of_int i /. float_of_int publishes in
-    ignore
-      (Engine.schedule_at engine ~time (fun _ ->
-           Session.publish session ~path:(sstp_path i)
-             ~payload:(Printf.sprintf "v%d" i)))
-  done;
-  (* withdrawals of already-published paths, spread over the tail of
-     the run, strictly after the publish window *)
-  let removes = min s.removes s.publishes in
-  for j = 0 to removes - 1 do
-    let time =
-      s.publish_window
-      +. (s.s_duration -. s.publish_window)
-         *. float_of_int (j + 1)
-         /. float_of_int (removes + 1)
-    in
-    ignore
-      (Engine.schedule_at engine ~time (fun _ ->
-           Session.remove session ~path:(sstp_path j)))
-  done;
+  (match flash_trace with
+  | Some trace ->
+      Tevent.replay engine trace
+        ~put:(fun ~path ~payload -> Session.publish session ~path ~payload)
+        ~remove:(fun ~path -> Session.remove session ~path)
+  | None ->
+      let publishes = max 1 s.publishes in
+      for i = 0 to s.publishes - 1 do
+        let time =
+          s.publish_window *. float_of_int i /. float_of_int publishes
+        in
+        ignore
+          (Engine.schedule_at engine ~time (fun _ ->
+               Session.publish session ~path:(sstp_path i)
+                 ~payload:(Printf.sprintf "v%d" i)))
+      done;
+      (* withdrawals of already-published paths, spread over the tail
+         of the run, strictly after the publish window *)
+      let removes = min s.removes s.publishes in
+      for j = 0 to removes - 1 do
+        let time =
+          s.publish_window
+          +. (s.s_duration -. s.publish_window)
+             *. float_of_int (j + 1)
+             /. float_of_int (removes + 1)
+        in
+        ignore
+          (Engine.schedule_at engine ~time (fun _ ->
+               Session.remove session ~path:(sstp_path j)))
+      done);
   Engine.run ~until:s.s_duration engine;
   let measured =
     { consistency = Session.consistency session;

@@ -11,6 +11,23 @@
 
 module Experiment = Softstate_core.Experiment
 
+(** What drives the session's puts. *)
+type sstp_workload =
+  | Script
+      (** [publishes] evenly-spread publishes then [removes]
+          withdrawals — the classic script below *)
+  | Flash of {
+      f_keys : int;     (** distinct paths, all published at t = 0 *)
+      f_rate : float;   (** baseline update rate per second *)
+      f_mult : float;   (** burst rate multiplier *)
+      f_period : float; (** burst cycle length, seconds *)
+      f_dwell : float;  (** burst duration per cycle *)
+      f_zipf : float;   (** Zipf exponent of key popularity *)
+    }
+      (** a {!Softstate_trace.Generators.flash_crowd} trace replayed
+          into the session; [publishes], [publish_window] and
+          [removes] are ignored *)
+
 type sstp = {
   s_seed : int;
   mu_total_kbps : float;
@@ -20,6 +37,7 @@ type sstp = {
   removes : int;            (** withdrawals of already-published paths *)
   s_duration : float;
   summary_period : float;
+  workload : sstp_workload;
 }
 
 type t =
@@ -50,6 +68,21 @@ val to_cli : t -> string option
     scenario, when every field is expressible as a CLI flag ([None]
     for [Sstp] scenarios and for configs using knobs the CLI does not
     surface, e.g. receiver-side expiry). *)
+
+(** {1 Feature buckets}
+
+    Static coverage buckets for the coverage-guided fuzzer: each
+    scenario maps to the sorted, deduplicated set of bucket strings
+    describing its shape (protocol kind, topology kind, loss model,
+    fault kinds, arrival shape, ...). *)
+
+val features : t -> string list
+(** Sorted unique bucket strings for this scenario; every element is
+    a member of {!feature_catalogue}. *)
+
+val feature_catalogue : string list
+(** Every bucket the generator can emit, sorted — the denominator of
+    a feature-coverage fraction. *)
 
 (** {1 Running} *)
 

@@ -1,7 +1,12 @@
 module Experiment = Softstate_core.Experiment
+module Workload = Softstate_core.Workload
+module Fault = Softstate_net.Fault
 
 (* Drop the i-th element. *)
 let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
+
+(* Replace the i-th element. *)
+let set_nth xs n x = List.mapi (fun i y -> if i = n then x else y) xs
 
 let core_candidates c =
   let dur =
@@ -16,6 +21,52 @@ let core_candidates c =
         { c with Experiment.faults = [] }
         :: List.init (List.length fs) (fun i ->
                { c with Experiment.faults = drop_nth fs i })
+  in
+  (* tame a fault in place: a storm with fewer strikes, a gentler
+     churn wave, a slower flap — for failures that need the fault
+     kind present but not at full violence *)
+  let tamer_faults =
+    List.concat
+      (List.mapi
+         (fun i f ->
+           let replace f' =
+             { c with Experiment.faults = set_nth c.Experiment.faults i f' }
+           in
+           match f with
+           | Fault.Storm ({ count; _ } as s) when count > 1 ->
+               [ replace (Fault.Storm { s with count = count / 2 }) ]
+           | Fault.Churn_wave ({ fraction; _ } as w) when fraction > 0.05 ->
+               [ replace
+                   (Fault.Churn_wave { w with fraction = fraction /. 2.0 }) ]
+           | Fault.Flap_process ({ rate_per_s; _ } as p)
+             when rate_per_s > 0.005 ->
+               [ replace
+                   (Fault.Flap_process
+                      { p with rate_per_s = rate_per_s /. 2.0 }) ]
+           | Fault.Churn_process ({ rate_per_s; _ } as p)
+             when rate_per_s > 0.005 ->
+               [ replace
+                   (Fault.Churn_process
+                      { p with rate_per_s = rate_per_s /. 2.0 }) ]
+           | _ -> [])
+         c.Experiment.faults)
+  in
+  let arrival =
+    match c.Experiment.arrival with
+    | Workload.Poisson -> []
+    | Workload.Flash_crowd ({ mult; zipf_s; _ } as fc) ->
+        { c with Experiment.arrival = Workload.Poisson }
+        :: (if mult > 2.0 then
+              [ { c with
+                  Experiment.arrival =
+                    Workload.Flash_crowd { fc with mult = mult /. 2.0 } } ]
+            else [])
+        @
+        if zipf_s > 0.0 then
+          [ { c with
+              Experiment.arrival =
+                Workload.Flash_crowd { fc with zipf_s = 0.0 } } ]
+        else []
   in
   let topology =
     match c.Experiment.topology with
@@ -86,7 +137,8 @@ let core_candidates c =
     else []
   in
   List.map (fun c -> Scenario.Core c)
-    (dur @ faults @ topology @ protocol @ loss @ knobs)
+    (dur @ faults @ tamer_faults @ arrival @ topology @ protocol @ loss
+   @ knobs)
 
 let sstp_candidates (s : Scenario.sstp) =
   let dur =
@@ -117,7 +169,23 @@ let sstp_candidates (s : Scenario.sstp) =
         [ { s with Scenario.s_loss = Experiment.Bernoulli 0.0 } ]
     | Experiment.Bernoulli _ -> []
   in
-  List.map (fun s -> Scenario.Sstp s) (dur @ pubs @ removes @ loss)
+  let workload =
+    match s.Scenario.workload with
+    | Scenario.Script -> []
+    | Scenario.Flash ({ f_mult; f_zipf; _ } as f) ->
+        { s with Scenario.workload = Scenario.Script }
+        :: (if f_mult > 2.0 then
+              [ { s with
+                  Scenario.workload =
+                    Scenario.Flash { f with f_mult = f_mult /. 2.0 } } ]
+            else [])
+        @
+        if f_zipf > 0.0 then
+          [ { s with
+              Scenario.workload = Scenario.Flash { f with f_zipf = 0.0 } } ]
+        else []
+  in
+  List.map (fun s -> Scenario.Sstp s) (dur @ pubs @ removes @ loss @ workload)
 
 let gossip_candidates (g : Experiment.gossip_config) =
   let smaller_topo =
@@ -163,6 +231,78 @@ let gossip_candidates (g : Experiment.gossip_config) =
   List.map
     (fun g -> Scenario.Gossip g)
     (smaller_topo @ rounds @ lossless @ simpler)
+
+(* ------------------------------------------------------------------ *)
+(* A scalar complexity that every ladder rung strictly decreases, so
+   shrinking provably terminates and a property test can pin the
+   ladder's soundness without running a single scenario. The weights
+   are arbitrary; what matters is that each rung touches at least one
+   term downward and none upward. *)
+
+let loss_measure = function
+  | Experiment.Gilbert_elliott _ -> 2.0
+  | Experiment.Bernoulli p when p > 0.0 -> 1.0
+  | Experiment.Bernoulli _ -> 0.0
+
+let topology_measure = function
+  | Experiment.Single_hop -> 0.0
+  | Experiment.Star { leaves } -> 1.0 +. float_of_int leaves
+  | Experiment.Chain { hops } -> 1.5 +. float_of_int hops
+  | Experiment.Kary_tree { arity; depth } ->
+      3.5 +. float_of_int (arity * depth)
+  | Experiment.Random_graph { nodes; _ } -> 3.5 +. float_of_int nodes
+
+let fault_measure = function
+  | Fault.Storm { count; _ } -> 0.1 *. float_of_int count
+  | Fault.Churn_wave { fraction; _ } -> fraction
+  | Fault.Flap_process { rate_per_s; _ }
+  | Fault.Churn_process { rate_per_s; _ } ->
+      10.0 *. rate_per_s
+  | Fault.Cable_window _ | Fault.Node_window _ | Fault.Partition_window _ ->
+      0.0
+
+let protocol_measure = function
+  | Experiment.Open_loop _ -> 0.0
+  | Experiment.Two_queue _ -> 1.0
+  | Experiment.Feedback _ -> 2.0
+  | Experiment.Multicast { receivers; _ } ->
+      3.0 +. (0.1 *. float_of_int receivers)
+
+let arrival_measure = function
+  | Workload.Poisson -> 0.0
+  | Workload.Flash_crowd { mult; zipf_s; _ } -> 1.0 +. (0.01 *. mult) +. zipf_s
+
+let measure = function
+  | Scenario.Core c ->
+      (0.01 *. c.Experiment.duration)
+      +. List.fold_left
+           (fun acc f -> acc +. 1.0 +. fault_measure f)
+           0.0 c.Experiment.faults
+      +. topology_measure c.Experiment.topology
+      +. protocol_measure c.Experiment.protocol
+      +. loss_measure c.Experiment.loss
+      +. (if c.Experiment.expiry <> Softstate_core.Base.No_expiry then 1.0
+          else 0.0)
+      +. (if Float.equal c.Experiment.update_fraction 0.0 then 0.0 else 1.0)
+      +. arrival_measure c.Experiment.arrival
+  | Scenario.Sstp s ->
+      (0.01 *. s.Scenario.s_duration)
+      +. (0.1 *. float_of_int s.Scenario.publishes)
+      +. (0.1 *. float_of_int s.Scenario.removes)
+      +. loss_measure s.Scenario.s_loss
+      +. (match s.Scenario.workload with
+         | Scenario.Script -> 0.0
+         | Scenario.Flash { f_mult; f_zipf; _ } ->
+             1.0 +. (0.01 *. f_mult) +. f_zipf)
+  | Scenario.Gossip g ->
+      topology_measure g.Experiment.g_topology
+      +. (0.001 *. float_of_int g.Experiment.g_nodes)
+      +. (0.01 *. float_of_int g.Experiment.g_max_rounds)
+      +. (if g.Experiment.g_loss > 0.0 then 1.0 else 0.0)
+      +. (if g.Experiment.g_mode = Softstate_core.Gossip.Push_pull then 1.0
+          else 0.0)
+      +. (0.1 *. float_of_int g.Experiment.g_fanout)
+      +. (0.01 *. float_of_int g.Experiment.g_initial)
 
 let candidates = function
   | Scenario.Core c -> core_candidates c

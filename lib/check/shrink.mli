@@ -10,7 +10,13 @@
     pass. *)
 
 val candidates : Scenario.t -> Scenario.t list
-(** Strictly simpler variants, most aggressive first. *)
+(** Strictly simpler variants, most aggressive first. Every candidate
+    has a strictly smaller {!measure} than its parent. *)
+
+val measure : Scenario.t -> float
+(** A scalar complexity every ladder rung strictly decreases —
+    shrinking's termination argument, checked by a property test
+    rather than trusted. *)
 
 val shrink :
   fails:(Scenario.t -> bool) ->

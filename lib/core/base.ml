@@ -316,7 +316,20 @@ let arrival t =
   let now = Engine.now t.engine in
   let update_target =
     if Workload.is_update t.workload t.update_rng then
-      Table.random_key t.table t.update_rng
+      match Workload.shape t.workload with
+      | Workload.Flash_crowd { zipf_s; _ } when zipf_s > 0.0 ->
+          (* popularity-skewed target: Zipf rank over the dense slot
+             order, so rank 1 is whichever key currently sits in slot
+             0 — the "hot" identity churns with swap-removal, which is
+             exactly the flash-crowd shape we want to stress *)
+          let live = Table.live_count t.table in
+          if live = 0 then None
+          else
+            Table.key_at t.table
+              (Softstate_util.Dist.zipf_approx t.update_rng ~n:live ~s:zipf_s
+              - 1)
+      | Workload.Flash_crowd _ | Workload.Poisson ->
+          Table.random_key t.table t.update_rng
     else None
   in
   match update_target with
@@ -476,12 +489,16 @@ let start t =
     arrival t;
     ignore
       (Engine.schedule engine
-         ~after:(Workload.next_interarrival t.workload t.arrival_rng)
+         ~after:
+           (Workload.next_interarrival_at t.workload ~now:(Engine.now engine)
+              t.arrival_rng)
          tick)
   in
   ignore
     (Engine.schedule t.engine
-       ~after:(Workload.next_interarrival t.workload t.arrival_rng)
+       ~after:
+         (Workload.next_interarrival_at t.workload ~now:(Engine.now t.engine)
+            t.arrival_rng)
        tick);
   match t.expiry with
   | No_expiry -> ()

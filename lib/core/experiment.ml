@@ -56,6 +56,7 @@ type config = {
   death : Base.death_spec;
   expiry : Base.expiry_spec;
   update_fraction : float;
+  arrival : Workload.shape;
   loss : loss_spec;
   protocol : protocol_spec;
   topology : topology_spec;
@@ -70,6 +71,7 @@ let default =
   { seed = 1; duration = 2000.0; lambda_kbps = 15.0; size_bits = 1000;
     death = Base.Lifetime_fixed 30.0; expiry = Base.No_expiry;
     update_fraction = 0.0;
+    arrival = Workload.Poisson;
     loss = Bernoulli 0.1;
     protocol = Open_loop { mu_data_kbps = 45.0 };
     topology = Single_hop; faults = [];
@@ -124,7 +126,8 @@ let run config =
   let rng = Rng.create config.seed in
   let workload =
     Workload.of_kbps ~update_fraction:config.update_fraction
-      ~lambda_kbps:config.lambda_kbps ~size_bits:config.size_bits ()
+      ~shape:config.arrival ~lambda_kbps:config.lambda_kbps
+      ~size_bits:config.size_bits ()
   in
   let tracker =
     Consistency.create ~empty_policy:config.empty_policy

@@ -61,6 +61,9 @@ type config = {
   death : Base.death_spec;
   expiry : Base.expiry_spec;  (** receiver-side soft-state timers *)
   update_fraction : float;
+  arrival : Workload.shape;
+      (** arrival-process shape; [Workload.Poisson] (the default)
+          reproduces the historical draw stream byte-for-byte *)
   loss : loss_spec;
   protocol : protocol_spec;
   topology : topology_spec;

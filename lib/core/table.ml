@@ -76,3 +76,6 @@ let fold t ~init ~f =
 
 let random_key t rng =
   if t.live = 0 then None else Some t.keys.(Rng.int rng t.live)
+
+let key_at t slot =
+  if slot < 0 || slot >= t.live then None else Some t.keys.(slot)

@@ -31,6 +31,12 @@ val random_key : t -> Softstate_util.Rng.t -> Record.key option
     draw depends only on the seeded generator and the insert/remove
     history, never on hash order. *)
 
+val key_at : t -> int -> Record.key option
+(** The live key in dense slot [slot], or [None] when out of range;
+    O(1). Slot order is a function of the insert/remove history alone
+    (see {!random_key}), so rank-addressed draws — e.g. Zipf-skewed
+    update targets — stay deterministic. *)
+
 val slot_of_key : t -> Record.key -> int option
 (** The key's current dense slot in [0, live_count), or [None] if not
     live. Slots are stable between mutations but removal moves the

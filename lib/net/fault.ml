@@ -70,6 +70,58 @@ let churn ~rng ~rate_per_s ~mean_downtime ~until topo =
       ~down:(fun n -> Node_crash n)
       ~up:(fun n -> Node_restart n)
 
+(* A correlated burst: [count] cable outages all landing uniformly
+   inside one window, each with its own exponential downtime. Cables
+   are picked with replacement (like flaps), so a storm can hit the
+   same cable twice — overlapping windows are tolerated by the
+   topology layer. *)
+let storm ~rng ~count ~mean_downtime ~from_ ~till topo =
+  let cables = Topology.cable_count topo in
+  if cables = 0 then []
+  else begin
+    let recovery_rate = 1.0 /. mean_downtime in
+    let acc = ref [] in
+    for _ = 1 to count do
+      let at = Dist.uniform rng ~lo:from_ ~hi:till in
+      let cable = Rng.int rng cables in
+      let dt = Dist.exponential rng ~rate:recovery_rate in
+      acc := { at = at +. dt; action = Cable_up cable }
+             :: { at; action = Cable_down cable } :: !acc
+    done;
+    List.rev !acc
+  end
+
+(* Sustained receiver churn on a fixed cadence: every [period]
+   seconds, crash a distinct random [fraction] of the leaf receivers
+   (never node 0) and restart them [downtime] seconds later. Victims
+   within one wave are distinct (partial Fisher–Yates); successive
+   waves re-draw independently. *)
+let churn_waves ~rng ~period ~fraction ~downtime ~until topo =
+  let targets =
+    Array.of_list (List.filter (fun n -> n <> 0) (Topology.leaves topo))
+  in
+  let m = Array.length targets in
+  if m = 0 then []
+  else begin
+    let k = min m (max 1 (int_of_float (ceil (fraction *. float_of_int m)))) in
+    let acc = ref [] in
+    let t = ref period in
+    while !t < until do
+      let pool = Array.copy targets in
+      for i = 0 to k - 1 do
+        let j = i + Rng.int rng (m - i) in
+        let tmp = pool.(i) in
+        pool.(i) <- pool.(j);
+        pool.(j) <- tmp;
+        let victim = pool.(i) in
+        acc := { at = !t +. downtime; action = Node_restart victim }
+               :: { at = !t; action = Node_crash victim } :: !acc
+      done;
+      t := !t +. period
+    done;
+    List.rev !acc
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Textual specs *)
 
@@ -79,6 +131,8 @@ type spec =
   | Partition_window of { from_ : float; till : float }
   | Flap_process of { rate_per_s : float; mean_downtime : float }
   | Churn_process of { rate_per_s : float; mean_downtime : float }
+  | Storm of { count : int; mean_downtime : float; from_ : float; till : float }
+  | Churn_wave of { period : float; fraction : float; downtime : float }
 
 let spec_to_string = function
   | Cable_window { cable; from_; till } ->
@@ -91,6 +145,10 @@ let spec_to_string = function
       Printf.sprintf "flap:%g:%g" rate_per_s mean_downtime
   | Churn_process { rate_per_s; mean_downtime } ->
       Printf.sprintf "churn:%g:%g" rate_per_s mean_downtime
+  | Storm { count; mean_downtime; from_; till } ->
+      Printf.sprintf "storm:%d:%g@%g-%g" count mean_downtime from_ till
+  | Churn_wave { period; fraction; downtime } ->
+      Printf.sprintf "churnwave:%g:%g:%g" period fraction downtime
 
 let parse_window s =
   (* "T1-T2" with both bounds non-negative and ordered *)
@@ -166,7 +224,72 @@ let spec_of_string s =
                         parse_process "churn" rest
                       in
                       Ok (Churn_process { rate_per_s; mean_downtime })
-                  | None -> Error (Printf.sprintf "unknown fault spec %S" s)))))
+                  | None -> (
+                      match cut_prefix "storm:" with
+                      | Some rest -> (
+                          (* storm:COUNT:MEAN@T1-T2 *)
+                          match String.index_opt rest '@' with
+                          | None ->
+                              Error
+                                (Printf.sprintf
+                                   "bad spec %S (want storm:COUNT:MEAN@T1-T2)" s)
+                          | Some i -> (
+                              let head = String.sub rest 0 i in
+                              let tail =
+                                String.sub rest (i + 1)
+                                  (String.length rest - i - 1)
+                              in
+                              match String.split_on_char ':' head with
+                              | [ c; m ] -> (
+                                  match
+                                    (int_of_string_opt c, float_of_string_opt m)
+                                  with
+                                  | Some count, Some mean_downtime
+                                    when count > 0 && mean_downtime > 0.0 ->
+                                      let* from_, till = parse_window tail in
+                                      Ok
+                                        (Storm
+                                           { count; mean_downtime; from_; till })
+                                  | _ ->
+                                      Error
+                                        (Printf.sprintf
+                                           "bad storm spec %S (want COUNT:MEAN \
+                                            > 0)"
+                                           s))
+                              | _ ->
+                                  Error
+                                    (Printf.sprintf
+                                       "bad spec %S (want \
+                                        storm:COUNT:MEAN@T1-T2)"
+                                       s)))
+                      | None -> (
+                          match cut_prefix "churnwave:" with
+                          | Some rest -> (
+                              match String.split_on_char ':' rest with
+                              | [ p; f; d ] -> (
+                                  match
+                                    ( float_of_string_opt p,
+                                      float_of_string_opt f,
+                                      float_of_string_opt d )
+                                  with
+                                  | Some period, Some fraction, Some downtime
+                                    when period > 0.0 && fraction > 0.0
+                                         && fraction <= 1.0 && downtime > 0.0 ->
+                                      Ok (Churn_wave { period; fraction; downtime })
+                                  | _ ->
+                                      Error
+                                        (Printf.sprintf
+                                           "bad churnwave spec %S (want PERIOD \
+                                            > 0, FRAC in (0,1], DOWN > 0)"
+                                           s))
+                              | _ ->
+                                  Error
+                                    (Printf.sprintf
+                                       "bad spec %S (want \
+                                        churnwave:PERIOD:FRAC:DOWN)"
+                                       s))
+                          | None ->
+                              Error (Printf.sprintf "unknown fault spec %S" s)))))))
 
 let specs_of_string s =
   let items =
@@ -206,5 +329,9 @@ let compile ~rng ~until topo specs =
       | Flap_process { rate_per_s; mean_downtime } ->
           flaps ~rng ~rate_per_s ~mean_downtime ~until topo
       | Churn_process { rate_per_s; mean_downtime } ->
-          churn ~rng ~rate_per_s ~mean_downtime ~until topo)
+          churn ~rng ~rate_per_s ~mean_downtime ~until topo
+      | Storm { count; mean_downtime; from_; till } ->
+          storm ~rng ~count ~mean_downtime ~from_ ~till topo
+      | Churn_wave { period; fraction; downtime } ->
+          churn_waves ~rng ~period ~fraction ~downtime ~until topo)
     specs

@@ -18,7 +18,13 @@
     - [flap:RATE:MEAN] — Poisson cable flaps at [RATE] per second,
       each downtime exponential with mean [MEAN] seconds;
     - [churn:RATE:MEAN] — the same process over leaf nodes
-      (crash/restart) — receiver churn. *)
+      (crash/restart) — receiver churn;
+    - [storm:COUNT:MEAN@T1-T2] — a correlated fault storm: [COUNT]
+      cable outages all landing uniformly inside [\[T1, T2)], each
+      downtime exponential with mean [MEAN];
+    - [churnwave:PERIOD:FRAC:DOWN] — sustained receiver churn on a
+      cadence: every [PERIOD] seconds crash a distinct random [FRAC]
+      of the leaf receivers, restarting each [DOWN] seconds later. *)
 
 type action =
   | Cable_down of int
@@ -67,6 +73,32 @@ val churn :
     restart) — models receivers joining and leaving. The hub /
     source node 0 is never churned. *)
 
+val storm :
+  rng:Softstate_util.Rng.t ->
+  count:int ->
+  mean_downtime:float ->
+  from_:float ->
+  till:float ->
+  Topology.t ->
+  event list
+(** A correlated burst of [count] cable outages landing uniformly in
+    [\[from_, till)], each with an independent exponential downtime.
+    Cables are picked with replacement; overlapping windows are
+    tolerated. Empty on a cable-less topology. *)
+
+val churn_waves :
+  rng:Softstate_util.Rng.t ->
+  period:float ->
+  fraction:float ->
+  downtime:float ->
+  until:float ->
+  Topology.t ->
+  event list
+(** Sustained churn schedule: at [period], [2*period], ... (< until),
+    crash [ceil (fraction * leaves)] distinct leaf nodes (never node
+    0) and restart each [downtime] seconds later. Victims are re-drawn
+    independently each wave. *)
+
 (** {1 Textual specs} *)
 
 type spec =
@@ -75,6 +107,8 @@ type spec =
   | Partition_window of { from_ : float; till : float }
   | Flap_process of { rate_per_s : float; mean_downtime : float }
   | Churn_process of { rate_per_s : float; mean_downtime : float }
+  | Storm of { count : int; mean_downtime : float; from_ : float; till : float }
+  | Churn_wave of { period : float; fraction : float; downtime : float }
 
 val spec_of_string : string -> (spec, string) result
 (** Parse one item of the grammar above. *)

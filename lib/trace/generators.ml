@@ -77,6 +77,36 @@ let routing_updates ~rng ~duration ?(prefixes = 200) ?(base_rate = 1.0 /. 300.0)
   done;
   sort_trace !events
 
+let flash_crowd ~rng ~duration ?(keys = 32) ?(base_rate = 2.0) ?(mult = 8.0)
+    ?(period = 60.0) ?(dwell = 10.0) ?(zipf_s = 1.1) () =
+  if duration <= 0.0 then invalid_arg "flash_crowd: duration";
+  if keys <= 0 then invalid_arg "flash_crowd: keys";
+  if base_rate <= 0.0 then invalid_arg "flash_crowd: base_rate";
+  (* the parameter sanity checks live in Dist.burst_interarrival *)
+  let table = Dist.Zipf_table.create ~n:keys ~s:zipf_s in
+  let versions = Array.make keys 0 in
+  let events = ref [] in
+  let emit time op = events := { Trace_event.time; op } :: !events in
+  (* seed every key once so the audience has something to rush *)
+  for k = 0 to keys - 1 do
+    emit 0.0
+      (Trace_event.Put
+         { path = Printf.sprintf "flash/key%03d" k; payload = "v0" })
+  done;
+  let t = ref (Dist.burst_interarrival rng ~rate:base_rate ~mult ~period
+                 ~dwell ~now:0.0) in
+  while !t < duration do
+    let k = Dist.Zipf_table.draw table rng - 1 in
+    versions.(k) <- versions.(k) + 1;
+    emit !t
+      (Trace_event.Put
+         { path = Printf.sprintf "flash/key%03d" k;
+           payload = Printf.sprintf "v%d" versions.(k) });
+    t := !t +. Dist.burst_interarrival rng ~rate:base_rate ~mult ~period
+                 ~dwell ~now:!t
+  done;
+  sort_trace !events
+
 let stock_ticker ~rng ~duration ?(symbols = 100) ?(update_rate = 20.0)
     ?(zipf_s = 1.1) () =
   if duration <= 0.0 then invalid_arg "stock_ticker: duration";

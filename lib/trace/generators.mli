@@ -38,6 +38,27 @@ val routing_updates :
     [flap_rate] (default 1/10 s) — the heavy-tailed update skew
     observed in BGP. *)
 
+val flash_crowd :
+  rng:Softstate_util.Rng.t ->
+  duration:float ->
+  ?keys:int ->
+  ?base_rate:float ->
+  ?mult:float ->
+  ?period:float ->
+  ?dwell:float ->
+  ?zipf_s:float ->
+  unit ->
+  Trace_event.t
+(** Flash-crowd update stream: [keys] (default 32) records at
+    ["flash/<key>"], all published at time 0, then updated by a
+    piecewise Poisson process that runs at [base_rate *. mult] inside
+    the burst windows ([dwell] seconds, default 10, out of every
+    [period], default 60; multiplier default 8) and at [base_rate]
+    (default 2/s) between them. Update targets are Zipf([zipf_s],
+    default 1.1) skewed — the crowd rushes a few hot keys. Payloads
+    are per-key version counters, so every update changes the
+    record. *)
+
 val stock_ticker :
   rng:Softstate_util.Rng.t ->
   duration:float ->

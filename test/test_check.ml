@@ -7,6 +7,7 @@ module Scenario = Check.Scenario
 module Oracle = Check.Oracle
 module Shrink = Check.Shrink
 module Fuzz = Check.Fuzz
+module Coverage = Check.Coverage
 module Rng = Softstate_util.Rng
 module Experiment = Softstate_core.Experiment
 
@@ -79,6 +80,80 @@ let test_mutation_smoke () =
     stats.Fuzz.failures
 
 (* ------------------------------------------------------------------ *)
+(* NACK-stability frontier: the backlog oracle must flag the canonical
+   undamped supercritical multicast configuration (every retransmission
+   takes a fresh sequence number, so with NACK damping off and
+   loss x receivers > 1 each lost repair breeds more than one fresh
+   NACK — an imploding feedback loop), and must pass the identical
+   workload with damping on. *)
+
+let frontier_config ~suppression =
+  { Experiment.default with
+    Experiment.duration = 4.0;
+    lambda_kbps = 1.0;
+    size_bits = 1000;
+    protocol =
+      Experiment.Multicast
+        { receivers = 8; mu_hot_kbps = 1000.0; mu_cold_kbps = 2.0;
+          mu_fb_kbps = 100.0; nack_slot = 0.5; nack_bits = 100; suppression };
+    loss = Experiment.Bernoulli 0.3;
+    death = Softstate_core.Base.Lifetime_fixed 600.0;
+    expiry = Softstate_core.Base.No_expiry;
+    record_series = true;
+    obs = None }
+
+let test_backlog_frontier () =
+  (match
+     Fuzz.check_scenario ~oracles:[ "backlog" ]
+       (Scenario.Core (frontier_config ~suppression:false))
+   with
+  | [] -> Alcotest.fail "undamped supercritical multicast not flagged"
+  | vs ->
+      List.iter
+        (fun v ->
+          Alcotest.(check string) "backlog oracle fired" "backlog"
+            v.Oracle.oracle)
+        vs);
+  Alcotest.(check (list string))
+    "damped twin passes" []
+    (List.map
+       (fun v -> v.Oracle.message)
+       (Fuzz.check_scenario ~oracles:[ "backlog" ]
+          (Scenario.Core (frontier_config ~suppression:true))))
+
+(* ------------------------------------------------------------------ *)
+(* Coverage map: determinism, the guided-vs-uniform pin, and the
+   guidance opt-out contract (one candidate = the uniform stream). *)
+
+let test_coverage_determinism () =
+  let a = Fuzz.feature_coverage ~guided:true ~seed:7 ~count:30 () in
+  let b = Fuzz.feature_coverage ~guided:true ~seed:7 ~count:30 () in
+  Alcotest.(check string)
+    "same table" (Coverage.to_string a) (Coverage.to_string b)
+
+let test_guided_beats_uniform () =
+  (* compared below saturation: by ~100 scenarios both streams touch
+     every bucket, at 20 the gap is widest *)
+  let count = 20 in
+  List.iter
+    (fun seed ->
+      let u = Coverage.feature_count (Fuzz.feature_coverage ~seed ~count ()) in
+      let g =
+        Coverage.feature_count
+          (Fuzz.feature_coverage ~guided:true ~seed ~count ())
+      in
+      if g <= u then
+        Alcotest.failf "guided %d <= uniform %d at seed %d" g u seed)
+    [ 1; 20260807 ]
+
+let test_guided_single_candidate_is_uniform () =
+  let u = Fuzz.feature_coverage ~seed:11 ~count:25 () in
+  let g = Fuzz.feature_coverage ~guided:true ~candidates:1 ~seed:11 ~count:25 () in
+  Alcotest.(check string)
+    "one candidate = uniform stream" (Coverage.to_string u)
+    (Coverage.to_string g)
+
+(* ------------------------------------------------------------------ *)
 
 let test_seed_chain_prefix () =
   (* scenario i is reproducible standalone: the seed chain is a pure
@@ -121,10 +196,36 @@ let qcheck_shrink_candidates_differ =
       let s = Scenario.generate (Rng.create seed) in
       List.for_all (fun c -> Stdlib.compare c s <> 0) (Shrink.candidates s))
 
+let qcheck_shrink_measure_decreases =
+  (* shrinking's termination argument: every rung of the ladder
+     strictly decreases the scalar complexity *)
+  QCheck.Test.make ~name:"shrink candidates strictly decrease measure"
+    ~count:500
+    QCheck.(int_bound 0x3FFFFFFF)
+    (fun seed ->
+      let s = Scenario.generate (Rng.create seed) in
+      let m = Shrink.measure s in
+      List.for_all (fun c -> Shrink.measure c < m) (Shrink.candidates s))
+
+let qcheck_coverage_roundtrip =
+  QCheck.Test.make ~name:"coverage serialization roundtrip" ~count:100
+    QCheck.(int_bound 0x3FFFFFFF)
+    (fun seed ->
+      let cov = Fuzz.feature_coverage ~seed ~count:5 () in
+      (* populate the other two dimensions as well *)
+      Coverage.note_event cov "announce";
+      Coverage.note_event cov "announce";
+      Coverage.note_branch cov "clock:events";
+      let s = Coverage.to_string cov in
+      match Coverage.of_string s with
+      | Error _ -> false
+      | Ok cov' -> String.equal (Coverage.to_string cov') s)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
-      [ qcheck_scenario_roundtrip; qcheck_shrink_candidates_differ ]
+      [ qcheck_scenario_roundtrip; qcheck_shrink_candidates_differ;
+        qcheck_shrink_measure_decreases; qcheck_coverage_roundtrip ]
   in
   Alcotest.run "softstate_check"
     [
@@ -134,6 +235,17 @@ let () =
           Alcotest.test_case "mutation smoke" `Slow test_mutation_smoke;
           Alcotest.test_case "seed chain prefix" `Quick test_seed_chain_prefix;
           Alcotest.test_case "oracle select" `Quick test_oracle_select;
+        ] );
+      ( "backlog",
+        [ Alcotest.test_case "stability frontier" `Slow test_backlog_frontier ]
+      );
+      ( "coverage",
+        [
+          Alcotest.test_case "deterministic" `Quick test_coverage_determinism;
+          Alcotest.test_case "guided beats uniform" `Slow
+            test_guided_beats_uniform;
+          Alcotest.test_case "single candidate = uniform" `Quick
+            test_guided_single_candidate_is_uniform;
         ] );
       ("properties", qsuite);
     ]

@@ -283,6 +283,53 @@ let test_fuzz_regression_multicast () =
          loss = Experiment.Bernoulli 0.1;
          topology = Experiment.Kary_tree { arity = 2; depth = 2 } })
 
+(* Production-shaped workload pins: the three adversarial dimensions
+   the coverage-guided fuzzer sweeps — flash-crowd arrivals over the
+   NACK machinery, sustained receiver churn, and a correlated fault
+   storm — frozen at fixed seeds so a regression in any layer shows
+   up as a named oracle violation (including replay determinism and
+   jobs-invariance, which re-execute the scenario). *)
+
+let test_fuzz_regression_flash_crowd () =
+  check_oracles "flash-crowd multicast"
+    (Check.Scenario.Core
+       { regression_base with
+         Experiment.seed = 107;
+         arrival =
+           Softstate_core.Workload.Flash_crowd
+             { mult = 8.0; period = 12.0; dwell = 2.5; zipf_s = 1.1 };
+         update_fraction = 0.4;
+         protocol =
+           Experiment.Multicast
+             { receivers = 4; mu_hot_kbps = 48.0; mu_cold_kbps = 12.0;
+               mu_fb_kbps = 8.0; nack_bits = 200; suppression = true;
+               nack_slot = 0.5 };
+         loss = Experiment.Bernoulli 0.15 })
+
+let test_fuzz_regression_churn_storm () =
+  check_oracles "churn waves over star"
+    (Check.Scenario.Core
+       { regression_base with
+         Experiment.seed = 108;
+         protocol =
+           Experiment.Feedback
+             { mu_hot_kbps = 24.0; mu_cold_kbps = 12.0; mu_fb_kbps = 8.0;
+               nack_bits = 200; fb_lossy = false };
+         loss = Experiment.Bernoulli 0.05;
+         topology = Experiment.Star { leaves = 6 };
+         faults = faults_of_string "churnwave:15:0.34:4" })
+
+let test_fuzz_regression_fault_storm () =
+  check_oracles "correlated storm over tree"
+    (Check.Scenario.Core
+       { regression_base with
+         Experiment.seed = 109;
+         protocol =
+           Experiment.Two_queue { mu_hot_kbps = 24.0; mu_cold_kbps = 12.0 };
+         loss = Experiment.Bernoulli 0.1;
+         topology = Experiment.Kary_tree { arity = 2; depth = 3 };
+         faults = faults_of_string "storm:5:6@20-32,flap:0.02:3" })
+
 let test_fuzz_regression_gossip () =
   check_oracles "gossip over random mesh"
     (Check.Scenario.Gossip
@@ -304,7 +351,8 @@ let test_fuzz_regression_sstp () =
          publish_window = 20.0;
          removes = 3;
          s_duration = 60.0;
-         summary_period = 0.5 })
+         summary_period = 0.5;
+         workload = Check.Scenario.Script })
 
 let () =
   Alcotest.run "integration"
@@ -341,5 +389,11 @@ let () =
           Alcotest.test_case "sstp session" `Quick test_fuzz_regression_sstp;
           Alcotest.test_case "gossip over random mesh" `Quick
             test_fuzz_regression_gossip;
+          Alcotest.test_case "flash-crowd multicast" `Quick
+            test_fuzz_regression_flash_crowd;
+          Alcotest.test_case "churn waves over star" `Quick
+            test_fuzz_regression_churn_storm;
+          Alcotest.test_case "correlated fault storm" `Quick
+            test_fuzz_regression_fault_storm;
         ] );
     ]

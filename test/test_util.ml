@@ -267,6 +267,80 @@ let test_categorical_errors () =
     (Invalid_argument "Dist.categorical: weights sum to zero") (fun () ->
       ignore (Dist.categorical g [| 0.0; 0.0 |]))
 
+(* The piecewise-Poisson flash process: arrivals inside burst windows
+   should carry exactly their hazard share, and the long-run rate
+   should match the cycle-averaged analytic rate. *)
+let test_burst_interarrival_moments () =
+  let g = Rng.create 33 in
+  let rate = 2.0 and mult = 5.0 and period = 10.0 and dwell = 2.0 in
+  let horizon = 3000.0 in
+  let in_burst = ref 0 and total = ref 0 in
+  let t = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    let dt = Dist.burst_interarrival g ~rate ~mult ~period ~dwell ~now:!t in
+    if dt < 0.0 then Alcotest.fail "negative interarrival";
+    t := !t +. dt;
+    if !t >= horizon then continue := false
+    else begin
+      incr total;
+      if Float.rem !t period < dwell then incr in_burst
+    end
+  done;
+  (* per cycle: rate*mult*dwell arrivals in burst, rate*(period-dwell)
+     outside *)
+  let burst_share =
+    mult *. dwell /. ((mult *. dwell) +. (period -. dwell))
+  in
+  let mean_rate = rate *. ((mult *. dwell) +. (period -. dwell)) /. period in
+  check_close 0.02 "burst share" burst_share
+    (float_of_int !in_burst /. float_of_int !total);
+  check_close 0.1 "long-run rate" mean_rate
+    (float_of_int !total /. horizon)
+
+(* Regression guard for the boundary stall: starting just below a
+   burst boundary must still make progress (the hazard walk jumps to
+   stored boundaries instead of advancing by a computed remainder that
+   can fall below one ulp of the clock). *)
+let test_burst_interarrival_boundary () =
+  let g = Rng.create 34 in
+  let period = 10.0 and dwell = 2.0 in
+  List.iter
+    (fun eps ->
+      for k = 1 to 50 do
+        let now = (float_of_int k *. period) -. eps in
+        let dt =
+          Dist.burst_interarrival g ~rate:5.0 ~mult:20.0 ~period ~dwell ~now
+        in
+        if not (Float.is_finite dt) || dt < 0.0 then
+          Alcotest.failf "bad draw %g at now=%.17g" dt now
+      done)
+    [ 0.0; 1e-9; 1e-12; 4.4e-14; 0.25 ]
+
+(* zipf_approx draws ranks with the continuous-bin masses
+   P(k) = F(k+1) - F(k) for the power-law CDF on [1, n+1). *)
+let test_zipf_approx_bin_masses () =
+  let g = Rng.create 35 in
+  let n = 5 and s = 1.2 in
+  let cdf x =
+    ((x ** (1.0 -. s)) -. 1.0)
+    /. ((float_of_int (n + 1) ** (1.0 -. s)) -. 1.0)
+  in
+  let draws = 200_000 in
+  let counts = Array.make (n + 2) 0 in
+  for _ = 1 to draws do
+    let r = Dist.zipf_approx g ~n ~s in
+    if r < 1 || r > n then Alcotest.fail "zipf_approx out of range";
+    counts.(r) <- counts.(r) + 1
+  done;
+  for k = 1 to n do
+    let expect = cdf (float_of_int (k + 1)) -. cdf (float_of_int k) in
+    check_close 0.02
+      (Printf.sprintf "rank %d mass" k)
+      expect
+      (float_of_int counts.(k) /. float_of_int draws)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Stats *)
 
@@ -964,6 +1038,12 @@ let () =
           Alcotest.test_case "zipf ordering" `Slow test_zipf_rank_ordering;
           Alcotest.test_case "categorical shares" `Slow test_categorical;
           Alcotest.test_case "categorical errors" `Quick test_categorical_errors;
+          Alcotest.test_case "burst interarrival moments" `Slow
+            test_burst_interarrival_moments;
+          Alcotest.test_case "burst interarrival boundary" `Quick
+            test_burst_interarrival_boundary;
+          Alcotest.test_case "zipf approx bin masses" `Slow
+            test_zipf_approx_bin_masses;
         ] );
       ( "stats",
         [
