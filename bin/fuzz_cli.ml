@@ -342,6 +342,80 @@ let lint_smoke () =
         true
       end)
 
+(* Same guard for the whole-program phase: plant a shared-ref-across-
+   domains race and a hot-path closure in a scratch tree (under a lib/
+   segment, which is what puts the R/A rules in scope) and assert R001
+   and an A-rule fire at the planted lines, with a non-zero CLI exit. *)
+let race_smoke () =
+  let dir = Filename.temp_file "lint_race" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let libdir = Filename.concat dir "lib" in
+  Sys.mkdir libdir 0o755;
+  let file = Filename.concat libdir "race_smoke.ml" in
+  let race_line = 2 and alloc_line = 3 in
+  let src =
+    "let shared = ref 0\n\
+     let race () = Domain.spawn (fun () -> incr shared)\n\
+     let[@hot] hot_sum xs = List.fold_left (fun a b -> a + b) 0 xs\n"
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove file with Sys_error _ -> ());
+      (try Sys.rmdir libdir with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin file in
+      output_string oc src;
+      close_out oc;
+      let findings = Lint.Driver.scan_paths [ dir ] in
+      let fired rule line =
+        List.exists
+          (fun f -> f.Lint.Finding.rule = rule && f.Lint.Finding.line = line)
+          findings
+      in
+      let race_caught = fired "R001" race_line in
+      let alloc_caught =
+        List.exists (fun r -> fired r alloc_line) [ "A001"; "A002"; "A004" ]
+      in
+      let cli_caught =
+        let exe =
+          Filename.concat (Filename.dirname Sys.executable_name)
+            "lint_cli.exe"
+        in
+        if Sys.file_exists exe then
+          Sys.command
+            (Printf.sprintf "%s --rules R,A %s >/dev/null 2>&1"
+               (Filename.quote exe) (Filename.quote dir))
+          <> 0
+        else true
+      in
+      if not race_caught then begin
+        Printf.eprintf
+          "race-smoke: FAILED — planted shared-ref race at line %d not \
+           reported as R001\n"
+          race_line;
+        false
+      end
+      else if not alloc_caught then begin
+        Printf.eprintf
+          "race-smoke: FAILED — planted hot-path closure at line %d not \
+           reported by any A-rule\n"
+          alloc_line;
+        false
+      end
+      else if not cli_caught then begin
+        Printf.eprintf "race-smoke: FAILED — lint_cli.exe exited 0\n";
+        false
+      end
+      else begin
+        Printf.printf
+          "race-smoke: planted race caught as R001 at line %d, hot-path \
+           allocation at line %d\n"
+          race_line alloc_line;
+        true
+      end)
+
 let run seed count max_shrink oracle log replay inject_bug inject_mode
     progress guided coverage coverage_out min_coverage frontier =
   let oracles = parse_oracles oracle in
@@ -353,7 +427,7 @@ let run seed count max_shrink oracle log replay inject_bug inject_mode
       | `Backlog -> Some corrupt_backlog
   in
   if frontier then run_frontier ()
-  else if inject_bug && not (lint_smoke ()) then 3
+  else if inject_bug && not (lint_smoke () && race_smoke ()) then 3
   else
   match replay with
   | Some spec -> (

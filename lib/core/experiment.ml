@@ -512,6 +512,7 @@ let run_many ?(jobs = 1) ?(with_metrics = false) ?domain_report ~replications
     invalid_arg "Experiment.run_many: replications must be positive";
   let seeds = replication_seeds config replications in
   let outcomes =
+    (* lint: allow R001 Heap.nil is a sentinel handle that no code path mutates after module init, and Profiler.disabled is only written by set_enabled on the profiler a caller explicitly enables — each task builds its own engine and obs context, so both module cells are read-only from helper domains *)
     Parallel.map ~jobs ?report:domain_report replications (fun i ->
         (* each replication is self-contained: own seed, own obs
            context, no shared series buffers *)
@@ -547,6 +548,7 @@ let run_grid ?(jobs = 1) ?domain_report configs =
        configs that will run on helper domains *)
     if effective > 1 then { c with obs = None } else c
   in
+  (* lint: allow R001 same read-only sharing as run_many: Heap.nil is a never-mutated sentinel and Profiler.disabled is detached by prepare (obs = None) before a config crosses onto a helper domain *)
   Parallel.map_list ~jobs ?report:domain_report configs (fun c ->
       run (prepare c))
 

@@ -31,4 +31,5 @@ let find t seq =
   if seq < 0 then None
   else
     let slot = seq land t.mask in
+    (* lint: allow A002 the option result is the lookup API; one int-payload cell per NACK resolution, not per packet *)
     if t.seqs.(slot) = seq then Some t.keys.(slot) else None

@@ -37,7 +37,39 @@ let enabled ~path ~rule =
   | "D004" -> within path "lib" || within path "bin"
   | "D005" -> within path "lib"
   | "M001" -> within path "lib"
+  | "R001" | "R002" | "R003" -> within path "lib" || within path "bin"
+  | "A001" | "A002" | "A003" | "A004" -> within path "lib"
   | _ -> true
 
 let mli_required path =
   Filename.check_suffix path ".ml" && enabled ~path ~rule:"M001"
+
+(* Units whose state is the *approved* way to share data across
+   domains; mutable state living in (or guarded by) these modules is
+   exempt from the R-rules. *)
+let sync_modules =
+  [ "Atomic"; "Mutex"; "Condition"; "Semaphore"; "Domain"; "Parallel" ]
+
+(* Per-event code paths that must stay allocation-free, named as
+   (unit, definition). This is the config-file complement to the
+   [@hot] source attribute: entries here make the A-rules apply even
+   to definitions whose source we'd rather not annotate. *)
+let hot_paths =
+  [ ("Engine", "step");
+    ("Heap", "sift_up");
+    ("Heap", "sift_down");
+    ("Heap", "top");
+    ("Heap", "drop_top");
+    ("Heap", "min_key_or");
+    ("Timer_wheel", "take_entry");
+    ("Timer_wheel", "due_before");
+    ("Expiry_wheel", "place");
+    ("Expiry_wheel", "take");
+    ("Flat_topology", "degree");
+    ("Flat_topology", "neighbor");
+    ("Flat_topology", "neighbor_cable");
+    ("Seq_ring", "store");
+    ("Seq_ring", "find") ]
+
+let is_hot_path ~unit_name ~def_name =
+  List.mem (unit_name, def_name) hot_paths

@@ -13,6 +13,9 @@
       results.
     - D004 applies under [lib/] and [bin/].
     - D005 and M001 apply under [lib/] only.
+    - R001–R003 (domain safety) apply under [lib/] and [bin/] — every
+      tree that can reach a [Domain.spawn].
+    - A001–A004 (hot-path allocation) apply under [lib/] only.
     - S001 and E001 apply everywhere.
 
     Paths are matched on [/]-separated segments, so both repo-relative
@@ -31,3 +34,13 @@ val enabled : path:string -> rule:string -> bool
 
 val mli_required : string -> bool
 (** Whether M001 demands a matching [.mli] for this [.ml] path. *)
+
+val sync_modules : string list
+(** Units whose state is the approved way to share data across
+    domains; their mutable state is exempt from the R-rules. *)
+
+val hot_paths : (string * string) list
+(** Per-event [(unit, definition)] pairs the A-rules must check even
+    without a [@hot] source attribute. *)
+
+val is_hot_path : unit_name:string -> def_name:string -> bool

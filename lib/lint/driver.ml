@@ -29,6 +29,8 @@ let error_loc exn =
   | Lexer.Error (_, loc) -> Some loc
   | _ -> None
 
+type parsed = Impl of Parsetree.structure | Intf of Parsetree.signature
+
 let parse ~file source =
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf file;
@@ -36,8 +38,8 @@ let parse ~file source =
   Lexer.print_warnings := false;
   try
     if Filename.check_suffix file ".mli" then
-      Ok (Scan.signature ~file (Parse.interface lexbuf))
-    else Ok (Scan.structure ~file (Parse.implementation lexbuf))
+      Ok (Intf (Parse.interface lexbuf))
+    else Ok (Impl (Parse.implementation lexbuf))
   with exn ->
     let line, col =
       match error_loc exn with
@@ -48,19 +50,20 @@ let parse ~file source =
     in
     Error (Finding.v ~file ~line ~col ~rule:"E001" "source does not parse")
 
-let scan_source_full ~file source =
-  let supp, supp_findings = Suppress.scan ~file source in
-  let ast = match parse ~file source with Ok fs -> fs | Error f -> [ f ] in
-  let kept =
-    List.filter
-      (fun f ->
-        Config.enabled ~path:file ~rule:f.Finding.rule
-        && not (Suppress.allows supp ~line:f.Finding.line ~rule:f.Finding.rule))
-      ast
-  in
-  (supp_findings @ kept, supp)
-
-let scan_source ~file source = fst (scan_source_full ~file source)
+(* Rule selection: [--rules R,A,D004] tokens are either exact ids or
+   single-letter families. S001 and E001 are always on — a malformed
+   suppression or unparseable file undermines whichever rules were
+   selected. *)
+let selected rules rule =
+  match rules with
+  | None -> true
+  | Some toks ->
+      rule = "S001" || rule = "E001"
+      || List.exists
+           (fun tok ->
+             tok = rule
+             || (String.length tok = 1 && rule <> "" && rule.[0] = tok.[0]))
+           toks
 
 let missing_mli files =
   List.filter_map
@@ -72,35 +75,120 @@ let missing_mli files =
       else None)
     files
 
-let scan_paths paths =
-  let files = collect paths in
+type analysis = { findings : Finding.t list; summaries : Summary.program }
+
+(* The full two-phase pipeline over in-memory (file, content) pairs:
+   parse each file once; run the single-file D-rules and the phase-1
+   summary scan on the same AST; merge summaries and run the
+   whole-program R/A phase; then filter everything through Config
+   scoping, rule selection and per-file suppressions. Suppression
+   findings (S001) pass through unfiltered — they are audit records
+   about the directives themselves. *)
+let analyze_sources ?rules ?(with_m001 = true) sources =
+  let files = List.map fst sources in
   let per_file =
     List.map
-      (fun f ->
+      (fun (file, source) ->
+        let supp, supp_findings = Suppress.scan ~file source in
+        match parse ~file source with
+        | Error f -> (file, supp, supp_findings, [ f ], None)
+        | Ok (Impl str) ->
+            ( file,
+              supp,
+              supp_findings,
+              Scan.structure ~file str,
+              Some (Summary.scan_structure ~file str) )
+        | Ok (Intf sg) ->
+            (file, supp, supp_findings, Scan.signature ~file sg, None))
+      sources
+  in
+  let summaries = List.filter_map (fun (_, _, _, _, s) -> s) per_file in
+  let phase2 =
+    if summaries = [] then []
+    else Race_rules.check summaries @ Alloc_rules.check summaries
+  in
+  let supp_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (f, supp, _, _, _) -> Hashtbl.replace tbl f supp) per_file;
+    fun file ->
+      match Hashtbl.find_opt tbl file with
+      | Some supp -> supp
+      | None -> Suppress.empty
+  in
+  let keep (f : Finding.t) =
+    Config.enabled ~path:f.Finding.file ~rule:f.Finding.rule
+    && selected rules f.Finding.rule
+    && not
+         (Suppress.allows (supp_of f.Finding.file) ~line:f.Finding.line
+            ~rule:f.Finding.rule)
+  in
+  let m001 = if with_m001 then missing_mli files else [] in
+  let checked =
+    List.concat_map (fun (_, _, _, fs, _) -> fs) per_file @ phase2 @ m001
+  in
+  let supp_findings =
+    List.concat_map (fun (_, _, sf, _, _) -> sf) per_file
+  in
+  { findings =
+      supp_findings @ List.filter keep checked
+      |> List.sort_uniq Finding.compare;
+    summaries }
+
+let analyze_paths ?rules paths =
+  let sources, read_errors =
+    List.fold_left
+      (fun (srcs, errs) f ->
         match read_file f with
+        | src -> ((f, src) :: srcs, errs)
         | exception Sys_error e ->
-            ( f,
-              [ Finding.v ~file:f ~line:1 ~col:0 ~rule:"E001"
-                  ("cannot read: " ^ e) ],
-              Suppress.empty )
-        | src ->
-            let findings, supp = scan_source_full ~file:f src in
-            (f, findings, supp))
-      files
+            ( srcs,
+              Finding.v ~file:f ~line:1 ~col:0 ~rule:"E001"
+                ("cannot read: " ^ e)
+              :: errs ))
+      ([], []) (collect paths)
   in
-  let supp_of file =
-    match List.find_opt (fun (f, _, _) -> f = file) per_file with
-    | Some (_, _, supp) -> supp
-    | None -> Suppress.empty
+  let a = analyze_sources ?rules (List.rev sources) in
+  { a with
+    findings = List.sort_uniq Finding.compare (read_errors @ a.findings) }
+
+let scan_sources ?rules ?with_m001 sources =
+  (analyze_sources ?rules ?with_m001 sources).findings
+
+let scan_paths ?rules paths = (analyze_paths ?rules paths).findings
+
+let scan_source ~file source =
+  scan_sources ~with_m001:false [ (file, source) ]
+
+(* ---- baseline: fail only on findings not present in a recorded
+   snapshot. Keys are line-insensitive (file, rule, message) so pure
+   code motion doesn't churn the baseline; it's a multiset, so a
+   *second* instance of a recorded finding still fails. *)
+
+let baseline_key (f : Finding.t) =
+  String.concat "\x00" [ f.Finding.file; f.Finding.rule; f.Finding.message ]
+
+let apply_baseline ~baseline findings =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let k = baseline_key f in
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    baseline;
+  let matched = ref 0 in
+  let fresh =
+    List.filter
+      (fun f ->
+        let k = baseline_key f in
+        match Hashtbl.find_opt counts k with
+        | Some n when n > 0 ->
+            Hashtbl.replace counts k (n - 1);
+            incr matched;
+            false
+        | _ -> true)
+      findings
   in
-  let m001 =
-    missing_mli files
-    |> List.filter (fun fd ->
-           not
-             (Suppress.allows (supp_of fd.Finding.file) ~line:1 ~rule:"M001"))
-  in
-  List.concat_map (fun (_, fs, _) -> fs) per_file @ m001
-  |> List.sort_uniq Finding.compare
+  (fresh, !matched)
 
 let render fmt findings =
   match fmt with

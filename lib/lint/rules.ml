@@ -62,6 +62,96 @@ let all =
         "Each lib/**/*.ml must have a matching .mli. An explicit signature \
          is what keeps internal mutable state (tables, caches, counters) \
          out of reach of callers that could break replay determinism." };
+    { id = "R001";
+      title = "no shared mutable module state across domains";
+      hint =
+        "pass the state into the task, guard it with a sync module \
+         (Atomic/Mutex), or suppress with the invariant that makes the \
+         sharing safe";
+      explain =
+        "A closure handed to Domain.spawn or a Parallel task slot reaches \
+         module-level mutable state (a ref, Hashtbl, Buffer, array or \
+         mutable-record global) through the conservative call graph, and no \
+         approved sync module mediates the access. Two domains touching \
+         that state race: results stop being a function of the seed, and \
+         the --jobs bit-identity contract breaks silently. The analysis is \
+         whole-program and over-approximating — a finding means 'cannot \
+         prove isolated', so a suppression must state the isolation \
+         argument (read-only after init, domain-local by construction, \
+         guarded elsewhere)." };
+    { id = "R002";
+      title = "no lazy forcing shared across domains";
+      hint =
+        "force before spawning, or replace the lazy with an eager value / \
+         Domain-safe initialization";
+      explain =
+        "A lazy block (or memo table built on one) is reachable from more \
+         than one domain. Forcing is an unsynchronized write: OCaml 5 \
+         raises Lazy.Undefined on a racy double force, and even a lucky \
+         interleaving makes which-domain-forced part of the observable \
+         schedule. Force eagerly before the spawn, or restructure so each \
+         domain owns its own suspension." };
+    { id = "R003";
+      title = "split the Rng before sharing it across tasks";
+      hint = "give each task its own stream via Rng.split / Rng.create";
+      explain =
+        "A task closure draws from a Softstate_util.Rng generator without \
+         creating or splitting its own stream, and the enclosing \
+         definition never calls Rng.split. All tasks then advance one \
+         generator's mutable cursor concurrently: a data race, and — even \
+         when it happens to not crash — draw order depends on the domain \
+         schedule, so replays diverge. Rng.split exists precisely for \
+         this: derive one independent child stream per task from the \
+         parent seed." };
+    { id = "A001";
+      title = "no closure construction on the hot path";
+      hint =
+        "hoist the closure out of the per-event path or pass a \
+         preallocated function";
+      explain =
+        "A function marked [@hot] (or listed in the hot_paths config) \
+         allocates a closure per call: a fun expression that captures its \
+         environment, or a local function definition inside the hot body. \
+         The ROADMAP's PDES target budgets zero allocation per event — \
+         closure-per-event was exactly the pattern whose removal bought PR \
+         2's 3.5x. Hoist the closure to a module-level definition, or \
+         restructure so the capture happens once at setup." };
+    { id = "A002";
+      title = "no block construction on the hot path";
+      hint =
+        "reuse preallocated records/arrays, or return through fields \
+         rather than options/tuples";
+      explain =
+        "A [@hot] function builds a heap block per call: a tuple, record, \
+         non-constant constructor (Some, `Bucket), array/string/Bytes \
+         allocation, ref cell or lazy block. Each is a minor-heap bump \
+         plus eventual GC work multiplied by event count. Use the \
+         slot-returning zero-alloc variants (Heap.pop_hot, \
+         Timer_wheel.due_before), write results into preallocated \
+         storage, or keep loop state in immutable locals (registers) \
+         instead of refs." };
+    { id = "A003";
+      title = "no partial application on the hot path";
+      hint = "supply all arguments at the call site";
+      explain =
+        "A call inside a [@hot] region supplies fewer non-optional \
+         arguments than the callee's arity, so the runtime materializes an \
+         intermediate closure per call. Saturate the application — or if \
+         the partial application is deliberate staging, hoist it out of \
+         the per-event path so it happens once." };
+    { id = "A004";
+      title = "no List building on the hot path";
+      hint =
+        "iterate arrays or preallocated buffers; keep list compaction on \
+         amortized slow paths";
+      explain =
+        "A [@hot] function conses: a list literal, ::, @, or a \
+         List.map/filter/sort family call. Lists allocate one 3-word block \
+         per element and defeat cache locality on paths the engine runs \
+         per event. Use the struct-of-arrays substrate, iterate in place, \
+         or move the list surgery to an amortized slow path (bucket \
+         compaction) behind an unannotated helper — and suppress there \
+         with the amortization argument." };
     { id = "S001";
       title = "malformed suppression";
       hint = "write (* lint: allow RULE reason... *) with a non-empty reason";

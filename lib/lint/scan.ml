@@ -21,6 +21,10 @@ let dotted path = String.concat "." path
 
 let run ~file iterate =
   let acc = ref [] in
+  (* module aliases seen so far: [module U = Unix] must not blind the
+     rules to [U.gettimeofday]. Flat and last-binding-wins, like the
+     phase-1 summary scan. *)
+  let env = ref Summary.Aliases.empty in
   let add (loc : Location.t) rule message =
     let p = loc.loc_start in
     acc :=
@@ -29,6 +33,7 @@ let run ~file iterate =
       :: !acc
   in
   let check_path loc path =
+    let path = Summary.Aliases.expand !env path in
     match strip_stdlib path with
     | "Random" :: _ ->
         add loc "D001"
@@ -58,13 +63,24 @@ let run ~file iterate =
               (Printf.sprintf
                  "polymorphic %s on a float-typed expression" op)
         | _ -> ())
+    | Pexp_letmodule
+        ({ txt = Some name; _ }, { pmod_desc = Pmod_ident { txt; _ }; _ }, _)
+      ->
+        env := Summary.Aliases.add !env name (flatten txt)
     | _ -> ());
     default.expr it e
+  in
+  let module_binding it mb =
+    (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+    | Some name, Pmod_ident { txt; _ } ->
+        env := Summary.Aliases.add !env name (flatten txt)
+    | _ -> ());
+    default.module_binding it mb
   in
   let module_expr it me =
     (match me.pmod_desc with
     | Pmod_ident { txt; loc } -> (
-        match strip_stdlib (flatten txt) with
+        match strip_stdlib (Summary.Aliases.expand !env (flatten txt)) with
         | "Random" :: _ ->
             add loc "D001"
               (Printf.sprintf "ambient randomness: module %s"
@@ -73,7 +89,7 @@ let run ~file iterate =
     | _ -> ());
     default.module_expr it me
   in
-  let it = { default with Ast_iterator.expr; module_expr } in
+  let it = { default with Ast_iterator.expr; module_binding; module_expr } in
   iterate it;
   List.rev !acc
 

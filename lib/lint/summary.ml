@@ -1,0 +1,667 @@
+(* Phase 1 of the whole-program analyzer: one pass over every parsed
+   compilation unit producing a per-unit summary — module-level
+   mutable state, every top-level definition with its references,
+   applications and allocation sites, the closures handed to
+   [Domain.spawn] / [Softstate_sim.Parallel] task slots, and the
+   [@hot] marks. Phase 2 ({!Race_rules}, {!Alloc_rules}) checks the
+   R/A rule families against the merged program summary.
+
+   Everything here is syntactic and deliberately conservative:
+
+   - A bare lowercase identifier is recorded as a possible reference
+     to a same-unit top-level definition; phase 2 drops it when no
+     such definition exists. A local variable shadowing a top-level
+     name therefore over-approximates reachability (never under).
+   - Module aliases ([module U = Unix], [module P =
+     Softstate_sim.Parallel]) are expanded through a flat,
+     last-binding-wins environment.
+   - A task argument whose references cannot all be resolved (a
+     locally defined worker closure, say) falls back to the enclosing
+     definition's full reference set. *)
+
+open Parsetree
+
+let flatten lid = try Longident.flatten lid with _ -> []
+let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l
+let dotted = String.concat "."
+
+(* ---- summary data model ---- *)
+
+type mkind = Ref_cell | Container | Lazy_block | Mutable_record | Derived
+
+let mkind_name = function
+  | Ref_cell -> "ref"
+  | Container -> "container"
+  | Lazy_block -> "lazy"
+  | Mutable_record -> "mutable-record"
+  | Derived -> "derived"
+
+let mkind_of_name = function
+  | "ref" -> Some Ref_cell
+  | "container" -> Some Container
+  | "lazy" -> Some Lazy_block
+  | "mutable-record" -> Some Mutable_record
+  | "derived" -> Some Derived
+  | _ -> None
+
+type mutable_global = { m_name : string; m_line : int; m_kind : mkind }
+
+type alloc = {
+  a_rule : string; (* "A001" closure | "A002" block | "A004" list *)
+  a_line : int;
+  a_col : int;
+  a_region : string; (* innermost [@hot] binding, "" when none *)
+  a_what : string;
+}
+
+type call = {
+  c_path : string; (* alias-expanded dotted path *)
+  c_nargs : int; (* non-optional arguments supplied *)
+  c_line : int;
+  c_col : int;
+  c_region : string;
+}
+
+type def = {
+  d_name : string; (* dotted for nested modules *)
+  d_line : int;
+  d_arity : int; (* non-optional leading parameters *)
+  d_hot : bool;
+  d_builds_mutable : bool;
+  d_refs : string list; (* sorted, deduplicated *)
+  d_calls : call list;
+  d_allocs : alloc list;
+}
+
+type spawn_kind = Domain_spawn | Task_slot
+
+let spawn_kind_name = function
+  | Domain_spawn -> "domain"
+  | Task_slot -> "task"
+
+let spawn_kind_of_name = function
+  | "domain" -> Some Domain_spawn
+  | "task" -> Some Task_slot
+  | _ -> None
+
+type spawn = {
+  s_line : int;
+  s_col : int;
+  s_kind : spawn_kind;
+  s_encl : string; (* enclosing top-level definition *)
+  s_refs : string list;
+  s_unresolved : bool; (* some task ref may be a local closure *)
+}
+
+type unit_summary = {
+  u_name : string;
+  u_file : string;
+  u_mutables : mutable_global list;
+  u_defs : def list;
+  u_spawns : spawn list;
+}
+
+type program = unit_summary list
+
+let unit_name_of_file file =
+  let base = Filename.remove_extension (Filename.basename file) in
+  String.capitalize_ascii base
+
+(* ---- module-alias environment (flat, last binding wins) ---- *)
+
+module Aliases = struct
+  type t = (string * string list) list
+
+  let empty = []
+  let add t name path = (name, path) :: t
+
+  let expand t path =
+    let rec go fuel path =
+      match path with
+      | head :: rest when fuel > 0 -> (
+          match List.assoc_opt head t with
+          | Some repl when repl <> [ head ] -> go (fuel - 1) (repl @ rest)
+          | _ -> path)
+      | _ -> path
+    in
+    go 8 path
+end
+
+(* ---- syntactic classifiers ---- *)
+
+let is_hot_attr (a : attribute) =
+  match a.attr_name.txt with "hot" | "lint.hot" -> true | _ -> false
+
+let has_hot_attrs attrs = List.exists is_hot_attr attrs
+
+let rec arity_of e =
+  match e.pexp_desc with
+  | Pexp_fun (Optional _, _, _, body) -> arity_of body
+  | Pexp_fun (_, _, _, body) -> 1 + arity_of body
+  | Pexp_function _ -> 1
+  | Pexp_constraint (e, _) | Pexp_newtype (_, e) -> arity_of e
+  | _ -> 0
+
+(* The leading parameter spine of a binding: those lambda nodes define
+   the function rather than allocate per call, so A001 skips them. *)
+let spine_nodes e =
+  let rec go acc e =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, _, body) -> go (e :: acc) body
+    | Pexp_constraint (inner, _) | Pexp_newtype (_, inner) ->
+        go (e :: acc) inner
+    | Pexp_function _ -> e :: acc
+    | _ -> acc
+  in
+  go [] e
+
+(* Applications of these construct fresh mutable storage. *)
+let mutable_builder path =
+  match path with
+  | [ "ref" ] -> Some Ref_cell
+  | [ ("Hashtbl" | "Buffer" | "Queue" | "Stack" | "Atomic" | "Weak"
+      | "Dynarray");
+      ("create" | "make") ] ->
+      Some Container
+  | [ ("Array" | "Bytes" | "Bigarray");
+      ("make" | "create" | "init" | "create_float" | "make_matrix") ] ->
+      Some Container
+  | _ -> None
+
+(* Applications of these allocate a heap block per call (A002). *)
+let block_allocator path =
+  match path with
+  | [ "ref" ] -> Some "ref cell"
+  | [ ("Hashtbl" | "Buffer" | "Queue" | "Stack"); "create" ] ->
+      Some (dotted path)
+  | [ ("Array" | "Bytes"); ("make" | "create" | "init" | "append" | "sub"
+      | "copy" | "concat" | "create_float") ] ->
+      Some (dotted path)
+  | [ "String"; ("make" | "init" | "sub" | "concat" | "cat") ] ->
+      Some (dotted path)
+  | [ "Printf"; ("sprintf" | "printf" | "eprintf") ]
+  | [ "Format"; ("sprintf" | "asprintf") ] ->
+      Some (dotted path)
+  | _ -> None
+
+(* List-building operations (A004). *)
+let list_builder path =
+  match path with
+  | [ "List";
+      ( "map" | "mapi" | "map2" | "filter" | "filter_map" | "filteri"
+      | "init" | "append" | "concat" | "concat_map" | "rev" | "rev_map"
+      | "rev_append" | "sort" | "stable_sort" | "fast_sort" | "sort_uniq"
+      | "of_seq" | "cons" | "split" | "combine" | "merge" | "flatten" ) ]
+  | [ "@" ] ->
+      Some (dotted path)
+  | _ -> None
+
+let ident_head e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (flatten txt)
+  | _ -> None
+
+let line_col (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+(* ---- the per-unit scan ---- *)
+
+type scan_state = {
+  mutable aliases : Aliases.t;
+  mutable mutable_fields : string list; (* labels declared mutable *)
+  mutable mutables : mutable_global list;
+  mutable defs : def list;
+  mutable spawns : spawn list;
+}
+
+type def_state = {
+  mutable refs : string list;
+  mutable calls : call list;
+  mutable allocs : alloc list;
+  mutable builds : mkind option;
+  mutable regions : string list; (* innermost [@hot] first *)
+}
+
+let resolve st path = strip_stdlib (Aliases.expand st.aliases path)
+
+let nonopt_args args =
+  List.length
+    (List.filter (function Asttypes.Optional _, _ -> false | _ -> true) args)
+
+(* Collect every resolved identifier under [e]; [`true`] in the result
+   when some bare identifier could name a local binding we cannot
+   follow. *)
+let collect_refs st e =
+  let refs = ref [] in
+  let default = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> refs := dotted (resolve st (flatten txt)) :: !refs
+    | _ -> ());
+    default.expr it e
+  in
+  let it = { default with Ast_iterator.expr } in
+  it.Ast_iterator.expr it e;
+  List.sort_uniq String.compare !refs
+
+let pattern_names p =
+  let acc = ref [] in
+  let default = Ast_iterator.default_iterator in
+  let pat it p =
+    (match p.ppat_desc with
+    | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) -> acc := txt :: !acc
+    | _ -> ());
+    default.pat it p
+  in
+  let it = { default with Ast_iterator.pat } in
+  it.Ast_iterator.pat it p;
+  List.rev !acc
+
+(* Walk one top-level binding body, filling [ds]. *)
+let scan_body st ds ~encl body =
+  (* lambda nodes that *define* functions (the parameter spine of the
+     binding and of any nested [@hot] binding) are not per-call
+     closure allocations *)
+  let spines = ref (spine_nodes body) in
+  let region () = match ds.regions with r :: _ -> r | [] -> "" in
+  let note_alloc loc rule what =
+    let line, col = line_col loc in
+    ds.allocs <-
+      { a_rule = rule; a_line = line; a_col = col; a_region = region ();
+        a_what = what }
+      :: ds.allocs
+  in
+  let note_build k =
+    match ds.builds with None -> ds.builds <- Some k | Some _ -> ()
+  in
+  let default = Ast_iterator.default_iterator in
+  let rec expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } ->
+        ds.refs <- dotted (resolve st (flatten txt)) :: ds.refs
+    | Pexp_fun _ | Pexp_function _ ->
+        if not (List.memq e !spines) then
+          note_alloc e.pexp_loc "A001" "closure construction"
+    | Pexp_tuple _ -> note_alloc e.pexp_loc "A002" "tuple"
+    | Pexp_record (fields, _) ->
+        note_alloc e.pexp_loc "A002" "record";
+        if
+          List.exists
+            (fun ({ Location.txt; _ }, _) ->
+              match List.rev (flatten txt) with
+              | label :: _ -> List.mem label st.mutable_fields
+              | [] -> false)
+            fields
+        then note_build Mutable_record
+    | Pexp_array _ ->
+        note_alloc e.pexp_loc "A002" "array literal";
+        note_build Container
+    | Pexp_lazy _ ->
+        note_alloc e.pexp_loc "A002" "lazy block";
+        note_build Lazy_block
+    | Pexp_construct ({ txt; _ }, Some _) -> (
+        match List.rev (flatten txt) with
+        | "::" :: _ -> note_alloc e.pexp_loc "A004" "list cons"
+        | name :: _ ->
+            note_alloc e.pexp_loc "A002" ("constructor " ^ name)
+        | [] -> ())
+    | Pexp_variant (tag, Some _) ->
+        note_alloc e.pexp_loc "A002" ("variant `" ^ tag)
+    | Pexp_apply (f, args) -> (
+        match ident_head f with
+        | None -> ()
+        | Some raw ->
+            let path = resolve st raw in
+            let line, col = line_col e.pexp_loc in
+            ds.calls <-
+              { c_path = dotted path; c_nargs = nonopt_args args;
+                c_line = line; c_col = col; c_region = region () }
+              :: ds.calls;
+            (match mutable_builder path with
+            | Some k -> note_build k
+            | None -> ());
+            (match block_allocator path with
+            | Some what -> note_alloc e.pexp_loc "A002" what
+            | None -> ());
+            (match list_builder path with
+            | Some what -> note_alloc e.pexp_loc "A004" what
+            | None -> ());
+            (match path with
+            | [ "Domain"; "spawn" ] | [ "Domain"; "spawn_with_args" ] ->
+                let task =
+                  match args with (_, a) :: _ -> Some a | [] -> None
+                in
+                note_spawn st ds ~encl ~kind:Domain_spawn e.pexp_loc task
+            | _ -> (
+                match List.rev path with
+                | fn :: "Parallel" :: _
+                  when fn = "map" || fn = "map_list" ->
+                    let task =
+                      match List.rev args with
+                      | (_, a) :: _ -> Some a
+                      | [] -> None
+                    in
+                    note_spawn st ds ~encl ~kind:Task_slot e.pexp_loc task
+                | _ -> ())))
+    | Pexp_letmodule
+        ({ txt = Some name; _ }, { pmod_desc = Pmod_ident { txt; _ }; _ }, _)
+      ->
+        st.aliases <- Aliases.add st.aliases name (flatten txt)
+    | _ -> ());
+    default.expr it e
+  and note_spawn st ds ~encl ~kind loc task =
+    let line, col = line_col loc in
+    let refs, unresolved =
+      match task with
+      | None -> ([], true)
+      | Some a ->
+          let refs = collect_refs st a in
+          let bare = List.exists (fun r -> not (String.contains r '.')) refs in
+          (refs, bare)
+    in
+    st.spawns <-
+      { s_line = line; s_col = col; s_kind = kind; s_encl = encl;
+        s_refs = refs; s_unresolved = unresolved }
+      :: st.spawns;
+    ignore ds
+  in
+  let value_binding it vb =
+    let hot = has_hot_attrs vb.pvb_attributes in
+    if hot then begin
+      let name =
+        match pattern_names vb.pvb_pat with n :: _ -> n | [] -> "<anon>"
+      in
+      ds.regions <- name :: ds.regions;
+      spines := spine_nodes vb.pvb_expr @ !spines;
+      default.value_binding it vb;
+      ds.regions <- (match ds.regions with _ :: rest -> rest | [] -> [])
+    end
+    else default.value_binding it vb
+  in
+  let it = { default with Ast_iterator.expr; value_binding } in
+  it.Ast_iterator.expr it body
+
+(* ---- structure traversal ---- *)
+
+let scan_structure ~file str =
+  let st =
+    { aliases = Aliases.empty; mutable_fields = []; mutables = [];
+      defs = []; spawns = [] }
+  in
+  (* first pass: record labels declared mutable anywhere in the unit,
+     so record literals built before the type declaration still
+     classify *)
+  let collect_mutable_fields item =
+    match item.pstr_desc with
+    | Pstr_type (_, tds) ->
+        List.iter
+          (fun td ->
+            match td.ptype_kind with
+            | Ptype_record labels ->
+                List.iter
+                  (fun ld ->
+                    if ld.pld_mutable = Mutable then
+                      st.mutable_fields <- ld.pld_name.txt :: st.mutable_fields)
+                  labels
+            | _ -> ())
+          tds
+    | _ -> ()
+  in
+  let rec collect_types_deep items =
+    List.iter
+      (fun item ->
+        collect_mutable_fields item;
+        match item.pstr_desc with
+        | Pstr_module
+            { pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ } ->
+            collect_types_deep sub
+        | _ -> ())
+      items
+  in
+  collect_types_deep str;
+  let add_def ~prefix ~hot_attr vb =
+    let names = pattern_names vb.pvb_pat in
+    let name =
+      match names with
+      | [ n ] -> n
+      | [] -> Printf.sprintf "_init_%d" (fst (line_col vb.pvb_loc))
+      | ns -> String.concat "," ns
+    in
+    let qname = if prefix = "" then name else prefix ^ "." ^ name in
+    let line, _ = line_col vb.pvb_loc in
+    let arity = arity_of vb.pvb_expr in
+    let ds =
+      { refs = []; calls = []; allocs = []; builds = None; regions = [] }
+    in
+    scan_body st ds ~encl:qname vb.pvb_expr;
+    let hot = hot_attr || has_hot_attrs vb.pvb_attributes in
+    let d =
+      { d_name = qname; d_line = line; d_arity = arity; d_hot = hot;
+        d_builds_mutable = ds.builds <> None;
+        d_refs = List.sort_uniq String.compare ds.refs;
+        d_calls = List.rev ds.calls;
+        d_allocs = List.rev ds.allocs }
+    in
+    st.defs <- d :: st.defs;
+    (match ds.builds with
+    | Some k when arity = 0 ->
+        st.mutables <-
+          { m_name = qname; m_line = line; m_kind = k } :: st.mutables
+    | _ -> ())
+  in
+  let rec walk ~prefix items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter (add_def ~prefix ~hot_attr:false) vbs
+        | Pstr_eval (e, _) ->
+            let line, _ = line_col item.pstr_loc in
+            let name = Printf.sprintf "_eval_%d" line in
+            let qname = if prefix = "" then name else prefix ^ "." ^ name in
+            let ds =
+              { refs = []; calls = []; allocs = []; builds = None;
+                regions = [] }
+            in
+            scan_body st ds ~encl:qname e;
+            st.defs <-
+              { d_name = qname; d_line = line; d_arity = 0; d_hot = false;
+                d_builds_mutable = ds.builds <> None;
+                d_refs = List.sort_uniq String.compare ds.refs;
+                d_calls = List.rev ds.calls;
+                d_allocs = List.rev ds.allocs }
+              :: st.defs
+        | Pstr_module { pmb_name = { txt = Some n; _ }; pmb_expr; _ } -> (
+            match pmb_expr.pmod_desc with
+            | Pmod_ident { txt; _ } ->
+                st.aliases <- Aliases.add st.aliases n (flatten txt)
+            | Pmod_structure sub ->
+                walk ~prefix:(if prefix = "" then n else prefix ^ "." ^ n) sub
+            | _ -> ())
+        | _ -> ())
+      items
+  in
+  walk ~prefix:"" str;
+  { u_name = unit_name_of_file file;
+    u_file = file;
+    u_mutables = List.rev st.mutables;
+    u_defs = List.rev st.defs;
+    u_spawns = List.rev st.spawns }
+
+(* ---- serialization: one record per line, tab-separated ----
+
+   Field values never contain tabs or newlines (OCaml identifiers and
+   repo paths don't); [to_string]/[of_string] round-trip exactly. *)
+
+let bool_field b = if b then "1" else "0"
+
+let to_buffer buf (u : unit_summary) =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "unit\t%s\t%s" u.u_name u.u_file;
+  List.iter
+    (fun m -> line "mut\t%s\t%d\t%s" m.m_name m.m_line (mkind_name m.m_kind))
+    u.u_mutables;
+  List.iter
+    (fun d ->
+      line "def\t%s\t%d\t%d\t%s\t%s" d.d_name d.d_line d.d_arity
+        (bool_field d.d_hot)
+        (bool_field d.d_builds_mutable);
+      List.iter (fun r -> line "ref\t%s" r) d.d_refs;
+      List.iter
+        (fun c ->
+          line "call\t%s\t%d\t%d\t%d\t%s" c.c_path c.c_nargs c.c_line c.c_col
+            c.c_region)
+        d.d_calls;
+      List.iter
+        (fun a ->
+          line "alloc\t%s\t%d\t%d\t%s\t%s" a.a_rule a.a_line a.a_col
+            a.a_region a.a_what)
+        d.d_allocs)
+    u.u_defs;
+  List.iter
+    (fun s ->
+      line "spawn\t%s\t%d\t%d\t%s\t%s"
+        (spawn_kind_name s.s_kind)
+        s.s_line s.s_col s.s_encl
+        (bool_field s.s_unresolved);
+      List.iter (fun r -> line "sref\t%s" r) s.s_refs)
+    u.u_spawns
+
+let to_string program =
+  let buf = Buffer.create 4096 in
+  List.iter (to_buffer buf) program;
+  Buffer.contents buf
+
+exception Bad_line of int * string
+
+let of_string text =
+  let units = ref [] in
+  (* current unit under construction, newest-first lists *)
+  let cur = ref None in
+  let cur_def = ref None in
+  let cur_spawn = ref None in
+  let flush_def () =
+    match !cur_def, !cur with
+    | Some d, Some u ->
+        cur_def := None;
+        cur :=
+          Some
+            { u with
+              u_defs =
+                { d with
+                  d_refs = List.rev d.d_refs;
+                  d_calls = List.rev d.d_calls;
+                  d_allocs = List.rev d.d_allocs }
+                :: u.u_defs }
+    | Some _, None -> ()
+    | None, _ -> ()
+  in
+  let flush_spawn () =
+    match !cur_spawn, !cur with
+    | Some s, Some u ->
+        cur_spawn := None;
+        cur := Some { u with u_spawns = { s with s_refs = List.rev s.s_refs } :: u.u_spawns }
+    | Some _, None -> ()
+    | None, _ -> ()
+  in
+  let flush_unit () =
+    flush_def ();
+    flush_spawn ();
+    match !cur with
+    | Some u ->
+        cur := None;
+        units :=
+          { u with
+            u_mutables = List.rev u.u_mutables;
+            u_defs = List.rev u.u_defs;
+            u_spawns = List.rev u.u_spawns }
+          :: !units
+    | None -> ()
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      if raw <> "" then
+        let fields = String.split_on_char '\t' raw in
+        let bad () = raise (Bad_line (i + 1, raw)) in
+        let int s = match int_of_string_opt s with Some n -> n | None -> bad () in
+        match fields with
+        | [ "unit"; name; file ] ->
+            flush_unit ();
+            cur :=
+              Some
+                { u_name = name; u_file = file; u_mutables = []; u_defs = [];
+                  u_spawns = [] }
+        | [ "mut"; name; line; kind ] -> (
+            flush_def ();
+            flush_spawn ();
+            match !cur, mkind_of_name kind with
+            | Some u, Some k ->
+                cur :=
+                  Some
+                    { u with
+                      u_mutables =
+                        { m_name = name; m_line = int line; m_kind = k }
+                        :: u.u_mutables }
+            | _ -> bad ())
+        | [ "def"; name; line; arity; hot; builds ] ->
+            flush_def ();
+            flush_spawn ();
+            if !cur = None then bad ();
+            cur_def :=
+              Some
+                { d_name = name; d_line = int line; d_arity = int arity;
+                  d_hot = hot = "1"; d_builds_mutable = builds = "1";
+                  d_refs = []; d_calls = []; d_allocs = [] }
+        | [ "ref"; path ] -> (
+            match !cur_def with
+            | Some d -> cur_def := Some { d with d_refs = path :: d.d_refs }
+            | None -> bad ())
+        | [ "call"; path; nargs; line; col; region ] -> (
+            match !cur_def with
+            | Some d ->
+                cur_def :=
+                  Some
+                    { d with
+                      d_calls =
+                        { c_path = path; c_nargs = int nargs;
+                          c_line = int line; c_col = int col;
+                          c_region = region }
+                        :: d.d_calls }
+            | None -> bad ())
+        | [ "alloc"; rule; line; col; region; what ] -> (
+            match !cur_def with
+            | Some d ->
+                cur_def :=
+                  Some
+                    { d with
+                      d_allocs =
+                        { a_rule = rule; a_line = int line; a_col = int col;
+                          a_region = region; a_what = what }
+                        :: d.d_allocs }
+            | None -> bad ())
+        | [ "spawn"; kind; line; col; encl; unresolved ] -> (
+            flush_def ();
+            flush_spawn ();
+            match !cur, spawn_kind_of_name kind with
+            | Some _, Some k ->
+                cur_spawn :=
+                  Some
+                    { s_line = int line; s_col = int col; s_kind = k;
+                      s_encl = encl; s_refs = [];
+                      s_unresolved = unresolved = "1" }
+            | _ -> bad ())
+        | [ "sref"; path ] -> (
+            match !cur_spawn with
+            | Some s -> cur_spawn := Some { s with s_refs = path :: s.s_refs }
+            | None -> bad ())
+        | _ -> bad ())
+    lines;
+  flush_unit ();
+  List.rev !units
+
+let of_string_opt text =
+  match of_string text with
+  | program -> Some program
+  | exception Bad_line _ -> None

@@ -14,14 +14,24 @@ let words s =
   |> List.concat_map (String.split_on_char '\n')
   |> List.filter (fun w -> w <> "")
 
-(* The comment text after the "lint:" marker. *)
+(* The comment text after the "lint:" marker. One directive may name
+   several rules, comma-separated: (* lint: allow R001,A002 reason *).
+   Every named rule must be known, or the whole directive is an S001
+   finding and suppresses nothing. *)
 let parse_directive ~file ~line ~col body =
   let bad msg = Error (Finding.v ~file ~line ~col ~rule:"S001" msg) in
+  let split_rules token =
+    String.split_on_char ',' token |> List.filter (fun r -> r <> "")
+  in
   match words body with
-  | "allow" :: rule :: _ :: _ when Rules.is_known rule ->
-      Ok { d_line = line; d_rule = rule }
-  | "allow" :: rule :: _ :: _ ->
-      bad (Printf.sprintf "suppression names unknown rule %s" rule)
+  | "allow" :: rules :: _ :: _ -> (
+      let ids = split_rules rules in
+      match List.filter (fun r -> not (Rules.is_known r)) ids with
+      | [] when ids <> [] ->
+          Ok (List.map (fun r -> { d_line = line; d_rule = r }) ids)
+      | unknown :: _ ->
+          bad (Printf.sprintf "suppression names unknown rule %s" unknown)
+      | [] -> bad "suppression names no rule")
   | [ "allow"; rule ] ->
       bad
         (Printf.sprintf
@@ -73,7 +83,7 @@ let scan ~file source =
                let line = p.Lexing.pos_lnum
                and col = p.Lexing.pos_cnum - p.Lexing.pos_bol in
                (match parse_directive ~file ~line ~col (String.trim rest) with
-               | Ok d -> dirs := d :: !dirs
+               | Ok ds -> dirs := ds @ !dirs
                | Error f -> finds := f :: !finds));
            loop ()
        | _ -> loop ()

@@ -3,10 +3,11 @@
     Grammar, inside an ordinary comment:
 
     {v (* lint: allow RULE reason... *) v}
+    {v (* lint: allow RULE,RULE reason... *) v}
 
-    The rule id must be known and the reason is mandatory — a
+    Every named rule id must be known and the reason is mandatory — a
     suppression is an audit record. A valid directive silences
-    findings for that rule on the directive's own line and on the line
+    findings for the named rules on the directive's own line and on the line
     immediately after it (so it can sit at the end of the offending
     line or on its own line just above). A malformed directive (no
     reason, unknown rule, wrong verb) is itself an S001 finding and

@@ -64,18 +64,29 @@ let fire t time f =
   match t.on_step with None -> () | Some g -> g t
 
 (* Determinism contract: at equal timestamps, calendar events fire
-   before wheel timers ([pop_before] is strict), and each source is
-   FIFO within itself. *)
-let step t =
-  let limit =
-    match Heap.min_key t.calendar with Some k -> k | None -> infinity
-  in
-  match Wheel.pop_before t.wheel ~limit with
-  | Some (time, f) -> fire t time f; true
-  | None -> (
-      match Heap.pop t.calendar with
-      | None -> false
-      | Some (time, f) -> fire t time f; true)
+   before wheel timers ([due_before] is strict), and each source is
+   FIFO within itself. The event order is identical to the previous
+   min_key/pop_before/pop sequence; only the boxing is gone — limit
+   reads without an option, the wheel hands back its own entry record,
+   and the calendar root is read through the heap's slot protocol
+   instead of an option-of-tuple per popped event. *)
+let[@hot] step t =
+  let limit = Heap.min_key_or t.calendar ~default:infinity in
+  match Wheel.due_before t.wheel ~limit with
+  | Some e ->
+      Wheel.take_entry t.wheel e;
+      fire t (Wheel.entry_time e) (Wheel.entry_value e);
+      true
+  | None ->
+      let slot = Heap.top t.calendar in
+      if slot < 0 then false
+      else begin
+        let time = Heap.top_key t.calendar in
+        let f = Heap.slot_value t.calendar slot in
+        Heap.drop_top t.calendar;
+        fire t time f;
+        true
+      end
 
 let next_time t =
   match Heap.min_key t.calendar, Wheel.next_due t.wheel with

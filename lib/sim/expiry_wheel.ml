@@ -99,19 +99,22 @@ let tick_of lvl time = int_of_float (time /. lvl.granularity)
 
 let entry_precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
+(* Index of the finest level whose window contains [time], or -1 for
+   overflow; top-level (rather than nested in [place]) so the cascade
+   path does not rebuild the search closure per re-placed entry. *)
+let rec finest_level t time k =
+  if k >= Array.length t.levels then -1
+  else
+    let lvl = t.levels.(k) in
+    if max lvl.cur_tick (tick_of lvl time) < lvl.cur_tick + t.slots then k
+    else finest_level t time (k + 1)
+
 (* Place an existing entry at the finest level whose window contains
    its deadline, or in the overflow heap. Shared by schedule and the
    cascade path; updates location and per-location live counts but not
    total_live. *)
-let place t e =
-  let rec find k =
-    if k >= Array.length t.levels then -1
-    else
-      let lvl = t.levels.(k) in
-      if max lvl.cur_tick (tick_of lvl e.time) < lvl.cur_tick + t.slots then k
-      else find (k + 1)
-  in
-  let k = find 0 in
+let[@hot] place t e =
+  let k = finest_level t e.time 0 in
   e.timer.loc <- k;
   if k < 0 then begin
     ignore (Heap.insert t.overflow ~key:e.time e);
@@ -121,6 +124,7 @@ let place t e =
     let lvl = t.levels.(k) in
     let tick = max lvl.cur_tick (tick_of lvl e.time) in
     let b = tick mod t.slots in
+    (* lint: allow A002,A004 the bucket is a linked list; one cons per placement is the container insert itself *)
     lvl.buckets.(b) <- e :: lvl.buckets.(b);
     lvl.live <- lvl.live + 1;
     (* keep the min cache exact when we can do it in O(1): a new entry
@@ -128,9 +132,13 @@ let place t e =
        entry of an empty level is trivially its minimum. A dirty cache
        stays dirty. *)
     match lvl.min_cache with
-    | Some (_, m) when entry_precedes e m -> lvl.min_cache <- Some (tick, e)
+    | Some (_, m) when entry_precedes e m ->
+        (* lint: allow A002 one two-word cache write here saves re-folding a coarse bucket of thousands in level_min_scan *)
+        lvl.min_cache <- Some (tick, e)
     | Some _ -> ()
-    | None -> if lvl.live = 1 then lvl.min_cache <- Some (tick, e)
+    | None ->
+        (* lint: allow A002 same O(1) cache-maintenance write as above *)
+        if lvl.live = 1 then lvl.min_cache <- Some (tick, e)
   end
 
 let schedule t ~time value =
@@ -233,36 +241,59 @@ let next_entry t =
 let next_due t =
   match next_entry t with None -> None | Some (_, e) -> Some e.time
 
-let take t where e =
+(* Live survivors of a popped bucket, minus the extracted entry
+   itself. Amortized per the unannotated-helper contract (DESIGN.md
+   §10): each entry is rebuilt into a survivor list at most once per
+   cascade level, and an entry cascades at most L - 1 times. *)
+let rec survivors e = function
+  | [] -> []
+  | x :: tl ->
+      if x != e && x.timer.live then x :: survivors e tl else survivors e tl
+
+(* Cascade re-placement; top-level so [take] builds no closure. *)
+let rec replace_all t = function
+  | [] -> ()
+  | x :: tl ->
+      place t x;
+      replace_all t tl
+
+let[@hot] take t where e =
   (* advance every level to the extracted minimum — all remaining live
      entries are >= e in (time, seq), so each window invariant holds *)
-  Array.iter
-    (fun lvl -> lvl.cur_tick <- max lvl.cur_tick (tick_of lvl e.time))
-    t.levels;
+  for k = 0 to Array.length t.levels - 1 do
+    let lvl = t.levels.(k) in
+    lvl.cur_tick <- max lvl.cur_tick (tick_of lvl e.time)
+  done;
   (match where with
   | `Level (k, tick) ->
       let lvl = t.levels.(k) in
       let b = tick mod t.slots in
-      let rest = List.filter (fun x -> x != e && x.timer.live) lvl.buckets.(b) in
+      let rest = survivors e lvl.buckets.(b) in
       lvl.buckets.(b) <- [];
+      (* the survivor count must leave this level's live total before
+         re-placement: [place] reads [lvl.live] when it maintains the
+         min cache, and a survivor may re-land in this very level *)
       lvl.live <- lvl.live - (1 + List.length rest);
       lvl.min_cache <- None;
       (* cascade: with the wheel advanced, the bucket's survivors may
          now fit a finer level; re-place each at its finest fit *)
-      List.iter (fun x -> place t x) rest
+      replace_all t rest
   | `Overflow ->
       ignore (Heap.pop t.overflow);
       t.overflow_live <- t.overflow_live - 1);
   e.timer.live <- false;
-  t.total_live <- t.total_live - 1;
-  (e.time, e.value)
+  t.total_live <- t.total_live - 1
 
 let pop_before t ~limit =
   match next_entry t with
-  | Some (where, e) when e.time < limit -> Some (take t where e)
+  | Some (where, e) when e.time < limit ->
+      take t where e;
+      Some (e.time, e.value)
   | _ -> None
 
 let pop t =
   match next_entry t with
-  | Some (where, e) -> Some (take t where e)
+  | Some (where, e) ->
+      take t where e;
+      Some (e.time, e.value)
   | None -> None

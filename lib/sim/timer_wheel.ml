@@ -32,7 +32,19 @@ type timer = {
   in_bucket : bool; (* fixed at schedule time: bucket vs overflow *)
 }
 
-type 'a entry = { time : float; seq : int; value : 'a; timer : timer }
+(* [tick] is the (clamped) wheel tick computed at schedule time. For
+   bucket entries it names the resident bucket; for overflow entries
+   the clamp never applies (overflow means tick >= cur_tick + slots >
+   cur_tick), so it equals [tick_of time] — either way, extraction
+   advances cur_tick to [max cur_tick tick], exactly as the previous
+   per-branch logic did, without recomputing. *)
+type 'a entry = {
+  time : float;
+  seq : int;
+  tick : int;
+  value : 'a;
+  timer : timer;
+}
 
 type 'a t = {
   granularity : float;
@@ -69,7 +81,7 @@ let schedule t ~time value =
   let tick = max t.cur_tick (tick_of t time) in
   let in_bucket = tick < t.cur_tick + t.slots in
   let timer = { live = true; in_bucket } in
-  let e = { time; seq = t.next_seq; value; timer } in
+  let e = { time; seq = t.next_seq; tick; value; timer } in
   t.next_seq <- t.next_seq + 1;
   t.total_live <- t.total_live + 1;
   if in_bucket then begin
@@ -93,85 +105,99 @@ let mem _t timer = timer.live
 
 let entry_precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-(* Minimum live bucket entry and its tick, compacting dead entries out
-   of every bucket the scan touches. Only called when bucket_live > 0,
-   so the scan always terminates inside the window. *)
-let bucket_min t =
-  let found = ref None in
-  let k = ref t.cur_tick in
-  while !found = None && !k < t.cur_tick + t.slots do
-    let b = !k mod t.slots in
-    (match t.buckets.(b) with
-    | [] -> ()
-    | l ->
-        let alive = List.filter (fun e -> e.timer.live) l in
-        t.buckets.(b) <- alive;
-        (match alive with
-        | [] -> ()
-        | e0 :: rest ->
-            let best =
-              List.fold_left
-                (fun acc e -> if entry_precedes e acc then e else acc)
-                e0 rest
-            in
-            found := Some (!k, best)));
-    if !found = None then incr k
-  done;
+(* Dead-entry compaction and minimum scan for one bucket list. These
+   two live outside the [@hot] region deliberately: filtering dead
+   entries is amortized (each cancelled entry is rebuilt into a list
+   exactly once), which is the documented contract for unannotated
+   helpers on an otherwise hot path (DESIGN.md §10). *)
+let rec filter_live = function
+  | [] -> []
+  | e :: tl -> if e.timer.live then e :: filter_live tl else filter_live tl
+
+let rec best_of acc = function
+  | [] -> acc
+  | e :: tl -> best_of (if entry_precedes e acc then e else acc) tl
+
+(* Minimum live bucket entry, compacting dead entries out of every
+   bucket the scan touches. Only called when bucket_live > 0, so the
+   scan terminates inside the window; recursion on the int tick keeps
+   the scan itself allocation-free (the previous version kept two ref
+   cells and a fold closure per extraction). *)
+let[@hot] rec bucket_min_from t k =
   (* bucket_live > 0 guarantees a live entry inside the window *)
-  match !found with Some r -> r | None -> assert false
+  if k >= t.cur_tick + t.slots then assert false
+  else
+    let b = k mod t.slots in
+    match t.buckets.(b) with
+    | [] -> bucket_min_from t (k + 1)
+    | l -> (
+        let alive = filter_live l in
+        t.buckets.(b) <- alive;
+        match alive with
+        | [] -> bucket_min_from t (k + 1)
+        | e0 :: rest -> best_of e0 rest)
 
-(* Live overflow minimum, discarding dead entries at the root. *)
-let rec overflow_min t =
-  match Heap.peek t.overflow with
-  | None -> None
-  | Some (_, e) when not e.timer.live ->
-      ignore (Heap.pop t.overflow);
+let[@hot] bucket_min t = bucket_min_from t t.cur_tick
+
+(* Live overflow minimum, discarding dead entries at the root; uses
+   the heap's slot protocol so a peek costs one option cell, not an
+   option-of-tuple. *)
+let[@hot] rec overflow_min t =
+  let slot = Heap.top t.overflow in
+  if slot < 0 then None
+  else
+    let e = Heap.slot_value t.overflow slot in
+    if e.timer.live then Some e (* lint: allow A002 one option cell per step-peek; the per-event tuple+variant boxes are gone *)
+    else begin
+      Heap.drop_top t.overflow;
       overflow_min t
-  | Some (_, e) -> Some e
+    end
 
-let next_entry t =
+let[@hot] next_entry t =
   if t.total_live = 0 then None
+  else if t.bucket_live = 0 then overflow_min t
   else begin
-    let from_bucket =
-      if t.bucket_live = 0 then None
-      else
-        let tick, e = bucket_min t in
-        Some (tick, e)
-    in
-    match from_bucket, overflow_min t with
-    | None, None -> None
-    | Some (tick, e), None -> Some (`Bucket tick, e)
-    | None, Some e -> Some (`Overflow, e)
-    | Some (tick, be), Some oe ->
-        if entry_precedes oe be then Some (`Overflow, oe)
-        else Some (`Bucket tick, be)
+    let be = bucket_min t in
+    match overflow_min t with
+    | Some oe as o when entry_precedes oe be -> o
+    | _ -> Some be (* lint: allow A002 one option cell per step-peek; the per-event tuple+variant boxes are gone *)
   end
 
 let next_due t =
-  match next_entry t with None -> None | Some (_, e) -> Some e.time
+  match next_entry t with None -> None | Some e -> Some e.time
 
-let take t where e =
-  (match where with
-  | `Bucket tick ->
-      let b = tick mod t.slots in
-      t.buckets.(b) <- List.filter (fun x -> x != e) t.buckets.(b);
-      t.bucket_live <- t.bucket_live - 1;
-      (* advance the wheel: every remaining live entry has tick >=
-         this minimum's tick, so the window invariant holds *)
-      t.cur_tick <- max t.cur_tick tick
-  | `Overflow ->
-      ignore (Heap.pop t.overflow);
-      t.cur_tick <- max t.cur_tick (tick_of t e.time));
+let[@hot] entry_time e = e.time
+let[@hot] entry_value e = e.value
+
+(* Extraction contract: [e] was just returned by [due_before] /
+   [next_entry], so a bucket entry is present in its resident bucket
+   and an overflow entry is the settled live root of the heap. *)
+let[@hot] take_entry t e =
+  if e.timer.in_bucket then begin
+    let b = e.tick mod t.slots in
+    (* lint: allow A001,A004 removing the fired entry rebuilds one bucket list — bounded by the handful of live periodic timers per bucket *)
+    t.buckets.(b) <- List.filter (fun x -> x != e) t.buckets.(b);
+    t.bucket_live <- t.bucket_live - 1
+  end
+  else Heap.drop_top t.overflow;
+  (* advance the wheel: every remaining live entry has tick >= this
+     minimum's tick, so the window invariant holds *)
+  t.cur_tick <- max t.cur_tick e.tick;
   e.timer.live <- false;
-  t.total_live <- t.total_live - 1;
-  (e.time, e.value)
+  t.total_live <- t.total_live - 1
 
-let pop_before t ~limit =
+let[@hot] due_before t ~limit =
   match next_entry t with
-  | Some (where, e) when e.time < limit -> Some (take t where e)
+  | Some e as o when e.time < limit -> o
   | _ -> None
 
+let take t e =
+  let time = e.time and v = e.value in
+  take_entry t e;
+  (time, v)
+
+let pop_before t ~limit =
+  match due_before t ~limit with Some e -> Some (take t e) | None -> None
+
 let pop t =
-  match next_entry t with
-  | Some (where, e) -> Some (take t where e)
-  | None -> None
+  match next_entry t with Some e -> Some (take t e) | None -> None

@@ -39,10 +39,30 @@ val mem : 'a t -> timer -> bool
 val next_due : 'a t -> float option
 (** Deadline of the earliest live entry. *)
 
+(** {2 Zero-allocation extraction}
+
+    [pop_before]/[pop] box a (time, value) tuple inside an option per
+    extraction. The per-event protocol below hands out the wheel's
+    own entry record instead: nothing is built beyond one short-lived
+    option cell per peek. *)
+
+type 'a entry
+(** A scheduled entry as stored by the wheel. Valid until extracted
+    with {!take_entry}. *)
+
+val due_before : 'a t -> limit:float -> 'a entry option
+(** Earliest live entry with deadline strictly below [limit], without
+    extracting it — the engine uses this to interleave wheel timers
+    with calendar events (calendar wins ties). *)
+
+val entry_time : 'a entry -> float
+val entry_value : 'a entry -> 'a
+
+val take_entry : 'a t -> 'a entry -> unit
+(** Extract an entry just returned by {!due_before}. *)
+
 val pop_before : 'a t -> limit:float -> (float * 'a) option
-(** Extract the earliest live entry with deadline strictly below
-    [limit] — the engine uses this to interleave wheel timers with
-    calendar events (calendar wins ties). *)
+(** [due_before] + [take_entry], boxed as a tuple. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Extract the earliest live entry unconditionally. *)

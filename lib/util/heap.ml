@@ -63,62 +63,59 @@ let is_empty t = t.size = t.ndead
 let capacity t = Array.length t.hkey
 let tombstones t = t.ndead
 
-(* Hole-based sifts: lift entry [i] out, slide ancestors/descendants
-   into the hole, drop the entry at its final position. *)
-let sift_up t i =
-  let key = t.hkey.(i) and seq = t.hseq.(i) and slot = t.hslot.(i) in
-  let i = ref i in
-  let stop = ref false in
-  while (not !stop) && !i > 0 do
-    let p = (!i - 1) / 2 in
-    if key < t.hkey.(p) || (key = t.hkey.(p) && seq < t.hseq.(p)) then begin
-      let ps = t.hslot.(p) in
-      t.hkey.(!i) <- t.hkey.(p);
-      t.hseq.(!i) <- t.hseq.(p);
-      t.hslot.(!i) <- ps;
-      t.pos.(ps) <- !i;
-      i := p
-    end
-    else stop := true
-  done;
-  t.hkey.(!i) <- key;
-  t.hseq.(!i) <- seq;
-  t.hslot.(!i) <- slot;
-  t.pos.(slot) <- !i
+(* Swap-based sifts, tail-recursive on int positions only. The
+   previous hole-based version kept loop state in two ref cells — four
+   heap words per sift call on the per-event path (A002); carrying the
+   lifted key as a float parameter instead would box it at every
+   recursive call. Comparing and swapping directly in the flat arrays
+   keeps every float in a register and the entire sift allocation-free
+   at the cost of a few extra unboxed stores per level. The resulting
+   array layout is identical to the hole version's, so heap order and
+   golden determinism pins are unchanged. *)
+let[@hot] swap t i j =
+  let ki = t.hkey.(i) and si = t.hseq.(i) and li = t.hslot.(i) in
+  t.hkey.(i) <- t.hkey.(j);
+  t.hseq.(i) <- t.hseq.(j);
+  t.hslot.(i) <- t.hslot.(j);
+  t.hkey.(j) <- ki;
+  t.hseq.(j) <- si;
+  t.hslot.(j) <- li;
+  t.pos.(t.hslot.(i)) <- i;
+  t.pos.(li) <- j
 
-let sift_down t i =
-  let key = t.hkey.(i) and seq = t.hseq.(i) and slot = t.hslot.(i) in
-  let i = ref i in
-  let stop = ref false in
-  while not !stop do
-    let left = (2 * !i) + 1 in
-    if left >= t.size then stop := true
-    else begin
-      let right = left + 1 in
-      let c =
-        if
-          right < t.size
-          && (t.hkey.(right) < t.hkey.(left)
-             || (t.hkey.(right) = t.hkey.(left)
-                && t.hseq.(right) < t.hseq.(left)))
-        then right
-        else left
-      in
-      if t.hkey.(c) < key || (t.hkey.(c) = key && t.hseq.(c) < seq) then begin
-        let cs = t.hslot.(c) in
-        t.hkey.(!i) <- t.hkey.(c);
-        t.hseq.(!i) <- t.hseq.(c);
-        t.hslot.(!i) <- cs;
-        t.pos.(cs) <- !i;
-        i := c
-      end
-      else stop := true
+let[@hot] rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if
+      t.hkey.(i) < t.hkey.(p)
+      || (t.hkey.(i) = t.hkey.(p) && t.hseq.(i) < t.hseq.(p))
+    then begin
+      swap t i p;
+      sift_up t p
     end
-  done;
-  t.hkey.(!i) <- key;
-  t.hseq.(!i) <- seq;
-  t.hslot.(!i) <- slot;
-  t.pos.(slot) <- !i
+  end
+
+let[@hot] rec sift_down t i =
+  let left = (2 * i) + 1 in
+  if left < t.size then begin
+    let right = left + 1 in
+    let c =
+      if
+        right < t.size
+        && (t.hkey.(right) < t.hkey.(left)
+           || (t.hkey.(right) = t.hkey.(left)
+              && t.hseq.(right) < t.hseq.(left)))
+      then right
+      else left
+    in
+    if
+      t.hkey.(c) < t.hkey.(i)
+      || (t.hkey.(c) = t.hkey.(i) && t.hseq.(c) < t.hseq.(i))
+    then begin
+      swap t i c;
+      sift_down t c
+    end
+  end
 
 let grow t =
   let cap = Array.length t.hkey in
@@ -204,6 +201,27 @@ let settle t =
 let min_key t =
   settle t;
   if t.size = 0 then None else Some t.hkey.(0)
+
+(* Zero-alloc variants of min_key/peek/pop for per-event callers: the
+   option/tuple results above cost two blocks per engine step. The
+   protocol is top (settle, slot id or -1), then top_key / slot_value
+   to read the entry, then drop_top to extract it. A freed slot keeps
+   its payload until the slot is reused by an insert, so reading
+   slot_value immediately after drop_top is sound. *)
+let[@hot] min_key_or t ~default =
+  settle t;
+  if t.size = 0 then default else t.hkey.(0)
+
+let[@hot] top t =
+  settle t;
+  if t.size = 0 then -1 else t.hslot.(0)
+
+let[@hot] top_key t = t.hkey.(0)
+let[@hot] slot_value t slot = t.value.(slot)
+
+let[@hot] drop_top t =
+  t.handle.(t.hslot.(0)).index <- -1;
+  drop_root t
 
 let peek t =
   settle t;

@@ -34,6 +34,33 @@ val insert : 'a t -> key:float -> 'a -> handle
 val min_key : 'a t -> float option
 (** Smallest live key, or [None] when empty. *)
 
+(** {2 Zero-allocation extraction}
+
+    [min_key]/[peek]/[pop] box their results — two heap blocks per
+    engine step when called per event. The per-event protocol below
+    allocates nothing: call [top]; if it returns a slot id [>= 0],
+    read [top_key]/[slot_value], then [drop_top] to extract. A freed
+    slot keeps its payload until an [insert] reuses it, so reading
+    [slot_value slot] immediately after [drop_top] is sound. *)
+
+val min_key_or : 'a t -> default:float -> float
+(** Smallest live key, or [default] when empty; never allocates. *)
+
+val top : 'a t -> int
+(** Slot id of the minimum live element, or [-1] when empty. *)
+
+val top_key : 'a t -> float
+(** Key at the root. Only meaningful right after [top] returned
+    [>= 0]. *)
+
+val slot_value : 'a t -> int -> 'a
+(** Payload of a slot returned by [top] — valid until the next
+    [insert]. *)
+
+val drop_top : 'a t -> unit
+(** Extract the root and invalidate its handle. Only legal right
+    after [top] returned [>= 0]. *)
+
 val peek : 'a t -> (float * 'a) option
 (** Minimum live (key, value) without removing it. *)
 

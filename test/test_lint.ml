@@ -11,6 +11,7 @@ module Lint = Softstate_lint
 module Driver = Lint.Driver
 module Finding = Lint.Finding
 module Rules = Lint.Rules
+module Summary = Lint.Summary
 module Json = Softstate_obs.Json
 
 let scan ?(file = "lib/core/fixture.ml") src = Driver.scan_source ~file src
@@ -24,6 +25,12 @@ let at rule fs =
     fs
 
 let loc = Alcotest.(list (pair int int))
+
+let message_mentions needle f =
+  let msg = f.Finding.message in
+  let n = String.length needle and m = String.length msg in
+  let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+  go 0
 
 (* ---- the rule battery ---- *)
 
@@ -146,6 +153,313 @@ let test_directive_in_string_ignored () =
     "directive text inside a string literal is not a directive" []
     (rule_ids (scan src))
 
+(* ---- alias blindness (D-rules must see through module aliases) ---- *)
+
+let test_alias_unix () =
+  let src = "module U = Unix\nlet now () = U.gettimeofday ()\n" in
+  let fs = Driver.scan_source ~file:"lib/obs/p.ml" src in
+  Alcotest.check loc "aliased Unix call still D002" [ (2, 13) ] (at "D002" fs);
+  (* alias of an alias: expansion iterates *)
+  let src =
+    "module U = Unix\nmodule V = U\nlet now () = V.gettimeofday ()\n"
+  in
+  let fs = Driver.scan_source ~file:"lib/obs/p.ml" src in
+  Alcotest.check loc "alias chain expands" [ (3, 13) ] (at "D002" fs)
+
+let test_alias_local_module () =
+  let src = "let f () =\n  let module R = Random in\n  R.bits ()\n" in
+  let fs = scan src in
+  Alcotest.(check bool) "let-module alias flagged" true
+    (List.mem "D001" (rule_ids fs))
+
+(* ---- R-family: domain-safety over the merged program ---- *)
+
+let test_r001_same_unit () =
+  let src =
+    "let hits = ref 0\nlet run () = Domain.spawn (fun () -> incr hits)\n"
+  in
+  let fs = scan src in
+  Alcotest.check loc "R001 anchors at the spawn" [ (2, 13) ] (at "R001" fs);
+  let f = List.find (fun f -> f.Finding.rule = "R001") fs in
+  Alcotest.(check bool) "message names the reached state" true
+    (message_mentions "Fixture.hits" f)
+
+let test_r001_cross_unit () =
+  let fs =
+    Driver.scan_sources
+      [ ("lib/core/state.ml", "let table = Hashtbl.create 16\n");
+        ( "lib/core/worker.ml",
+          "let go () = Domain.spawn (fun () -> State.table)\n" ) ]
+  in
+  Alcotest.(check bool) "spawn in worker reaches State.table" true
+    (List.exists
+       (fun f ->
+         f.Finding.rule = "R001" && f.Finding.file = "lib/core/worker.ml")
+       fs)
+
+let test_r001_sync_module_exempt () =
+  let fs =
+    Driver.scan_sources
+      [ ("lib/util/mutex.ml", "let registry = Hashtbl.create 8\n");
+        ( "lib/core/worker.ml",
+          "let go () = Domain.spawn (fun () -> Mutex.registry)\n" ) ]
+  in
+  Alcotest.check loc "state owned by a sync module is exempt" []
+    (at "R001" fs)
+
+let test_r002_lazy () =
+  let src =
+    "let table = lazy (Array.make 4 0)\n\
+     let go () = Domain.spawn (fun () -> Lazy.force table)\n"
+  in
+  let fs = scan src in
+  Alcotest.check loc "lazy forcing across domains is R002" [ (2, 12) ]
+    (at "R002" fs);
+  Alcotest.check loc "and not also R001" [] (at "R001" fs)
+
+let rng_unit =
+  ("lib/util/rng.ml", "let float r b = ignore r; b\nlet split r = r\n")
+
+let test_r003_shared_rng () =
+  let fs =
+    Driver.scan_sources
+      [ rng_unit;
+        ( "lib/core/worker.ml",
+          "let go rng = Parallel.map 4 (fun i -> Rng.float rng (float_of_int \
+           i))\n" ) ]
+  in
+  Alcotest.(check bool) "task drawing from a shared Rng is R003" true
+    (List.exists
+       (fun f ->
+         f.Finding.rule = "R003" && f.Finding.file = "lib/core/worker.ml")
+       fs)
+
+let test_r003_split_is_safe () =
+  let fs =
+    Driver.scan_sources
+      [ rng_unit;
+        ( "lib/core/worker.ml",
+          "let go rng =\n\
+          \  let s = Rng.split rng in\n\
+          \  Parallel.map 4 (fun i -> Rng.float s (float_of_int i))\n" ) ]
+  in
+  Alcotest.check loc "splitting in the spawning definition is the fix" []
+    (at "R003" fs)
+
+(* ---- A-family: hot-path allocation ---- *)
+
+let test_a001_closure () =
+  let src = "let[@hot] go xs = List.iter (fun x -> ignore x) xs\n" in
+  Alcotest.check loc "closure in a [@hot] body" [ (1, 28) ]
+    (at "A001" (scan src));
+  (* the definition's own parameter lambdas are the spine, not captures *)
+  let src = "let[@hot] add a b = a + b\n" in
+  Alcotest.check loc "parameter spine is exempt" [] (at "A001" (scan src))
+
+let test_a002_boxing () =
+  let src = "let[@hot] pair x = (x, x)\n" in
+  Alcotest.check loc "tuple construction" [ (1, 19) ] (at "A002" (scan src));
+  let src = "let[@hot] wrap x = Some x\n" in
+  Alcotest.check loc "option construction" [ (1, 19) ] (at "A002" (scan src))
+
+let test_a003_partial () =
+  let src = "let add3 a b c = a + b + c\nlet[@hot] f x = add3 x 1\n" in
+  Alcotest.check loc "partial application in hot path" [ (2, 16) ]
+    (at "A003" (scan src));
+  let src = "let add3 a b c = a + b + c\nlet[@hot] f x = add3 x 1 2\n" in
+  Alcotest.check loc "full application is fine" [] (at "A003" (scan src))
+
+let test_a004_list_build () =
+  let src = "let[@hot] dup xs = List.map succ xs\n" in
+  Alcotest.check loc "List.map in hot path" [ (1, 19) ]
+    (at "A004" (scan src))
+
+let test_a_rules_cold_def_silent () =
+  let src = "let cold xs = (List.map succ xs, Some 1)\n" in
+  Alcotest.(check (list string)) "unannotated definitions are not checked"
+    [] (rule_ids (scan src))
+
+let test_a_rules_config_hot_path () =
+  (* Seq_ring.find is named by Config.hot_paths: no [@hot] needed *)
+  let fs =
+    Driver.scan_source ~file:"lib/core/seq_ring.ml" "let find t = Some t\n"
+  in
+  Alcotest.check loc "config-listed definition is hot" [ (1, 13) ]
+    (at "A002" fs)
+
+let test_a_rules_nested_hot_region () =
+  let src =
+    "let outer () =\n  let[@hot] inner x = Some x in\n  inner 1\n"
+  in
+  let fs = scan src in
+  Alcotest.check loc "allocation inside a nested [@hot] binding" [ (2, 22) ]
+    (at "A002" fs);
+  let f = List.find (fun f -> f.Finding.rule = "A002") fs in
+  Alcotest.(check bool) "named after the inner region" true
+    (message_mentions "Fixture.inner" f)
+
+let test_rule_selection () =
+  let src = "let hits = ref 0\nlet run () = Domain.spawn (fun () -> incr hits)\nlet now () = Sys.time ()\n" in
+  let fs =
+    Driver.scan_sources ~rules:[ "R" ] [ ("lib/core/fixture.ml", src) ]
+  in
+  Alcotest.(check bool) "family keeps R001" true
+    (List.mem "R001" (rule_ids fs));
+  Alcotest.(check bool) "family drops D002" false
+    (List.mem "D002" (rule_ids fs));
+  let fs =
+    Driver.scan_sources ~rules:[ "D002" ] [ ("lib/core/fixture.ml", src) ]
+  in
+  Alcotest.(check (list string)) "exact id keeps only D002" [ "D002" ]
+    (rule_ids fs)
+
+(* ---- suppression edge cases ---- *)
+
+let test_suppression_multi_rule () =
+  let src =
+    "let[@hot] go xs =\n\
+     \  (* lint: allow A001,A004 fixture exercises the comma grammar *)\n\
+     \  List.map (fun x -> x) xs\n"
+  in
+  Alcotest.(check (list string)) "one directive silences both rules" []
+    (rule_ids (scan src));
+  let src =
+    "let[@hot] go xs =\n\
+     \  (* lint: allow A001,Z999 one bad id poisons the directive *)\n\
+     \  List.map (fun x -> x) xs\n"
+  in
+  let fs = scan src in
+  Alcotest.check loc "unknown id in the list is S001" [ (2, 2) ]
+    (at "S001" fs);
+  Alcotest.(check bool) "and nothing is suppressed" true
+    (List.mem "A001" (rule_ids fs) && List.mem "A004" (rule_ids fs))
+
+let test_suppression_in_mli () =
+  let fs =
+    Driver.scan_source ~file:"lib/core/fixture.mli"
+      "(* lint: allow D999 interfaces parse directives too *)\nval x : int\n"
+  in
+  Alcotest.check loc "unknown rule in an interface is S001" [ (1, 0) ]
+    (at "S001" fs);
+  let fs =
+    Driver.scan_source ~file:"lib/core/fixture.mli"
+      "(* lint: allow D002 documented exemption *)\nval now : unit -> float\n"
+  in
+  Alcotest.(check (list string)) "well-formed interface directive is quiet"
+    [] (rule_ids fs)
+
+let test_suppression_last_line () =
+  (* same-line directive on the final line, no trailing newline *)
+  let src = "let now () = Sys.time () (* lint: allow D002 probe *)" in
+  Alcotest.(check (list string)) "directive on the last line works" []
+    (rule_ids (Driver.scan_source ~file:"lib/obs/p.ml" src));
+  (* directive as the very last line, covering nothing: harmless *)
+  let src = "let x = 1\n(* lint: allow D002 trailing directive *)" in
+  Alcotest.(check (list string)) "trailing directive is no error" []
+    (rule_ids (Driver.scan_source ~file:"lib/obs/p.ml" src))
+
+(* ---- phase-1 summary serialization ---- *)
+
+let gen_summary_program =
+  let open QCheck.Gen in
+  let name = oneofl [ "alpha"; "beta"; "x1"; "Pcg.next"; "run_many" ] in
+  let path = oneofl [ "lib/core/a.ml"; "lib/util/b.ml"; "bin/c.ml" ] in
+  let region = oneofl [ ""; "inner"; "sift" ] in
+  let mkind =
+    oneofl
+      [ Summary.Ref_cell; Summary.Container; Summary.Lazy_block;
+        Summary.Mutable_record; Summary.Derived ]
+  in
+  let mutable_global =
+    map3
+      (fun n l k -> { Summary.m_name = n; m_line = l; m_kind = k })
+      name small_nat mkind
+  in
+  let alloc =
+    map3
+      (fun r (l, c) (reg, w) ->
+        { Summary.a_rule = r; a_line = l; a_col = c; a_region = reg;
+          a_what = w })
+      (oneofl [ "A001"; "A002"; "A004" ])
+      (pair small_nat small_nat)
+      (pair region (oneofl [ "closure construction"; "tuple"; "list cons" ]))
+  in
+  let call =
+    map3
+      (fun p (n, l) (c, reg) ->
+        { Summary.c_path = p; c_nargs = n; c_line = l; c_col = c;
+          c_region = reg })
+      (oneofl [ "Heap.insert"; "go"; "Softstate_sim.Parallel.map" ])
+      (pair small_nat small_nat)
+      (pair small_nat region)
+  in
+  let def =
+    map3
+      (fun (n, l, a) (h, b) (refs, calls, allocs) ->
+        { Summary.d_name = n; d_line = l; d_arity = a; d_hot = h;
+          d_builds_mutable = b; d_refs = refs; d_calls = calls;
+          d_allocs = allocs })
+      (triple name small_nat (int_bound 4))
+      (pair bool bool)
+      (triple (list_size (int_bound 3) name) (list_size (int_bound 3) call)
+         (list_size (int_bound 3) alloc))
+  in
+  let spawn =
+    map3
+      (fun (l, c) (k, e) (refs, u) ->
+        { Summary.s_line = l; s_col = c; s_kind = k; s_encl = e;
+          s_refs = refs; s_unresolved = u })
+      (pair small_nat small_nat)
+      (pair (oneofl [ Summary.Domain_spawn; Summary.Task_slot ]) name)
+      (pair (list_size (int_bound 3) name) bool)
+  in
+  let unit_summary =
+    map3
+      (fun (n, f) muts (defs, spawns) ->
+        { Summary.u_name = n; u_file = f; u_mutables = muts; u_defs = defs;
+          u_spawns = spawns })
+      (pair name path)
+      (list_size (int_bound 2) mutable_global)
+      (pair (list_size (int_bound 3) def) (list_size (int_bound 2) spawn))
+  in
+  list_size (int_bound 3) unit_summary
+
+let qcheck_summary_roundtrip =
+  QCheck.Test.make ~name:"summary serialization round-trips" ~count:200
+    (QCheck.make gen_summary_program)
+    (fun p -> Summary.of_string (Summary.to_string p) = p)
+
+let test_summary_of_string_rejects_garbage () =
+  Alcotest.(check bool) "malformed text is None" true
+    (Summary.of_string_opt "unit\tonly-one-field" = None);
+  Alcotest.(check bool) "orphan ref line is None" true
+    (Summary.of_string_opt "ref\tx\n" = None);
+  Alcotest.(check bool) "empty text is the empty program" true
+    (Summary.of_string_opt "" = Some [])
+
+(* ---- baselines ---- *)
+
+let test_baseline_subtraction () =
+  let v ~line rule message =
+    Finding.v ~file:"lib/a.ml" ~line ~col:1 ~rule message
+  in
+  let old_d002 = v ~line:3 "D002" "wall clock" in
+  let moved_d002 = v ~line:9 "D002" "wall clock" in
+  let fresh = v ~line:4 "D005" "List.hd" in
+  let kept, matched =
+    Driver.apply_baseline ~baseline:[ old_d002 ] [ moved_d002; fresh ]
+  in
+  Alcotest.(check (list string)) "recorded finding absorbed despite moving"
+    [ "D005" ] (rule_ids kept);
+  Alcotest.(check int) "one matched" 1 matched;
+  (* multiset: a second instance of a recorded finding still surfaces *)
+  let kept, matched =
+    Driver.apply_baseline ~baseline:[ old_d002 ]
+      [ moved_d002; v ~line:12 "D002" "wall clock" ]
+  in
+  Alcotest.(check int) "only one absorbed" 1 (List.length kept);
+  Alcotest.(check int) "matched count" 1 matched
+
 (* ---- report formats ---- *)
 
 let test_json_roundtrip () =
@@ -205,6 +519,34 @@ let () =
           Alcotest.test_case "D005 partial/magic" `Quick test_d005;
           Alcotest.test_case "M001 missing mli" `Quick test_m001;
           Alcotest.test_case "E001 parse error" `Quick test_e001 ] );
+      ( "aliases",
+        [ Alcotest.test_case "aliased Unix is still D002" `Quick
+            test_alias_unix;
+          Alcotest.test_case "let-module alias" `Quick
+            test_alias_local_module ] );
+      ( "races",
+        [ Alcotest.test_case "R001 same unit" `Quick test_r001_same_unit;
+          Alcotest.test_case "R001 cross unit" `Quick test_r001_cross_unit;
+          Alcotest.test_case "R001 sync-module exempt" `Quick
+            test_r001_sync_module_exempt;
+          Alcotest.test_case "R002 lazy" `Quick test_r002_lazy;
+          Alcotest.test_case "R003 shared rng" `Quick test_r003_shared_rng;
+          Alcotest.test_case "R003 split is safe" `Quick
+            test_r003_split_is_safe ] );
+      ( "allocs",
+        [ Alcotest.test_case "A001 closure" `Quick test_a001_closure;
+          Alcotest.test_case "A002 boxing" `Quick test_a002_boxing;
+          Alcotest.test_case "A003 partial application" `Quick
+            test_a003_partial;
+          Alcotest.test_case "A004 list building" `Quick
+            test_a004_list_build;
+          Alcotest.test_case "cold definitions silent" `Quick
+            test_a_rules_cold_def_silent;
+          Alcotest.test_case "config hot path" `Quick
+            test_a_rules_config_hot_path;
+          Alcotest.test_case "nested hot region" `Quick
+            test_a_rules_nested_hot_region;
+          Alcotest.test_case "rule selection" `Quick test_rule_selection ] );
       ( "suppressions",
         [ Alcotest.test_case "valid directive silences" `Quick
             test_suppression_silences;
@@ -213,7 +555,20 @@ let () =
           Alcotest.test_case "unknown rule rejected" `Quick
             test_suppression_unknown_rule;
           Alcotest.test_case "strings are not directives" `Quick
-            test_directive_in_string_ignored ] );
+            test_directive_in_string_ignored;
+          Alcotest.test_case "multi-rule directive" `Quick
+            test_suppression_multi_rule;
+          Alcotest.test_case "directives in interfaces" `Quick
+            test_suppression_in_mli;
+          Alcotest.test_case "directive on the last line" `Quick
+            test_suppression_last_line ] );
+      ( "summaries",
+        [ QCheck_alcotest.to_alcotest qcheck_summary_roundtrip;
+          Alcotest.test_case "of_string rejects garbage" `Quick
+            test_summary_of_string_rejects_garbage ] );
+      ( "baselines",
+        [ Alcotest.test_case "multiset subtraction" `Quick
+            test_baseline_subtraction ] );
       ( "reports",
         [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "text format" `Quick test_text_format;
